@@ -1,0 +1,95 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Conventions:
+//   * Every harness prints PAPER vs MEASURED lines for the quantities the
+//     paper reports; EXPERIMENTS.md collects them.
+//   * Detection policy is AnyDifference — the paper's criterion is literal:
+//     "Any time the simulation of a faulty circuit produces a result on the
+//     output data pin different than the good circuit, the fault is
+//     considered detected."
+//   * Absolute times are host wall-clock (the paper's are VAX-11/780 CPU
+//     seconds); every harness also reports deterministic work units (solver
+//     node evaluations) so the shape claims are machine-independent.
+//   * Set FMOSSIM_CSV_DIR to also dump the per-pattern series as CSV.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "circuits/ram.hpp"
+#include "core/concurrent_sim.hpp"
+#include "core/estimator.hpp"
+#include "core/serial_sim.hpp"
+#include "faults/universe.hpp"
+#include "patterns/marching.hpp"
+#include "stats/ascii_chart.hpp"
+#include "stats/recorder.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim::bench {
+
+/// The paper's fault universe for a RAM: all single storage-node stuck-at
+/// faults plus all adjacent-bit-line shorts (§5).
+inline FaultList paperFaultUniverse(const RamCircuit& ram) {
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  for (const TransId ft : ram.bitLineShorts) {
+    faults.add(Fault::faultDeviceActive(ram.net, ft));
+  }
+  return faults;
+}
+
+inline FsimOptions paperFsimOptions() {
+  FsimOptions opts;
+  opts.policy = DetectionPolicy::AnyDifference;
+  return opts;
+}
+
+inline void banner(const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+inline void paperVsMeasured(const char* what, const char* paper,
+                            const char* measured) {
+  std::printf("  %-44s PAPER: %-18s MEASURED: %s\n", what, paper, measured);
+}
+
+/// Dumps per-pattern CSV when FMOSSIM_CSV_DIR is set.
+inline void maybeWriteCsv(const FaultSimResult& res, const char* name) {
+  const char* dir = std::getenv("FMOSSIM_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  writeCsv(res, path);
+  std::printf("  (per-pattern series written to %s)\n", path.c_str());
+}
+
+/// Prints the Figure-1-style two-series chart: cumulative detections rising,
+/// seconds-per-pattern falling.
+inline void printDetectionChart(const FaultSimResult& res) {
+  std::vector<double> detects, secs;
+  detects.reserve(res.perPattern.size());
+  secs.reserve(res.perPattern.size());
+  for (const PatternStat& st : res.perPattern) {
+    detects.push_back(double(st.cumulativeDetected));
+    secs.push_back(st.seconds);
+  }
+  AsciiChart chart(64, 12);
+  std::printf("%s", chart.render(detects, "cumulative faults detected", secs,
+                                 "seconds/pattern")
+                        .c_str());
+}
+
+/// Prints a downsampled per-pattern table.
+inline void printSeriesTable(const FaultSimResult& res, std::uint32_t buckets) {
+  std::printf("  %8s %14s %14s %10s %8s\n", "pattern", "sec/pattern",
+              "evals/pattern", "detected", "alive");
+  for (const SeriesRow& row : downsample(res, buckets)) {
+    std::printf("  %8u %14.6f %14.0f %10u %8u\n", row.pattern,
+                row.secondsPerPattern, row.nodeEvalsPerPattern,
+                row.cumulativeDetected, row.alive);
+  }
+}
+
+}  // namespace fmossim::bench

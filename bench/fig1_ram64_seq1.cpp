@@ -1,0 +1,91 @@
+// Reproduces Figure 1: fault simulation of RAM64 over test sequence 1
+// (7 control + 40 row-march + 40 column-march + 320 array-march = 407
+// patterns) with the full stuck-at + bit-line-short fault universe.
+//
+// Paper's reported numbers for this experiment:
+//   * 428 faults, 407 patterns; head = first 87 patterns
+//   * cost starts ~45 s/pattern, falls sharply once severe faults drop
+//   * total 21.9 CPU min; good circuit alone 2.7 min; serial (estimated)
+//     404 min; concurrent-vs-serial ratio 18; 71% of time in the head;
+//     tail runs ~3x the good-circuit cost with up to ~190 live circuits
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace fmossim;
+using namespace fmossim::bench;
+
+int main() {
+  banner("Figure 1: RAM64, test sequence 1 (concurrent fault simulation)");
+
+  const RamCircuit ram = buildRam(ram64Config());
+  const FaultList faults = paperFaultUniverse(ram);
+  const TestSequence seq = ramTestSequence1(ram);
+  std::printf("  circuit: %u transistors, %u nodes (paper: 378 / 229)\n",
+              ram.net.numTransistors(), ram.net.numNodes());
+  std::printf("  faults:  %u (paper: 428)   patterns: %u (paper: 407)\n\n",
+              faults.size(), seq.size());
+
+  // Good-circuit reference run.
+  SerialFaultSimulator serial(ram.net);
+  const GoodRunResult good = serial.runGood(seq);
+
+  // Concurrent run.
+  ConcurrentFaultSimulator sim(ram.net, faults, paperFsimOptions());
+  const FaultSimResult res = sim.run(seq);
+
+  printSeriesTable(res, 20);
+  std::printf("\n  Figure 1 rendering (x = pattern 0..%u):\n", seq.size() - 1);
+  printDetectionChart(res);
+
+  const std::uint32_t kHead = 87;  // control + row march + column march
+  const HeadTailSplit split = splitHeadTail(res, kHead);
+  const double tailMean = meanSecondsPerPattern(res, kHead, seq.size());
+  const double goodMean = good.secondsPerPattern();
+  const SerialEstimate est =
+      estimateSerial(res.detectedAtPattern, seq.size(), goodMean,
+                     good.nodeEvalsPerPattern());
+
+  std::printf("\n  Summary\n");
+  std::printf("  detected %u / %u faults (%.1f%% coverage), max live circuits %u\n",
+              res.numDetected, res.numFaults, 100.0 * res.coverage(),
+              sim.maxAliveObserved());
+  paperVsMeasured("concurrent total", "21.9 min",
+                  format("%.3f s (%llu evals)", res.totalSeconds,
+                         (unsigned long long)res.totalNodeEvals)
+                      .c_str());
+  paperVsMeasured("good circuit alone", "2.7 min",
+                  format("%.3f s (%llu evals)", good.totalSeconds,
+                         (unsigned long long)good.totalNodeEvals)
+                      .c_str());
+  paperVsMeasured("serial (paper-method estimate)", "404 min",
+                  format("%.3f s", est.seconds).c_str());
+  paperVsMeasured("serial / concurrent ratio", "18",
+                  format("%.1f (work units: %.1f)", est.seconds / res.totalSeconds,
+                         est.nodeEvals / double(res.totalNodeEvals))
+                      .c_str());
+  paperVsMeasured("concurrent / good ratio", "8.1 (21.9/2.7)",
+                  format("%.1f (work units: %.1f)",
+                         res.totalSeconds / good.totalSeconds,
+                         double(res.totalNodeEvals) / double(good.totalNodeEvals))
+                      .c_str());
+  paperVsMeasured("time in head (first 87 patterns)", "71%",
+                  format("%.0f%%", 100.0 * split.headSecondsFraction()).c_str());
+  paperVsMeasured("faults detected in head", "all control/bus faults",
+                  format("%u of %u", split.detectedInHead, res.numDetected)
+                      .c_str());
+  paperVsMeasured("tail cost vs good circuit", "~3x",
+                  format("%.1fx", goodMean > 0 ? tailMean / goodMean : 0.0)
+                      .c_str());
+
+  maybeWriteCsv(res, "fig1_ram64_seq1");
+
+  // Shape checks: fail loudly if the qualitative result does not hold.
+  bool ok = true;
+  ok &= res.coverage() > 0.85;
+  ok &= split.headSecondsFraction() > 0.4;         // front-loaded cost
+  ok &= est.seconds > 3.0 * res.totalSeconds;      // concurrent clearly wins
+  ok &= res.perPattern.front().seconds > tailMean; // falling per-pattern cost
+  std::printf("\n  Shape checks: %s\n", ok ? "[OK]" : "[FAILED]");
+  return ok ? 0 : 1;
+}

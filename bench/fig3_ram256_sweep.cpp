@@ -1,0 +1,92 @@
+// Reproduces Figure 3: average time per pattern vs. number of randomly
+// sampled faults for RAM256, for both concurrent simulation (measured) and
+// serial simulation (estimated with the paper's own method — the paper also
+// estimated its serial times, footnote p. 717).
+//
+// Paper's claims:
+//   * both serial and concurrent grow linearly in the number of faults
+//     (the figure's serial axis is scaled 100x),
+//   * serial is ~85x slower than concurrent over the full universe,
+//   * linearity means the state-list overhead costs nothing, but also that
+//     only good-vs-faulty commonality is exploited.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "faults/sampling.hpp"
+#include "util/rng.hpp"
+
+using namespace fmossim;
+using namespace fmossim::bench;
+
+int main() {
+  banner("Figure 3: RAM256, avg time per pattern vs. number of faults");
+
+  const RamCircuit ram = buildRam(ram256Config());
+  const FaultList universe = paperFaultUniverse(ram);
+  const TestSequence seq = ramTestSequence1(ram);
+  std::printf("  circuit: %u transistors, %u nodes (paper: 1148 / 695)\n",
+              ram.net.numTransistors(), ram.net.numNodes());
+  std::printf("  fault universe: %u (paper: 1382)   patterns: %u (paper: 1447)\n\n",
+              universe.size(), seq.size());
+
+  SerialFaultSimulator serial(ram.net);
+  const GoodRunResult good = serial.runGood(seq);
+
+  Rng rng(19850625);  // DAC 1985, deterministic sweep
+  const double fractions[] = {0.0, 0.125, 0.25, 0.5, 0.75, 1.0};
+
+  std::vector<double> xs, concSecs, serialSecs, concEvals, serialEvals;
+  std::printf("  %8s %16s %16s %18s %18s\n", "faults", "conc s/pattern",
+              "serial s/pattern", "conc evals/pat", "serial evals/pat");
+  for (const double f : fractions) {
+    const auto count = static_cast<std::uint32_t>(f * universe.size());
+    const FaultList sample = sampleFaults(universe, count, rng);
+    ConcurrentFaultSimulator sim(ram.net, sample, paperFsimOptions());
+    const FaultSimResult res = sim.run(seq);
+    const SerialEstimate est =
+        estimateSerial(res.detectedAtPattern, seq.size(),
+                       good.secondsPerPattern(), good.nodeEvalsPerPattern());
+    const double cs = res.totalSeconds / seq.size();
+    const double ss = est.seconds / seq.size();
+    const double ce = double(res.totalNodeEvals) / seq.size();
+    const double se = est.nodeEvals / seq.size();
+    xs.push_back(double(count));
+    concSecs.push_back(cs);
+    serialSecs.push_back(ss);
+    concEvals.push_back(ce);
+    serialEvals.push_back(se);
+    std::printf("  %8u %16.6f %16.6f %18.0f %18.0f\n", count, cs, ss, ce, se);
+  }
+
+  std::printf("\n  Figure 3 rendering (x = number of faults, linear axes):\n");
+  AsciiChart chart(64, 12);
+  std::printf("%s", chart.render(serialSecs, "serial s/pattern (estimated)",
+                                 concSecs, "concurrent s/pattern")
+                        .c_str());
+
+  const LinearFit concFit = fitLine(xs, concEvals);
+  const LinearFit serialFit = fitLine(xs, serialEvals);
+  const double fullRatio = serialSecs.back() / concSecs.back();
+  const double fullWorkRatio = serialEvals.back() / concEvals.back();
+
+  std::printf("\n  Summary\n");
+  paperVsMeasured("concurrent growth in #faults", "linear",
+                  format("linear, R^2=%.4f (work units)", concFit.r2).c_str());
+  paperVsMeasured("serial growth in #faults", "linear",
+                  format("linear, R^2=%.4f (work units)", serialFit.r2).c_str());
+  paperVsMeasured("serial/concurrent at full universe", "85x",
+                  format("%.1fx wall, %.1fx work units", fullRatio,
+                         fullWorkRatio)
+                      .c_str());
+  paperVsMeasured("zero-fault cost = good-circuit cost", "(implicit)",
+                  format("%.2fx good", concEvals.front() /
+                                           good.nodeEvalsPerPattern())
+                      .c_str());
+
+  bool ok = true;
+  ok &= concFit.r2 > 0.95 && serialFit.r2 > 0.95;   // linearity
+  ok &= fullWorkRatio > 5.0;                        // serial clearly slower
+  ok &= concEvals.back() > concEvals.front();       // growing with faults
+  std::printf("\n  Shape checks: %s\n", ok ? "[OK]" : "[FAILED]");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 1 of the paper: "Transistor State as Function of Gate
+// Node State" — printed directly from the implementation's conduction
+// function (also pinned by tests/switch/signal_test.cpp).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "switch/signal.hpp"
+
+using namespace fmossim;
+
+int main() {
+  bench::banner(
+      "Table 1 (Bryant & Schuster, DAC 1985): transistor state as a\n"
+      "function of gate node state, regenerated from the implementation");
+
+  std::printf("\n  gate state   n-type   p-type   d-type\n");
+  std::printf("  ----------   ------   ------   ------\n");
+  for (const State gate : {State::S0, State::S1, State::SX}) {
+    std::printf("      %c          %c        %c        %c\n", stateChar(gate),
+                stateChar(conductionState(TransistorType::NType, gate)),
+                stateChar(conductionState(TransistorType::PType, gate)),
+                stateChar(conductionState(TransistorType::DType, gate)));
+  }
+
+  std::printf("\n  Paper's table:\n");
+  std::printf("      0          0        1        1\n");
+  std::printf("      1          1        0        1\n");
+  std::printf("      X          X        X        1\n");
+
+  // Verify programmatically so the bench fails loudly on regression.
+  const State expected[3][3] = {
+      {State::S0, State::S1, State::S1},
+      {State::S1, State::S0, State::S1},
+      {State::SX, State::SX, State::S1},
+  };
+  const State gates[3] = {State::S0, State::S1, State::SX};
+  const TransistorType types[3] = {TransistorType::NType, TransistorType::PType,
+                                   TransistorType::DType};
+  for (int g = 0; g < 3; ++g) {
+    for (int t = 0; t < 3; ++t) {
+      if (conductionState(types[t], gates[g]) != expected[g][t]) {
+        std::printf("\nMISMATCH against the paper's Table 1!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("\n  All 9 entries match the paper. [OK]\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// fmossim_cli — command-line fault simulator driver.
+//
+//   fmossim_cli --sim <netlist.sim> --seq <sequence.txt> --faults <spec.txt>
+//               [--policy any|definite] [--no-drop] [--csv <file>]
+//               [--serial] [--quiet]
+//   fmossim_cli --bench <circuit.bench> ...      (ISCAS .bench input)
+//   fmossim_cli --demo                           (built-in demo run)
+//
+// Input formats are documented in src/netlist/sim_format.hpp,
+// src/patterns/sequence_io.hpp, and src/faults/fault_spec.hpp.
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/concurrent_sim.hpp"
+#include "core/estimator.hpp"
+#include "core/serial_sim.hpp"
+#include "faults/fault_spec.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/gate_expand.hpp"
+#include "netlist/sim_format.hpp"
+#include "patterns/sequence_io.hpp"
+#include "stats/recorder.hpp"
+
+using namespace fmossim;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--sim FILE | --bench FILE | --demo) --seq FILE "
+               "--faults FILE\n"
+               "          [--policy any|definite] [--no-drop] [--csv FILE] "
+               "[--serial] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+const char* kDemoNetlist = R"(| demo: nMOS inverter chain with a pass gate
+input in clk
+d n1 Vdd n1
+n in n1 Gnd
+n clk n1 n2
+d out Vdd out
+n n2 out Gnd
+)";
+
+const char* kDemoSequence = R"(outputs out
+pattern init
+  set Vdd=1 Gnd=0 in=0 clk=1
+pattern p1
+  set in=1
+pattern p2
+  set clk=0
+  set in=0
+pattern p3
+  set clk=1
+)";
+
+const char* kDemoFaults = R"(all-node-stuck
+all-transistor-stuck
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<std::string> simFile, benchFile, seqFile, faultFile, csvFile;
+  bool demo = false, noDrop = false, runSerial = false, quiet = false;
+  DetectionPolicy policy = DetectionPolicy::AnyDifference;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sim") simFile = next();
+    else if (arg == "--bench") benchFile = next();
+    else if (arg == "--seq") seqFile = next();
+    else if (arg == "--faults") faultFile = next();
+    else if (arg == "--csv") csvFile = next();
+    else if (arg == "--demo") demo = true;
+    else if (arg == "--no-drop") noDrop = true;
+    else if (arg == "--serial") runSerial = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "any") policy = DetectionPolicy::AnyDifference;
+      else if (p == "definite") policy = DetectionPolicy::DefiniteOnly;
+      else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!demo && !simFile && !benchFile) return usage(argv[0]);
+  if (!demo && (!seqFile || !faultFile)) return usage(argv[0]);
+
+  try {
+    // Load the network.
+    Network net;
+    if (demo) {
+      net = parseSimNetlist(kDemoNetlist);
+    } else if (simFile) {
+      net = loadSimFile(*simFile);
+    } else {
+      const GateCircuit gates = loadBenchFile(*benchFile);
+      net = expandToCmos(gates).net;
+    }
+    if (!quiet) {
+      std::printf("network: %u transistors (%u fault devices), %u nodes "
+                  "(%u inputs)\n",
+                  net.numTransistors(), net.numFaultDevices(), net.numNodes(),
+                  net.numInputs());
+    }
+
+    const TestSequence seq = demo ? parseSequence(net, kDemoSequence)
+                                  : loadSequenceFile(net, *seqFile);
+    const FaultList faults = demo ? parseFaultSpec(net, kDemoFaults)
+                                  : loadFaultSpecFile(net, *faultFile);
+    if (!quiet) {
+      std::printf("sequence: %u patterns, %zu output(s); faults: %u\n",
+                  seq.size(), seq.outputs().size(), faults.size());
+    }
+
+    FsimOptions opts;
+    opts.policy = policy;
+    opts.dropDetected = !noDrop;
+    ConcurrentFaultSimulator sim(net, faults, opts);
+    const FaultSimResult res = sim.run(seq);
+
+    if (!quiet) {
+      std::printf("\n%-8s %-10s %-12s %-8s\n", "pattern", "detected",
+                  "cumulative", "alive");
+      for (const SeriesRow& row : downsample(res, 20)) {
+        std::printf("%-8u %-10s %-12u %-8u\n", row.pattern, "",
+                    row.cumulativeDetected, row.alive);
+      }
+    }
+    std::printf("\ncoverage: %u / %u (%.2f%%), potential (X) detections: %llu\n",
+                res.numDetected, res.numFaults, 100.0 * res.coverage(),
+                (unsigned long long)res.potentialDetections);
+    std::printf("time: %.4f s, work: %llu node evaluations\n", res.totalSeconds,
+                (unsigned long long)res.totalNodeEvals);
+
+    if (!quiet) {
+      std::printf("\nundetected faults:\n");
+      unsigned shown = 0;
+      for (std::uint32_t i = 0; i < faults.size(); ++i) {
+        if (res.detectedAtPattern[i] < 0) {
+          std::printf("  %s\n", faults[i].name.c_str());
+          if (++shown >= 25) {
+            std::printf("  ... (%u total)\n", res.numFaults - res.numDetected);
+            break;
+          }
+        }
+      }
+      if (shown == 0) std::printf("  (none)\n");
+    }
+
+    if (csvFile) {
+      writeCsv(res, *csvFile);
+      std::printf("per-pattern series written to %s\n", csvFile->c_str());
+    }
+
+    if (runSerial) {
+      SerialOptions sopts;
+      sopts.policy = policy;
+      SerialFaultSimulator serial(net, sopts);
+      const SerialRunResult sres = serial.run(seq, faults);
+      std::printf("\nserial reference: %u detected, %.4f s (good alone %.4f s)\n",
+                  sres.numDetected, sres.faultSeconds, sres.good.totalSeconds);
+      const SerialEstimate est = estimateSerial(
+          sres.detectedAtPattern, seq.size(), sres.good.secondsPerPattern(),
+          sres.good.nodeEvalsPerPattern());
+      std::printf("paper-method estimate: %.4f s; concurrent speedup %.1fx\n",
+                  est.seconds, sres.faultSeconds / res.totalSeconds);
+      bool match = sres.numDetected == res.numDetected;
+      for (std::uint32_t i = 0; match && i < faults.size(); ++i) {
+        match = sres.detectedAtPattern[i] == res.detectedAtPattern[i];
+      }
+      std::printf("concurrent/serial detection agreement: %s\n",
+                  match ? "EXACT" : "MISMATCH");
+      if (!match) return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// ISCAS-85 flow: parse a public .bench netlist, expand it to a CMOS
+// switch-level network, and measure random-pattern fault coverage.
+//
+//   $ ./build/examples/iscas_fault_coverage             # embedded c17
+//   $ ./build/examples/iscas_fault_coverage my.bench    # any .bench file
+//
+// Beyond the classical gate-output stuck-at universe, the switch-level model
+// also simulates per-transistor stuck-open faults — which turn combinational
+// CMOS gates into sequential elements and generally *cannot* be represented
+// at the gate level (paper §1).
+#include <cstdio>
+
+#include "core/concurrent_sim.hpp"
+#include "faults/universe.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/gate_expand.hpp"
+#include "patterns/random_patterns.hpp"
+#include "util/rng.hpp"
+
+using namespace fmossim;
+
+int main(int argc, char** argv) {
+  const GateCircuit gates = (argc > 1) ? loadBenchFile(argv[1])
+                                       : parseBench(kIscas85C17, "c17");
+  std::printf("circuit %s: %zu inputs, %zu outputs, %zu gates\n",
+              gates.name.empty() ? "c17" : gates.name.c_str(),
+              gates.inputs.size(), gates.outputs.size(), gates.numGates());
+
+  const ExpandedCircuit ex = expandToCmos(gates);
+  std::printf("expanded: %u transistors, %u nodes\n\n",
+              ex.net.numTransistors(), ex.net.numNodes());
+
+  // Two fault universes: classical gate-level stuck-ats, and the
+  // switch-level transistor stuck-open/closed universe.
+  const FaultList classical = gateLevelStuckFaults(gates, ex);
+  const FaultList transistor = allTransistorStuckFaults(ex.net);
+
+  // Random patterns; rails driven in every pattern.
+  Rng rng(1985);
+  TestSequence seq = randomPatterns(ex.inputs, {.numPatterns = 64}, rng);
+  for (const NodeId out : ex.outputs) seq.addOutput(out);
+  {
+    // Prepend rails to the first pattern.
+    InputSetting rails;
+    rails.set(ex.net.nodeByName("Vdd"), State::S1);
+    rails.set(ex.net.nodeByName("Gnd"), State::S0);
+    TestSequence withRails;
+    withRails.setOutputs(seq.outputs());
+    for (std::uint32_t i = 0; i < seq.size(); ++i) {
+      Pattern p = seq[i];
+      p.settings.insert(p.settings.begin(), rails);
+      withRails.addPattern(std::move(p));
+    }
+    seq = withRails;
+  }
+
+  for (const auto& [label, universe] :
+       {std::pair{"gate-level stuck-at", &classical},
+        std::pair{"transistor stuck-open/closed", &transistor}}) {
+    ConcurrentFaultSimulator sim(ex.net, *universe);
+    const FaultSimResult res = sim.run(seq);
+    std::printf("%-32s %u faults, coverage %5.1f%%, potential (X) %llu\n",
+                label, res.numFaults, 100.0 * res.coverage(),
+                (unsigned long long)res.potentialDetections);
+
+    // Coverage curve at a few checkpoints.
+    std::printf("  patterns:");
+    for (const std::uint32_t at : {3u, 7u, 15u, 31u, 63u}) {
+      if (at < res.perPattern.size()) {
+        std::printf("  %u->%u", at + 1, res.perPattern[at].cumulativeDetected);
+      }
+    }
+    std::printf("  (cumulative detections)\n");
+  }
+
+  std::printf(
+      "\nNote the stuck-open universe converges more slowly: detecting a\n"
+      "stuck-open CMOS transistor needs a two-pattern sequence (initialize,\n"
+      "then expose the floating output), which random patterns only supply\n"
+      "by chance — the sequential behaviour the paper's introduction\n"
+      "motivates.\n");
+  return 0;
+}

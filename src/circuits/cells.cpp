@@ -1,0 +1,168 @@
+#include "circuits/cells.hpp"
+
+namespace fmossim {
+
+Supplies ensureSupplies(NetworkBuilder& b) {
+  Supplies rails;
+  rails.vdd = b.hasNode("Vdd") ? b.getOrAddNode("Vdd") : b.addInput("Vdd");
+  rails.gnd = b.hasNode("Gnd") ? b.getOrAddNode("Gnd") : b.addInput("Gnd");
+  return rails;
+}
+
+// --- nMOS ------------------------------------------------------------------
+
+NmosCells::NmosCells(NetworkBuilder& b, CellStrengths strengths)
+    : b_(b), rails_(ensureSupplies(b)), s_(strengths) {}
+
+NodeId NmosCells::inverter(NodeId in, const std::string& outName) {
+  return inverterInto(in, b_.addNode(outName));
+}
+
+NodeId NmosCells::inverterInto(NodeId in, NodeId out) {
+  // Depletion load: always-on weak pull-up, gate tied to the output
+  // (standard nMOS practice; the d-type conducts regardless of gate).
+  b_.addTransistor(TransistorType::DType, s_.load, out, rails_.vdd, out);
+  b_.addTransistor(TransistorType::NType, s_.driver, in, out, rails_.gnd);
+  return out;
+}
+
+NodeId NmosCells::nor(const std::vector<NodeId>& ins, const std::string& outName) {
+  return norInto(ins, b_.addNode(outName));
+}
+
+NodeId NmosCells::norInto(const std::vector<NodeId>& ins, NodeId out) {
+  FMOSSIM_ASSERT(!ins.empty(), "NOR requires at least one input");
+  b_.addTransistor(TransistorType::DType, s_.load, out, rails_.vdd, out);
+  for (const NodeId in : ins) {
+    b_.addTransistor(TransistorType::NType, s_.driver, in, out, rails_.gnd);
+  }
+  return out;
+}
+
+NodeId NmosCells::nand(const std::vector<NodeId>& ins, const std::string& outName) {
+  return nandInto(ins, b_.addNode(outName));
+}
+
+NodeId NmosCells::nandInto(const std::vector<NodeId>& ins, NodeId out) {
+  FMOSSIM_ASSERT(!ins.empty(), "NAND requires at least one input");
+  b_.addTransistor(TransistorType::DType, s_.load, out, rails_.vdd, out);
+  NodeId chain = out;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const NodeId next = (i + 1 == ins.size())
+                            ? rails_.gnd
+                            : b_.addNode(b_.uniqueName("nand.chain"));
+    b_.addTransistor(TransistorType::NType, s_.driver, ins[i], chain, next);
+    chain = next;
+  }
+  return out;
+}
+
+NodeId NmosCells::buffer(NodeId in, const std::string& outName) {
+  const NodeId mid = inverter(in, b_.uniqueName(outName + ".inv"));
+  return inverter(mid, outName);
+}
+
+TransId NmosCells::pass(NodeId gate, NodeId a, NodeId b) {
+  return b_.addTransistor(TransistorType::NType, s_.driver, gate, a, b);
+}
+
+TransId NmosCells::precharge(NodeId clk, NodeId node) {
+  return b_.addTransistor(TransistorType::NType, s_.driver, clk, rails_.vdd, node);
+}
+
+NodeId NmosCells::dynamicLatch(NodeId in, NodeId clk, const std::string& latchName) {
+  const NodeId latch = b_.addNode(latchName);
+  pass(clk, in, latch);
+  return latch;
+}
+
+// --- CMOS ------------------------------------------------------------------
+
+CmosCells::CmosCells(NetworkBuilder& b, unsigned strength)
+    : b_(b), rails_(ensureSupplies(b)), strength_(strength) {}
+
+NodeId CmosCells::inverter(NodeId in, const std::string& outName) {
+  return inverterInto(in, b_.addNode(outName));
+}
+
+NodeId CmosCells::inverterInto(NodeId in, NodeId out) {
+  b_.addTransistor(TransistorType::PType, strength_, in, rails_.vdd, out);
+  b_.addTransistor(TransistorType::NType, strength_, in, out, rails_.gnd);
+  return out;
+}
+
+NodeId CmosCells::series(TransistorType type, NodeId rail, NodeId out,
+                         const std::vector<NodeId>& gates, const char* tag) {
+  NodeId chain = rail;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const NodeId next =
+        (i + 1 == gates.size()) ? out : b_.addNode(b_.uniqueName(tag));
+    b_.addTransistor(type, strength_, gates[i], chain, next);
+    chain = next;
+  }
+  return out;
+}
+
+void CmosCells::parallel(TransistorType type, NodeId rail, NodeId out,
+                         const std::vector<NodeId>& gates) {
+  for (const NodeId g : gates) {
+    b_.addTransistor(type, strength_, g, rail, out);
+  }
+}
+
+NodeId CmosCells::nand(const std::vector<NodeId>& ins, const std::string& outName) {
+  return nandInto(ins, b_.addNode(outName));
+}
+
+NodeId CmosCells::nandInto(const std::vector<NodeId>& ins, NodeId out) {
+  FMOSSIM_ASSERT(!ins.empty(), "NAND requires at least one input");
+  parallel(TransistorType::PType, rails_.vdd, out, ins);
+  series(TransistorType::NType, rails_.gnd, out, ins, "cnand.chain");
+  return out;
+}
+
+NodeId CmosCells::nor(const std::vector<NodeId>& ins, const std::string& outName) {
+  return norInto(ins, b_.addNode(outName));
+}
+
+NodeId CmosCells::norInto(const std::vector<NodeId>& ins, NodeId out) {
+  FMOSSIM_ASSERT(!ins.empty(), "NOR requires at least one input");
+  series(TransistorType::PType, rails_.vdd, out, ins, "cnor.chain");
+  parallel(TransistorType::NType, rails_.gnd, out, ins);
+  return out;
+}
+
+NodeId CmosCells::andGate(const std::vector<NodeId>& ins, const std::string& outName) {
+  const NodeId n = nand(ins, b_.uniqueName(outName + ".nand"));
+  return inverter(n, outName);
+}
+
+NodeId CmosCells::orGate(const std::vector<NodeId>& ins, const std::string& outName) {
+  const NodeId n = nor(ins, b_.uniqueName(outName + ".nor"));
+  return inverter(n, outName);
+}
+
+NodeId CmosCells::xorGate(NodeId a, NodeId b, const std::string& outName) {
+  // a^b = NOT( (a AND b) OR (NOT a AND NOT b) )
+  //     = NAND(nand(a,b), or(a,b)) composed from primitive stages:
+  const NodeId nab = nand({a, b}, b_.uniqueName(outName + ".nand"));
+  const NodeId oab = orGate({a, b}, b_.uniqueName(outName + ".or"));
+  return andGate({nab, oab}, outName);
+}
+
+NodeId CmosCells::xnorGate(NodeId a, NodeId b, const std::string& outName) {
+  const NodeId x = xorGate(a, b, b_.uniqueName(outName + ".xor"));
+  return inverter(x, outName);
+}
+
+NodeId CmosCells::buffer(NodeId in, const std::string& outName) {
+  const NodeId mid = inverter(in, b_.uniqueName(outName + ".inv"));
+  return inverter(mid, outName);
+}
+
+void CmosCells::transmissionGate(NodeId ctrl, NodeId ctrlBar, NodeId a, NodeId b) {
+  b_.addTransistor(TransistorType::NType, strength_, ctrl, a, b);
+  b_.addTransistor(TransistorType::PType, strength_, ctrlBar, a, b);
+}
+
+}  // namespace fmossim

@@ -1,0 +1,112 @@
+// Switch-level standard-cell library: nMOS ratioed gates and complementary
+// CMOS gates, built transistor-by-transistor on a NetworkBuilder.
+//
+// The nMOS cells use the two-strength convention of paper §2: depletion-mode
+// pull-up loads at strength 1 (weak), enhancement pull-downs at strength 2.
+// CMOS cells use a single strength (strength 2) as the paper notes most CMOS
+// circuits need.
+//
+// These cells are used by the RAM generator (paper §5), by the ISCAS gate
+// expansion, and extensively by the tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switch/builder.hpp"
+
+namespace fmossim {
+
+/// Well-known supply rails; circuits create them once via ensureSupplies().
+struct Supplies {
+  NodeId vdd;
+  NodeId gnd;
+};
+
+/// Returns the Vdd/Gnd input nodes, creating them if needed (named "Vdd" and
+/// "Gnd").
+Supplies ensureSupplies(NetworkBuilder& b);
+
+/// Strength conventions used by the cell library.
+struct CellStrengths {
+  unsigned load = 1;    ///< depletion pull-up loads (weak)
+  unsigned driver = 2;  ///< enhancement drivers / CMOS devices
+};
+
+/// nMOS cell generators. Every function returns the output node it created
+/// (or was given). Output nodes are storage nodes of size 1 unless the
+/// caller passes an existing node.
+class NmosCells {
+ public:
+  NmosCells(NetworkBuilder& b, CellStrengths strengths = {});
+
+  /// Ratioed inverter: depletion load + enhancement pull-down.
+  NodeId inverter(NodeId in, const std::string& outName);
+  NodeId inverterInto(NodeId in, NodeId out);
+
+  /// k-input NOR: depletion load + parallel pull-downs.
+  NodeId nor(const std::vector<NodeId>& ins, const std::string& outName);
+  NodeId norInto(const std::vector<NodeId>& ins, NodeId out);
+
+  /// k-input NAND: depletion load + series pull-downs.
+  NodeId nand(const std::vector<NodeId>& ins, const std::string& outName);
+  NodeId nandInto(const std::vector<NodeId>& ins, NodeId out);
+
+  /// Non-inverting super-buffer (two inverters in series).
+  NodeId buffer(NodeId in, const std::string& outName);
+
+  /// Bidirectional pass transistor between a and b, gated by g.
+  TransId pass(NodeId gate, NodeId a, NodeId b);
+
+  /// Precharge device: n-type transistor from Vdd to the node, gated by clk.
+  TransId precharge(NodeId clk, NodeId node);
+
+  /// Dynamic latch: pass transistor into a storage node (the latch), which
+  /// the caller typically buffers. Returns the latch node.
+  NodeId dynamicLatch(NodeId in, NodeId clk, const std::string& latchName);
+
+  NetworkBuilder& builder() { return b_; }
+
+ private:
+  NetworkBuilder& b_;
+  Supplies rails_;
+  CellStrengths s_;
+};
+
+/// CMOS cell generators (complementary pull-up / pull-down networks).
+class CmosCells {
+ public:
+  CmosCells(NetworkBuilder& b, unsigned strength = 2);
+
+  NodeId inverter(NodeId in, const std::string& outName);
+  NodeId inverterInto(NodeId in, NodeId out);
+  NodeId nand(const std::vector<NodeId>& ins, const std::string& outName);
+  NodeId nandInto(const std::vector<NodeId>& ins, NodeId out);
+  NodeId nor(const std::vector<NodeId>& ins, const std::string& outName);
+  NodeId norInto(const std::vector<NodeId>& ins, NodeId out);
+  /// AND / OR are NAND / NOR followed by an inverter.
+  NodeId andGate(const std::vector<NodeId>& ins, const std::string& outName);
+  NodeId orGate(const std::vector<NodeId>& ins, const std::string& outName);
+  /// Two-input XOR/XNOR composed from NAND/NOR/INV stages.
+  NodeId xorGate(NodeId a, NodeId b, const std::string& outName);
+  NodeId xnorGate(NodeId a, NodeId b, const std::string& outName);
+  /// Non-inverting buffer (two inverters).
+  NodeId buffer(NodeId in, const std::string& outName);
+  /// CMOS transmission gate (n and p device in parallel); ctrl and its
+  /// complement must both be supplied.
+  void transmissionGate(NodeId ctrl, NodeId ctrlBar, NodeId a, NodeId b);
+
+  NetworkBuilder& builder() { return b_; }
+
+ private:
+  NodeId series(TransistorType type, NodeId rail, NodeId out,
+                const std::vector<NodeId>& gates, const char* tag);
+  void parallel(TransistorType type, NodeId rail, NodeId out,
+                const std::vector<NodeId>& gates);
+
+  NetworkBuilder& b_;
+  Supplies rails_;
+  unsigned strength_;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,71 @@
+#include "circuits/demo_circuits.hpp"
+
+#include "circuits/cells.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+ShiftRegister buildShiftRegister(unsigned stages) {
+  if (stages == 0) {
+    throw Error("shift register needs at least one stage");
+  }
+  NetworkBuilder b;
+  NmosCells cells(b);
+  ShiftRegister sr;
+  sr.stages = stages;
+  sr.din = b.addInput("din");
+  sr.phi1 = b.addInput("phi1");
+  sr.phi2 = b.addInput("phi2");
+
+  NodeId stageIn = sr.din;
+  for (unsigned i = 0; i < stages; ++i) {
+    const NodeId m = cells.dynamicLatch(stageIn, sr.phi1, format("m%u", i));
+    const NodeId mb = cells.inverter(m, format("mb%u", i));
+    const NodeId s = cells.dynamicLatch(mb, sr.phi2, format("s%u", i));
+    const NodeId q = cells.inverter(s, format("q%u", i));
+    sr.q.push_back(q);
+    stageIn = q;
+  }
+  sr.net = b.build();
+  sr.vdd = sr.net.nodeByName("Vdd");
+  sr.gnd = sr.net.nodeByName("Gnd");
+  return sr;
+}
+
+PrechargedBus buildPrechargedBus(unsigned sources) {
+  if (sources == 0) {
+    throw Error("precharged bus needs at least one source");
+  }
+  NetworkBuilder b;
+  NmosCells cells(b);
+  PrechargedBus bus;
+  bus.sources = sources;
+  bus.phiP = b.addInput("phiP");
+  bus.busA = b.addNode("busA", 2);
+  bus.busB = b.addNode("busB", 2);
+  cells.precharge(bus.phiP, bus.busA);
+
+  for (unsigned i = 0; i < sources; ++i) {
+    bus.enable.push_back(b.addInput(format("en%u", i)));
+    bus.data.push_back(b.addInput(format("d%u", i)));
+    // Pull-down chain: busA/busB - [gate d_i] - mid - [gate en_i] - Gnd.
+    const NodeId half = (i < sources / 2) ? bus.busA : bus.busB;
+    const NodeId mid = b.addNode(format("pd%u", i));
+    b.addTransistor(TransistorType::NType, 2, bus.data[i], half, mid);
+    b.addTransistor(TransistorType::NType, 2, bus.enable[i], mid,
+                    b.getOrAddNode("Gnd"));
+  }
+
+  // The bus wire is modeled as two halves joined by an open fault device;
+  // a short fault device ties the bus to the first enable line.
+  bus.openDevice = b.addOpenFaultDevice(bus.busA, bus.busB);
+  bus.shortDevice = b.addShortFaultDevice(bus.busA, bus.enable[0]);
+
+  bus.sense = cells.inverter(bus.busB, "sense");
+  bus.net = b.build();
+  bus.vdd = bus.net.nodeByName("Vdd");
+  bus.gnd = bus.net.nodeByName("Gnd");
+  return bus;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,48 @@
+// Small demonstration circuits used by the examples and integration tests:
+// a two-phase dynamic shift register and a precharged pass-transistor bus —
+// the MOS structure mix that motivates switch-level fault simulation.
+#pragma once
+
+#include <vector>
+
+#include "switch/builder.hpp"
+
+namespace fmossim {
+
+/// Two-phase nMOS dynamic shift register:
+///   per stage: master latch (pass gated by phi1) -> inverter ->
+///              slave latch (pass gated by phi2) -> inverter -> q<i>
+struct ShiftRegister {
+  unsigned stages = 0;
+  NodeId din, phi1, phi2;
+  NodeId vdd, gnd;
+  std::vector<NodeId> q;  ///< per-stage outputs (non-inverted)
+  Network net;
+
+  NodeId out() const { return q.back(); }
+};
+
+ShiftRegister buildShiftRegister(unsigned stages);
+
+/// Precharged bus with pass-transistor drivers, plus declared short and open
+/// fault devices (the §3 fault-injection constructions):
+///   bus: size-2 node, precharged by phiP;
+///   each source i pulls the bus low through (en_i AND data_i);
+///   the bus is split into two halves joined by an open fault device, and a
+///   short fault device ties the bus to the neighbouring control line.
+struct PrechargedBus {
+  unsigned sources = 0;
+  NodeId phiP;
+  NodeId vdd, gnd;
+  std::vector<NodeId> enable;  ///< per-source enable inputs
+  std::vector<NodeId> data;    ///< per-source data inputs
+  NodeId busA, busB;           ///< the two halves of the bus wire
+  NodeId sense;                ///< inverter output sensing busB
+  TransId openDevice;          ///< open fault: busA / busB split
+  TransId shortDevice;         ///< short fault: busA to enable[0]
+  Network net;
+};
+
+PrechargedBus buildPrechargedBus(unsigned sources);
+
+}  // namespace fmossim

@@ -1,0 +1,161 @@
+#include "circuits/ram.hpp"
+
+#include "circuits/cells.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+namespace {
+
+unsigned log2Exact(unsigned v, const char* what) {
+  if (v < 2 || (v & (v - 1)) != 0) {
+    throw Error(std::string("RAM ") + what + " must be a power of two >= 2");
+  }
+  unsigned bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+unsigned RamConfig::rowAddressBits() const { return log2Exact(rows, "rows"); }
+unsigned RamConfig::colAddressBits() const { return log2Exact(cols, "cols"); }
+
+RamConfig ram64Config() { return RamConfig{8, 8, true}; }
+RamConfig ram256Config() { return RamConfig{16, 16, true}; }
+
+RamCircuit buildRam(const RamConfig& config) {
+  const unsigned R = config.rows;
+  const unsigned C = config.cols;
+  const unsigned nr = config.rowAddressBits();
+  const unsigned nc = config.colAddressBits();
+
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const Supplies rails = ensureSupplies(b);
+
+  RamCircuit ram;
+  ram.config = config;
+  ram.vdd = rails.vdd;
+  ram.gnd = rails.gnd;
+
+  // --- primary inputs -------------------------------------------------------
+  ram.phiP = b.addInput("phiP");
+  ram.phiR = b.addInput("phiR");
+  ram.phiL = b.addInput("phiL");
+  ram.phiW = b.addInput("phiW");
+  ram.we = b.addInput("WE");
+  ram.din = b.addInput("din");
+  for (unsigned i = 0; i < nr + nc; ++i) {
+    ram.addr.push_back(b.addInput("a" + std::to_string(i)));
+  }
+
+  // --- clock and control buffers -------------------------------------------
+  // Each clock gets an inverted and a true buffered form; the buffered nets
+  // are storage nodes, so stuck-at faults on them model frozen clock lines
+  // (the "major faults such as frozen clock lines" of §5).
+  const NodeId phiPn = cells.inverter(ram.phiP, "phiP.n");
+  const NodeId phiPt = cells.inverter(phiPn, "phiP.t");
+  const NodeId phiRn = cells.inverter(ram.phiR, "phiR.n");
+  const NodeId phiLn = cells.inverter(ram.phiL, "phiL.n");
+  const NodeId phiLt = cells.inverter(phiLn, "phiL.t");
+  const NodeId phiWn = cells.inverter(ram.phiW, "phiW.n");
+  const NodeId weN = cells.inverter(ram.we, "WE.n");
+  const NodeId dinN = cells.inverter(ram.din, "din.n");
+  const NodeId dinT = cells.inverter(dinN, "din.t");
+  (void)phiPt;
+
+  // Address buffers: complemented and true forms per bit.
+  std::vector<NodeId> aN(nr + nc), aT(nr + nc);
+  for (unsigned i = 0; i < nr + nc; ++i) {
+    aN[i] = cells.inverter(ram.addr[i], format("a%u.n", i));
+    aT[i] = cells.inverter(aN[i], format("a%u.t", i));
+  }
+
+  // Decoder input selection: NOR output is high iff every input is low, so
+  // for an address value with bit=1 feed the complemented line.
+  const auto decodeInputs = [&](unsigned value, unsigned firstBit,
+                                unsigned numBits) {
+    std::vector<NodeId> ins;
+    for (unsigned bit = 0; bit < numBits; ++bit) {
+      const bool wantOne = ((value >> bit) & 1u) != 0;
+      ins.push_back(wantOne ? aN[firstBit + bit] : aT[firstBit + bit]);
+    }
+    return ins;
+  };
+
+  // --- row decoders ----------------------------------------------------------
+  std::vector<NodeId> rwl(R), wwl(R);
+  for (unsigned r = 0; r < R; ++r) {
+    auto rIns = decodeInputs(r, 0, nr);
+    rIns.push_back(phiRn);
+    rwl[r] = cells.nor(rIns, format("rwl%u", r));
+    auto wIns = decodeInputs(r, 0, nr);
+    wIns.push_back(phiWn);
+    wwl[r] = cells.nor(wIns, format("wwl%u", r));
+  }
+
+  // --- column periphery ------------------------------------------------------
+  const NodeId outBus = b.addNode("outbus", 2);
+  std::vector<NodeId> latch(C);
+  for (unsigned c = 0; c < C; ++c) {
+    const NodeId rbl = b.addNode(format("rbl%u", c), 2);
+    const NodeId wbl = b.addNode(format("wbl%u", c), 2);
+    ram.readBitLines.push_back(rbl);
+    ram.writeBitLines.push_back(wbl);
+
+    cells.precharge(phiPt, rbl);
+
+    // Column select gates (clock folded into the decode NOR).
+    auto rIns = decodeInputs(c, nr, nc);
+    rIns.push_back(phiLn);
+    const NodeId rsel = cells.nor(rIns, format("rsel%u", c));
+    auto wIns = decodeInputs(c, nr, nc);
+    wIns.push_back(weN);
+    wIns.push_back(phiWn);
+    const NodeId wsel = cells.nor(wIns, format("wsel%u", c));
+
+    // Sense inverter: n1 = ~RBL = stored value of the addressed cell.
+    const NodeId n1 = cells.inverter(rbl, format("col%u.n1", c));
+    // Dynamic column latch (refresh register).
+    latch[c] = cells.dynamicLatch(n1, phiLt, format("col%u.lat", c));
+    // Data-in override for writes.
+    cells.pass(wsel, dinT, latch[c]);
+    // Write-back drivers onto the write bit line.
+    const NodeId la = cells.inverter(latch[c], format("col%u.la", c));
+    cells.inverterInto(la, wbl);
+    // Column read multiplexer onto the output bus.
+    cells.pass(rsel, n1, outBus);
+  }
+
+  // --- memory array ----------------------------------------------------------
+  for (unsigned r = 0; r < R; ++r) {
+    for (unsigned c = 0; c < C; ++c) {
+      const NodeId s = b.addNode(format("cell%u.%u", r, c));
+      const NodeId mid = b.addNode(format("cmid%u.%u", r, c));
+      ram.cells.push_back(s);
+      cells.pass(wwl[r], ram.writeBitLines[c], s);               // T1
+      b.addTransistor(TransistorType::NType, 2, s, mid, rails.gnd);  // T2
+      cells.pass(rwl[r], ram.readBitLines[c], mid);              // T3
+    }
+  }
+
+  // --- output latch ----------------------------------------------------------
+  const NodeId o1 = cells.inverter(outBus, "out.n");
+  ram.dout = cells.inverter(o1, "dout");
+
+  // --- bit line short fault devices -----------------------------------------
+  if (config.withBitLineShorts) {
+    for (unsigned c = 0; c + 1 < C; ++c) {
+      ram.bitLineShorts.push_back(
+          b.addShortFaultDevice(ram.readBitLines[c], ram.readBitLines[c + 1]));
+      ram.bitLineShorts.push_back(b.addShortFaultDevice(
+          ram.writeBitLines[c], ram.writeBitLines[c + 1]));
+    }
+  }
+
+  ram.net = b.build();
+  return ram;
+}
+
+}  // namespace fmossim

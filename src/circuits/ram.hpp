@@ -1,0 +1,91 @@
+// Parameterised nMOS dynamic RAM generator — the benchmark circuits of
+// paper §5.
+//
+// "The circuits incorporate a variety of MOS structures such as logic gates,
+// bidirectional pass transistors, dynamic latches, precharged busses, and
+// three-transistor dynamic memory elements."
+//
+// Organisation (rows R x columns C, one bit per cell, single data output):
+//
+//   * 3T dynamic cells: write-access pass transistor T1 (write word line ->
+//     cell node S from the write bit line), storage read-out T2 (gate = S),
+//     read-access T3 (read word line -> precharged read bit line).
+//   * NOR row decoders with the access clocks folded into the decode gates:
+//     RWL[r] = NOR(addr mismatches, ~phiR), WWL[r] = NOR(..., ~phiW).
+//   * Per-column read path: precharged read bit line (size-2 bus), sense
+//     inverter, dynamic column latch, and write-back drivers implementing
+//     the classic read-modify-write cycle: every access refreshes the whole
+//     selected row; a write overrides the selected column's latch with the
+//     buffered data input.
+//   * Column output multiplexer onto a shared output bus, then a dynamic
+//     output latch driving the single observed pin "dout".
+//
+// A pattern (one read or write) cycles the four clocks through 6 input
+// settings — exactly the paper's "sequence of 6 input settings":
+//     1: phiP=1, address/WE/din applied   (precharge read bit lines)
+//     2: phiP=0
+//     3: phiR=1                           (read row onto the bit lines)
+//     4: phiR=0, phiL=1                   (latch columns, drive output bus)
+//     5: phiL=0, phiW=1                   (write back row / write data)
+//     6: phiW=0
+//
+// The generator also inserts short fault devices between adjacent read bit
+// lines and adjacent write bit lines ("single pairs of adjacent bit lines
+// shorted together", §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "switch/builder.hpp"
+
+namespace fmossim {
+
+struct RamConfig {
+  unsigned rows = 8;
+  unsigned cols = 8;
+  /// Insert adjacent-bit-line short fault devices (paper's bus short class).
+  bool withBitLineShorts = true;
+
+  unsigned words() const { return rows * cols; }
+  unsigned rowAddressBits() const;
+  unsigned colAddressBits() const;
+  unsigned addressBits() const { return rowAddressBits() + colAddressBits(); }
+};
+
+/// RAM64 of the paper: 8x8, 64 words x 1 bit.
+RamConfig ram64Config();
+/// RAM256 of the paper: 16x16, 256 words x 1 bit.
+RamConfig ram256Config();
+
+/// The generated circuit plus its interface handles.
+struct RamCircuit {
+  RamConfig config;
+
+  // Primary inputs.
+  NodeId vdd, gnd;
+  NodeId phiP, phiR, phiL, phiW;  ///< the four non-overlapping clocks
+  NodeId we;                      ///< write enable
+  NodeId din;                     ///< data input
+  std::vector<NodeId> addr;       ///< row bits (MSB..LSB) then column bits
+
+  // Observed output.
+  NodeId dout;
+
+  // Interesting internal nodes (fault universes, tests).
+  std::vector<NodeId> readBitLines;   ///< per column
+  std::vector<NodeId> writeBitLines;  ///< per column
+  std::vector<NodeId> cells;          ///< cell storage node, index r*cols+c
+  std::vector<TransId> bitLineShorts; ///< adjacent-pair short fault devices
+
+  Network net;  // declared last: the builder fills the handles above
+
+  NodeId cell(unsigned r, unsigned c) const {
+    return cells[r * config.cols + c];
+  }
+};
+
+/// Builds the RAM. Throws Error if rows/cols are not powers of two >= 2.
+RamCircuit buildRam(const RamConfig& config);
+
+}  // namespace fmossim

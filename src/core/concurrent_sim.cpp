@@ -1,0 +1,462 @@
+#include "core/concurrent_sim.hpp"
+
+#include <algorithm>
+
+namespace fmossim {
+
+/// CircuitView over the good circuit's flat state.
+struct GoodCircuitView {
+  const ConcurrentFaultSimulator* s;
+  State nodeState(NodeId n) const { return s->table_.good(n); }
+  State conduction(TransId t) const { return s->cond0_[t.value]; }
+  bool isInputNode(NodeId n) const { return s->net_.isInput(n); }
+};
+
+/// CircuitView over one faulty circuit: stuck nodes first, divergence
+/// records next, pre-phase good values for nodes the good circuit changed
+/// this phase, the live good state last. Conduction is derived from gate
+/// states through the same pre-phase lens, except where statically
+/// overridden by the circuit's fault.
+struct FaultyCircuitView {
+  const ConcurrentFaultSimulator* s;
+  CircuitId c;
+  State nodeState(NodeId n) const { return s->stateIn(n, c); }
+  State conduction(TransId t) const { return s->conductionIn(t, c); }
+  bool isInputNode(NodeId n) const {
+    return s->net_.isInput(n) || s->isStuckNode(n, c);
+  }
+};
+
+const ConcurrentFaultSimulator::Override* ConcurrentFaultSimulator::findOverride(
+    const std::vector<Override>& v, CircuitId c) {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), c,
+      [](const Override& o, CircuitId id) { return o.circuit < id; });
+  return (it != v.end() && it->circuit == c) ? &*it : nullptr;
+}
+
+bool ConcurrentFaultSimulator::isStuckNode(NodeId n, CircuitId c) const {
+  return findOverride(nodeStuck_[n.value], c) != nullptr;
+}
+
+State ConcurrentFaultSimulator::stuckValue(NodeId n, CircuitId c) const {
+  const Override* o = findOverride(nodeStuck_[n.value], c);
+  FMOSSIM_ASSERT(o != nullptr, "stuckValue on a non-stuck node");
+  return o->value;
+}
+
+State ConcurrentFaultSimulator::stateIn(NodeId n, CircuitId c) const {
+  if (const Override* o = findOverride(nodeStuck_[n.value], c)) return o->value;
+  if (const StateRecord* r = table_.findRecord(n, c)) return r->value;
+  if (goodOldStamp_[n.value] == phaseEpoch_) return goodOldValue_[n.value];
+  return table_.good(n);
+}
+
+State ConcurrentFaultSimulator::conductionIn(TransId t, CircuitId c) const {
+  if (const Override* o = findOverride(transOverride_[t.value], c)) {
+    return o->value;
+  }
+  const auto& tr = net_.transistor(t);
+  if (tr.isFaultDevice()) return *tr.goodConduction;
+  return conductionState(tr.type, stateIn(tr.gate, c));
+}
+
+ConcurrentFaultSimulator::ConcurrentFaultSimulator(const Network& net,
+                                                   const FaultList& faults,
+                                                   FsimOptions options)
+    : net_(net),
+      faults_(faults),
+      options_(options),
+      table_(net),
+      cond0_(net.numTransistors(), State::SX),
+      nodeStuck_(net.numNodes()),
+      transOverride_(net.numTransistors()),
+      alive_(faults.size() + 1, 0),
+      detectedAt_(faults.size(), -1),
+      touched_(faults.size() + 1),
+      goodSeedStamp_(net.numNodes(), 0),
+      faultySeeds_(faults.size() + 1),
+      circuitStamp_(faults.size() + 1, 0),
+      curFaultySeeds_(faults.size() + 1),
+      goodOldValue_(net.numNodes(), State::SX),
+      goodOldStamp_(net.numNodes(), 0),
+      phaseCircuitStamp_(faults.size() + 1, 0),
+      vicBuilder_(net),
+      solver_(net.domain()),
+      triggerStamp_(faults.size() + 1, 0) {
+  for (std::uint32_t t = 0; t < net_.numTransistors(); ++t) {
+    const auto& tr = net_.transistor(TransId(t));
+    cond0_[t] = tr.isFaultDevice()
+                    ? *tr.goodConduction
+                    : conductionState(tr.type, table_.good(tr.gate));
+  }
+  // Initial good-circuit evaluation of the whole (all-X) network.
+  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+    scheduleGood(NodeId(n));
+  }
+  inject();
+  settleAll();
+}
+
+void ConcurrentFaultSimulator::inject() {
+  for (std::uint32_t i = 0; i < faults_.size(); ++i) {
+    const CircuitId c = i + 1;
+    const Fault& f = faults_[i];
+    alive_[c] = 1;
+    ++aliveCount_;
+    switch (f.kind) {
+      case FaultKind::NodeStuck: {
+        nodeStuck_[f.node.value].push_back({c, f.value});  // ascending c
+        scheduleFaulty(c, f.node);
+        for (const TransId t : net_.node(f.node).gateOf) {
+          const auto& tr = net_.transistor(t);
+          scheduleFaulty(c, tr.source);
+          scheduleFaulty(c, tr.drain);
+        }
+        break;
+      }
+      case FaultKind::TransistorStuck:
+      case FaultKind::FaultDevice: {
+        transOverride_[f.transistor.value].push_back({c, f.value});
+        const auto& tr = net_.transistor(f.transistor);
+        scheduleFaulty(c, tr.source);
+        scheduleFaulty(c, tr.drain);
+        break;
+      }
+    }
+  }
+  maxAliveObserved_ = aliveCount_;
+}
+
+void ConcurrentFaultSimulator::scheduleGood(NodeId n) {
+  if (net_.isInput(n)) return;
+  if (goodSeedStamp_[n.value] == seedGen_) return;
+  goodSeedStamp_[n.value] = seedGen_;
+  goodSeeds_.push_back(n);
+}
+
+void ConcurrentFaultSimulator::scheduleFaulty(CircuitId c, NodeId n) {
+  if (!alive_[c]) return;
+  // A plain input node cannot change in circuit c; stuck nodes (input-like
+  // per circuit) are allowed as seeds — the vicinity builder expands them.
+  if (net_.isInput(n) && !isStuckNode(n, c)) return;
+  faultySeeds_[c].push_back(n);
+  if (circuitStamp_[c] != seedGen_) {
+    circuitStamp_[c] = seedGen_;
+    activeCircuits_.push_back(c);
+  }
+}
+
+SettleResult ConcurrentFaultSimulator::applySetting(
+    std::span<const std::pair<NodeId, State>> assignments) {
+  for (const auto& [n, s] : assignments) {
+    if (!net_.isInput(n)) {
+      throw Error("applySetting: '" + net_.node(n).name + "' is not an input");
+    }
+    const State old = table_.good(n);
+    if (old == s) continue;
+    table_.setGood(n, s);
+    scheduleSettingSeeds(n, old);
+  }
+  return settleAll();
+}
+
+void ConcurrentFaultSimulator::scheduleSettingSeeds(NodeId n, State /*oldGood*/) {
+  // Good circuit: gated transistors toggle...
+  for (const TransId t : net_.node(n).gateOf) {
+    const auto& tr = net_.transistor(t);
+    if (tr.isFaultDevice()) continue;
+    const State nc = conductionState(tr.type, table_.good(n));
+    if (nc != cond0_[t.value]) {
+      cond0_[t.value] = nc;
+      scheduleGood(tr.source);
+      scheduleGood(tr.drain);
+    }
+  }
+  // ...and conducting channel neighbours are perturbed.
+  for (const TransId t : net_.node(n).channelOf) {
+    const auto& tr = net_.transistor(t);
+    const NodeId other = tr.otherEnd(n);
+    if (cond0_[t.value] != State::S0) {
+      scheduleGood(other);
+      continue;
+    }
+    // The transistor is off in the good circuit, so the good phase will not
+    // evaluate a vicinity across it — but it may conduct in a faulty
+    // circuit (override, or divergent gate state). Schedule those circuits
+    // directly, otherwise the input change would never reach them.
+    for (const Override& o : transOverride_[t.value]) {
+      if (o.value != State::S0) scheduleFaulty(o.circuit, other);
+    }
+    if (!tr.isFaultDevice()) {
+      const NodeId g = tr.gate;
+      for (const StateRecord& r : table_.records(g)) {
+        if (conductionState(tr.type, r.value) != State::S0) {
+          scheduleFaulty(r.circuit, other);
+        }
+      }
+      for (const Override& o : nodeStuck_[g.value]) {
+        if (conductionState(tr.type, o.value) != State::S0) {
+          scheduleFaulty(o.circuit, other);
+        }
+      }
+    }
+  }
+}
+
+SettleResult ConcurrentFaultSimulator::settleAll() {
+  SettleResult res;
+  bool coerce = false;
+  const std::uint32_t hardLimit =
+      options_.sim.settleLimit + 8 * net_.numNodes() + 4096;
+  while (!goodSeeds_.empty() || !activeCircuits_.empty()) {
+    FMOSSIM_ASSERT(res.phases < hardLimit,
+                   "concurrent settle failed to terminate under X-coercion");
+    if (res.phases >= options_.sim.settleLimit && !coerce) {
+      coerce = true;
+      res.oscillated = true;
+    }
+    runPhase(coerce);
+    ++res.phases;
+    ++phases_;
+  }
+  ++phaseEpoch_;  // invalidate pre-phase snapshots for external queries
+  return res;
+}
+
+void ConcurrentFaultSimulator::runPhase(bool coerce) {
+  ++phaseEpoch_;
+  curGoodSeeds_.swap(goodSeeds_);
+  goodSeeds_.clear();
+  curCircuits_.swap(activeCircuits_);
+  activeCircuits_.clear();
+  for (const CircuitId c : curCircuits_) {
+    curFaultySeeds_[c].swap(faultySeeds_[c]);
+    faultySeeds_[c].clear();
+    phaseCircuitStamp_[c] = phaseEpoch_;
+  }
+  ++seedGen_;  // scheduling from here on targets the next phase
+
+  processGoodPhase(coerce);
+
+  // The paper simulates "the activities for each faulty circuit in turn";
+  // circuits are independent within a phase, so queue order is fine.
+  for (std::size_t i = 0; i < curCircuits_.size(); ++i) {
+    const CircuitId c = curCircuits_[i];
+    if (alive_[c]) {
+      processFaultyCircuit(c, coerce);
+    }
+    curFaultySeeds_[c].clear();
+  }
+  curCircuits_.clear();
+  curGoodSeeds_.clear();
+}
+
+void ConcurrentFaultSimulator::processGoodPhase(bool coerce) {
+  goodChanges_.clear();
+  vicBuilder_.newGeneration();
+  const GoodCircuitView view{this};
+  for (const NodeId seed : curGoodSeeds_) {
+    if (!vicBuilder_.grow(view, seed, vic_)) continue;
+    solver_.solve(vic_, newStates_);
+    for (std::size_t i = 0; i < vic_.size(); ++i) {
+      if (newStates_[i] != vic_.memberCharge[i]) {
+        goodChanges_.emplace_back(vic_.members[i], newStates_[i]);
+      }
+    }
+    // Triggering is stimulus-based: even an unchanged vicinity may respond
+    // differently in a diverging faulty circuit.
+    collectTriggers(vic_);
+  }
+  // Commit (two-buffered: all vicinities were solved against pre-phase state).
+  for (auto [n, v] : goodChanges_) {
+    if (coerce) v = State::SX;
+    const State old = table_.good(n);
+    if (old == v) continue;
+    if (goodOldStamp_[n.value] != phaseEpoch_) {
+      goodOldStamp_[n.value] = phaseEpoch_;
+      goodOldValue_[n.value] = old;
+    }
+    table_.setGood(n, v);
+    for (const TransId t : net_.node(n).gateOf) {
+      const auto& tr = net_.transistor(t);
+      if (tr.isFaultDevice()) continue;
+      const State nc = conductionState(tr.type, v);
+      if (nc != cond0_[t.value]) {
+        cond0_[t.value] = nc;
+        scheduleGood(tr.source);
+        scheduleGood(tr.drain);
+      }
+    }
+  }
+}
+
+void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
+  ++triggerGen_;
+  triggerScratch_.clear();
+  const auto mark = [this](CircuitId c) {
+    if (!alive_[c]) return;
+    if (triggerStamp_[c] == triggerGen_) return;
+    triggerStamp_[c] = triggerGen_;
+    triggerScratch_.push_back(c);
+  };
+  for (const NodeId n : vic.members) {
+    for (const StateRecord& r : table_.records(n)) mark(r.circuit);
+    for (const Override& o : nodeStuck_[n.value]) mark(o.circuit);
+    for (const TransId t : net_.node(n).channelOf) {
+      for (const Override& o : transOverride_[t.value]) mark(o.circuit);
+      const auto& tr = net_.transistor(t);
+      if (!tr.isFaultDevice()) {
+        const NodeId g = tr.gate;
+        for (const StateRecord& r : table_.records(g)) mark(r.circuit);
+        for (const Override& o : nodeStuck_[g.value]) mark(o.circuit);
+      }
+      // A stuck *input* neighbour diverges in its circuit without ever
+      // carrying a state record; it influences this vicinity directly.
+      const NodeId other = tr.otherEnd(n);
+      if (net_.isInput(other)) {
+        for (const Override& o : nodeStuck_[other.value]) mark(o.circuit);
+      }
+    }
+  }
+  if (triggerScratch_.empty()) return;
+  for (const CircuitId c : triggerScratch_) {
+    if (phaseCircuitStamp_[c] != phaseEpoch_) {
+      phaseCircuitStamp_[c] = phaseEpoch_;
+      curCircuits_.push_back(c);
+    }
+    auto& seeds = curFaultySeeds_[c];
+    seeds.insert(seeds.end(), vic.members.begin(), vic.members.end());
+    triggeredEvents_ += vic.members.size();
+  }
+}
+
+void ConcurrentFaultSimulator::processFaultyCircuit(CircuitId c, bool coerce) {
+  const FaultyCircuitView view{this, c};
+  vicBuilder_.newGeneration();
+  faultyResults_.clear();
+  faultyChanges_.clear();
+  for (const NodeId seed : curFaultySeeds_[c]) {
+    if (!vicBuilder_.grow(view, seed, vic_)) continue;
+    solver_.solve(vic_, newStates_);
+    for (std::size_t i = 0; i < vic_.size(); ++i) {
+      const NodeId n = vic_.members[i];
+      const State pre = vic_.memberCharge[i];
+      State next = newStates_[i];
+      if (coerce && next != pre) next = State::SX;
+      faultyResults_.emplace_back(n, next);
+      if (next != pre) faultyChanges_.push_back({n, pre, next});
+    }
+  }
+  // Commit this circuit's records (vs. the good circuit's *current* state).
+  for (const auto& [n, v] : faultyResults_) {
+    if (table_.reconcile(n, c, v)) {
+      touched_[c].push_back(n);
+    }
+  }
+  // Gate toggles within circuit c schedule next-phase events for c.
+  for (const FaultyChange& ch : faultyChanges_) {
+    for (const TransId t : net_.node(ch.node).gateOf) {
+      const auto& tr = net_.transistor(t);
+      if (tr.isFaultDevice()) continue;
+      if (findOverride(transOverride_[t.value], c) != nullptr) continue;
+      if (conductionState(tr.type, ch.oldValue) !=
+          conductionState(tr.type, ch.newValue)) {
+        scheduleFaulty(c, tr.source);
+        scheduleFaulty(c, tr.drain);
+      }
+    }
+  }
+}
+
+std::uint32_t ConcurrentFaultSimulator::observe(
+    const std::vector<NodeId>& outputs, std::uint32_t patternIndex) {
+  dropQueue_.clear();
+  std::uint32_t newly = 0;
+  for (const NodeId out : outputs) {
+    const State g = table_.good(out);
+    const auto consider = [&](CircuitId c, State s) {
+      if (!alive_[c]) return;
+      if (detectedAt_[c - 1] >= 0) return;  // already detected (no-drop mode)
+      if (s == g) return;
+      if (options_.policy == DetectionPolicy::DefiniteOnly &&
+          (!isDefinite(g) || !isDefinite(s))) {
+        ++potentialDetections_;
+        return;
+      }
+      detectedAt_[c - 1] = static_cast<std::int32_t>(patternIndex);
+      ++newly;
+      dropQueue_.push_back(c);
+    };
+    for (const Override& o : nodeStuck_[out.value]) consider(o.circuit, o.value);
+    for (const StateRecord& r : table_.records(out)) consider(r.circuit, r.value);
+  }
+  if (options_.dropDetected) {
+    for (const CircuitId c : dropQueue_) dropCircuit(c);
+  }
+  return newly;
+}
+
+void ConcurrentFaultSimulator::dropCircuit(CircuitId c) {
+  if (!alive_[c]) return;
+  alive_[c] = 0;
+  --aliveCount_;
+  for (const NodeId n : touched_[c]) {
+    table_.erase(n, c);
+  }
+  touched_[c].clear();
+  touched_[c].shrink_to_fit();
+  faultySeeds_[c].clear();
+}
+
+State ConcurrentFaultSimulator::faultyState(NodeId n, CircuitId c) const {
+  FMOSSIM_ASSERT(c >= 1 && c <= faults_.size(), "faultyState: bad circuit id");
+  return stateIn(n, c);
+}
+
+FaultSimResult ConcurrentFaultSimulator::run(const TestSequence& seq) {
+  return run(seq, nullptr);
+}
+
+FaultSimResult ConcurrentFaultSimulator::run(
+    const TestSequence& seq,
+    const std::function<void(const PatternStat&)>& onPattern) {
+  FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  ran_ = true;
+  FaultSimResult res;
+  res.numFaults = faults_.size();
+  res.perPattern.reserve(seq.size());
+
+  Timer total;
+  const std::uint64_t evalsAtStart = solver_.nodeEvals();
+  std::uint32_t cumulative = 0;
+
+  for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
+    Timer patternTimer;
+    const std::uint64_t evalsBefore = solver_.nodeEvals();
+    for (const InputSetting& setting : seq[pi].settings) {
+      applySetting(setting.span());
+    }
+    const std::uint32_t newly = observe(seq.outputs(), pi);
+    cumulative += newly;
+
+    PatternStat st;
+    st.index = pi;
+    st.seconds = patternTimer.seconds();
+    st.nodeEvals = solver_.nodeEvals() - evalsBefore;
+    st.newlyDetected = newly;
+    st.cumulativeDetected = cumulative;
+    st.aliveAfter = aliveCount_;
+    res.perPattern.push_back(st);
+    if (onPattern) onPattern(st);
+  }
+
+  res.detectedAtPattern = detectedAt_;
+  res.numDetected = cumulative;
+  res.potentialDetections = potentialDetections_;
+  res.totalSeconds = total.seconds();
+  res.totalNodeEvals = solver_.nodeEvals() - evalsAtStart;
+  return res;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,227 @@
+// FMOSSIM's concurrent switch-level fault simulation engine (paper §4).
+//
+// The engine simulates the good circuit in full and every faulty circuit by
+// difference:
+//
+//   * Node states are kept as per-node sorted record lists (StateTable);
+//     a faulty circuit's state exists only where it diverges from the good
+//     circuit.
+//   * Events are (node, circuit) pairs: "an 'event' specifies both a node
+//     and a circuit indicating that the state of this node must be
+//     recomputed in this particular circuit."
+//   * Each unit-delay phase first simulates all good-circuit activity; each
+//     evaluated good vicinity then *triggers* events for the faulty circuits
+//     that diverge on it or structurally differ adjacent to it (records on
+//     member or gate nodes, stuck nodes, transistor overrides — adjacency is
+//     needed because a fault can extend the vicinity in the faulty circuit).
+//     The faulty circuits are then simulated one at a time in ascending
+//     circuit-ID order, each under its own topology and its own pre-phase
+//     charge state.
+//   * After each pattern the observed outputs are compared; a mismatch
+//     detects the fault and its circuit is dropped from simulation.
+//
+// Faulty circuits are bit-identified overlays on the shared network: a node
+// stuck-at fault makes the node an input in that circuit only; transistor
+// faults and activated fault devices are per-circuit conduction overrides.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/state_table.hpp"
+#include "faults/fault.hpp"
+#include "patterns/pattern.hpp"
+#include "switch/logic_sim.hpp"
+#include "switch/solver.hpp"
+#include "switch/vicinity.hpp"
+#include "util/timer.hpp"
+
+namespace fmossim {
+
+/// How output mismatches count as detections.
+enum class DetectionPolicy : std::uint8_t {
+  /// Detected only when good and faulty outputs are both definite and differ
+  /// (an X cannot be distinguished on a tester). X-involved mismatches are
+  /// counted as potential detections but the circuit keeps simulating.
+  DefiniteOnly,
+  /// Any difference counts (including X vs definite).
+  AnyDifference,
+};
+
+struct FsimOptions {
+  SimOptions sim;
+  DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
+  /// Drop faulty circuits once detected (paper: "the simulation of that
+  /// circuit is dropped"). Disable for the ablation benchmark.
+  bool dropDetected = true;
+};
+
+/// Per-pattern measurement row (the raw data behind Figures 1 and 2).
+struct PatternStat {
+  std::uint32_t index = 0;
+  double seconds = 0.0;           ///< wall-clock time for this pattern
+  std::uint64_t nodeEvals = 0;    ///< solver work in this pattern (all circuits)
+  std::uint32_t newlyDetected = 0;
+  std::uint32_t cumulativeDetected = 0;
+  std::uint32_t aliveAfter = 0;   ///< faulty circuits still being simulated
+};
+
+/// Result of a full fault-simulation run.
+struct FaultSimResult {
+  std::vector<PatternStat> perPattern;
+  /// Per fault: index of the detecting pattern, or -1 if undetected.
+  std::vector<std::int32_t> detectedAtPattern;
+  std::uint32_t numFaults = 0;
+  std::uint32_t numDetected = 0;
+  std::uint64_t potentialDetections = 0;  ///< X-involved mismatches observed
+  double totalSeconds = 0.0;
+  std::uint64_t totalNodeEvals = 0;
+
+  double coverage() const {
+    return numFaults == 0 ? 0.0 : double(numDetected) / double(numFaults);
+  }
+};
+
+class ConcurrentFaultSimulator {
+ public:
+  /// Builds the engine and injects every fault (initial divergence records
+  /// and events are created; call settle() or run a sequence next).
+  ConcurrentFaultSimulator(const Network& net, const FaultList& faults,
+                           FsimOptions options = {});
+
+  const Network& network() const { return net_; }
+  const FaultList& faults() const { return faults_; }
+
+  /// Runs a complete test sequence with per-pattern instrumentation and
+  /// fault dropping. Can only be called once per simulator instance.
+  FaultSimResult run(const TestSequence& seq);
+
+  /// Like run(), invoking `onPattern` after each pattern (for live
+  /// reporting in the benchmark harnesses).
+  FaultSimResult run(const TestSequence& seq,
+                     const std::function<void(const PatternStat&)>& onPattern);
+
+  // --- fine-grained control (equivalence tests, examples) -----------------
+
+  /// Applies one batch of input assignments and settles all circuits.
+  SettleResult applySetting(std::span<const std::pair<NodeId, State>> assignments);
+
+  /// Observes the outputs, records detections against `patternIndex`, and
+  /// drops newly detected circuits (if enabled). Returns number of new
+  /// detections.
+  std::uint32_t observe(const std::vector<NodeId>& outputs,
+                        std::uint32_t patternIndex);
+
+  State goodState(NodeId n) const { return table_.good(n); }
+  /// State of node n in faulty circuit c (c in [1, numFaults]).
+  State faultyState(NodeId n, CircuitId c) const;
+  bool alive(CircuitId c) const { return alive_[c] != 0; }
+  std::uint32_t aliveCount() const { return aliveCount_; }
+  std::int32_t detectedAtPattern(std::uint32_t faultIndex) const {
+    return detectedAt_[faultIndex];
+  }
+  std::uint64_t potentialDetections() const { return potentialDetections_; }
+
+  /// Deterministic work counter (solver member-node evaluations, all
+  /// circuits combined).
+  std::uint64_t nodeEvals() const { return solver_.nodeEvals(); }
+  std::uint64_t phaseCount() const { return phases_; }
+  std::uint64_t triggeredEvents() const { return triggeredEvents_; }
+  std::uint64_t recordCount() const { return table_.totalRecords(); }
+  std::uint32_t maxAliveObserved() const { return maxAliveObserved_; }
+
+ private:
+  friend struct GoodCircuitView;
+  friend struct FaultyCircuitView;
+
+  // Per-circuit static overlays, sorted by circuit id.
+  struct Override {
+    CircuitId circuit;
+    State value;
+  };
+
+  void inject();
+  SettleResult settleAll();
+  void runPhase(bool coerce);
+  void processGoodPhase(bool coerce);
+  void processFaultyCircuit(CircuitId c, bool coerce);
+  void collectTriggers(const Vicinity& vic);
+  void dropCircuit(CircuitId c);
+
+  // Lookup helpers over the static overlay tables.
+  static const Override* findOverride(const std::vector<Override>& v, CircuitId c);
+  bool isStuckNode(NodeId n, CircuitId c) const;
+  State stuckValue(NodeId n, CircuitId c) const;
+  State conductionIn(TransId t, CircuitId c) const;
+  State stateIn(NodeId n, CircuitId c) const;  // pre-phase view for circuit c
+
+  // Event scheduling.
+  void scheduleGood(NodeId n);
+  void scheduleFaulty(CircuitId c, NodeId n);
+  void scheduleSettingSeeds(NodeId input, State oldGood);
+
+  const Network& net_;
+  FaultList faults_;
+  FsimOptions options_;
+
+  StateTable table_;
+  std::vector<State> cond0_;  // good-circuit conduction states
+
+  // Static per-circuit overlays.
+  std::vector<std::vector<Override>> nodeStuck_;     // per node
+  std::vector<std::vector<Override>> transOverride_; // per transistor
+
+  std::vector<std::uint8_t> alive_;        // [0..F], alive_[0] unused
+  std::vector<std::int32_t> detectedAt_;   // per fault index
+  std::vector<std::vector<NodeId>> touched_;  // per circuit: nodes with records
+
+  // Good-circuit event queue (next phase).
+  std::vector<NodeId> goodSeeds_;
+  std::vector<std::uint32_t> goodSeedStamp_;
+  // Faulty event queues (next phase): per circuit.
+  std::vector<std::vector<NodeId>> faultySeeds_;
+  std::vector<CircuitId> activeCircuits_;
+  std::vector<std::uint32_t> circuitStamp_;
+  std::uint32_t seedGen_ = 1;
+
+  // Current-phase working queues (swapped in by runPhase).
+  std::vector<NodeId> curGoodSeeds_;
+  std::vector<CircuitId> curCircuits_;
+  std::vector<std::vector<NodeId>> curFaultySeeds_;
+
+  // Pre-phase good values for nodes changed by the good circuit this phase.
+  std::vector<State> goodOldValue_;
+  std::vector<std::uint32_t> goodOldStamp_;
+  // Marks circuits already in curCircuits_ for the current phase.
+  std::vector<std::uint32_t> phaseCircuitStamp_;
+  std::uint32_t phaseEpoch_ = 1;
+
+  // Scratch.
+  VicinityBuilder vicBuilder_;
+  SteadyStateSolver solver_;
+  Vicinity vic_;
+  std::vector<State> newStates_;
+  std::vector<std::pair<NodeId, State>> goodChanges_;
+  struct FaultyChange {
+    NodeId node;
+    State oldValue;
+    State newValue;
+  };
+  std::vector<FaultyChange> faultyChanges_;
+  std::vector<std::pair<NodeId, State>> faultyResults_;
+  std::vector<CircuitId> triggerScratch_;
+  std::vector<std::uint32_t> triggerStamp_;
+  std::uint32_t triggerGen_ = 1;
+  std::vector<CircuitId> dropQueue_;
+
+  std::uint32_t aliveCount_ = 0;
+  std::uint32_t maxAliveObserved_ = 0;
+  std::uint64_t phases_ = 0;
+  std::uint64_t triggeredEvents_ = 0;
+  std::uint64_t potentialDetections_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,22 @@
+#include "core/estimator.hpp"
+
+namespace fmossim {
+
+SerialEstimate estimateSerial(const std::vector<std::int32_t>& detectedAtPattern,
+                              std::uint32_t numPatterns,
+                              double goodSecondsPerPattern,
+                              double goodNodeEvalsPerPattern) {
+  SerialEstimate est;
+  for (const std::int32_t at : detectedAtPattern) {
+    // Detection at pattern p means p+1 patterns were simulated; undetected
+    // faults run the whole sequence.
+    const std::uint64_t patterns =
+        at < 0 ? numPatterns : static_cast<std::uint64_t>(at) + 1;
+    est.patternUnits += patterns;
+  }
+  est.seconds = double(est.patternUnits) * goodSecondsPerPattern;
+  est.nodeEvals = double(est.patternUnits) * goodNodeEvalsPerPattern;
+  return est;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,86 @@
+#include "core/serial_sim.hpp"
+
+#include "util/timer.hpp"
+
+namespace fmossim {
+
+SerialFaultSimulator::SerialFaultSimulator(const Network& net,
+                                           SerialOptions options)
+    : net_(net), options_(options) {}
+
+void SerialFaultSimulator::applyFault(LogicSimulator& sim, const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::NodeStuck:
+      sim.forceNode(f.node, f.value);
+      break;
+    case FaultKind::TransistorStuck:
+    case FaultKind::FaultDevice:
+      sim.forceTransistor(f.transistor, f.value);
+      break;
+  }
+}
+
+bool SerialFaultSimulator::detects(State good, State faulty) const {
+  if (good == faulty) return false;
+  if (options_.policy == DetectionPolicy::DefiniteOnly) {
+    return isDefinite(good) && isDefinite(faulty);
+  }
+  return true;
+}
+
+GoodRunResult SerialFaultSimulator::runGood(const TestSequence& seq) {
+  GoodRunResult res;
+  res.numPatterns = seq.size();
+  LogicSimulator sim(net_, options_.sim);
+  Timer timer;
+  for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
+    for (const InputSetting& setting : seq[pi].settings) {
+      sim.applyAssignments(setting.span());
+    }
+    std::vector<State> outs;
+    outs.reserve(seq.outputs().size());
+    for (const NodeId out : seq.outputs()) outs.push_back(sim.state(out));
+    res.outputTrace.push_back(std::move(outs));
+  }
+  res.totalSeconds = timer.seconds();
+  res.totalNodeEvals = sim.counters().nodeEvals;
+  return res;
+}
+
+SerialRunResult SerialFaultSimulator::run(
+    const TestSequence& seq, const FaultList& faults,
+    const std::function<void(std::uint32_t, std::int32_t)>& onFault) {
+  SerialRunResult res;
+  res.good = runGood(seq);
+  res.detectedAtPattern.assign(faults.size(), -1);
+
+  Timer faultTimer;
+  std::uint64_t evals = 0;
+  for (std::uint32_t fi = 0; fi < faults.size(); ++fi) {
+    LogicSimulator sim(net_, options_.sim);
+    applyFault(sim, faults[fi]);
+    sim.settle();
+    std::int32_t detectedAt = -1;
+    for (std::uint32_t pi = 0; pi < seq.size() && detectedAt < 0; ++pi) {
+      for (const InputSetting& setting : seq[pi].settings) {
+        sim.applyAssignments(setting.span());
+      }
+      const auto& goodOuts = res.good.outputTrace[pi];
+      for (std::size_t oi = 0; oi < seq.outputs().size(); ++oi) {
+        if (detects(goodOuts[oi], sim.state(seq.outputs()[oi]))) {
+          detectedAt = static_cast<std::int32_t>(pi);
+          break;
+        }
+      }
+    }
+    res.detectedAtPattern[fi] = detectedAt;
+    if (detectedAt >= 0) ++res.numDetected;
+    evals += sim.counters().nodeEvals;
+    if (onFault) onFault(fi, detectedAt);
+  }
+  res.faultSeconds = faultTimer.seconds();
+  res.faultNodeEvals = evals;
+  return res;
+}
+
+}  // namespace fmossim

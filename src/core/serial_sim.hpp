@@ -1,0 +1,76 @@
+// Serial fault simulation baseline (paper §1/§5).
+//
+// "a serial fault simulation in which each faulty circuit is simulated
+// individually until it produces an output different from that of the good
+// machine". Each fault is applied as a force on a fresh LogicSimulator and
+// the test sequence replayed until first detection or exhaustion.
+//
+// The good circuit is simulated once to record the reference output trace
+// (and the good-circuit-only timing the paper reports).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/concurrent_sim.hpp"  // DetectionPolicy, FaultSimResult types
+#include "faults/fault.hpp"
+#include "patterns/pattern.hpp"
+#include "switch/logic_sim.hpp"
+
+namespace fmossim {
+
+struct SerialOptions {
+  SimOptions sim;
+  DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
+};
+
+/// Result of a good-circuit-only reference run.
+struct GoodRunResult {
+  /// outputTrace[p][o] = state of output o after pattern p.
+  std::vector<std::vector<State>> outputTrace;
+  double totalSeconds = 0.0;
+  std::uint64_t totalNodeEvals = 0;
+  std::uint32_t numPatterns = 0;
+
+  double secondsPerPattern() const {
+    return numPatterns == 0 ? 0.0 : totalSeconds / numPatterns;
+  }
+  double nodeEvalsPerPattern() const {
+    return numPatterns == 0 ? 0.0
+                            : double(totalNodeEvals) / double(numPatterns);
+  }
+};
+
+struct SerialRunResult {
+  GoodRunResult good;
+  std::vector<std::int32_t> detectedAtPattern;  ///< per fault, -1 if undetected
+  std::uint32_t numDetected = 0;
+  double faultSeconds = 0.0;          ///< time simulating faulty circuits
+  std::uint64_t faultNodeEvals = 0;
+};
+
+class SerialFaultSimulator {
+ public:
+  SerialFaultSimulator(const Network& net, SerialOptions options = {});
+
+  /// Simulates the good circuit over the sequence, recording the output
+  /// trace used as the detection reference.
+  GoodRunResult runGood(const TestSequence& seq);
+
+  /// Serial fault simulation of every fault in the list. `onFault` (if
+  /// given) is called with (faultIndex, detectedAtPattern) as each fault
+  /// finishes.
+  SerialRunResult run(const TestSequence& seq, const FaultList& faults,
+                      const std::function<void(std::uint32_t, std::int32_t)>&
+                          onFault = nullptr);
+
+ private:
+  static void applyFault(LogicSimulator& sim, const Fault& f);
+  bool detects(State good, State faulty) const;
+
+  const Network& net_;
+  SerialOptions options_;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,46 @@
+#include "core/state_table.hpp"
+
+#include <algorithm>
+
+namespace fmossim {
+
+std::vector<StateRecord>::const_iterator StateTable::find(
+    const std::vector<StateRecord>& recs, CircuitId c) {
+  return std::lower_bound(
+      recs.begin(), recs.end(), c,
+      [](const StateRecord& r, CircuitId id) { return r.circuit < id; });
+}
+
+bool StateTable::reconcile(NodeId n, CircuitId c, State value) {
+  FMOSSIM_ASSERT(c != kGoodCircuit, "reconcile is for faulty circuits");
+  auto& recs = records_[n.value];
+  const auto cit = find(recs, c);
+  const auto it = recs.begin() + (cit - recs.begin());
+  const bool present = it != recs.end() && it->circuit == c;
+  if (value == good_[n.value]) {
+    if (present) {
+      recs.erase(it);
+      --totalRecords_;
+    }
+    return false;
+  }
+  if (present) {
+    it->value = value;
+  } else {
+    recs.insert(it, StateRecord{c, value});
+    ++totalRecords_;
+  }
+  return true;
+}
+
+void StateTable::erase(NodeId n, CircuitId c) {
+  auto& recs = records_[n.value];
+  const auto cit = find(recs, c);
+  const auto it = recs.begin() + (cit - recs.begin());
+  if (it != recs.end() && it->circuit == c) {
+    recs.erase(it);
+    --totalRecords_;
+  }
+}
+
+}  // namespace fmossim

@@ -1,0 +1,88 @@
+// Per-node state lists — the central data structure of the concurrent
+// algorithm (paper §4):
+//
+//   "we maintain a separate state list for each node, containing records of
+//    the form <i, s_i>, indicating that in circuit i ... this node has state
+//    s_i. Such records are maintained only for the good circuit, and for
+//    those circuits i such that s_i != s_0."
+//
+// The good circuit's state is a flat array; each node additionally carries a
+// vector of divergence records sorted by circuit ID. Scans with remembered
+// positions over these sorted vectors play the role of the paper's "shadow
+// pointers".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+struct StateRecord {
+  CircuitId circuit;
+  State value;
+};
+
+class StateTable {
+ public:
+  explicit StateTable(const Network& net)
+      : good_(net.numNodes(), State::SX), records_(net.numNodes()) {}
+
+  // --- good circuit --------------------------------------------------------
+
+  State good(NodeId n) const { return good_[n.value]; }
+  void setGood(NodeId n, State s) { good_[n.value] = s; }
+
+  // --- divergence records --------------------------------------------------
+
+  /// State of node n in circuit c: its record if present, else the good
+  /// state (the concurrent representation invariant).
+  State stateOf(NodeId n, CircuitId c) const {
+    if (c != kGoodCircuit) {
+      const auto& recs = records_[n.value];
+      const auto it = find(recs, c);
+      if (it != recs.end() && it->circuit == c) return it->value;
+    }
+    return good_[n.value];
+  }
+
+  bool hasRecord(NodeId n, CircuitId c) const {
+    return findRecord(n, c) != nullptr;
+  }
+
+  /// Pointer to circuit c's record at node n, or nullptr if the circuit
+  /// agrees with the good circuit there.
+  const StateRecord* findRecord(NodeId n, CircuitId c) const {
+    const auto& recs = records_[n.value];
+    const auto it = find(recs, c);
+    return (it != recs.end() && it->circuit == c) ? &*it : nullptr;
+  }
+
+  /// All divergence records of a node, sorted by circuit ID.
+  const std::vector<StateRecord>& records(NodeId n) const {
+    return records_[n.value];
+  }
+
+  /// Establishes circuit c's state at node n: removes the record if the
+  /// value re-converges with the good circuit, else inserts/updates it.
+  /// Returns true if a record now exists (i.e. the circuit diverges here).
+  bool reconcile(NodeId n, CircuitId c, State value);
+
+  /// Removes circuit c's record at node n if present.
+  void erase(NodeId n, CircuitId c);
+
+  /// Total number of divergence records (statistics).
+  std::uint64_t totalRecords() const { return totalRecords_; }
+
+ private:
+  static std::vector<StateRecord>::const_iterator find(
+      const std::vector<StateRecord>& recs, CircuitId c);
+
+  std::vector<State> good_;
+  std::vector<std::vector<StateRecord>> records_;
+  std::uint64_t totalRecords_ = 0;
+};
+
+}  // namespace fmossim

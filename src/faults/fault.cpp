@@ -1,0 +1,60 @@
+#include "faults/fault.hpp"
+
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+Fault Fault::nodeStuckAt(const Network& net, NodeId n, State value) {
+  if (!isDefinite(value)) {
+    throw Error("node stuck-at fault requires a definite state (0 or 1)");
+  }
+  Fault f;
+  f.kind = FaultKind::NodeStuck;
+  f.node = n;
+  f.value = value;
+  f.name = net.node(n).name + (value == State::S0 ? "/SA0" : "/SA1");
+  return f;
+}
+
+Fault Fault::transistorStuckOpen(const Network& net, TransId t) {
+  if (net.transistor(t).isFaultDevice()) {
+    throw Error("use faultDeviceActive for fault devices");
+  }
+  Fault f;
+  f.kind = FaultKind::TransistorStuck;
+  f.transistor = t;
+  f.value = State::S0;
+  f.name = format("t%u/stuck-open", t.value);
+  return f;
+}
+
+Fault Fault::transistorStuckClosed(const Network& net, TransId t) {
+  if (net.transistor(t).isFaultDevice()) {
+    throw Error("use faultDeviceActive for fault devices");
+  }
+  Fault f;
+  f.kind = FaultKind::TransistorStuck;
+  f.transistor = t;
+  f.value = State::S1;
+  f.name = format("t%u/stuck-closed", t.value);
+  return f;
+}
+
+Fault Fault::faultDeviceActive(const Network& net, TransId ft) {
+  const auto& tr = net.transistor(ft);
+  if (!tr.isFaultDevice()) {
+    throw Error("faultDeviceActive requires a fault device transistor");
+  }
+  Fault f;
+  f.kind = FaultKind::FaultDevice;
+  f.transistor = ft;
+  // Shorts are off in the good circuit and on in the faulty one; opens the
+  // reverse.
+  f.value = (*tr.goodConduction == State::S0) ? State::S1 : State::S0;
+  const char* what = (f.value == State::S1) ? "short" : "open";
+  f.name = format("%s(%s,%s)", what, net.node(tr.source).name.c_str(),
+                  net.node(tr.drain).name.c_str());
+  return f;
+}
+
+}  // namespace fmossim

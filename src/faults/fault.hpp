@@ -1,0 +1,78 @@
+// Fault models of paper §3.
+//
+// FMOSSIM directly implements node and transistor faults:
+//   * a node fault causes the node to behave as an input node set to the
+//     specified state (stuck-at-0 / stuck-at-1),
+//   * a transistor fault causes the transistor to be permanently stuck-open
+//     or stuck-closed, without changing its strength.
+// Short and open circuits are injected through *fault devices* — extra
+// transistors of very high strength inserted at network-build time (see
+// NetworkBuilder::addShortFaultDevice / addOpenFaultDevice) and activated per
+// faulty circuit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// Identifies a simulated circuit. 0 is the fault-free (good) circuit;
+/// faulty circuits are numbered 1..N in fault-list order (paper §4: "each
+/// circuit is represented by an integer ID with the good circuit having
+/// ID 0").
+using CircuitId = std::uint32_t;
+constexpr CircuitId kGoodCircuit = 0;
+
+enum class FaultKind : std::uint8_t {
+  NodeStuck,        ///< node behaves as an input node at a fixed state
+  TransistorStuck,  ///< conduction forced open (S0) or closed (S1)
+  FaultDevice,      ///< fault transistor switched to its faulty conduction
+};
+
+/// One fault. Construct through the factory functions, which validate
+/// against the network and generate a descriptive name.
+struct Fault {
+  FaultKind kind = FaultKind::NodeStuck;
+  NodeId node;        ///< NodeStuck only
+  TransId transistor; ///< TransistorStuck / FaultDevice only
+  State value = State::S0;  ///< stuck state, or forced conduction
+  std::string name;
+
+  static Fault nodeStuckAt(const Network& net, NodeId n, State value);
+  static Fault transistorStuckOpen(const Network& net, TransId t);
+  static Fault transistorStuckClosed(const Network& net, TransId t);
+  /// Activates a fault device: conduction becomes the complement of its
+  /// good-circuit conduction (on for shorts, off for opens).
+  static Fault faultDeviceActive(const Network& net, TransId ft);
+};
+
+/// An ordered list of faults; index i becomes faulty-circuit ID i+1.
+class FaultList {
+ public:
+  FaultList() = default;
+  explicit FaultList(std::vector<Fault> faults) : faults_(std::move(faults)) {}
+
+  void add(Fault f) { faults_.push_back(std::move(f)); }
+  void append(const FaultList& other) {
+    faults_.insert(faults_.end(), other.faults_.begin(), other.faults_.end());
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(faults_.size()); }
+  bool empty() const { return faults_.empty(); }
+  const Fault& operator[](std::uint32_t i) const {
+    FMOSSIM_ASSERT(i < faults_.size(), "fault index out of range");
+    return faults_[i];
+  }
+  const std::vector<Fault>& all() const { return faults_; }
+
+  auto begin() const { return faults_.begin(); }
+  auto end() const { return faults_.end(); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,113 @@
+#include "faults/fault_spec.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "faults/sampling.hpp"
+#include "faults/universe.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& msg) {
+  throw Error(format("fault spec line %zu: %s", lineNo, msg.c_str()));
+}
+
+}  // namespace
+
+FaultList parseFaultSpec(const Network& net, const std::string& text) {
+  FaultList faults;
+  bool doSample = false;
+  std::uint32_t sampleCount = 0;
+  std::uint64_t sampleSeed = 0;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(stream, line)) {
+    ++lineNo;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto tok = splitWhitespace(trimmed);
+    const std::string kind = toUpper(tok[0]);
+
+    if (kind == "NODE") {
+      if (tok.size() != 3) fail(lineNo, "node requires <name> sa0|sa1");
+      const NodeId n = net.findNode(std::string(tok[1]));
+      if (!n.valid()) fail(lineNo, "unknown node '" + std::string(tok[1]) + "'");
+      const std::string what = toUpper(tok[2]);
+      if (what == "SA0") {
+        faults.add(Fault::nodeStuckAt(net, n, State::S0));
+      } else if (what == "SA1") {
+        faults.add(Fault::nodeStuckAt(net, n, State::S1));
+      } else {
+        fail(lineNo, "expected sa0 or sa1, got '" + std::string(tok[2]) + "'");
+      }
+    } else if (kind == "TRANSISTOR") {
+      if (tok.size() != 3) fail(lineNo, "transistor requires <id> open|closed");
+      std::uint32_t id = 0;
+      try {
+        id = static_cast<std::uint32_t>(std::stoul(std::string(tok[1])));
+      } catch (...) {
+        fail(lineNo, "invalid transistor id '" + std::string(tok[1]) + "'");
+      }
+      if (id >= net.numTransistors()) fail(lineNo, "transistor id out of range");
+      const std::string what = toUpper(tok[2]);
+      try {
+        if (what == "OPEN") {
+          faults.add(Fault::transistorStuckOpen(net, TransId(id)));
+        } else if (what == "CLOSED") {
+          faults.add(Fault::transistorStuckClosed(net, TransId(id)));
+        } else {
+          fail(lineNo, "expected open or closed");
+        }
+      } catch (const Error& e) {
+        fail(lineNo, e.what());
+      }
+    } else if (kind == "ALL-NODE-STUCK") {
+      faults.append(allStorageNodeStuckFaults(net));
+    } else if (kind == "ALL-TRANSISTOR-STUCK") {
+      faults.append(allTransistorStuckFaults(net));
+    } else if (kind == "ALL-FAULT-DEVICES") {
+      faults.append(allFaultDeviceFaults(net));
+    } else if (kind == "SAMPLE") {
+      if (tok.size() != 3) fail(lineNo, "sample requires <count> <seed>");
+      try {
+        sampleCount = static_cast<std::uint32_t>(std::stoul(std::string(tok[1])));
+        sampleSeed = std::stoull(std::string(tok[2]));
+      } catch (...) {
+        fail(lineNo, "invalid sample parameters");
+      }
+      doSample = true;
+    } else {
+      fail(lineNo, "unknown directive '" + std::string(tok[0]) + "'");
+    }
+  }
+
+  if (faults.empty()) {
+    throw Error("fault spec produces no faults");
+  }
+  if (doSample) {
+    if (sampleCount > faults.size()) {
+      throw Error("fault spec: sample count exceeds fault list size");
+    }
+    Rng rng(sampleSeed);
+    faults = sampleFaults(faults, sampleCount, rng);
+  }
+  return faults;
+}
+
+FaultList loadFaultSpecFile(const Network& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open fault spec '" + path + "'");
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseFaultSpec(net, ss.str());
+}
+
+}  // namespace fmossim

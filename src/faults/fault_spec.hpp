@@ -1,0 +1,25 @@
+// Text format for fault lists, used by the command-line driver.
+//
+//   # comment
+//   node <name> sa0|sa1          single node stuck-at fault
+//   transistor <id> open|closed  single transistor fault
+//   all-node-stuck               SA0+SA1 on every storage node
+//   all-transistor-stuck         open+closed on every functional transistor
+//   all-fault-devices            activate every declared short/open device
+//   sample <count> <seed>        keep a random subset (applied at the end)
+#pragma once
+
+#include <string>
+
+#include "faults/fault.hpp"
+
+namespace fmossim {
+
+/// Parses a fault specification against the network. Throws Error with line
+/// numbers on malformed input.
+FaultList parseFaultSpec(const Network& net, const std::string& text);
+
+/// Reads a fault specification file.
+FaultList loadFaultSpecFile(const Network& net, const std::string& path);
+
+}  // namespace fmossim

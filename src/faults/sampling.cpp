@@ -1,0 +1,17 @@
+#include "faults/sampling.hpp"
+
+namespace fmossim {
+
+FaultList sampleFaults(const FaultList& universe, std::uint32_t count, Rng& rng) {
+  if (count > universe.size()) {
+    throw Error("fault sample size exceeds universe size");
+  }
+  const auto indices = rng.sampleIndices(universe.size(), count);
+  FaultList out;
+  for (const std::uint32_t i : indices) {
+    out.add(universe[i]);
+  }
+  return out;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,15 @@
+// Random fault sampling (paper §5, Figure 3: "simulating RAM256 for
+// different numbers of randomly selected faults").
+#pragma once
+
+#include "faults/fault.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+
+/// Draws `count` distinct faults uniformly from `universe` (count must not
+/// exceed the universe size). Order of the sample is random; the draw is
+/// fully determined by the Rng state.
+FaultList sampleFaults(const FaultList& universe, std::uint32_t count, Rng& rng);
+
+}  // namespace fmossim

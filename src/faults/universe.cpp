@@ -1,0 +1,37 @@
+#include "faults/universe.hpp"
+
+namespace fmossim {
+
+FaultList allStorageNodeStuckFaults(const Network& net) {
+  return nodeStuckFaults(net, net.storageNodes());
+}
+
+FaultList nodeStuckFaults(const Network& net, const std::vector<NodeId>& nodes) {
+  FaultList list;
+  for (const NodeId n : nodes) {
+    list.add(Fault::nodeStuckAt(net, n, State::S0));
+    list.add(Fault::nodeStuckAt(net, n, State::S1));
+  }
+  return list;
+}
+
+FaultList allTransistorStuckFaults(const Network& net) {
+  FaultList list;
+  for (const TransId t : net.functionalTransistors()) {
+    list.add(Fault::transistorStuckOpen(net, t));
+    list.add(Fault::transistorStuckClosed(net, t));
+  }
+  return list;
+}
+
+FaultList allFaultDeviceFaults(const Network& net) {
+  FaultList list;
+  for (const TransId t : net.allTransistors()) {
+    if (net.transistor(t).isFaultDevice()) {
+      list.add(Fault::faultDeviceActive(net, t));
+    }
+  }
+  return list;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,28 @@
+// Fault universe generators (paper §5).
+//
+// "The circuits were simulated for randomly chosen subsets of the following
+// fault classes: single storage nodes stuck-at-zero, single storage nodes
+// stuck-at-one, and single pairs of adjacent bit lines shorted together. To
+// validate the program, we also simulated other faults, including stuck-open
+// and stuck-closed transistors."
+#pragma once
+
+#include "faults/fault.hpp"
+
+namespace fmossim {
+
+/// SA0 + SA1 for every storage node of the network.
+FaultList allStorageNodeStuckFaults(const Network& net);
+
+/// SA0 + SA1 for the given nodes.
+FaultList nodeStuckFaults(const Network& net, const std::vector<NodeId>& nodes);
+
+/// Stuck-open + stuck-closed for every functional (non-fault-device)
+/// transistor.
+FaultList allTransistorStuckFaults(const Network& net);
+
+/// Activation fault for every fault device present in the network (shorts
+/// and opens declared at build time).
+FaultList allFaultDeviceFaults(const Network& net);
+
+}  // namespace fmossim

@@ -1,0 +1,165 @@
+#include "netlist/bench_format.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+const char* const kIscas85C17 = R"(# c17 - ISCAS-85 benchmark (smallest member)
+# 5 inputs, 2 outputs, 6 NAND gates
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+
+const char* gateTypeName(GateType t) {
+  switch (t) {
+    case GateType::And: return "AND";
+    case GateType::Or: return "OR";
+    case GateType::Nand: return "NAND";
+    case GateType::Nor: return "NOR";
+    case GateType::Not: return "NOT";
+    case GateType::Buff: return "BUFF";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& msg) {
+  throw Error(format("bench netlist line %zu: %s", lineNo, msg.c_str()));
+}
+
+GateType gateTypeFromName(const std::string& name, std::size_t lineNo) {
+  const std::string up = toUpper(name);
+  if (up == "AND") return GateType::And;
+  if (up == "OR") return GateType::Or;
+  if (up == "NAND") return GateType::Nand;
+  if (up == "NOR") return GateType::Nor;
+  if (up == "NOT" || up == "INV") return GateType::Not;
+  if (up == "BUFF" || up == "BUF") return GateType::Buff;
+  if (up == "XOR") return GateType::Xor;
+  if (up == "XNOR") return GateType::Xnor;
+  fail(lineNo, "unsupported gate type '" + name + "'");
+}
+
+// Extracts the text inside the first (...) pair.
+std::string_view parens(std::string_view s, std::size_t lineNo) {
+  const auto open = s.find('(');
+  const auto close = s.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    fail(lineNo, "expected parenthesised argument list");
+  }
+  return s.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+GateCircuit parseBench(const std::string& text, const std::string& name) {
+  GateCircuit circuit;
+  circuit.name = name;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  std::unordered_set<std::string> defined;   // inputs + gate outputs
+  std::unordered_set<std::string> declaredOutputs;
+
+  while (std::getline(stream, line)) {
+    ++lineNo;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    const auto eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      const std::string up = toUpper(std::string(trimmed.substr(0, 6)));
+      if (startsWith(up, "INPUT")) {
+        const std::string sig(trim(parens(trimmed, lineNo)));
+        if (sig.empty()) fail(lineNo, "empty INPUT name");
+        if (!defined.insert(sig).second) fail(lineNo, "duplicate INPUT '" + sig + "'");
+        circuit.inputs.push_back(sig);
+      } else if (startsWith(up, "OUTPUT")) {
+        const std::string sig(trim(parens(trimmed, lineNo)));
+        if (sig.empty()) fail(lineNo, "empty OUTPUT name");
+        if (!declaredOutputs.insert(sig).second) {
+          fail(lineNo, "duplicate OUTPUT '" + sig + "'");
+        }
+        circuit.outputs.push_back(sig);
+      } else {
+        fail(lineNo, "unrecognized line");
+      }
+      continue;
+    }
+
+    Gate gate;
+    gate.output = std::string(trim(trimmed.substr(0, eq)));
+    if (gate.output.empty()) fail(lineNo, "missing gate output name");
+    const auto rhs = trim(trimmed.substr(eq + 1));
+    const auto open = rhs.find('(');
+    if (open == std::string_view::npos) fail(lineNo, "missing gate argument list");
+    gate.type = gateTypeFromName(std::string(trim(rhs.substr(0, open))), lineNo);
+    for (const auto& arg : split(parens(rhs, lineNo), ',')) {
+      const auto argTrim = trim(arg);
+      if (argTrim.empty()) fail(lineNo, "empty gate input");
+      gate.inputs.emplace_back(argTrim);
+    }
+    if (gate.inputs.empty()) fail(lineNo, "gate has no inputs");
+    if ((gate.type == GateType::Not || gate.type == GateType::Buff) &&
+        gate.inputs.size() != 1) {
+      fail(lineNo, "NOT/BUFF take exactly one input");
+    }
+    if (!defined.insert(gate.output).second) {
+      fail(lineNo, "duplicate definition of '" + gate.output + "'");
+    }
+    circuit.gates.push_back(std::move(gate));
+  }
+
+  // Semantic checks: every referenced signal must be defined somewhere.
+  for (const Gate& g : circuit.gates) {
+    for (const std::string& in : g.inputs) {
+      if (defined.count(in) == 0) {
+        throw Error("bench netlist: gate '" + g.output +
+                    "' references undefined signal '" + in + "'");
+      }
+    }
+  }
+  for (const std::string& out : circuit.outputs) {
+    if (defined.count(out) == 0) {
+      throw Error("bench netlist: OUTPUT '" + out + "' is never defined");
+    }
+  }
+  if (circuit.gates.empty()) {
+    throw Error("bench netlist contains no gates");
+  }
+  return circuit;
+}
+
+GateCircuit loadBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open bench netlist '" + path + "'");
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseBench(ss.str(), path);
+}
+
+}  // namespace fmossim

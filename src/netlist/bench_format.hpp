@@ -1,0 +1,62 @@
+// ISCAS-85 ".bench" gate-level netlist reader.
+//
+// The public ISCAS-85 benchmark circuits (c17, c432, ...) are distributed in
+// this format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//
+// Supported gate types: AND, OR, NAND, NOR, NOT, BUFF, XOR, XNOR.
+// The parsed gate-level circuit can be expanded to a switch-level CMOS
+// network with expandToCmos() (see gate_expand.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fmossim {
+
+enum class GateType : std::uint8_t {
+  And,
+  Or,
+  Nand,
+  Nor,
+  Not,
+  Buff,
+  Xor,
+  Xnor,
+};
+
+const char* gateTypeName(GateType t);
+
+struct Gate {
+  std::string output;
+  GateType type;
+  std::vector<std::string> inputs;
+};
+
+/// A parsed gate-level circuit.
+struct GateCircuit {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Gate> gates;
+
+  std::size_t numGates() const { return gates.size(); }
+};
+
+/// Parses .bench text. Throws Error (with line numbers) on malformed input,
+/// undefined signals, or duplicate definitions.
+GateCircuit parseBench(const std::string& text, const std::string& name = "");
+
+/// Reads a .bench file.
+GateCircuit loadBenchFile(const std::string& path);
+
+/// The ISCAS-85 c17 benchmark (6 NAND gates), embedded so examples and
+/// tests run without external files.
+extern const char* const kIscas85C17;
+
+}  // namespace fmossim

@@ -1,0 +1,113 @@
+#include "netlist/gate_expand.hpp"
+
+#include <unordered_map>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+
+ExpandedCircuit expandToCmos(const GateCircuit& circuit) {
+  NetworkBuilder b;
+  CmosCells cells(b);
+
+  std::unordered_map<std::string, NodeId> byName;
+  ExpandedCircuit out;
+
+  for (const std::string& in : circuit.inputs) {
+    const NodeId n = b.addInput(in);
+    byName.emplace(in, n);
+    out.inputs.push_back(n);
+  }
+  // Pre-create every gate output node so gates can be listed in any order.
+  for (const Gate& g : circuit.gates) {
+    byName.emplace(g.output, b.addNode(g.output));
+  }
+
+  const auto resolve = [&](const std::string& name) {
+    const auto it = byName.find(name);
+    FMOSSIM_ASSERT(it != byName.end(), "gate input not resolved");
+    return it->second;
+  };
+
+  for (const Gate& g : circuit.gates) {
+    std::vector<NodeId> ins;
+    ins.reserve(g.inputs.size());
+    for (const std::string& in : g.inputs) ins.push_back(resolve(in));
+    const NodeId target = byName.at(g.output);
+
+    switch (g.type) {
+      case GateType::Nand:
+        cells.nandInto(ins, target);
+        break;
+      case GateType::Nor:
+        cells.norInto(ins, target);
+        break;
+      case GateType::Not:
+        cells.inverterInto(ins[0], target);
+        break;
+      case GateType::Buff: {
+        const NodeId mid = cells.inverter(ins[0], b.uniqueName(g.output + ".b"));
+        cells.inverterInto(mid, target);
+        break;
+      }
+      case GateType::And: {
+        const NodeId mid = cells.nand(ins, b.uniqueName(g.output + ".n"));
+        cells.inverterInto(mid, target);
+        break;
+      }
+      case GateType::Or: {
+        const NodeId mid = cells.nor(ins, b.uniqueName(g.output + ".n"));
+        cells.inverterInto(mid, target);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Fold multi-input XOR pairwise; final stage lands on the target.
+        NodeId acc = ins[0];
+        for (std::size_t i = 1; i < ins.size(); ++i) {
+          const bool last = (i + 1 == ins.size());
+          // a^b = AND(NAND(a,b), OR(a,b)).
+          const NodeId nab =
+              cells.nand({acc, ins[i]}, b.uniqueName(g.output + ".xn"));
+          const NodeId oab =
+              cells.orGate({acc, ins[i]}, b.uniqueName(g.output + ".xo"));
+          if (last && g.type == GateType::Xor) {
+            const NodeId m =
+                cells.nand({nab, oab}, b.uniqueName(g.output + ".xm"));
+            cells.inverterInto(m, target);
+            acc = target;
+          } else if (last) {  // XNOR: invert the AND
+            cells.nandInto({nab, oab}, target);
+            acc = target;
+          } else {
+            acc = cells.andGate({nab, oab}, b.uniqueName(g.output + ".xa"));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  for (const std::string& o : circuit.outputs) {
+    out.outputs.push_back(byName.at(o));
+  }
+  out.net = b.build();
+  return out;
+}
+
+FaultList gateLevelStuckFaults(const GateCircuit& circuit,
+                               const ExpandedCircuit& expanded) {
+  FaultList faults;
+  const auto addBoth = [&](NodeId n) {
+    faults.add(Fault::nodeStuckAt(expanded.net, n, State::S0));
+    faults.add(Fault::nodeStuckAt(expanded.net, n, State::S1));
+  };
+  for (const NodeId in : expanded.inputs) addBoth(in);
+  for (const Gate& g : circuit.gates) {
+    addBoth(expanded.net.nodeByName(g.output));
+  }
+  return faults;
+}
+
+}  // namespace fmossim

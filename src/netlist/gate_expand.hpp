@@ -1,0 +1,33 @@
+// Gate-level to switch-level expansion.
+//
+// Expands a parsed gate circuit (ISCAS .bench) into a complementary CMOS
+// transistor network: NAND/NOR become single complementary stages, AND/OR
+// add an output inverter, XOR/XNOR are composed from those. Gate output
+// names are preserved as node names, so gate-level stuck-at fault universes
+// map directly onto switch-level node faults.
+#pragma once
+
+#include "netlist/bench_format.hpp"
+#include "faults/fault.hpp"
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// The expanded circuit with its interface.
+struct ExpandedCircuit {
+  std::vector<NodeId> inputs;   ///< in GateCircuit::inputs order
+  std::vector<NodeId> outputs;  ///< in GateCircuit::outputs order
+  Network net;                  ///< declared last; assigned at build
+};
+
+/// Expands to CMOS. Throws Error on unsupported constructs.
+ExpandedCircuit expandToCmos(const GateCircuit& circuit);
+
+/// Gate-level single-stuck-at universe: SA0 + SA1 on every gate output and
+/// every primary input... in the switch-level expansion these are node
+/// stuck faults on the corresponding nets (inputs use their buffered
+/// internal nets if present; primary-input faults are stuck input nodes).
+FaultList gateLevelStuckFaults(const GateCircuit& circuit,
+                               const ExpandedCircuit& expanded);
+
+}  // namespace fmossim

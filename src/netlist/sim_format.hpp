@@ -1,0 +1,37 @@
+// MOSSIM-style ".sim" transistor netlist reader/writer.
+//
+// FMOSSIM and MOSSIM II consumed transistor-level netlists extracted from
+// layout. We support a documented dialect of the classic format:
+//
+//   | comment text                     (also '#' comments)
+//   input <name> [<name>...]          declare input nodes
+//   node <name> <size>                declare a storage node size (optional;
+//                                      undeclared nodes default to size 1)
+//   n <gate> <source> <drain> [str]   n-type transistor (also 'e')
+//   p <gate> <source> <drain> [str]   p-type transistor
+//   d <gate> <source> <drain> [str]   depletion transistor (default str 1)
+//
+// Strength defaults: n/p devices strength 2, d devices strength 1 (the
+// two-strength nMOS convention of paper §2). "Vdd" and "Gnd" are implicitly
+// input nodes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// Parses a .sim netlist from text. Throws Error with a line number on
+/// malformed input.
+Network parseSimNetlist(const std::string& text);
+
+/// Reads a .sim netlist from a file.
+Network loadSimFile(const std::string& path);
+
+/// Writes a network in the same dialect (fault devices are emitted as
+/// comments since they are not functional devices).
+std::string writeSimNetlist(const Network& net);
+
+}  // namespace fmossim

@@ -1,0 +1,77 @@
+#include "patterns/marching.hpp"
+
+#include "patterns/ram_ops.hpp"
+
+namespace fmossim {
+
+TestSequence ramControlTests(const RamCircuit& ram) {
+  const unsigned last = ram.config.words() - 1;
+  const std::vector<RamOp> ops = {
+      RamOp::readOp(0),                  // exercise a full clock cycle
+      RamOp::writeOp(0, State::S1),
+      RamOp::readOp(0),                  // expect 1
+      RamOp::writeOp(last, State::S0),
+      RamOp::readOp(last),               // expect 0
+      RamOp::readOp(0),                  // retention across other accesses
+      RamOp::writeOp(0, State::S0),
+  };
+  return ramOpSequence(ram, ops);
+}
+
+TestSequence ramMarch(const RamCircuit& ram,
+                      const std::vector<unsigned>& addresses) {
+  std::vector<RamOp> ops;
+  ops.reserve(addresses.size() * 5);
+  for (const unsigned a : addresses) {
+    ops.push_back(RamOp::writeOp(a, State::S0));  // up(w0)
+  }
+  for (const unsigned a : addresses) {
+    ops.push_back(RamOp::readOp(a));              // up(r0, w1)
+    ops.push_back(RamOp::writeOp(a, State::S1));
+  }
+  for (const unsigned a : addresses) {
+    ops.push_back(RamOp::readOp(a));              // up(r1, w0)
+    ops.push_back(RamOp::writeOp(a, State::S0));
+  }
+  return ramOpSequence(ram, ops);
+}
+
+TestSequence ramRowMarch(const RamCircuit& ram) {
+  std::vector<unsigned> addrs;
+  for (unsigned r = 0; r < ram.config.rows; ++r) {
+    addrs.push_back(r * ram.config.cols);
+  }
+  return ramMarch(ram, addrs);
+}
+
+TestSequence ramColMarch(const RamCircuit& ram) {
+  std::vector<unsigned> addrs;
+  for (unsigned c = 0; c < ram.config.cols; ++c) {
+    addrs.push_back(c);
+  }
+  return ramMarch(ram, addrs);
+}
+
+TestSequence ramArrayMarch(const RamCircuit& ram) {
+  std::vector<unsigned> addrs;
+  for (unsigned a = 0; a < ram.config.words(); ++a) {
+    addrs.push_back(a);
+  }
+  return ramMarch(ram, addrs);
+}
+
+TestSequence ramTestSequence1(const RamCircuit& ram) {
+  TestSequence seq = ramControlTests(ram);
+  seq.append(ramRowMarch(ram));
+  seq.append(ramColMarch(ram));
+  seq.append(ramArrayMarch(ram));
+  return seq;
+}
+
+TestSequence ramTestSequence2(const RamCircuit& ram) {
+  TestSequence seq = ramControlTests(ram);
+  seq.append(ramArrayMarch(ram));
+  return seq;
+}
+
+}  // namespace fmossim

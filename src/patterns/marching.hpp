@@ -1,0 +1,42 @@
+// Test sequence generators for the RAM circuits (paper §5, after
+// Winegarden & Pannell's "Paragons for Memory Test").
+//
+// The paper's first RAM64 sequence: "7 patterns to test the control and
+// peripheral logic, 40 patterns to perform a marching test of the row select
+// logic, 40 patterns to perform a marching test of the column select and bit
+// line logic, and 320 patterns to perform a marching test of the memory
+// array" — 407 patterns total; the same construction gives 1447 for RAM256.
+// The second sequence omits the row and column marches (327 patterns).
+//
+// The march element is MATS+-like, 5 operations per visited cell:
+//     up(w0); up(r0, w1); up(r1, w0)
+#pragma once
+
+#include "circuits/ram.hpp"
+#include "patterns/pattern.hpp"
+
+namespace fmossim {
+
+/// 7 control/peripheral patterns: clock exercise, corner-address writes and
+/// reads, write-enable toggling.
+TestSequence ramControlTests(const RamCircuit& ram);
+
+/// 5-ops-per-cell march over the given addresses.
+TestSequence ramMarch(const RamCircuit& ram, const std::vector<unsigned>& addresses);
+
+/// March over one cell per row (column 0): 5 * rows patterns.
+TestSequence ramRowMarch(const RamCircuit& ram);
+/// March over one cell per column (row 0): 5 * cols patterns.
+TestSequence ramColMarch(const RamCircuit& ram);
+/// March over the full array in ascending address order: 5 * words patterns.
+TestSequence ramArrayMarch(const RamCircuit& ram);
+
+/// Test sequence 1 (Figure 1): control + row march + column march + array
+/// march = 7 + 5R + 5C + 5RC patterns (407 for RAM64, 1447 for RAM256).
+TestSequence ramTestSequence1(const RamCircuit& ram);
+
+/// Test sequence 2 (Figure 2): control + array march only = 7 + 5RC
+/// patterns (327 for RAM64).
+TestSequence ramTestSequence2(const RamCircuit& ram);
+
+}  // namespace fmossim

@@ -1,0 +1,21 @@
+#include "patterns/pattern.hpp"
+
+namespace fmossim {
+
+void TestSequence::append(const TestSequence& other) {
+  if (outputs_.empty()) {
+    outputs_ = other.outputs_;
+  } else if (!other.outputs_.empty() && other.outputs_ != outputs_) {
+    throw Error("TestSequence::append: output sets differ");
+  }
+  patterns_.insert(patterns_.end(), other.patterns_.begin(),
+                   other.patterns_.end());
+}
+
+std::uint64_t TestSequence::totalSettings() const {
+  std::uint64_t total = 0;
+  for (const auto& p : patterns_) total += p.settings.size();
+  return total;
+}
+
+}  // namespace fmossim

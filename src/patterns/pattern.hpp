@@ -1,0 +1,64 @@
+// Test pattern representation.
+//
+// A *pattern* in the paper's sense is one logical test step — e.g. one RAM
+// read or write — and "actually represents a sequence of 6 input settings to
+// cycle the clocks" (paper §5). An InputSetting is one simultaneous batch of
+// input assignments followed by a settle; a Pattern is the ordered list of
+// its settings; a TestSequence is the ordered list of patterns plus the set
+// of observed output nodes used for fault detection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// One batch of simultaneous input assignments.
+struct InputSetting {
+  std::vector<std::pair<NodeId, State>> assignments;
+
+  void set(NodeId n, State s) { assignments.emplace_back(n, s); }
+  std::span<const std::pair<NodeId, State>> span() const { return assignments; }
+};
+
+/// One test pattern (e.g. one RAM operation): a sequence of input settings.
+struct Pattern {
+  std::vector<InputSetting> settings;
+  std::string label;
+};
+
+/// A full test: patterns plus the observed primary outputs.
+class TestSequence {
+ public:
+  TestSequence() = default;
+
+  void addPattern(Pattern p) { patterns_.push_back(std::move(p)); }
+  void addOutput(NodeId n) { outputs_.push_back(n); }
+  void setOutputs(std::vector<NodeId> outs) { outputs_ = std::move(outs); }
+
+  /// Appends another sequence's patterns (outputs must agree or be empty).
+  void append(const TestSequence& other);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(patterns_.size()); }
+  bool empty() const { return patterns_.empty(); }
+  const Pattern& operator[](std::uint32_t i) const {
+    FMOSSIM_ASSERT(i < patterns_.size(), "pattern index out of range");
+    return patterns_[i];
+  }
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Total number of input settings across all patterns.
+  std::uint64_t totalSettings() const;
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace fmossim

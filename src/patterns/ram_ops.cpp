@@ -1,0 +1,78 @@
+#include "patterns/ram_ops.hpp"
+
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+Pattern ramOpPattern(const RamCircuit& ram, const RamOp& op) {
+  if (op.address >= ram.config.words()) {
+    throw Error("RAM operation address out of range");
+  }
+  const unsigned nr = ram.config.rowAddressBits();
+  const unsigned nc = ram.config.colAddressBits();
+  const unsigned row = op.address / ram.config.cols;
+  const unsigned col = op.address % ram.config.cols;
+
+  Pattern p;
+  p.label = format("%s@%u%s", op.write ? "w" : "r", op.address,
+                   op.write ? (op.data == State::S1 ? "=1" : "=0") : "");
+
+  // Setting 1: precharge; address, WE and data applied.
+  InputSetting s1;
+  s1.set(ram.vdd, State::S1);
+  s1.set(ram.gnd, State::S0);
+  s1.set(ram.phiP, State::S1);
+  s1.set(ram.phiR, State::S0);
+  s1.set(ram.phiL, State::S0);
+  s1.set(ram.phiW, State::S0);
+  s1.set(ram.we, op.write ? State::S1 : State::S0);
+  s1.set(ram.din, op.write ? op.data : State::S0);
+  for (unsigned bit = 0; bit < nr; ++bit) {
+    s1.set(ram.addr[bit], ((row >> bit) & 1u) ? State::S1 : State::S0);
+  }
+  for (unsigned bit = 0; bit < nc; ++bit) {
+    s1.set(ram.addr[nr + bit], ((col >> bit) & 1u) ? State::S1 : State::S0);
+  }
+  p.settings.push_back(std::move(s1));
+
+  // Setting 2: precharge off.
+  InputSetting s2;
+  s2.set(ram.phiP, State::S0);
+  p.settings.push_back(std::move(s2));
+
+  // Setting 3: read the addressed row onto the bit lines.
+  InputSetting s3;
+  s3.set(ram.phiR, State::S1);
+  p.settings.push_back(std::move(s3));
+
+  // Setting 4: latch the column data, drive the output bus.
+  InputSetting s4;
+  s4.set(ram.phiR, State::S0);
+  s4.set(ram.phiL, State::S1);
+  p.settings.push_back(std::move(s4));
+
+  // Setting 5: write the row back (data override on the selected column for
+  // writes).
+  InputSetting s5;
+  s5.set(ram.phiL, State::S0);
+  s5.set(ram.phiW, State::S1);
+  p.settings.push_back(std::move(s5));
+
+  // Setting 6: all clocks low.
+  InputSetting s6;
+  s6.set(ram.phiW, State::S0);
+  p.settings.push_back(std::move(s6));
+
+  return p;
+}
+
+TestSequence ramOpSequence(const RamCircuit& ram, const std::vector<RamOp>& ops) {
+  TestSequence seq;
+  seq.addOutput(ram.dout);
+  for (const RamOp& op : ops) {
+    seq.addPattern(ramOpPattern(ram, op));
+  }
+  return seq;
+}
+
+}  // namespace fmossim

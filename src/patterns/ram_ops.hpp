@@ -1,0 +1,28 @@
+// RAM operation encoding: one read or write = one pattern of 6 input
+// settings cycling the clocks (paper §5).
+#pragma once
+
+#include "circuits/ram.hpp"
+#include "patterns/pattern.hpp"
+
+namespace fmossim {
+
+/// One RAM operation.
+struct RamOp {
+  bool write = false;
+  unsigned address = 0;  ///< word address: row * cols + col
+  State data = State::S0;  ///< written value (ignored for reads)
+
+  static RamOp readOp(unsigned address) { return {false, address, State::S0}; }
+  static RamOp writeOp(unsigned address, State data) {
+    return {true, address, data};
+  }
+};
+
+/// Encodes the operation as the paper's 6-setting clock cycle.
+Pattern ramOpPattern(const RamCircuit& ram, const RamOp& op);
+
+/// Convenience: encodes a whole list of operations.
+TestSequence ramOpSequence(const RamCircuit& ram, const std::vector<RamOp>& ops);
+
+}  // namespace fmossim

@@ -1,0 +1,29 @@
+#include "patterns/random_patterns.hpp"
+
+namespace fmossim {
+
+TestSequence randomPatterns(const std::vector<NodeId>& inputs,
+                            const RandomPatternOptions& options, Rng& rng) {
+  TestSequence seq;
+  for (std::uint32_t p = 0; p < options.numPatterns; ++p) {
+    Pattern pat;
+    pat.label = "rand." + std::to_string(p);
+    for (std::uint32_t s = 0; s < options.settingsPerPattern; ++s) {
+      InputSetting setting;
+      for (const NodeId in : inputs) {
+        State v;
+        if (options.xProbability > 0.0 && rng.chance(options.xProbability)) {
+          v = State::SX;
+        } else {
+          v = rng.chance(0.5) ? State::S1 : State::S0;
+        }
+        setting.set(in, v);
+      }
+      pat.settings.push_back(std::move(setting));
+    }
+    seq.addPattern(std::move(pat));
+  }
+  return seq;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,23 @@
+// Random pattern generation for combinational circuits (used by the ISCAS
+// examples and the randomized equivalence tests).
+#pragma once
+
+#include "patterns/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+
+struct RandomPatternOptions {
+  std::uint32_t numPatterns = 32;
+  /// Settings per pattern (1 for combinational circuits).
+  std::uint32_t settingsPerPattern = 1;
+  /// Probability that an input is X instead of a definite value.
+  double xProbability = 0.0;
+};
+
+/// Generates random patterns over the given input nodes. Supply rails should
+/// not be included in `inputs` (drive them separately).
+TestSequence randomPatterns(const std::vector<NodeId>& inputs,
+                            const RandomPatternOptions& options, Rng& rng);
+
+}  // namespace fmossim

@@ -1,0 +1,125 @@
+#include "patterns/sequence_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& msg) {
+  throw Error(format("sequence line %zu: %s", lineNo, msg.c_str()));
+}
+
+}  // namespace
+
+TestSequence parseSequence(const Network& net, const std::string& text) {
+  TestSequence seq;
+  Pattern current;
+  bool inPattern = false;
+
+  const auto flush = [&]() {
+    if (inPattern) {
+      if (current.settings.empty()) {
+        throw Error("sequence: pattern '" + current.label + "' has no settings");
+      }
+      seq.addPattern(std::move(current));
+      current = Pattern{};
+    }
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(stream, line)) {
+    ++lineNo;
+    const auto trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto tok = splitWhitespace(trimmed);
+    const std::string kind = toUpper(tok[0]);
+
+    if (kind == "OUTPUTS" || kind == "OUTPUT") {
+      if (tok.size() < 2) fail(lineNo, "outputs requires at least one node");
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const NodeId n = net.findNode(std::string(tok[i]));
+        if (!n.valid()) fail(lineNo, "unknown node '" + std::string(tok[i]) + "'");
+        seq.addOutput(n);
+      }
+    } else if (kind == "PATTERN") {
+      flush();
+      inPattern = true;
+      current.label = tok.size() > 1 ? std::string(tok[1]) : "";
+    } else if (kind == "SET") {
+      if (!inPattern) fail(lineNo, "'set' outside a pattern");
+      if (tok.size() < 2) fail(lineNo, "set requires assignments");
+      InputSetting setting;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto parts = split(tok[i], '=');
+        if (parts.size() != 2 || parts[0].empty() || parts[1].size() != 1) {
+          fail(lineNo, "malformed assignment '" + std::string(tok[i]) +
+                           "' (expected name=0|1|X)");
+        }
+        const NodeId n = net.findNode(std::string(parts[0]));
+        if (!n.valid()) fail(lineNo, "unknown node '" + std::string(parts[0]) + "'");
+        if (!net.isInput(n)) {
+          fail(lineNo, "'" + std::string(parts[0]) + "' is not an input node");
+        }
+        State v;
+        try {
+          v = stateFromChar(parts[1][0]);
+        } catch (const Error&) {
+          fail(lineNo, "invalid state '" + std::string(parts[1]) + "'");
+        }
+        setting.set(n, v);
+      }
+      current.settings.push_back(std::move(setting));
+    } else {
+      fail(lineNo, "unknown directive '" + std::string(tok[0]) + "'");
+    }
+  }
+  flush();
+  if (seq.empty()) {
+    throw Error("sequence contains no patterns");
+  }
+  if (seq.outputs().empty()) {
+    throw Error("sequence declares no outputs");
+  }
+  return seq;
+}
+
+TestSequence loadSequenceFile(const Network& net, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open sequence file '" + path + "'");
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parseSequence(net, ss.str());
+}
+
+std::string writeSequence(const Network& net, const TestSequence& seq) {
+  std::string out = "# written by fmossim\noutputs";
+  for (const NodeId n : seq.outputs()) {
+    out += ' ';
+    out += net.node(n).name;
+  }
+  out += '\n';
+  for (std::uint32_t i = 0; i < seq.size(); ++i) {
+    const Pattern& p = seq[i];
+    out += "pattern";
+    if (!p.label.empty()) out += ' ' + p.label;
+    out += '\n';
+    for (const InputSetting& s : p.settings) {
+      out += "  set";
+      for (const auto& [n, v] : s.assignments) {
+        out += ' ' + net.node(n).name + '=' + stateChar(v);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace fmossim

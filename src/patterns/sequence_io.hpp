@@ -1,0 +1,27 @@
+// Text format for test sequences, used by the command-line driver.
+//
+//   # comment
+//   outputs dout            declare observed output node(s)
+//   pattern [label]         start a new pattern
+//   set a=1 b=0 clk=X       one input setting (assignments applied together)
+//
+// Node names are resolved against a Network; values are 0, 1 or X.
+#pragma once
+
+#include <string>
+
+#include "patterns/pattern.hpp"
+
+namespace fmossim {
+
+/// Parses the sequence text against the network. Throws Error with line
+/// numbers on malformed input or unknown node names.
+TestSequence parseSequence(const Network& net, const std::string& text);
+
+/// Reads a sequence file.
+TestSequence loadSequenceFile(const Network& net, const std::string& path);
+
+/// Writes a sequence back in the same format.
+std::string writeSequence(const Network& net, const TestSequence& seq);
+
+}  // namespace fmossim

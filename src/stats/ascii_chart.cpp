@@ -1,0 +1,63 @@
+#include "stats/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+std::string AsciiChart::render(const std::vector<double>& y1,
+                               const std::string& label1,
+                               const std::vector<double>& y2,
+                               const std::string& label2) const {
+  if (y1.empty() || width_ == 0 || height_ == 0) return "";
+
+  const auto resample = [this](const std::vector<double>& y) {
+    std::vector<double> out(width_, 0.0);
+    for (unsigned c = 0; c < width_; ++c) {
+      const std::size_t lo = std::size_t(c) * y.size() / width_;
+      std::size_t hi = std::size_t(c + 1) * y.size() / width_;
+      hi = std::max(hi, lo + 1);
+      double sum = 0.0;
+      for (std::size_t i = lo; i < hi && i < y.size(); ++i) sum += y[i];
+      out[c] = sum / double(hi - lo);
+    }
+    return out;
+  };
+
+  const std::vector<double> s1 = resample(y1);
+  const std::vector<double> s2 = y2.empty() ? std::vector<double>{} : resample(y2);
+  const double max1 = std::max(1e-300, *std::max_element(s1.begin(), s1.end()));
+  const double max2 =
+      s2.empty() ? 1.0
+                 : std::max(1e-300, *std::max_element(s2.begin(), s2.end()));
+
+  std::string out;
+  out += "  * " + label1 + format(" (max %.4g)", max1);
+  if (!s2.empty()) out += "   o " + label2 + format(" (max %.4g)", max2);
+  out += '\n';
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const auto plot = [&](const std::vector<double>& s, double maxV, char glyph) {
+    for (unsigned c = 0; c < width_; ++c) {
+      const double frac = std::clamp(s[c] / maxV, 0.0, 1.0);
+      const unsigned row =
+          height_ - 1 -
+          std::min<unsigned>(height_ - 1,
+                             unsigned(std::lround(frac * (height_ - 1))));
+      char& cell = grid[row][c];
+      cell = (cell == ' ' || cell == glyph) ? glyph : '#';
+    }
+  };
+  plot(s1, max1, '*');
+  if (!s2.empty()) plot(s2, max2, 'o');
+
+  for (const std::string& row : grid) {
+    out += "  |" + row + '\n';
+  }
+  out += "  +" + std::string(width_, '-') + "\n";
+  return out;
+}
+
+}  // namespace fmossim

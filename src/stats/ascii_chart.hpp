@@ -1,0 +1,28 @@
+// Minimal ASCII chart renderer used by the benchmark harnesses to print
+// Figure-1/2/3 style plots into the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fmossim {
+
+/// Renders one or two series over a shared x axis as a column chart.
+/// Each series is scaled to its own maximum; series 1 plots with '*',
+/// series 2 with 'o' ('#' where they coincide).
+class AsciiChart {
+ public:
+  AsciiChart(unsigned width, unsigned height) : width_(width), height_(height) {}
+
+  /// Renders y1 (and optionally y2) against implicit x = element index.
+  /// Labels are printed above the chart with the series glyphs.
+  std::string render(const std::vector<double>& y1, const std::string& label1,
+                     const std::vector<double>& y2 = {},
+                     const std::string& label2 = "") const;
+
+ private:
+  unsigned width_;
+  unsigned height_;
+};
+
+}  // namespace fmossim

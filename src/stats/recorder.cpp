@@ -1,0 +1,121 @@
+#include "stats/recorder.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace fmossim {
+
+HeadTailSplit splitHeadTail(const FaultSimResult& res, std::uint32_t headPatterns) {
+  HeadTailSplit split;
+  for (const PatternStat& st : res.perPattern) {
+    if (st.index < headPatterns) {
+      split.headSeconds += st.seconds;
+      split.headNodeEvals += st.nodeEvals;
+      split.detectedInHead += st.newlyDetected;
+    } else {
+      split.tailSeconds += st.seconds;
+      split.tailNodeEvals += st.nodeEvals;
+      split.detectedInTail += st.newlyDetected;
+    }
+  }
+  return split;
+}
+
+double meanSecondsPerPattern(const FaultSimResult& res, std::uint32_t from,
+                             std::uint32_t to) {
+  double sum = 0.0;
+  std::uint32_t n = 0;
+  for (const PatternStat& st : res.perPattern) {
+    if (st.index >= from && st.index < to) {
+      sum += st.seconds;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double meanNodeEvalsPerPattern(const FaultSimResult& res, std::uint32_t from,
+                               std::uint32_t to) {
+  double sum = 0.0;
+  std::uint32_t n = 0;
+  for (const PatternStat& st : res.perPattern) {
+    if (st.index >= from && st.index < to) {
+      sum += double(st.nodeEvals);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+std::vector<SeriesRow> downsample(const FaultSimResult& res, std::uint32_t buckets) {
+  std::vector<SeriesRow> rows;
+  const std::uint32_t n = static_cast<std::uint32_t>(res.perPattern.size());
+  if (n == 0 || buckets == 0) return rows;
+  buckets = std::min(buckets, n);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(
+        std::uint64_t(b) * n / buckets);
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        std::uint64_t(b + 1) * n / buckets);
+    if (hi <= lo) continue;
+    SeriesRow row{};
+    row.pattern = lo;
+    double secs = 0.0;
+    double evals = 0.0;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      secs += res.perPattern[i].seconds;
+      evals += double(res.perPattern[i].nodeEvals);
+    }
+    row.secondsPerPattern = secs / (hi - lo);
+    row.nodeEvalsPerPattern = evals / (hi - lo);
+    row.cumulativeDetected = res.perPattern[hi - 1].cumulativeDetected;
+    row.alive = res.perPattern[hi - 1].aliveAfter;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void writeCsv(const FaultSimResult& res, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open CSV output file '" + path + "'");
+  }
+  out << "pattern,seconds,node_evals,newly_detected,cumulative_detected,alive\n";
+  for (const PatternStat& st : res.perPattern) {
+    out << st.index << ',' << st.seconds << ',' << st.nodeEvals << ','
+        << st.newlyDetected << ',' << st.cumulativeDetected << ','
+        << st.aliveAfter << '\n';
+  }
+}
+
+LinearFit fitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  FMOSSIM_ASSERT(x.size() == y.size() && x.size() >= 2,
+                 "fitLine requires >= 2 matched points");
+  const double n = double(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ssRes = 0, ssTot = 0;
+  const double meanY = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ssRes += (y[i] - pred) * (y[i] - pred);
+    ssTot += (y[i] - meanY) * (y[i] - meanY);
+  }
+  fit.r2 = ssTot == 0.0 ? 1.0 : 1.0 - ssRes / ssTot;
+  return fit;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,61 @@
+// Aggregation helpers over per-pattern statistics — the raw series behind
+// Figures 1-3 — plus CSV output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_sim.hpp"
+
+namespace fmossim {
+
+/// Head/tail split of a run (paper Figure 1: the "head" is the first
+/// `headPatterns` patterns; the paper uses 87 for RAM64 sequence 1).
+struct HeadTailSplit {
+  double headSeconds = 0.0;
+  double tailSeconds = 0.0;
+  std::uint64_t headNodeEvals = 0;
+  std::uint64_t tailNodeEvals = 0;
+  std::uint32_t detectedInHead = 0;
+  std::uint32_t detectedInTail = 0;
+
+  double headSecondsFraction() const {
+    const double total = headSeconds + tailSeconds;
+    return total <= 0.0 ? 0.0 : headSeconds / total;
+  }
+};
+
+HeadTailSplit splitHeadTail(const FaultSimResult& res, std::uint32_t headPatterns);
+
+/// Mean seconds per pattern over a slice [from, to) of the run.
+double meanSecondsPerPattern(const FaultSimResult& res, std::uint32_t from,
+                             std::uint32_t to);
+double meanNodeEvalsPerPattern(const FaultSimResult& res, std::uint32_t from,
+                               std::uint32_t to);
+
+/// Downsamples the per-pattern series into `buckets` averaged rows
+/// (pattern index = bucket start; seconds and evals averaged; detections
+/// cumulative at bucket end). Used by the text renderings of Figures 1-2.
+struct SeriesRow {
+  std::uint32_t pattern;
+  double secondsPerPattern;
+  double nodeEvalsPerPattern;
+  std::uint32_t cumulativeDetected;
+  std::uint32_t alive;
+};
+std::vector<SeriesRow> downsample(const FaultSimResult& res, std::uint32_t buckets);
+
+/// Writes the full per-pattern series as CSV (header + one row per pattern).
+void writeCsv(const FaultSimResult& res, const std::string& path);
+
+/// Simple least-squares fit y = a + b*x; returns {a, b, r2}. Used to verify
+/// the linearity claims of Figure 3.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace fmossim

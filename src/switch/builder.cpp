@@ -1,0 +1,124 @@
+#include "switch/builder.hpp"
+
+namespace fmossim {
+
+NetworkBuilder::NetworkBuilder(SignalDomain domain) {
+  net_.domain_ = domain;
+}
+
+NodeId NetworkBuilder::addNodeImpl(const std::string& name, Strength size,
+                                   bool isInput) {
+  FMOSSIM_ASSERT(!built_, "NetworkBuilder reused after build()");
+  if (name.empty()) {
+    throw Error("node name must be non-empty");
+  }
+  if (net_.byName_.count(name) != 0) {
+    throw Error("duplicate node name '" + name + "'");
+  }
+  const auto id = static_cast<std::uint32_t>(net_.nodes_.size());
+  Network::Node node;
+  node.name = name;
+  node.size = size;
+  node.isInput = isInput;
+  net_.nodes_.push_back(std::move(node));
+  net_.byName_.emplace(name, id);
+  if (isInput) ++net_.numInputs_;
+  return NodeId(id);
+}
+
+NodeId NetworkBuilder::addInput(const std::string& name) {
+  return addNodeImpl(name, /*size=*/1, /*isInput=*/true);
+}
+
+NodeId NetworkBuilder::addNode(const std::string& name, unsigned sizeIndex) {
+  return addNodeImpl(name, net_.domain_.sizeLevel(sizeIndex), /*isInput=*/false);
+}
+
+NodeId NetworkBuilder::getOrAddNode(const std::string& name) {
+  const auto it = net_.byName_.find(name);
+  if (it != net_.byName_.end()) return NodeId(it->second);
+  return addNode(name);
+}
+
+TransId NetworkBuilder::addDevice(TransistorType type, Strength strength,
+                                  NodeId gate, NodeId source, NodeId drain,
+                                  std::optional<State> goodConduction) {
+  FMOSSIM_ASSERT(!built_, "NetworkBuilder reused after build()");
+  const auto checkNode = [this](NodeId n, const char* what) {
+    if (!n.valid() || n.value >= net_.nodes_.size()) {
+      throw Error(std::string("transistor ") + what + " refers to an invalid node");
+    }
+  };
+  checkNode(gate, "gate");
+  checkNode(source, "source");
+  checkNode(drain, "drain");
+  if (source == drain) {
+    throw Error("transistor source and drain must be distinct nodes ('" +
+                net_.nodes_[source.value].name + "')");
+  }
+  const auto id = static_cast<std::uint32_t>(net_.transistors_.size());
+  Network::Transistor t;
+  t.type = type;
+  t.strength = strength;
+  t.gate = gate;
+  t.source = source;
+  t.drain = drain;
+  t.goodConduction = goodConduction;
+  net_.transistors_.push_back(t);
+  net_.nodes_[gate.value].gateOf.push_back(TransId(id));
+  net_.nodes_[source.value].channelOf.push_back(TransId(id));
+  net_.nodes_[drain.value].channelOf.push_back(TransId(id));
+  if (goodConduction.has_value()) ++net_.numFaultDevices_;
+  return TransId(id);
+}
+
+TransId NetworkBuilder::addTransistor(TransistorType type, unsigned strengthIndex,
+                                      NodeId gate, NodeId source, NodeId drain) {
+  return addDevice(type, net_.domain_.strengthLevel(strengthIndex), gate, source,
+                   drain, std::nullopt);
+}
+
+TransId NetworkBuilder::addShortFaultDevice(NodeId a, NodeId b) {
+  // Gate is irrelevant for fault devices (conduction is forced); we point it
+  // at one of the terminals to keep the structure well-formed.
+  return addDevice(TransistorType::NType, net_.domain_.faultDeviceLevel(), a, a,
+                   b, State::S0);
+}
+
+TransId NetworkBuilder::addOpenFaultDevice(NodeId a, NodeId b) {
+  return addDevice(TransistorType::NType, net_.domain_.faultDeviceLevel(), a, a,
+                   b, State::S1);
+}
+
+bool NetworkBuilder::hasNode(const std::string& name) const {
+  return net_.byName_.count(name) != 0;
+}
+
+std::string NetworkBuilder::uniqueName(const std::string& prefix) {
+  auto& counter = uniqueCounters_[prefix];
+  for (;;) {
+    std::string candidate = prefix + "." + std::to_string(counter++);
+    if (net_.byName_.count(candidate) == 0) return candidate;
+  }
+}
+
+std::uint32_t NetworkBuilder::numNodes() const {
+  return static_cast<std::uint32_t>(net_.nodes_.size());
+}
+
+std::uint32_t NetworkBuilder::numTransistors() const {
+  return static_cast<std::uint32_t>(net_.transistors_.size());
+}
+
+const SignalDomain& NetworkBuilder::domain() const { return net_.domain_; }
+
+Network NetworkBuilder::build() {
+  FMOSSIM_ASSERT(!built_, "NetworkBuilder::build() called twice");
+  built_ = true;
+  if (net_.nodes_.empty()) {
+    throw Error("cannot build an empty network");
+  }
+  return std::move(net_);
+}
+
+}  // namespace fmossim

@@ -1,0 +1,76 @@
+// NetworkBuilder — the only way to construct a Network.
+//
+// Circuit generators and netlist parsers add nodes and transistors, then call
+// build() which validates the structure and produces an immutable Network.
+//
+// Short- and open-circuit fault support (paper §3): fault devices are extra
+// transistors of reserved "very high" strength whose conduction is fixed per
+// circuit rather than gate-driven.
+//   * Short between nodes a,b:  addShortFaultDevice(a, b) — off in the good
+//     circuit, on in a faulty circuit that activates it.
+//   * Open circuit: build the wire as two separate nodes a,b and call
+//     addOpenFaultDevice(a, b) — on in the good circuit (the wire is whole),
+//     off in a faulty circuit (the wire is broken).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+class NetworkBuilder {
+ public:
+  explicit NetworkBuilder(SignalDomain domain = SignalDomain());
+
+  /// Adds an input (source) node, e.g. Vdd, Gnd, a clock or a data pin.
+  NodeId addInput(const std::string& name);
+
+  /// Adds a storage node of the given 1-based size index (1 = normal,
+  /// larger = higher capacitance, e.g. busses).
+  NodeId addNode(const std::string& name, unsigned sizeIndex = 1);
+
+  /// Returns the existing node of this name or creates a storage node of
+  /// size 1. Used by netlist parsers where declarations are implicit.
+  NodeId getOrAddNode(const std::string& name);
+
+  /// Adds a transistor. strengthIndex is the 1-based gamma index
+  /// (1 = weakest, e.g. depletion pull-up loads). Source and drain are
+  /// interchangeable (the device is symmetric and bidirectional).
+  TransId addTransistor(TransistorType type, unsigned strengthIndex,
+                        NodeId gate, NodeId source, NodeId drain);
+
+  /// Adds a short-circuit fault device between a and b (paper §3).
+  TransId addShortFaultDevice(NodeId a, NodeId b);
+
+  /// Adds an open-circuit fault device joining the two halves a and b of a
+  /// split node (paper §3).
+  TransId addOpenFaultDevice(NodeId a, NodeId b);
+
+  /// True if a node of this name exists already.
+  bool hasNode(const std::string& name) const;
+
+  /// Generates a fresh name with the given prefix ("prefix.0", "prefix.1"...).
+  std::string uniqueName(const std::string& prefix);
+
+  std::uint32_t numNodes() const;
+  std::uint32_t numTransistors() const;
+  const SignalDomain& domain() const;
+
+  /// Validates and produces the immutable network. The builder is consumed.
+  Network build();
+
+ private:
+  NodeId addNodeImpl(const std::string& name, Strength size, bool isInput);
+  TransId addDevice(TransistorType type, Strength strength, NodeId gate,
+                    NodeId source, NodeId drain,
+                    std::optional<State> goodConduction);
+
+  Network net_;
+  std::unordered_map<std::string, std::uint32_t> uniqueCounters_;
+  bool built_ = false;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,131 @@
+// Event-driven switch-level logic simulator for a single circuit — the
+// MOSSIM II equivalent that FMOSSIM builds on (paper §4).
+//
+// "Our switch-level algorithm computes the behavior of a circuit for each
+// change in network inputs by repeatedly computing the steady state response
+// of the network until a stable state is reached."
+//
+// The simulator keeps the node states and transistor conduction states of one
+// circuit, schedules perturbed nodes, grows vicinities around them, applies
+// the steady-state solver, and iterates in unit-delay phases until quiet.
+// Residual oscillation (beyond options.settleLimit phases) forces the still-
+// changing nodes to X, which is guaranteed to terminate.
+//
+// Fault forcing (used by the serial fault simulator and for debugging):
+//   * forceNode(n, s)       — n behaves as an input node stuck at s (§3)
+//   * forceTransistor(t, c) — t's conduction is fixed at c (stuck-open /
+//                             stuck-closed; also activates fault devices)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "switch/network.hpp"
+#include "switch/solver.hpp"
+#include "switch/vicinity.hpp"
+
+namespace fmossim {
+
+/// Outcome of one settle() call.
+struct SettleResult {
+  std::uint32_t phases = 0;
+  bool oscillated = false;
+};
+
+/// Tuning knobs shared by the simulation engines.
+struct SimOptions {
+  /// Unit-delay phases per settle before oscillation is declared and
+  /// X-coercion begins.
+  std::uint32_t settleLimit = 200;
+  /// Use static DC-connected partitions instead of dynamic vicinities
+  /// (MOSSIM-81 cost model; paper §4). Results are identical, work is not —
+  /// for the locality ablation benchmark.
+  bool staticPartitions = false;
+};
+
+/// Deterministic work counters; the benchmarks report these alongside
+/// wall-clock time so that the paper's shape claims are noise-free.
+struct SimCounters {
+  std::uint64_t settles = 0;
+  std::uint64_t phases = 0;
+  std::uint64_t oscillations = 0;
+  std::uint64_t transistorToggles = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t nodeEvals = 0;
+};
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Network& net, SimOptions options = {});
+
+  const Network& network() const { return net_; }
+
+  /// Sets an input node's state. Takes effect at the next settle(). Setting
+  /// a forced (stuck) input is ignored — the fault wins.
+  void setInput(NodeId n, State s);
+
+  /// Applies a batch of input assignments and settles.
+  SettleResult applyAssignments(
+      std::span<const std::pair<NodeId, State>> assignments);
+
+  /// Propagates all pending perturbations to a stable state.
+  SettleResult settle();
+
+  /// Forces a node to behave as an input node stuck at `s`.
+  void forceNode(NodeId n, State s);
+  /// Forces a transistor's conduction state (stuck-open: S0, stuck-closed:
+  /// S1). For fault devices this activates the faulty-circuit conduction.
+  void forceTransistor(TransId t, State conduction);
+  /// Removes all node/transistor forces and reschedules affected regions.
+  void clearForces();
+
+  State state(NodeId n) const { return states_[n.value]; }
+  State conduction(TransId t) const { return cond_[t.value]; }
+  bool isForcedNode(NodeId n) const { return forcedNode_[n.value] != kNoForce; }
+
+  /// Resets every node to X (forces are kept) and schedules a full
+  /// re-evaluation at the next settle().
+  void resetState();
+
+  const SimCounters& counters() const { return counters_; }
+  void resetCounters() {
+    counters_ = {};
+    solver_.resetCounters();
+  }
+
+ private:
+  friend struct LogicSimView;
+
+  State condOf(TransId t) const;
+  void seedStorage(NodeId n);
+  void seedChannelNeighbours(NodeId n);
+  void updateGatedTransistors(NodeId n);
+  void scheduleAllStorage();
+
+  static constexpr std::uint8_t kNoForce = 0xff;
+
+  const Network& net_;
+  SimOptions options_;
+
+  std::vector<State> states_;
+  std::vector<State> cond_;
+  std::vector<std::uint8_t> forcedNode_;
+  std::vector<std::uint8_t> forcedTrans_;
+
+  std::vector<NodeId> pendingSeeds_;
+  std::vector<std::uint32_t> seedStamp_;
+  std::uint32_t seedGen_ = 1;  // stamps start at 0, so 1 means "nothing seeded"
+
+  VicinityBuilder vicBuilder_;
+  SteadyStateSolver solver_;
+  Vicinity vic_;
+  std::vector<State> newStates_;
+  std::vector<std::pair<NodeId, State>> pendingChanges_;
+  std::vector<NodeId> takenSeeds_;
+
+  SimCounters counters_;
+};
+
+}  // namespace fmossim

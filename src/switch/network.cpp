@@ -1,0 +1,50 @@
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+NodeId Network::nodeByName(const std::string& name) const {
+  const auto it = byName_.find(name);
+  if (it == byName_.end()) {
+    throw Error("unknown node '" + name + "'");
+  }
+  return NodeId(it->second);
+}
+
+NodeId Network::findNode(const std::string& name) const {
+  const auto it = byName_.find(name);
+  return it == byName_.end() ? NodeId() : NodeId(it->second);
+}
+
+std::vector<NodeId> Network::allNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) out.push_back(NodeId(i));
+  return out;
+}
+
+std::vector<NodeId> Network::storageNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(numStorage());
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].isInput) out.push_back(NodeId(i));
+  }
+  return out;
+}
+
+std::vector<TransId> Network::allTransistors() const {
+  std::vector<TransId> out;
+  out.reserve(transistors_.size());
+  for (std::uint32_t i = 0; i < transistors_.size(); ++i) out.push_back(TransId(i));
+  return out;
+}
+
+std::vector<TransId> Network::functionalTransistors() const {
+  std::vector<TransId> out;
+  out.reserve(transistors_.size());
+  for (std::uint32_t i = 0; i < transistors_.size(); ++i) {
+    if (!transistors_[i].isFaultDevice()) out.push_back(TransId(i));
+  }
+  return out;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,144 @@
+// Switch-level network structure (paper §2).
+//
+// A network is a set of nodes connected by transistors. Nodes are either
+// *input* nodes (strong external sources: Vdd, Gnd, clocks, data inputs) or
+// *storage* nodes (hold charge; each has a discrete size). Transistors are
+// symmetric, bidirectional switches with a gate, two channel terminals, a
+// type (n/p/d), and a discrete strength.
+//
+// Networks also carry *fault devices*: extra transistors inserted at build
+// time to model short- and open-circuit faults (paper §3, after Lightner &
+// Hachtel). A fault device's conduction state is fixed per circuit rather
+// than derived from its gate: `goodConduction` in the fault-free circuit,
+// and the opposite in the faulty circuits that activate it.
+//
+// The Network is immutable once built (see NetworkBuilder); simulators keep
+// their dynamic state (node states, conduction states) separately.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "switch/signal.hpp"
+#include "util/error.hpp"
+
+namespace fmossim {
+
+/// Strongly-typed node handle (index into the network's node table).
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffff;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr bool operator==(NodeId a, NodeId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(NodeId a, NodeId b) { return a.value != b.value; }
+  friend constexpr bool operator<(NodeId a, NodeId b) { return a.value < b.value; }
+};
+
+/// Strongly-typed transistor handle.
+struct TransId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffff;
+
+  constexpr TransId() = default;
+  constexpr explicit TransId(std::uint32_t v) : value(v) {}
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr bool operator==(TransId a, TransId b) { return a.value == b.value; }
+  friend constexpr bool operator!=(TransId a, TransId b) { return a.value != b.value; }
+  friend constexpr bool operator<(TransId a, TransId b) { return a.value < b.value; }
+};
+
+class NetworkBuilder;
+
+/// Immutable switch-level network. Default-constructed networks are empty
+/// placeholders (useful as struct members assigned from NetworkBuilder::
+/// build()); every accessor on an empty network fails.
+class Network {
+ public:
+  Network() = default;
+  struct Node {
+    std::string name;
+    Strength size = 1;     ///< kappa level; meaningful for storage nodes
+    bool isInput = false;  ///< true for input (source) nodes
+    /// Transistors whose gate is this node.
+    std::vector<TransId> gateOf;
+    /// Transistors with a channel terminal (source or drain) on this node.
+    std::vector<TransId> channelOf;
+  };
+
+  struct Transistor {
+    TransistorType type = TransistorType::NType;
+    Strength strength = 0;  ///< gamma level in the unified order
+    NodeId gate;
+    NodeId source;
+    NodeId drain;
+    /// For fault devices: the conduction state in the fault-free circuit.
+    /// Normal transistors have no value here (conduction follows the gate).
+    std::optional<State> goodConduction;
+
+    bool isFaultDevice() const { return goodConduction.has_value(); }
+
+    /// The channel terminal opposite to `n` (n must be source or drain).
+    NodeId otherEnd(NodeId n) const {
+      FMOSSIM_ASSERT(n == source || n == drain,
+                     "otherEnd: node is not a channel terminal");
+      return n == source ? drain : source;
+    }
+  };
+
+  const SignalDomain& domain() const { return domain_; }
+
+  std::uint32_t numNodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  std::uint32_t numTransistors() const {
+    return static_cast<std::uint32_t>(transistors_.size());
+  }
+
+  const Node& node(NodeId id) const {
+    FMOSSIM_ASSERT(id.value < nodes_.size(), "node id out of range");
+    return nodes_[id.value];
+  }
+  const Transistor& transistor(TransId id) const {
+    FMOSSIM_ASSERT(id.value < transistors_.size(), "transistor id out of range");
+    return transistors_[id.value];
+  }
+
+  /// Looks a node up by name; throws Error if absent.
+  NodeId nodeByName(const std::string& name) const;
+
+  /// Looks a node up by name; returns an invalid id if absent.
+  NodeId findNode(const std::string& name) const;
+
+  bool isInput(NodeId id) const { return node(id).isInput; }
+
+  /// All node ids, in creation order.
+  std::vector<NodeId> allNodes() const;
+  /// All storage (non-input) node ids, in creation order.
+  std::vector<NodeId> storageNodes() const;
+  /// All transistor ids, in creation order. Includes fault devices.
+  std::vector<TransId> allTransistors() const;
+  /// Transistor ids excluding fault devices (the functional circuit).
+  std::vector<TransId> functionalTransistors() const;
+
+  std::uint32_t numInputs() const { return numInputs_; }
+  std::uint32_t numStorage() const { return numNodes() - numInputs_; }
+  std::uint32_t numFaultDevices() const { return numFaultDevices_; }
+
+ private:
+  friend class NetworkBuilder;
+
+  SignalDomain domain_;
+  std::vector<Node> nodes_;
+  std::vector<Transistor> transistors_;
+  std::unordered_map<std::string, std::uint32_t> byName_;
+  std::uint32_t numInputs_ = 0;
+  std::uint32_t numFaultDevices_ = 0;
+};
+
+}  // namespace fmossim

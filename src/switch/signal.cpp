@@ -1,0 +1,99 @@
+#include "switch/signal.hpp"
+
+#include <cctype>
+
+namespace fmossim {
+
+char stateChar(State s) {
+  switch (s) {
+    case State::S0: return '0';
+    case State::S1: return '1';
+    case State::SX: return 'X';
+  }
+  return '?';
+}
+
+State stateFromChar(char c) {
+  switch (c) {
+    case '0': return State::S0;
+    case '1': return State::S1;
+    case 'X':
+    case 'x': return State::SX;
+    default:
+      throw Error(std::string("invalid state character '") + c + "'");
+  }
+}
+
+State invertState(State s) {
+  switch (s) {
+    case State::S0: return State::S1;
+    case State::S1: return State::S0;
+    case State::SX: return State::SX;
+  }
+  return State::SX;
+}
+
+State mergeValues(State a, State b) {
+  return a == b ? a : State::SX;
+}
+
+State conductionState(TransistorType type, State gate) {
+  switch (type) {
+    case TransistorType::NType:
+      return gate;  // 0->0, 1->1, X->X
+    case TransistorType::PType:
+      return invertState(gate);  // 0->1, 1->0, X->X
+    case TransistorType::DType:
+      return State::S1;  // always conducting
+  }
+  return State::SX;
+}
+
+const char* transistorTypeName(TransistorType t) {
+  switch (t) {
+    case TransistorType::NType: return "n";
+    case TransistorType::PType: return "p";
+    case TransistorType::DType: return "d";
+  }
+  return "?";
+}
+
+TransistorType transistorTypeFromName(const std::string& name) {
+  if (name.size() == 1) {
+    switch (std::tolower(static_cast<unsigned char>(name[0]))) {
+      case 'n':
+      case 'e':  // classic esim spelling for enhancement nMOS
+        return TransistorType::NType;
+      case 'p': return TransistorType::PType;
+      case 'd': return TransistorType::DType;
+      default: break;
+    }
+  }
+  throw Error("invalid transistor type '" + name + "' (expected n, p, d, or e)");
+}
+
+SignalDomain::SignalDomain(unsigned numSizes, unsigned numStrengths)
+    : numSizes_(numSizes), numStrengths_(numStrengths) {
+  if (numSizes < 1 || numSizes > 8) {
+    throw Error("SignalDomain: numSizes must be in [1, 8]");
+  }
+  if (numStrengths < 1 || numStrengths > 8) {
+    throw Error("SignalDomain: numStrengths must be in [1, 8]");
+  }
+}
+
+Strength SignalDomain::sizeLevel(unsigned k) const {
+  if (k < 1 || k > numSizes_) {
+    throw Error("SignalDomain: node size out of range");
+  }
+  return static_cast<Strength>(k);
+}
+
+Strength SignalDomain::strengthLevel(unsigned g) const {
+  if (g < 1 || g > numStrengths_) {
+    throw Error("SignalDomain: transistor strength out of range");
+  }
+  return static_cast<Strength>(numSizes_ + g);
+}
+
+}  // namespace fmossim

@@ -1,0 +1,132 @@
+// Ternary signal algebra of the switch-level model (paper §2, Table 1).
+//
+// A node carries a *state* in {0, 1, X}; X is an indeterminate voltage from
+// an uninitialized node, a short circuit, or improper charge sharing.
+// Transistors are N-, P-, or D-type switches whose conduction state is a
+// function of their gate node state (Table 1 of the paper).
+//
+// Signal *strengths* form one total order
+//     lambda < kappa_1 < ... < kappa_K < gamma_1 < ... < gamma_G < omega
+// where kappa levels are storage-node sizes (charge), gamma levels are
+// transistor strengths (drive), and omega is the strength of an input node.
+// The SignalDomain value type describes a network's strength configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace fmossim {
+
+/// Node / signal state. The numeric values are chosen so arrays can be
+/// indexed by state.
+enum class State : std::uint8_t {
+  S0 = 0,  ///< driven or stored low
+  S1 = 1,  ///< driven or stored high
+  SX = 2,  ///< indeterminate
+};
+
+/// Transistor device type (paper §2).
+enum class TransistorType : std::uint8_t {
+  NType = 0,  ///< n-channel enhancement: conducts when gate is 1
+  PType = 1,  ///< p-channel enhancement: conducts when gate is 0
+  DType = 2,  ///< depletion mode: always conducts (nMOS pull-up load)
+};
+
+/// Single-character display form: '0', '1', 'X'.
+char stateChar(State s);
+
+/// Parses '0' / '1' / 'X' (or 'x'); throws Error otherwise.
+State stateFromChar(char c);
+
+/// Ternary inversion: 0 -> 1, 1 -> 0, X -> X.
+State invertState(State s);
+
+/// True for 0 and 1; false for X.
+inline bool isDefinite(State s) { return s != State::SX; }
+
+/// Ternary least upper bound in the information order used when two signal
+/// values merge at equal strength: equal values keep the value, differing
+/// values (or any X) give X.
+State mergeValues(State a, State b);
+
+/// Conduction state of a transistor given its gate node state — exactly
+/// Table 1 of the paper:
+///
+///   gate | n-type  p-type  d-type
+///   -----+----------------------
+///    0   |   0       1       1
+///    1   |   1       0       1
+///    X   |   X       X       1
+///
+/// The result is itself a State: 0 = open, 1 = closed, X = unknown.
+State conductionState(TransistorType type, State gate);
+
+/// Display names "n", "p", "d".
+const char* transistorTypeName(TransistorType t);
+
+/// Parses "n"/"p"/"d" (case-insensitive, also accepts classic "e" for
+/// enhancement nMOS); throws Error otherwise.
+TransistorType transistorTypeFromName(const std::string& name);
+
+/// Strength level in the unified order; 0 is the null signal lambda.
+using Strength = std::uint8_t;
+
+/// Describes the strength configuration of a network: K node sizes and
+/// G transistor strengths (paper §2: "most circuits can be modeled with just
+/// two node sizes" and "most nMOS circuits require only two strengths").
+///
+/// Level layout:   lambda = 0
+///                 sizes:      1 .. K
+///                 strengths:  K+1 .. K+G
+///                 omega:      K+G+1
+class SignalDomain {
+ public:
+  /// Constructs a domain with the given number of node sizes and transistor
+  /// strengths; both must be in [1, 8] which is far beyond any practical
+  /// circuit's needs.
+  SignalDomain(unsigned numSizes, unsigned numStrengths);
+
+  /// Default domain: two node sizes, three transistor strengths (weak
+  /// pull-up loads, regular devices, and a reserved "very high" strength for
+  /// fault transistors per paper §3).
+  SignalDomain() : SignalDomain(2, 3) {}
+
+  unsigned numSizes() const { return numSizes_; }
+  unsigned numStrengths() const { return numStrengths_; }
+
+  /// Strength level of node size k (1-based, k in [1, numSizes]).
+  Strength sizeLevel(unsigned k) const;
+
+  /// Strength level of transistor strength g (1-based, g in [1, numStrengths]).
+  Strength strengthLevel(unsigned g) const;
+
+  /// Strength of an input node's signal (stronger than everything else).
+  Strength omega() const {
+    return static_cast<Strength>(numSizes_ + numStrengths_ + 1);
+  }
+
+  /// Total number of distinct levels including lambda and omega.
+  unsigned numLevels() const { return numSizes_ + numStrengths_ + 2; }
+
+  bool isSizeLevel(Strength s) const { return s >= 1 && s <= numSizes_; }
+  bool isStrengthLevel(Strength s) const {
+    return s > numSizes_ && s <= numSizes_ + numStrengths_;
+  }
+
+  /// The strongest transistor strength; reserved by convention for fault
+  /// transistors modeling shorts and opens ("a transistor of very high
+  /// strength", paper §3).
+  Strength faultDeviceLevel() const { return strengthLevel(numStrengths_); }
+
+  bool operator==(const SignalDomain& o) const {
+    return numSizes_ == o.numSizes_ && numStrengths_ == o.numStrengths_;
+  }
+
+ private:
+  unsigned numSizes_;
+  unsigned numStrengths_;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,127 @@
+#include "switch/solver.hpp"
+
+#include <algorithm>
+
+namespace fmossim {
+
+SteadyStateSolver::SteadyStateSolver(const SignalDomain& domain)
+    : numLevels_(domain.numLevels()), buckets_(numLevels_) {}
+
+void SteadyStateSolver::buildAdjacency(const Vicinity& vic) {
+  const auto m = static_cast<std::uint32_t>(vic.size());
+  arcOffset_.assign(m + 1, 0);
+  for (const auto& e : vic.edges) {
+    ++arcOffset_[e.a + 1];
+    ++arcOffset_[e.b + 1];
+  }
+  for (std::uint32_t i = 0; i < m; ++i) arcOffset_[i + 1] += arcOffset_[i];
+  arcs_.resize(arcOffset_[m]);
+  // Temporary cursors; reuse a copy of the offsets.
+  std::vector<std::uint32_t> cursor(arcOffset_.begin(), arcOffset_.end() - 1);
+  for (const auto& e : vic.edges) {
+    arcs_[cursor[e.a]++] = {e.b, e.strength, e.definite};
+    arcs_[cursor[e.b]++] = {e.a, e.strength, e.definite};
+  }
+}
+
+void SteadyStateSolver::bucketPush(std::uint32_t node, Strength level) {
+  buckets_[level].push_back(node);
+}
+
+void SteadyStateSolver::relaxDefinite(const Vicinity& vic) {
+  const auto m = static_cast<std::uint32_t>(vic.size());
+  def_.assign(m, 0);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    def_[i] = vic.memberSize[i];  // own charge is always a definite source
+    bucketPush(i, def_[i]);
+  }
+  for (const auto& ie : vic.inputEdges) {
+    if (!ie.definite) continue;
+    if (ie.strength > def_[ie.member]) {
+      def_[ie.member] = ie.strength;
+      bucketPush(ie.member, ie.strength);
+    }
+  }
+  for (unsigned level = numLevels_; level-- > 0;) {
+    auto& bucket = buckets_[level];
+    while (!bucket.empty()) {
+      const std::uint32_t i = bucket.back();
+      bucket.pop_back();
+      if (def_[i] != level) continue;  // stale entry
+      for (std::uint32_t a = arcOffset_[i]; a < arcOffset_[i + 1]; ++a) {
+        const Arc& arc = arcs_[a];
+        if (!arc.definite) continue;
+        const Strength nd = std::min<Strength>(def_[i], arc.strength);
+        if (nd > def_[arc.to]) {
+          def_[arc.to] = nd;
+          bucketPush(arc.to, nd);
+        }
+      }
+    }
+  }
+}
+
+void SteadyStateSolver::relaxValue(const Vicinity& vic, bool wantHigh,
+                                   std::vector<Strength>& field) {
+  const auto m = static_cast<std::uint32_t>(vic.size());
+  field.assign(m, 0);
+  const auto matches = [wantHigh](State v) {
+    return v == State::SX || v == (wantHigh ? State::S1 : State::S0);
+  };
+  // Charge sources: a member's own charge contributes unless a strictly
+  // stronger definite signal overrides it.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    if (!matches(vic.memberCharge[i])) continue;
+    if (vic.memberSize[i] >= def_[i] && vic.memberSize[i] > field[i]) {
+      field[i] = vic.memberSize[i];
+      bucketPush(i, field[i]);
+    }
+  }
+  // Input sources, attenuated by the connecting transistor; blocked if the
+  // member's definite strength exceeds what arrives.
+  for (const auto& ie : vic.inputEdges) {
+    if (!matches(ie.value)) continue;
+    if (ie.strength >= def_[ie.member] && ie.strength > field[ie.member]) {
+      field[ie.member] = ie.strength;
+      bucketPush(ie.member, ie.strength);
+    }
+  }
+  for (unsigned level = numLevels_; level-- > 0;) {
+    auto& bucket = buckets_[level];
+    while (!bucket.empty()) {
+      const std::uint32_t i = bucket.back();
+      bucket.pop_back();
+      if (field[i] != level) continue;  // stale entry
+      for (std::uint32_t a = arcOffset_[i]; a < arcOffset_[i + 1]; ++a) {
+        const Arc& arc = arcs_[a];
+        const Strength nd = std::min<Strength>(field[i], arc.strength);
+        if (nd >= def_[arc.to] && nd > field[arc.to]) {
+          field[arc.to] = nd;
+          bucketPush(arc.to, nd);
+        }
+      }
+    }
+  }
+}
+
+void SteadyStateSolver::solve(const Vicinity& vic, std::vector<State>& out) {
+  const auto m = static_cast<std::uint32_t>(vic.size());
+  out.resize(m);
+  if (m == 0) return;
+  ++solves_;
+  nodeEvals_ += m;
+
+  buildAdjacency(vic);
+  relaxDefinite(vic);
+  relaxValue(vic, /*wantHigh=*/true, hstr_);
+  relaxValue(vic, /*wantHigh=*/false, lstr_);
+
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const bool h = hstr_[i] > 0;
+    const bool l = lstr_[i] > 0;
+    FMOSSIM_ASSERT(h || l, "steady state: node with no possible signal");
+    out[i] = h ? (l ? State::SX : State::S1) : State::S0;
+  }
+}
+
+}  // namespace fmossim

@@ -1,0 +1,20 @@
+#include "switch/vicinity.hpp"
+
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+std::string describeVicinity(const Network& net, const Vicinity& vic) {
+  std::string out = format("vicinity of %zu node(s):", vic.size());
+  for (std::size_t i = 0; i < vic.size(); ++i) {
+    out += ' ';
+    out += net.node(vic.members[i]).name;
+    out += '=';
+    out += stateChar(vic.memberCharge[i]);
+  }
+  out += format(" | %zu edge(s), %zu input edge(s)", vic.edges.size(),
+                vic.inputEdges.size());
+  return out;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,227 @@
+// Vicinity computation — the dynamic locality of paper §4.
+//
+// "The vicinity of a node consists of the set of all storage nodes connected
+// by paths of conducting transistors that do not pass through input nodes."
+// Vicinities are the "logic elements" of a switch-level simulator; their
+// boundaries depend on the current network state, which is why FMOSSIM had to
+// re-engineer the concurrent algorithm (the boundaries differ between the
+// good and faulty circuits).
+//
+// The vicinity builder is parameterized over a CircuitView so the same code
+// serves the good circuit, a faulty-circuit overlay, and the serial
+// simulator's forced-fault view.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// Read-only view of one circuit's dynamic state. nodeState/conduction must
+/// be consistent with each other (conduction is a function of gate states
+/// plus per-circuit forcing); isInputNode must include per-circuit stuck
+/// nodes, which behave as input nodes in that circuit (paper §3).
+template <typename V>
+concept CircuitView = requires(const V& v, NodeId n, TransId t) {
+  { v.nodeState(n) } -> std::convertible_to<State>;
+  { v.conduction(t) } -> std::convertible_to<State>;
+  { v.isInputNode(n) } -> std::convertible_to<bool>;
+};
+
+/// One vicinity, in the dense representation consumed by the solver.
+/// Members are storage nodes (never input-like); edges connect members
+/// through conducting transistors; input edges tie members to the boundary
+/// input nodes that drive the region.
+struct Vicinity {
+  struct Edge {
+    std::uint32_t a;      ///< dense member index
+    std::uint32_t b;      ///< dense member index
+    Strength strength;    ///< gamma level of the connecting transistor
+    bool definite;        ///< true if conduction is 1, false if X
+  };
+  struct InputEdge {
+    std::uint32_t member;  ///< dense member index
+    Strength strength;     ///< gamma level of the connecting transistor
+    bool definite;         ///< true if conduction is 1, false if X
+    State value;           ///< state of the input node
+  };
+
+  std::vector<NodeId> members;
+  std::vector<Strength> memberSize;   ///< kappa level per member
+  std::vector<State> memberCharge;    ///< current state per member
+  std::vector<Edge> edges;
+  std::vector<InputEdge> inputEdges;
+
+  void clear() {
+    members.clear();
+    memberSize.clear();
+    memberCharge.clear();
+    edges.clear();
+    inputEdges.clear();
+  }
+  std::size_t size() const { return members.size(); }
+};
+
+/// Human-readable one-line description (debugging aid).
+std::string describeVicinity(const Network& net, const Vicinity& vic);
+
+/// Reusable scratch for vicinity construction. A single builder instance is
+/// meant to be reused across many grow() calls; epoch stamping makes resets
+/// O(1).
+class VicinityBuilder {
+ public:
+  explicit VicinityBuilder(const Network& net);
+
+  /// Starts a new "claim generation": nodes claimed by vicinities grown since
+  /// the last newGeneration() are skipped as seeds (a phase evaluates every
+  /// vicinity at most once).
+  void newGeneration();
+
+  /// True if the node was already absorbed into a vicinity grown in the
+  /// current generation.
+  bool claimed(NodeId n) const { return nodeEpoch_[n.value] == epoch_; }
+
+  /// Grows the vicinity around `seed` under the given view. Returns false
+  /// (and leaves `out` empty) if the seed is already claimed in this
+  /// generation or contributes no members (e.g. an isolated input node).
+  ///
+  /// If the seed is input-like in the view, its conducting channel
+  /// neighbours become the starting members ("perturbed ... if it is
+  /// connected by a conducting transistor to an input node that has changed
+  /// state", paper §4).
+  template <CircuitView V>
+  bool grow(const V& view, NodeId seed, Vicinity& out);
+
+  /// Static-locality variant: grows through *all* transistors regardless of
+  /// conduction state, i.e. the DC-connected component of the seed. Off
+  /// transistors contribute no edges (no electrical effect) but their far
+  /// ends still become members, reproducing the cost model of the earlier
+  /// simulators that "exploited only the static locality in the network"
+  /// (paper §4, contrasting MOSSIM-81). Used by the locality ablation.
+  template <CircuitView V>
+  bool growStatic(const V& view, NodeId seed, Vicinity& out);
+
+ private:
+  template <CircuitView V>
+  void expand(const V& view, Vicinity& out, bool staticPartition);
+
+  std::uint32_t claim(NodeId n, Vicinity& out, Strength size, State charge);
+
+  const Network& net_;
+  std::vector<std::uint32_t> nodeEpoch_;   // node -> last claiming epoch
+  std::vector<std::uint32_t> denseIndex_;  // valid when nodeEpoch matches
+  std::vector<std::uint32_t> transEpoch_;  // transistor visited stamp
+  std::vector<std::uint32_t> queue_;       // BFS worklist of dense indices
+  std::uint32_t epoch_ = 0;
+  std::uint32_t transGen_ = 0;
+};
+
+// --- implementation -------------------------------------------------------
+
+inline VicinityBuilder::VicinityBuilder(const Network& net)
+    : net_(net),
+      nodeEpoch_(net.numNodes(), 0),
+      denseIndex_(net.numNodes(), 0),
+      transEpoch_(net.numTransistors(), 0) {}
+
+inline void VicinityBuilder::newGeneration() { ++epoch_; }
+
+inline std::uint32_t VicinityBuilder::claim(NodeId n, Vicinity& out,
+                                            Strength size, State charge) {
+  const auto dense = static_cast<std::uint32_t>(out.members.size());
+  nodeEpoch_[n.value] = epoch_;
+  denseIndex_[n.value] = dense;
+  out.members.push_back(n);
+  out.memberSize.push_back(size);
+  out.memberCharge.push_back(charge);
+  return dense;
+}
+
+template <CircuitView V>
+bool VicinityBuilder::grow(const V& view, NodeId seed, Vicinity& out) {
+  out.clear();
+  queue_.clear();
+  ++transGen_;
+
+  if (view.isInputNode(seed)) {
+    // Expand an input-like seed to its conducting channel neighbours.
+    for (const TransId t : net_.node(seed).channelOf) {
+      if (view.conduction(t) == State::S0) continue;
+      const NodeId m = net_.transistor(t).otherEnd(seed);
+      if (view.isInputNode(m) || claimed(m)) continue;
+      const auto dense =
+          claim(m, out, net_.node(m).size, view.nodeState(m));
+      queue_.push_back(dense);
+    }
+    if (out.members.empty()) return false;
+  } else {
+    if (claimed(seed)) return false;
+    queue_.push_back(claim(seed, out, net_.node(seed).size, view.nodeState(seed)));
+  }
+
+  expand(view, out, /*staticPartition=*/false);
+  return true;
+}
+
+template <CircuitView V>
+bool VicinityBuilder::growStatic(const V& view, NodeId seed, Vicinity& out) {
+  out.clear();
+  queue_.clear();
+  ++transGen_;
+
+  if (view.isInputNode(seed)) {
+    for (const TransId t : net_.node(seed).channelOf) {
+      const NodeId m = net_.transistor(t).otherEnd(seed);
+      if (view.isInputNode(m) || claimed(m)) continue;
+      const auto dense = claim(m, out, net_.node(m).size, view.nodeState(m));
+      queue_.push_back(dense);
+    }
+    if (out.members.empty()) return false;
+  } else {
+    if (claimed(seed)) return false;
+    queue_.push_back(claim(seed, out, net_.node(seed).size, view.nodeState(seed)));
+  }
+
+  expand(view, out, /*staticPartition=*/true);
+  return true;
+}
+
+template <CircuitView V>
+void VicinityBuilder::expand(const V& view, Vicinity& out, bool staticPartition) {
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const std::uint32_t dense = queue_[head++];
+    const NodeId n = out.members[dense];
+    for (const TransId tid : net_.node(n).channelOf) {
+      if (transEpoch_[tid.value] == transGen_) continue;  // already handled
+      transEpoch_[tid.value] = transGen_;
+      const State c = view.conduction(tid);
+      if (c == State::S0 && !staticPartition) continue;
+      const auto& t = net_.transistor(tid);
+      const NodeId m = t.otherEnd(n);
+      const bool definite = (c == State::S1);
+      if (view.isInputNode(m)) {
+        if (c != State::S0) {
+          out.inputEdges.push_back(
+              {dense, t.strength, definite, view.nodeState(m)});
+        }
+        continue;
+      }
+      std::uint32_t mDense;
+      if (claimed(m)) {
+        mDense = denseIndex_[m.value];
+      } else {
+        mDense = claim(m, out, net_.node(m).size, view.nodeState(m));
+        queue_.push_back(mDense);
+      }
+      if (c != State::S0) {
+        out.edges.push_back({dense, mDense, t.strength, definite});
+      }
+    }
+  }
+}
+
+}  // namespace fmossim

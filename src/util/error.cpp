@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fmossim::detail {
+
+void assertFailed(const char* expr, const char* file, int line,
+                  const char* msg) {
+  std::fprintf(stderr, "fmossim assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg);
+  std::abort();
+}
+
+}  // namespace fmossim::detail

@@ -1,0 +1,25 @@
+// Wall-clock timing used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace fmossim {
+
+/// Monotonic stopwatch; seconds() reports elapsed time since construction or
+/// the last reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fmossim

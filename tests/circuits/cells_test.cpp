@@ -1,0 +1,182 @@
+// Cell library: truth tables for every generator, transistor-count
+// invariants, and X behaviour of composed gates.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+
+char evalUnary(bool cmos, const char* which, char in) {
+  NetworkBuilder b;
+  const NodeId inN = b.addInput("in");
+  if (cmos) {
+    CmosCells cells(b);
+    if (std::string(which) == "inv") cells.inverter(inN, "out");
+    else cells.buffer(inN, "out");
+  } else {
+    NmosCells cells(b);
+    if (std::string(which) == "inv") cells.inverter(inN, "out");
+    else cells.buffer(inN, "out");
+  }
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", in}});
+  return testing::read(sim, "out");
+}
+
+TEST(CellsTest, Buffers) {
+  for (const bool cmos : {false, true}) {
+    EXPECT_EQ(evalUnary(cmos, "buf", '0'), '0');
+    EXPECT_EQ(evalUnary(cmos, "buf", '1'), '1');
+    EXPECT_EQ(evalUnary(cmos, "buf", 'X'), 'X');
+    EXPECT_EQ(evalUnary(cmos, "inv", '0'), '1');
+    EXPECT_EQ(evalUnary(cmos, "inv", '1'), '0');
+  }
+}
+
+char evalBinary(const char* which, char a, char b) {
+  NetworkBuilder bld;
+  CmosCells cells(bld);
+  const NodeId an = bld.addInput("a");
+  const NodeId bn = bld.addInput("b");
+  const std::string w(which);
+  if (w == "and") cells.andGate({an, bn}, "out");
+  else if (w == "or") cells.orGate({an, bn}, "out");
+  else if (w == "xor") cells.xorGate(an, bn, "out");
+  else if (w == "xnor") cells.xnorGate(an, bn, "out");
+  const Network net = bld.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"a", a}, {"b", b}});
+  return testing::read(sim, "out");
+}
+
+TEST(CellsTest, AndOrTruthTables) {
+  EXPECT_EQ(evalBinary("and", '0', '0'), '0');
+  EXPECT_EQ(evalBinary("and", '0', '1'), '0');
+  EXPECT_EQ(evalBinary("and", '1', '0'), '0');
+  EXPECT_EQ(evalBinary("and", '1', '1'), '1');
+  EXPECT_EQ(evalBinary("and", 'X', '0'), '0');  // controlling value
+  EXPECT_EQ(evalBinary("and", 'X', '1'), 'X');
+  EXPECT_EQ(evalBinary("or", '0', '0'), '0');
+  EXPECT_EQ(evalBinary("or", '0', '1'), '1');
+  EXPECT_EQ(evalBinary("or", '1', '0'), '1');
+  EXPECT_EQ(evalBinary("or", '1', '1'), '1');
+  EXPECT_EQ(evalBinary("or", 'X', '1'), '1');  // controlling value
+  EXPECT_EQ(evalBinary("or", 'X', '0'), 'X');
+}
+
+TEST(CellsTest, XorXnorTruthTables) {
+  EXPECT_EQ(evalBinary("xor", '0', '0'), '0');
+  EXPECT_EQ(evalBinary("xor", '0', '1'), '1');
+  EXPECT_EQ(evalBinary("xor", '1', '0'), '1');
+  EXPECT_EQ(evalBinary("xor", '1', '1'), '0');
+  EXPECT_EQ(evalBinary("xor", 'X', '1'), 'X');
+  EXPECT_EQ(evalBinary("xnor", '0', '0'), '1');
+  EXPECT_EQ(evalBinary("xnor", '0', '1'), '0');
+  EXPECT_EQ(evalBinary("xnor", '1', '0'), '0');
+  EXPECT_EQ(evalBinary("xnor", '1', '1'), '1');
+}
+
+TEST(CellsTest, WideGates) {
+  for (const unsigned width : {3u, 4u, 5u}) {
+    NetworkBuilder bld;
+    CmosCells cells(bld);
+    std::vector<NodeId> ins;
+    for (unsigned i = 0; i < width; ++i) {
+      ins.push_back(bld.addInput("i" + std::to_string(i)));
+    }
+    cells.nand(ins, "nandOut");
+    cells.nor(ins, "norOut");
+    const Network net = bld.build();
+    LogicSimulator sim(net);
+    driveRails(sim);
+    // All ones: NAND=0, NOR=0.
+    std::vector<std::pair<std::string, char>> assign;
+    for (unsigned i = 0; i < width; ++i) assign.push_back({"i" + std::to_string(i), '1'});
+    driveAll(sim, assign);
+    EXPECT_NODE(sim, "nandOut", '0');
+    EXPECT_NODE(sim, "norOut", '0');
+    // One zero: NAND=1; all zero: NOR=1.
+    driveAll(sim, {{"i0", '0'}});
+    EXPECT_NODE(sim, "nandOut", '1');
+    for (unsigned i = 1; i < width; ++i) {
+      driveAll(sim, {{"i" + std::to_string(i), '0'}});
+    }
+    EXPECT_NODE(sim, "norOut", '1');
+  }
+}
+
+TEST(CellsTest, NmosGateTransistorCounts) {
+  // NOR(k) = k pull-downs + 1 load; NAND(k) = k series + 1 load;
+  // INV = 2; BUF = 4.
+  for (const unsigned k : {1u, 2u, 3u, 4u}) {
+    NetworkBuilder bld;
+    NmosCells cells(bld);
+    std::vector<NodeId> ins;
+    for (unsigned i = 0; i < k; ++i) ins.push_back(bld.addInput("i" + std::to_string(i)));
+    const auto before = bld.numTransistors();
+    cells.nor(ins, "nor");
+    EXPECT_EQ(bld.numTransistors() - before, k + 1);
+    const auto afterNor = bld.numTransistors();
+    cells.nand(ins, "nand");
+    EXPECT_EQ(bld.numTransistors() - afterNor, k + 1);
+  }
+}
+
+TEST(CellsTest, CmosGateTransistorCounts) {
+  for (const unsigned k : {1u, 2u, 3u}) {
+    NetworkBuilder bld;
+    CmosCells cells(bld);
+    std::vector<NodeId> ins;
+    for (unsigned i = 0; i < k; ++i) ins.push_back(bld.addInput("i" + std::to_string(i)));
+    const auto before = bld.numTransistors();
+    cells.nand(ins, "nand");
+    EXPECT_EQ(bld.numTransistors() - before, 2 * k);
+    const auto afterNand = bld.numTransistors();
+    cells.nor(ins, "nor");
+    EXPECT_EQ(bld.numTransistors() - afterNand, 2 * k);
+  }
+}
+
+TEST(CellsTest, SuppliesAreSharedAcrossCellInstances) {
+  NetworkBuilder b;
+  NmosCells n1(b);
+  CmosCells c1(b);
+  EXPECT_TRUE(b.hasNode("Vdd"));
+  EXPECT_TRUE(b.hasNode("Gnd"));
+  const NodeId in = b.addInput("in");
+  n1.inverter(in, "o1");
+  c1.inverter(in, "o2");
+  const Network net = b.build();
+  // Exactly one Vdd and one Gnd.
+  EXPECT_EQ(net.numInputs(), 3u);
+}
+
+TEST(CellsTest, NmosLatchedInverterPair) {
+  // dynamicLatch + inverter = the RAM column latch structure of paper §5.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId clk = b.addInput("clk");
+  const NodeId l = cells.dynamicLatch(d, clk, "l");
+  cells.inverter(l, "lb");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"clk", '1'}, {"d", '0'}});
+  driveAll(sim, {{"clk", '0'}, {"d", '1'}});
+  EXPECT_NODE(sim, "l", '0');
+  EXPECT_NODE(sim, "lb", '1');
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,131 @@
+// Demo circuits: shift register shifting, precharged bus behaviour and its
+// declared short/open fault devices.
+#include "circuits/demo_circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/logic_sim.hpp"
+
+namespace fmossim {
+namespace {
+
+void clockCycle(LogicSimulator& sim, const ShiftRegister& sr, State bit) {
+  const auto set = [&](NodeId n, State s) {
+    sim.setInput(n, s);
+    sim.settle();
+  };
+  set(sr.din, bit);
+  set(sr.phi1, State::S1);
+  set(sr.phi1, State::S0);
+  set(sr.phi2, State::S1);
+  set(sr.phi2, State::S0);
+}
+
+TEST(ShiftRegisterTest, ShiftsAPatternThrough) {
+  const ShiftRegister sr = buildShiftRegister(4);
+  LogicSimulator sim(sr.net);
+  sim.setInput(sr.vdd, State::S1);
+  sim.setInput(sr.gnd, State::S0);
+  sim.setInput(sr.phi1, State::S0);
+  sim.setInput(sr.phi2, State::S0);
+  sim.settle();
+
+  const State bits[] = {State::S1, State::S0, State::S1, State::S1,
+                        State::S0, State::S0, State::S1, State::S0};
+  // After k cycles, q[j] holds bits[k-1-j].
+  for (unsigned k = 0; k < 8; ++k) {
+    clockCycle(sim, sr, bits[k]);
+    for (unsigned j = 0; j < sr.stages && j <= k; ++j) {
+      EXPECT_EQ(sim.state(sr.q[j]), bits[k - j]) << "cycle " << k << " q" << j;
+    }
+  }
+}
+
+TEST(ShiftRegisterTest, HoldsWithClocksLow) {
+  const ShiftRegister sr = buildShiftRegister(2);
+  LogicSimulator sim(sr.net);
+  sim.setInput(sr.vdd, State::S1);
+  sim.setInput(sr.gnd, State::S0);
+  sim.setInput(sr.phi1, State::S0);
+  sim.setInput(sr.phi2, State::S0);
+  sim.settle();
+  clockCycle(sim, sr, State::S1);
+  const State q0 = sim.state(sr.q[0]);
+  // Wiggle the input without clocking: nothing may move.
+  for (const State s : {State::S0, State::S1, State::S0}) {
+    sim.setInput(sr.din, s);
+    sim.settle();
+    EXPECT_EQ(sim.state(sr.q[0]), q0);
+  }
+}
+
+TEST(ShiftRegisterTest, RejectsZeroStages) {
+  EXPECT_THROW(buildShiftRegister(0), Error);
+}
+
+struct BusFixture {
+  PrechargedBus bus = buildPrechargedBus(4);
+  LogicSimulator sim{bus.net};
+
+  BusFixture() {
+    sim.setInput(bus.vdd, State::S1);
+    sim.setInput(bus.gnd, State::S0);
+    sim.setInput(bus.phiP, State::S0);
+    for (unsigned i = 0; i < bus.sources; ++i) {
+      sim.setInput(bus.enable[i], State::S0);
+      sim.setInput(bus.data[i], State::S0);
+    }
+    sim.settle();
+  }
+
+  void precharge() {
+    sim.setInput(bus.phiP, State::S1);
+    sim.settle();
+    sim.setInput(bus.phiP, State::S0);
+    sim.settle();
+  }
+  void drive(unsigned i, State en, State d) {
+    sim.setInput(bus.enable[i], en);
+    sim.setInput(bus.data[i], d);
+    sim.settle();
+  }
+};
+
+TEST(PrechargedBusTest2, PrechargeAndSelectiveDischarge) {
+  BusFixture f;
+  f.precharge();
+  EXPECT_EQ(f.sim.state(f.bus.busA), State::S1);
+  EXPECT_EQ(f.sim.state(f.bus.busB), State::S1);  // open device conducts (good)
+  EXPECT_EQ(f.sim.state(f.bus.sense), State::S0);
+  // Source 3 (on the B half) discharges the whole bus.
+  f.drive(3, State::S1, State::S1);
+  EXPECT_EQ(f.sim.state(f.bus.busA), State::S0);
+  EXPECT_EQ(f.sim.state(f.bus.busB), State::S0);
+  EXPECT_EQ(f.sim.state(f.bus.sense), State::S1);
+}
+
+TEST(PrechargedBusTest2, OpenFaultSplitsTheBus) {
+  BusFixture f;
+  f.sim.forceTransistor(f.bus.openDevice, State::S0);  // break the wire
+  f.sim.settle();
+  f.precharge();
+  // Only busA is precharged now; busB floats at its old value (X initially).
+  EXPECT_EQ(f.sim.state(f.bus.busA), State::S1);
+  // Discharge through a source on the A half: busB must not follow.
+  f.drive(0, State::S1, State::S1);
+  EXPECT_EQ(f.sim.state(f.bus.busA), State::S0);
+  EXPECT_NE(f.sim.state(f.bus.busB), State::S0);
+}
+
+TEST(PrechargedBusTest2, ShortFaultFightsTheEnableLine) {
+  BusFixture f;
+  f.sim.forceTransistor(f.bus.shortDevice, State::S1);  // bus shorted to en0
+  f.sim.settle();
+  f.precharge();
+  // en0 is driven 0 (an input node, omega strength): the short drags the
+  // whole bus low despite the precharge having left it high.
+  EXPECT_EQ(f.sim.state(f.bus.busA), State::S0);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,201 @@
+// Functional tests of the DRAM generator: write/read correctness on every
+// cell, retention, read-modify-write refresh, structure statistics close to
+// the paper's circuits.
+#include "circuits/ram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/marching.hpp"
+#include "patterns/ram_ops.hpp"
+#include "switch/logic_sim.hpp"
+
+namespace fmossim {
+namespace {
+
+// Runs one RAM op on a LogicSimulator and returns dout after the cycle.
+State runOp(LogicSimulator& sim, const RamCircuit& ram, const RamOp& op) {
+  const Pattern p = ramOpPattern(ram, op);
+  for (const InputSetting& s : p.settings) {
+    sim.applyAssignments(s.span());
+  }
+  return sim.state(ram.dout);
+}
+
+TEST(RamStructureTest, CountsAreCloseToThePaper) {
+  // Paper: RAM64 has 378 transistors / 229 nodes; RAM256 has 1148 / 695.
+  // Our generator is the same style of circuit; counts must land in the
+  // same range (within ~40%).
+  const RamCircuit r64 = buildRam(ram64Config());
+  EXPECT_GT(r64.net.numTransistors(), 300u);
+  EXPECT_LT(r64.net.numTransistors(), 560u);
+  EXPECT_GT(r64.net.numNodes(), 180u);
+  EXPECT_LT(r64.net.numNodes(), 320u);
+
+  const RamCircuit r256 = buildRam(ram256Config());
+  EXPECT_GT(r256.net.numTransistors(), 950u);
+  EXPECT_LT(r256.net.numTransistors(), 1650u);
+  EXPECT_GT(r256.net.numNodes(), 550u);
+  EXPECT_LT(r256.net.numNodes(), 950u);
+
+  // Scaling factor between the two, as in the paper's setup.
+  EXPECT_NEAR(double(r256.net.numTransistors()) / r64.net.numTransistors(),
+              3.0, 0.6);
+}
+
+TEST(RamStructureTest, RejectsNonPowerOfTwoGeometry) {
+  EXPECT_THROW(buildRam(RamConfig{6, 8}), Error);
+  EXPECT_THROW(buildRam(RamConfig{8, 5}), Error);
+  EXPECT_THROW(buildRam(RamConfig{1, 8}), Error);
+}
+
+TEST(RamStructureTest, BitLineShortDevicesPresent) {
+  const RamCircuit ram = buildRam(ram64Config());
+  // C-1 adjacent pairs for read and for write bit lines.
+  EXPECT_EQ(ram.bitLineShorts.size(), 2u * (ram.config.cols - 1));
+  for (const TransId t : ram.bitLineShorts) {
+    EXPECT_TRUE(ram.net.transistor(t).isFaultDevice());
+  }
+  RamConfig noShorts = ram64Config();
+  noShorts.withBitLineShorts = false;
+  const RamCircuit ram2 = buildRam(noShorts);
+  EXPECT_TRUE(ram2.bitLineShorts.empty());
+  EXPECT_EQ(ram2.net.numFaultDevices(), 0u);
+}
+
+TEST(RamFunctionalTest, WriteThenReadBack) {
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  runOp(sim, ram, RamOp::writeOp(13, State::S1));
+  EXPECT_EQ(runOp(sim, ram, RamOp::readOp(13)), State::S1);
+  runOp(sim, ram, RamOp::writeOp(13, State::S0));
+  EXPECT_EQ(runOp(sim, ram, RamOp::readOp(13)), State::S0);
+}
+
+TEST(RamFunctionalTest, EveryCellStoresBothValues) {
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  // Write a checkerboard, then read it all back, then the inverse.
+  for (unsigned pass = 0; pass < 2; ++pass) {
+    for (unsigned a = 0; a < ram.config.words(); ++a) {
+      const State v = ((a + pass) % 2) ? State::S1 : State::S0;
+      runOp(sim, ram, RamOp::writeOp(a, v));
+    }
+    for (unsigned a = 0; a < ram.config.words(); ++a) {
+      const State v = ((a + pass) % 2) ? State::S1 : State::S0;
+      EXPECT_EQ(runOp(sim, ram, RamOp::readOp(a)), v)
+          << "pass " << pass << " address " << a;
+    }
+  }
+}
+
+TEST(RamFunctionalTest, CellRetainsDataAcrossOtherRowAccesses) {
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  runOp(sim, ram, RamOp::writeOp(0, State::S1));
+  // Hammer a different row repeatedly.
+  for (int i = 0; i < 8; ++i) {
+    runOp(sim, ram, RamOp::writeOp(ram.config.cols * 3 + 5, State::S0));
+    runOp(sim, ram, RamOp::readOp(ram.config.cols * 3 + 5));
+  }
+  EXPECT_EQ(runOp(sim, ram, RamOp::readOp(0)), State::S1);
+}
+
+TEST(RamFunctionalTest, WritePreservesRestOfRow) {
+  // The read-modify-write cycle must refresh, not clobber, the other
+  // columns of the addressed row.
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  const unsigned row = 2;
+  const unsigned base = row * ram.config.cols;
+  for (unsigned c = 0; c < ram.config.cols; ++c) {
+    runOp(sim, ram, RamOp::writeOp(base + c, c % 2 ? State::S1 : State::S0));
+  }
+  // Overwrite one column; the others must survive.
+  runOp(sim, ram, RamOp::writeOp(base + 3, State::S0));
+  for (unsigned c = 0; c < ram.config.cols; ++c) {
+    const State expect = (c == 3) ? State::S0 : (c % 2 ? State::S1 : State::S0);
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(base + c)), expect) << "col " << c;
+  }
+}
+
+TEST(RamFunctionalTest, ReadsAreNonDestructive) {
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  runOp(sim, ram, RamOp::writeOp(42, State::S1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(42)), State::S1) << "read " << i;
+  }
+}
+
+TEST(RamFunctionalTest, UninitializedCellsReadX) {
+  const RamCircuit ram = buildRam(ram64Config());
+  LogicSimulator sim(ram.net);
+  EXPECT_EQ(runOp(sim, ram, RamOp::readOp(17)), State::SX);
+}
+
+TEST(RamFunctionalTest, Ram256SpotChecks) {
+  const RamCircuit ram = buildRam(ram256Config());
+  LogicSimulator sim(ram.net);
+  const unsigned probes[] = {0, 1, 15, 16, 17, 128, 200, 255};
+  for (const unsigned a : probes) {
+    runOp(sim, ram, RamOp::writeOp(a, State::S1));
+  }
+  for (const unsigned a : probes) {
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(a)), State::S1) << "addr " << a;
+  }
+  for (const unsigned a : probes) {
+    runOp(sim, ram, RamOp::writeOp(a, State::S0));
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(a)), State::S0) << "addr " << a;
+  }
+}
+
+TEST(RamSequenceTest, PatternCountsMatchThePaper) {
+  const RamCircuit r64 = buildRam(ram64Config());
+  EXPECT_EQ(ramControlTests(r64).size(), 7u);
+  EXPECT_EQ(ramRowMarch(r64).size(), 40u);
+  EXPECT_EQ(ramColMarch(r64).size(), 40u);
+  EXPECT_EQ(ramArrayMarch(r64).size(), 320u);
+  EXPECT_EQ(ramTestSequence1(r64).size(), 407u);  // paper: 407
+  EXPECT_EQ(ramTestSequence2(r64).size(), 327u);  // paper: 327
+
+  const RamCircuit r256 = buildRam(ram256Config());
+  EXPECT_EQ(ramTestSequence1(r256).size(), 1447u);  // paper: 1447
+}
+
+TEST(RamSequenceTest, EveryPatternHasSixSettings) {
+  const RamCircuit ram = buildRam(ram64Config());
+  const TestSequence seq = ramTestSequence1(ram);
+  for (std::uint32_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].settings.size(), 6u) << "pattern " << i;
+  }
+  EXPECT_EQ(seq.outputs().size(), 1u);  // the single data output pin
+  EXPECT_EQ(seq.outputs()[0], ram.dout);
+}
+
+TEST(RamSequenceTest, GoodCircuitPassesItsOwnMarchTest) {
+  // The march reads must observe the expected values on dout: r0 phases see
+  // 0, r1 phases see 1 (once cells are initialized by the first write pass).
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  LogicSimulator sim(ram.net);
+  const unsigned words = ram.config.words();
+  std::vector<unsigned> addrs(words);
+  for (unsigned i = 0; i < words; ++i) addrs[i] = i;
+
+  // up(w0)
+  for (unsigned a = 0; a < words; ++a) {
+    runOp(sim, ram, RamOp::writeOp(a, State::S0));
+  }
+  // up(r0, w1)
+  for (unsigned a = 0; a < words; ++a) {
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(a)), State::S0) << "r0 @" << a;
+    runOp(sim, ram, RamOp::writeOp(a, State::S1));
+  }
+  // up(r1, w0)
+  for (unsigned a = 0; a < words; ++a) {
+    EXPECT_EQ(runOp(sim, ram, RamOp::readOp(a)), State::S1) << "r1 @" << a;
+    runOp(sim, ram, RamOp::writeOp(a, State::S0));
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,235 @@
+// Concurrent engine edge cases: faults that create oscillating circuits
+// (X-coercion must terminate), faults on inputs vs. rails, empty fault
+// lists, run-once discipline, and record hygiene.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "core/concurrent_sim.hpp"
+#include "faults/universe.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+// NAND-gated ring with a strong initialization pass onto r2 so the ring can
+// be put into a *definite* state (from all-X a ring is stably X in ternary
+// simulation — it never oscillates without initialization).
+struct RingFixture {
+  NodeId en, init, ld, ring, r1, r2, vdd, gnd;
+  Network net;
+
+  RingFixture() : net(build(*this)) {}
+
+  static Network build(RingFixture& f) {
+    NetworkBuilder b;
+    NmosCells cells(b);
+    f.en = b.addInput("en");
+    f.init = b.addInput("init");
+    f.ld = b.addInput("ld");
+    f.r2 = b.addNode("r2");
+    f.ring = b.addNode("ring");
+    cells.nandInto({f.en, f.r2}, f.ring);
+    f.r1 = cells.inverter(f.ring, "r1");
+    cells.inverterInto(f.r1, f.r2);
+    // Strength-3 pass: overrides the inverter (strength 2) during load.
+    b.addTransistor(TransistorType::NType, 3, f.ld, f.init, f.r2);
+    Network net = b.build();
+    f.vdd = net.nodeByName("Vdd");
+    f.gnd = net.nodeByName("Gnd");
+    return net;
+  }
+};
+
+TEST(ConcurrentEdgeTest, FaultInducedOscillationTerminatesWithX) {
+  // Fault: en stuck-at-1 turns only the faulty circuit into a ring
+  // oscillator once initialized to definite values. The engine must settle
+  // (coercing the faulty circuit to X), not hang.
+  RingFixture f;
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(f.net, f.en, State::S1));
+  FsimOptions opts;
+  opts.sim.settleLimit = 40;
+  ConcurrentFaultSimulator sim(f.net, faults, opts);
+
+  InputSetting s0;
+  s0.set(f.vdd, State::S1);
+  s0.set(f.gnd, State::S0);
+  s0.set(f.en, State::S0);
+  s0.set(f.init, State::S1);
+  s0.set(f.ld, State::S1);  // force r2 = 1 in both circuits
+  sim.applySetting(s0.span());
+  EXPECT_EQ(sim.goodState(f.r2), State::S1);
+  EXPECT_EQ(sim.faultyState(f.r2, 1), State::S1);
+
+  InputSetting s1;
+  s1.set(f.ld, State::S0);  // release: faulty ring starts chasing its tail
+  const SettleResult res = sim.applySetting(s1.span());
+  EXPECT_TRUE(res.oscillated);
+  EXPECT_EQ(sim.goodState(f.ring), State::S1) << "good circuit stays stable";
+  EXPECT_EQ(sim.faultyState(f.ring, 1), State::SX) << "faulty ring coerced to X";
+}
+
+TEST(ConcurrentEdgeTest, GoodCircuitOscillationAlsoCoerces) {
+  // The mirror case: en stuck-at-0 makes the faulty circuit the stable one
+  // while the good circuit oscillates.
+  RingFixture f;
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(f.net, f.en, State::S0));
+  FsimOptions opts;
+  opts.sim.settleLimit = 40;
+  ConcurrentFaultSimulator sim(f.net, faults, opts);
+
+  InputSetting s0;
+  s0.set(f.vdd, State::S1);
+  s0.set(f.gnd, State::S0);
+  s0.set(f.en, State::S1);
+  s0.set(f.init, State::S1);
+  s0.set(f.ld, State::S1);
+  sim.applySetting(s0.span());
+
+  InputSetting s1;
+  s1.set(f.ld, State::S0);  // good oscillates; faulty (en=0) holds ring=1
+  const SettleResult res = sim.applySetting(s1.span());
+  EXPECT_TRUE(res.oscillated);
+  EXPECT_EQ(sim.goodState(f.ring), State::SX);
+  EXPECT_EQ(sim.faultyState(f.ring, 1), State::S1)
+      << "faulty circuit (ring disabled) stays definite";
+}
+
+TEST(ConcurrentEdgeTest, EmptyFaultListBehavesAsPlainSimulation) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId out = cells.inverter(in, "out");
+  const Network net = b.build();
+  ConcurrentFaultSimulator sim(net, FaultList{});
+  InputSetting s;
+  s.set(net.nodeByName("Vdd"), State::S1);
+  s.set(net.nodeByName("Gnd"), State::S0);
+  s.set(in, State::S0);
+  sim.applySetting(s.span());
+  EXPECT_EQ(sim.goodState(out), State::S1);
+  EXPECT_EQ(sim.aliveCount(), 0u);
+  EXPECT_EQ(sim.observe({out}, 0), 0u);
+}
+
+TEST(ConcurrentEdgeTest, RunIsSingleShot) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId out = cells.inverter(in, "out");
+  const Network net = b.build();
+  ConcurrentFaultSimulator sim(net, FaultList{});
+  TestSequence seq;
+  seq.addOutput(out);
+  Pattern p;
+  InputSetting s;
+  s.set(net.nodeByName("Vdd"), State::S1);
+  s.set(net.nodeByName("Gnd"), State::S0);
+  s.set(in, State::S1);
+  p.settings.push_back(s);
+  seq.addPattern(p);
+  sim.run(seq);
+  EXPECT_DEATH(sim.run(seq), "run");
+}
+
+TEST(ConcurrentEdgeTest, FaultsOnSupplyRails) {
+  // Vdd stuck-at-0 in the faulty circuit: every pulled-up node dies.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId out = cells.inverter(in, "out");
+  const Network net = b.build();
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(net, net.nodeByName("Vdd"), State::S0));
+  ConcurrentFaultSimulator sim(net, faults);
+  InputSetting s;
+  s.set(net.nodeByName("Vdd"), State::S1);
+  s.set(net.nodeByName("Gnd"), State::S0);
+  s.set(in, State::S0);
+  sim.applySetting(s.span());
+  EXPECT_EQ(sim.goodState(out), State::S1);
+  EXPECT_EQ(sim.faultyState(out, 1), State::S0) << "no pull-up in circuit 1";
+}
+
+TEST(ConcurrentEdgeTest, ManyFaultsOnTheSameNode) {
+  // SA0 and SA1 on the same node, plus stuck transistors touching it, all
+  // coexist as distinct circuits.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  const NodeId out = cells.inverter(mid, "out");
+  const Network net = b.build();
+
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(net, mid, State::S0));  // c1
+  faults.add(Fault::nodeStuckAt(net, mid, State::S1));  // c2
+  for (const TransId t : net.functionalTransistors()) {
+    const auto& tr = net.transistor(t);
+    if (tr.source == mid || tr.drain == mid) {
+      faults.add(Fault::transistorStuckOpen(net, t));  // c3...
+    }
+  }
+  ConcurrentFaultSimulator sim(net, faults);
+  InputSetting s;
+  s.set(net.nodeByName("Vdd"), State::S1);
+  s.set(net.nodeByName("Gnd"), State::S0);
+  s.set(in, State::S0);
+  sim.applySetting(s.span());
+  EXPECT_EQ(sim.goodState(mid), State::S1);
+  EXPECT_EQ(sim.faultyState(mid, 1), State::S0);
+  EXPECT_EQ(sim.faultyState(mid, 2), State::S1);
+  EXPECT_EQ(sim.faultyState(out, 1), State::S1);
+  EXPECT_EQ(sim.faultyState(out, 2), State::S0);
+}
+
+TEST(ConcurrentEdgeTest, RecordsVanishWhenAllCircuitsAgree) {
+  // Drive the circuit so every fault becomes invisible; the state table
+  // must be empty again (no leaked records).
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  cells.inverter(mid, "out");
+  const Network net = b.build();
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(net, mid, State::S0));
+  FsimOptions opts;
+  opts.dropDetected = false;
+  ConcurrentFaultSimulator sim(net, faults, opts);
+
+  InputSetting s0;
+  s0.set(net.nodeByName("Vdd"), State::S1);
+  s0.set(net.nodeByName("Gnd"), State::S0);
+  s0.set(in, State::S0);  // good mid=1, fault visible
+  sim.applySetting(s0.span());
+  EXPECT_GT(sim.recordCount(), 0u);
+
+  InputSetting s1;
+  s1.set(in, State::S1);  // good mid=0 == stuck value: invisible
+  sim.applySetting(s1.span());
+  EXPECT_EQ(sim.recordCount(), 0u);
+}
+
+TEST(ConcurrentEdgeTest, ObservingAnInputNode) {
+  // Observing a (stuck) input directly: the stuck table drives detection.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(net, in, State::S0));
+  ConcurrentFaultSimulator sim(net, faults);
+  InputSetting s;
+  s.set(net.nodeByName("Vdd"), State::S1);
+  s.set(net.nodeByName("Gnd"), State::S0);
+  s.set(in, State::S1);
+  sim.applySetting(s.span());
+  EXPECT_EQ(sim.observe({in}, 0), 1u);
+  EXPECT_EQ(sim.detectedAtPattern(0), 0);
+}
+
+}  // namespace
+}  // namespace fmossim

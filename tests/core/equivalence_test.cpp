@@ -1,0 +1,273 @@
+// THE key correctness property of the concurrent algorithm (DESIGN.md §4):
+// for arbitrary circuits, faults, and stimulus sequences, every faulty
+// circuit's state under the concurrent engine equals an independent
+// whole-circuit serial simulation of that fault.
+//
+// We generate random switch-level networks (gates, pass transistors,
+// latches, precharge devices, raw random transistors), random fault lists
+// covering every fault kind, and random input sequences, then compare all
+// node states of every faulty circuit after every pattern. Runs where either
+// engine reports oscillation are skipped (X-coercion trajectories are
+// implementation-defined); the test asserts that most runs are comparable.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "core/concurrent_sim.hpp"
+#include "core/serial_sim.hpp"
+#include "faults/universe.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+struct RandomCircuit {
+  Network net;
+  std::vector<NodeId> inputs;       // excludes rails
+  std::vector<TransId> faultDevices;
+};
+
+RandomCircuit makeRandomCircuit(Rng& rng, bool withFaultDevices) {
+  NetworkBuilder b;
+  NmosCells nmos(b);
+  CmosCells cmos(b);
+
+  std::vector<NodeId> inputs;
+  const unsigned numInputs = 2 + static_cast<unsigned>(rng.below(4));
+  for (unsigned i = 0; i < numInputs; ++i) {
+    inputs.push_back(b.addInput("in" + std::to_string(i)));
+  }
+
+  // Pool of nodes usable as gate inputs / pass endpoints.
+  std::vector<NodeId> pool = inputs;
+  const auto pick = [&]() { return rng.pick(pool); };
+
+  const unsigned numElements = 4 + static_cast<unsigned>(rng.below(10));
+  for (unsigned e = 0; e < numElements; ++e) {
+    const std::string tag = "n" + std::to_string(e);
+    switch (rng.below(8)) {
+      case 0:
+        pool.push_back(nmos.inverter(pick(), tag));
+        break;
+      case 1:
+        pool.push_back(nmos.nor({pick(), pick()}, tag));
+        break;
+      case 2:
+        pool.push_back(nmos.nand({pick(), pick()}, tag));
+        break;
+      case 3:
+        pool.push_back(cmos.inverter(pick(), tag));
+        break;
+      case 4:
+        pool.push_back(cmos.nand({pick(), pick()}, tag));
+        break;
+      case 5: {  // pass transistor onto a fresh or existing storage node
+        const NodeId target = b.addNode(tag, 1 + static_cast<unsigned>(rng.below(2)));
+        nmos.pass(pick(), pick(), target);
+        pool.push_back(target);
+        break;
+      }
+      case 6: {  // dynamic latch
+        pool.push_back(nmos.dynamicLatch(pick(), pick(), tag));
+        break;
+      }
+      case 7: {  // precharged node
+        const NodeId target = b.addNode(tag, 2);
+        nmos.precharge(pick(), target);
+        pool.push_back(target);
+        break;
+      }
+    }
+  }
+  // A few completely random transistors to stress unusual topologies
+  // (bidirectional bridges, strange gate wiring).
+  const unsigned numRandom = static_cast<unsigned>(rng.below(4));
+  for (unsigned i = 0; i < numRandom; ++i) {
+    const NodeId a = rng.pick(pool);
+    const NodeId c = rng.pick(pool);
+    if (a == c) continue;
+    const TransistorType type =
+        rng.chance(0.5) ? TransistorType::NType : TransistorType::PType;
+    b.addTransistor(type, 1 + static_cast<unsigned>(rng.below(2)), rng.pick(pool),
+                    a, c);
+  }
+
+  std::vector<TransId> devices;
+  if (withFaultDevices) {
+    for (unsigned i = 0; i < 2; ++i) {
+      const NodeId a = rng.pick(pool);
+      const NodeId c = rng.pick(pool);
+      if (a == c) continue;
+      devices.push_back(rng.chance(0.5) ? b.addShortFaultDevice(a, c)
+                                        : b.addOpenFaultDevice(a, c));
+    }
+  }
+
+  RandomCircuit rc{b.build(), std::move(inputs), std::move(devices)};
+  return rc;
+}
+
+FaultList makeRandomFaults(const Network& net,
+                           const std::vector<TransId>& devices, Rng& rng) {
+  FaultList universe;
+  universe.append(allStorageNodeStuckFaults(net));
+  universe.append(allTransistorStuckFaults(net));
+  for (const TransId ft : devices) {
+    universe.add(Fault::faultDeviceActive(net, ft));
+  }
+  // Also include stuck faults on the circuit inputs (frozen stimulus).
+  for (const NodeId n : net.allNodes()) {
+    if (net.isInput(n) && net.node(n).name != "Vdd" && net.node(n).name != "Gnd") {
+      universe.add(Fault::nodeStuckAt(net, n, State::S0));
+      universe.add(Fault::nodeStuckAt(net, n, State::S1));
+    }
+  }
+  // Pick a random subset of up to 12 faults.
+  FaultList picked;
+  const std::uint32_t want =
+      1 + static_cast<std::uint32_t>(rng.below(std::min(12u, universe.size())));
+  for (const std::uint32_t i : rng.sampleIndices(universe.size(), want)) {
+    picked.add(universe[i]);
+  }
+  return picked;
+}
+
+void applySerialFault(LogicSimulator& sim, const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::NodeStuck:
+      sim.forceNode(f.node, f.value);
+      break;
+    case FaultKind::TransistorStuck:
+    case FaultKind::FaultDevice:
+      sim.forceTransistor(f.transistor, f.value);
+      break;
+  }
+}
+
+// Runs one randomized trial; returns false if skipped due to oscillation.
+bool runTrial(std::uint64_t seed, bool withFaultDevices) {
+  Rng rng(seed);
+  const RandomCircuit rc = makeRandomCircuit(rng, withFaultDevices);
+  const FaultList faults = makeRandomFaults(rc.net, rc.faultDevices, rng);
+
+  // Random stimulus: rails first, then per-pattern random inputs.
+  const unsigned numPatterns = 4 + static_cast<unsigned>(rng.below(8));
+  std::vector<InputSetting> settings;
+  {
+    InputSetting rails;
+    rails.set(rc.net.nodeByName("Vdd"), State::S1);
+    rails.set(rc.net.nodeByName("Gnd"), State::S0);
+    settings.push_back(rails);
+  }
+  for (unsigned p = 0; p < numPatterns; ++p) {
+    InputSetting s;
+    for (const NodeId in : rc.inputs) {
+      const auto r = rng.below(10);
+      s.set(in, r < 1 ? State::SX : (r < 6 ? State::S1 : State::S0));
+    }
+    settings.push_back(std::move(s));
+  }
+
+  FsimOptions opts;
+  opts.dropDetected = false;
+  ConcurrentFaultSimulator concurrent(rc.net, faults, opts);
+
+  // Serial references.
+  std::vector<std::unique_ptr<LogicSimulator>> serial;
+  for (std::uint32_t fi = 0; fi < faults.size(); ++fi) {
+    serial.push_back(std::make_unique<LogicSimulator>(rc.net));
+    applySerialFault(*serial[fi], faults[fi]);
+  }
+
+  bool oscillated = false;
+  for (std::size_t step = 0; step < settings.size(); ++step) {
+    oscillated |= concurrent.applySetting(settings[step].span()).oscillated;
+    for (auto& s : serial) {
+      oscillated |= s->applyAssignments(settings[step].span()).oscillated;
+    }
+    if (oscillated) return false;  // skip trajectory comparison
+
+    for (std::uint32_t fi = 0; fi < faults.size(); ++fi) {
+      for (const NodeId n : rc.net.allNodes()) {
+        const State c = concurrent.faultyState(n, fi + 1);
+        const State s = serial[fi]->state(n);
+        EXPECT_EQ(c, s) << "seed=" << seed << " step=" << step << " fault='"
+                        << faults[fi].name << "' node='" << rc.net.node(n).name
+                        << "': concurrent=" << stateChar(c)
+                        << " serial=" << stateChar(s);
+        if (c != s) return true;  // stop at first mismatch, keep trial counted
+      }
+    }
+  }
+  return true;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EquivalenceTest, ConcurrentMatchesSerialEverywhere) {
+  const std::uint64_t base = GetParam();
+  unsigned comparable = 0;
+  constexpr unsigned kTrials = 12;
+  for (unsigned t = 0; t < kTrials; ++t) {
+    if (runTrial(base * 1000 + t, /*withFaultDevices=*/t % 2 == 0)) {
+      ++comparable;
+    }
+    if (::testing::Test::HasFailure()) break;
+  }
+  // Oscillating random circuits are possible but must be a minority.
+  EXPECT_GE(comparable, kTrials / 2u)
+      << "too many random circuits oscillated to exercise the comparison";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Detection-time equivalence with dropping enabled: the concurrent engine
+// must detect each fault at exactly the pattern where the serial reference
+// first sees an output difference.
+TEST(DetectionEquivalenceTest, DropTimingMatchesSerial) {
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    Rng rng(seed);
+    const RandomCircuit rc = makeRandomCircuit(rng, /*withFaultDevices=*/true);
+    const FaultList faults = makeRandomFaults(rc.net, rc.faultDevices, rng);
+
+    // Observed outputs: a couple of random storage nodes.
+    const auto storage = rc.net.storageNodes();
+    TestSequence seq;
+    seq.addOutput(storage[rng.below(storage.size())]);
+    seq.addOutput(storage[rng.below(storage.size())]);
+    {
+      Pattern p0;
+      InputSetting rails;
+      rails.set(rc.net.nodeByName("Vdd"), State::S1);
+      rails.set(rc.net.nodeByName("Gnd"), State::S0);
+      p0.settings.push_back(rails);
+      seq.addPattern(std::move(p0));
+    }
+    for (unsigned i = 0; i < 8; ++i) {
+      Pattern p;
+      InputSetting s;
+      for (const NodeId in : rc.inputs) {
+        s.set(in, rng.chance(0.5) ? State::S1 : State::S0);
+      }
+      p.settings.push_back(std::move(s));
+      seq.addPattern(std::move(p));
+    }
+
+    ConcurrentFaultSimulator concurrent(rc.net, faults);
+    const FaultSimResult cres = concurrent.run(seq);
+
+    SerialFaultSimulator serial(rc.net);
+    const SerialRunResult sres = serial.run(seq, faults);
+
+    for (std::uint32_t fi = 0; fi < faults.size(); ++fi) {
+      EXPECT_EQ(cres.detectedAtPattern[fi], sres.detectedAtPattern[fi])
+          << "seed=" << seed << " fault='" << faults[fi].name << "'";
+    }
+    EXPECT_EQ(cres.numDetected, sres.numDetected) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

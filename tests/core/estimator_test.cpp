@@ -1,0 +1,76 @@
+// Serial-time estimator (paper footnote, p. 717) and its validation against
+// the real serial simulator.
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "core/serial_sim.hpp"
+#include "faults/universe.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+TEST(EstimatorTest, SumsPatternsToDetection) {
+  // Faults detected at patterns 0, 4, and one undetected; 10 patterns total.
+  const std::vector<std::int32_t> detected = {0, 4, -1};
+  const SerialEstimate est = estimateSerial(detected, 10, 2.0, 100.0);
+  // 1 + 5 + 10 = 16 pattern-units.
+  EXPECT_EQ(est.patternUnits, 16u);
+  EXPECT_DOUBLE_EQ(est.seconds, 32.0);
+  EXPECT_DOUBLE_EQ(est.nodeEvals, 1600.0);
+}
+
+TEST(EstimatorTest, EmptyFaultListCostsNothing) {
+  const SerialEstimate est = estimateSerial({}, 100, 1.0, 1.0);
+  EXPECT_EQ(est.patternUnits, 0u);
+  EXPECT_DOUBLE_EQ(est.seconds, 0.0);
+}
+
+TEST(EstimatorTest, AllUndetectedCostsFullSequencePerFault) {
+  const std::vector<std::int32_t> detected = {-1, -1, -1, -1};
+  const SerialEstimate est = estimateSerial(detected, 25, 1.0, 1.0);
+  EXPECT_EQ(est.patternUnits, 100u);
+}
+
+// Validation: on a small circuit, the estimate in *work units* must agree
+// with a real serial simulation to within a modest factor (the estimator
+// charges the average good-circuit pattern cost; faulty circuits do similar
+// work on this scale).
+TEST(EstimatorTest, EstimateTracksRealSerialWorkUnits) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  NodeId n = in;
+  for (int i = 0; i < 4; ++i) n = cells.inverter(n, "c" + std::to_string(i));
+  const Network net = b.build();
+
+  TestSequence seq;
+  seq.addOutput(n);
+  for (int i = 0; i < 6; ++i) {
+    Pattern p;
+    InputSetting s;
+    s.set(net.nodeByName("Vdd"), State::S1);
+    s.set(net.nodeByName("Gnd"), State::S0);
+    s.set(in, i % 2 ? State::S1 : State::S0);
+    p.settings.push_back(std::move(s));
+    seq.addPattern(std::move(p));
+  }
+
+  const FaultList faults = allStorageNodeStuckFaults(net);
+  SerialFaultSimulator serial(net);
+  const SerialRunResult real = serial.run(seq, faults);
+
+  const SerialEstimate est =
+      estimateSerial(real.detectedAtPattern, seq.size(),
+                     real.good.secondsPerPattern(),
+                     real.good.nodeEvalsPerPattern());
+  ASSERT_GT(real.faultNodeEvals, 0u);
+  const double ratio = est.nodeEvals / double(real.faultNodeEvals);
+  EXPECT_GT(ratio, 0.2) << "estimate drastically under real serial cost";
+  EXPECT_LT(ratio, 5.0) << "estimate drastically over real serial cost";
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,185 @@
+// End-to-end integration on the actual DRAM circuit: the concurrent engine
+// against true serial simulation, detection invariants, stuck-clock faults,
+// and bit-line shorts — the paper's own workload at reduced scale.
+#include <gtest/gtest.h>
+
+#include "circuits/ram.hpp"
+#include "core/concurrent_sim.hpp"
+#include "core/serial_sim.hpp"
+#include "faults/sampling.hpp"
+#include "faults/universe.hpp"
+#include "patterns/marching.hpp"
+#include "patterns/ram_ops.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+FsimOptions paperOpts() {
+  FsimOptions o;
+  o.policy = DetectionPolicy::AnyDifference;
+  return o;
+}
+
+TEST(RamIntegrationTest, ConcurrentMatchesSerialDetectionOnSampledFaults) {
+  // RAM 4x4, 30 sampled faults, full sequence-1: detection pattern indices
+  // must match the serial reference exactly.
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList universe = allStorageNodeStuckFaults(ram.net);
+  universe.append(allFaultDeviceFaults(ram.net));
+  universe.append(allTransistorStuckFaults(ram.net));
+  Rng rng(7);
+  const FaultList faults = sampleFaults(universe, 30, rng);
+  const TestSequence seq = ramTestSequence1(ram);
+
+  ConcurrentFaultSimulator concurrent(ram.net, faults, paperOpts());
+  const FaultSimResult cres = concurrent.run(seq);
+
+  SerialOptions sopts;
+  sopts.policy = DetectionPolicy::AnyDifference;
+  SerialFaultSimulator serial(ram.net, sopts);
+  const SerialRunResult sres = serial.run(seq, faults);
+
+  for (std::uint32_t fi = 0; fi < faults.size(); ++fi) {
+    EXPECT_EQ(cres.detectedAtPattern[fi], sres.detectedAtPattern[fi])
+        << "fault '" << faults[fi].name << "'";
+  }
+  EXPECT_EQ(cres.numDetected, sres.numDetected);
+}
+
+TEST(RamIntegrationTest, MarchAchievesHighCoverage) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  faults.append(allFaultDeviceFaults(ram.net));
+  ConcurrentFaultSimulator sim(ram.net, faults, paperOpts());
+  const FaultSimResult res = sim.run(ramTestSequence1(ram));
+  EXPECT_GT(res.coverage(), 0.9);
+  // All memory-cell faults must be caught by a proper march.
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    if (faults[i].kind == FaultKind::NodeStuck &&
+        ram.net.node(faults[i].node).name.rfind("cell", 0) == 0) {
+      EXPECT_GE(res.detectedAtPattern[i], 0)
+          << "undetected cell fault " << faults[i].name;
+    }
+  }
+}
+
+TEST(RamIntegrationTest, FrozenClockIsDetectedEarly) {
+  // The paper: "the circuit is initialized and major faults such as frozen
+  // clock lines are being simulated. Those faults ... are detected quickly."
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(ram.net, ram.net.nodeByName("phiL.t"), State::S0));
+  faults.add(Fault::nodeStuckAt(ram.net, ram.net.nodeByName("phiW.n"), State::S1));
+  ConcurrentFaultSimulator sim(ram.net, faults, paperOpts());
+  const FaultSimResult res = sim.run(ramTestSequence1(ram));
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    EXPECT_GE(res.detectedAtPattern[i], 0) << faults[i].name;
+    EXPECT_LT(res.detectedAtPattern[i], 25) << faults[i].name << " not early";
+  }
+}
+
+TEST(RamIntegrationTest, BitLineShortCorruptsNeighbouringColumns) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults = allFaultDeviceFaults(ram.net);
+  ASSERT_FALSE(faults.empty());
+  ConcurrentFaultSimulator sim(ram.net, faults, paperOpts());
+  const FaultSimResult res = sim.run(ramTestSequence1(ram));
+  // Every adjacent-bit-line short must be caught by the march.
+  for (std::uint32_t i = 0; i < faults.size(); ++i) {
+    EXPECT_GE(res.detectedAtPattern[i], 0) << faults[i].name;
+  }
+}
+
+TEST(RamIntegrationTest, CellStuckFaultDetectedOnlyWhenSelected) {
+  // A cell stuck-at fault is invisible until the march reads that cell with
+  // the opposite data — "they contain only bit errors in the memory, which
+  // have no effect unless the faulty bit is selected".
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  const unsigned addr = 9;  // row 2, col 1
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(ram.net, ram.cell(2, 1), State::S1));
+  // DefiniteOnly: the X-vs-1 mismatches during initialization must not count
+  // (a tester cannot distinguish X), pinning detection to the r0 read.
+  FsimOptions opts;
+  opts.policy = DetectionPolicy::DefiniteOnly;
+  ConcurrentFaultSimulator sim(ram.net, faults, opts);
+
+  // March: w0 everywhere, then read ascending. The fault can only be seen
+  // at the r0 read of address 9.
+  std::vector<RamOp> ops;
+  for (unsigned a = 0; a < 16; ++a) ops.push_back(RamOp::writeOp(a, State::S0));
+  for (unsigned a = 0; a < 16; ++a) ops.push_back(RamOp::readOp(a));
+  const FaultSimResult res = sim.run(ramOpSequence(ram, ops));
+  EXPECT_EQ(res.detectedAtPattern[0], std::int32_t(16 + addr));
+}
+
+TEST(RamIntegrationTest, DroppingDoesNotChangeDetectionSet) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList universe = allStorageNodeStuckFaults(ram.net);
+  Rng rng(55);
+  const FaultList faults = sampleFaults(universe, 40, rng);
+  const TestSequence seq = ramTestSequence2(ram);
+
+  FsimOptions dropOn = paperOpts();
+  FsimOptions dropOff = paperOpts();
+  dropOff.dropDetected = false;
+  ConcurrentFaultSimulator a(ram.net, faults, dropOn);
+  ConcurrentFaultSimulator b(ram.net, faults, dropOff);
+  const FaultSimResult ra = a.run(seq);
+  const FaultSimResult rb = b.run(seq);
+  EXPECT_EQ(ra.detectedAtPattern, rb.detectedAtPattern);
+}
+
+TEST(RamIntegrationTest, AliveCountIsMonotoneNonIncreasing) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  ConcurrentFaultSimulator sim(ram.net, faults, paperOpts());
+  const FaultSimResult res = sim.run(ramTestSequence2(ram));
+  std::uint32_t prev = faults.size();
+  for (const PatternStat& st : res.perPattern) {
+    EXPECT_LE(st.aliveAfter, prev);
+    EXPECT_EQ(st.aliveAfter, prev - st.newlyDetected);
+    prev = st.aliveAfter;
+  }
+  EXPECT_EQ(res.perPattern.back().aliveAfter,
+            faults.size() - res.numDetected);
+}
+
+TEST(RamIntegrationTest, PerPatternCostFallsAfterDetections) {
+  // The Figure-1 shape at test scale: mean work in the last quarter of the
+  // run is below the first quarter's.
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  faults.append(allFaultDeviceFaults(ram.net));
+  ConcurrentFaultSimulator sim(ram.net, faults, paperOpts());
+  const FaultSimResult res = sim.run(ramTestSequence1(ram));
+  const std::uint32_t n = static_cast<std::uint32_t>(res.perPattern.size());
+  double early = 0, late = 0;
+  for (std::uint32_t i = 0; i < n / 4; ++i) early += double(res.perPattern[i].nodeEvals);
+  for (std::uint32_t i = 3 * n / 4; i < n; ++i) late += double(res.perPattern[i].nodeEvals);
+  EXPECT_LT(late, early);
+}
+
+TEST(RamIntegrationTest, GoodCircuitStateUnaffectedByFaultLoad) {
+  // The presence of faulty circuits must not perturb the good circuit.
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  const TestSequence seq = ramControlTests(ram);
+
+  ConcurrentFaultSimulator with(ram.net, faults, paperOpts());
+  ConcurrentFaultSimulator without(ram.net, FaultList{}, paperOpts());
+  for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
+    for (const InputSetting& s : seq[pi].settings) {
+      with.applySetting(s.span());
+      without.applySetting(s.span());
+    }
+    for (const NodeId n : ram.net.allNodes()) {
+      ASSERT_EQ(with.goodState(n), without.goodState(n))
+          << "pattern " << pi << " node " << ram.net.node(n).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,115 @@
+// StateTable: the per-node <circuit, state> record lists of paper §4.
+#include "core/state_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+Network twoNodeNet() {
+  NetworkBuilder b;
+  b.addNode("a");
+  b.addNode("b");
+  return b.build();
+}
+
+TEST(StateTableTest, GoodStateDefaultsToX) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  EXPECT_EQ(t.good(NodeId(0)), State::SX);
+  t.setGood(NodeId(0), State::S1);
+  EXPECT_EQ(t.good(NodeId(0)), State::S1);
+}
+
+TEST(StateTableTest, StateOfFallsBackToGood) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S1);
+  EXPECT_EQ(t.stateOf(NodeId(0), 5), State::S1);
+  EXPECT_FALSE(t.hasRecord(NodeId(0), 5));
+}
+
+TEST(StateTableTest, ReconcileCreatesRecordOnlyOnDivergence) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S1);
+  EXPECT_FALSE(t.reconcile(NodeId(0), 3, State::S1));  // agrees: no record
+  EXPECT_EQ(t.totalRecords(), 0u);
+  EXPECT_TRUE(t.reconcile(NodeId(0), 3, State::S0));   // diverges
+  EXPECT_EQ(t.totalRecords(), 1u);
+  EXPECT_EQ(t.stateOf(NodeId(0), 3), State::S0);
+  // Re-convergence removes the record.
+  EXPECT_FALSE(t.reconcile(NodeId(0), 3, State::S1));
+  EXPECT_EQ(t.totalRecords(), 0u);
+  EXPECT_EQ(t.stateOf(NodeId(0), 3), State::S1);
+}
+
+TEST(StateTableTest, RecordsStaySortedByCircuit) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S0);
+  for (const CircuitId c : {7u, 2u, 9u, 4u, 1u}) {
+    t.reconcile(NodeId(0), c, State::S1);
+  }
+  const auto& recs = t.records(NodeId(0));
+  ASSERT_EQ(recs.size(), 5u);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].circuit, recs[i].circuit);
+  }
+}
+
+TEST(StateTableTest, RecordsAreIndependentAcrossCircuitsAndNodes) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S0);
+  t.setGood(NodeId(1), State::S1);
+  t.reconcile(NodeId(0), 1, State::S1);
+  t.reconcile(NodeId(0), 2, State::SX);
+  t.reconcile(NodeId(1), 1, State::S0);
+  EXPECT_EQ(t.stateOf(NodeId(0), 1), State::S1);
+  EXPECT_EQ(t.stateOf(NodeId(0), 2), State::SX);
+  EXPECT_EQ(t.stateOf(NodeId(0), 3), State::S0);
+  EXPECT_EQ(t.stateOf(NodeId(1), 1), State::S0);
+  EXPECT_EQ(t.stateOf(NodeId(1), 2), State::S1);
+  EXPECT_EQ(t.totalRecords(), 3u);
+}
+
+TEST(StateTableTest, GoodChangeFlipsDivergenceMeaning) {
+  // A record whose value equals the *new* good state is stale but harmless:
+  // stateOf still answers correctly, and reconcile cleans it up.
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S0);
+  t.reconcile(NodeId(0), 1, State::S1);
+  t.setGood(NodeId(0), State::S1);  // good moves to the faulty value
+  EXPECT_EQ(t.stateOf(NodeId(0), 1), State::S1);
+  EXPECT_FALSE(t.reconcile(NodeId(0), 1, State::S1));
+  EXPECT_EQ(t.totalRecords(), 0u);
+}
+
+TEST(StateTableTest, EraseIsIdempotent) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S0);
+  t.reconcile(NodeId(0), 1, State::S1);
+  t.erase(NodeId(0), 1);
+  EXPECT_EQ(t.totalRecords(), 0u);
+  t.erase(NodeId(0), 1);  // no-op
+  EXPECT_EQ(t.totalRecords(), 0u);
+  EXPECT_EQ(t.stateOf(NodeId(0), 1), State::S0);
+}
+
+TEST(StateTableTest, FindRecordReturnsNullWhenAbsent) {
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.reconcile(NodeId(0), 2, State::S1);
+  EXPECT_NE(t.findRecord(NodeId(0), 2), nullptr);
+  EXPECT_EQ(t.findRecord(NodeId(0), 1), nullptr);
+  EXPECT_EQ(t.findRecord(NodeId(0), 3), nullptr);
+  EXPECT_EQ(t.findRecord(NodeId(1), 2), nullptr);
+}
+
+}  // namespace
+}  // namespace fmossim

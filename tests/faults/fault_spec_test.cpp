@@ -1,0 +1,90 @@
+// Fault specification text format.
+#include "faults/fault_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+Network makeNet() {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  const NodeId out = cells.inverter(mid, "out");
+  b.addShortFaultDevice(mid, out);
+  return b.build();
+}
+
+TEST(FaultSpecTest, SingleFaultDirectives) {
+  const Network net = makeNet();
+  const FaultList faults = parseFaultSpec(net,
+                                          "# two specific faults\n"
+                                          "node mid sa0\n"
+                                          "node out sa1\n"
+                                          "transistor 0 open\n"
+                                          "transistor 1 closed\n");
+  ASSERT_EQ(faults.size(), 4u);
+  EXPECT_EQ(faults[0].name, "mid/SA0");
+  EXPECT_EQ(faults[1].name, "out/SA1");
+  EXPECT_EQ(faults[2].value, State::S0);
+  EXPECT_EQ(faults[3].value, State::S1);
+}
+
+TEST(FaultSpecTest, UniverseDirectives) {
+  const Network net = makeNet();
+  const FaultList nodes = parseFaultSpec(net, "all-node-stuck\n");
+  EXPECT_EQ(nodes.size(), 2 * net.numStorage());
+  const FaultList trans = parseFaultSpec(net, "all-transistor-stuck\n");
+  EXPECT_EQ(trans.size(), 2 * (net.numTransistors() - net.numFaultDevices()));
+  const FaultList devs = parseFaultSpec(net, "all-fault-devices\n");
+  EXPECT_EQ(devs.size(), 1u);
+  const FaultList all = parseFaultSpec(
+      net, "all-node-stuck\nall-transistor-stuck\nall-fault-devices\n");
+  EXPECT_EQ(all.size(), nodes.size() + trans.size() + devs.size());
+}
+
+TEST(FaultSpecTest, SamplingIsAppliedLastAndDeterministic) {
+  const Network net = makeNet();
+  const FaultList a =
+      parseFaultSpec(net, "all-node-stuck\nsample 3 42\n");
+  const FaultList b =
+      parseFaultSpec(net, "all-node-stuck\nsample 3 42\n");
+  ASSERT_EQ(a.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(a[i].name, b[i].name);
+  const FaultList c =
+      parseFaultSpec(net, "all-node-stuck\nsample 3 43\n");
+  bool differs = false;
+  for (std::uint32_t i = 0; i < 3; ++i) differs |= a[i].name != c[i].name;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  const Network net = makeNet();
+  EXPECT_THROW(parseFaultSpec(net, "node ghost sa0\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "node mid sa2\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "node mid\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor 999 open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor x open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor 0 sideways\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "frobnicate\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "# nothing\n"), Error);  // empty list
+  EXPECT_THROW(parseFaultSpec(net, "node mid sa0\nsample 5 1\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "node mid sa0\nsample x 1\n"), Error);
+}
+
+TEST(FaultSpecTest, FaultDeviceIdsRejectStuckDirectives) {
+  const Network net = makeNet();
+  // The fault device is the last transistor; 'transistor N open' on it must
+  // fail (use all-fault-devices instead).
+  const std::uint32_t dev = net.numTransistors() - 1;
+  EXPECT_THROW(
+      parseFaultSpec(net, "transistor " + std::to_string(dev) + " open\n"),
+      Error);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,179 @@
+// Fault factories, universe generators, and deterministic sampling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/cells.hpp"
+#include "circuits/ram.hpp"
+#include "faults/sampling.hpp"
+#include "faults/universe.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+Network smallNet() {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  cells.inverter(mid, "out");
+  return b.build();
+}
+
+TEST(FaultFactoryTest, NodeStuckNamesAndValidation) {
+  const Network net = smallNet();
+  const Fault sa0 = Fault::nodeStuckAt(net, net.nodeByName("mid"), State::S0);
+  EXPECT_EQ(sa0.kind, FaultKind::NodeStuck);
+  EXPECT_EQ(sa0.name, "mid/SA0");
+  const Fault sa1 = Fault::nodeStuckAt(net, net.nodeByName("mid"), State::S1);
+  EXPECT_EQ(sa1.name, "mid/SA1");
+  EXPECT_THROW(Fault::nodeStuckAt(net, net.nodeByName("mid"), State::SX), Error);
+}
+
+TEST(FaultFactoryTest, TransistorStuckValues) {
+  const Network net = smallNet();
+  const TransId t = TransId(0);
+  const Fault open = Fault::transistorStuckOpen(net, t);
+  EXPECT_EQ(open.kind, FaultKind::TransistorStuck);
+  EXPECT_EQ(open.value, State::S0);
+  const Fault closed = Fault::transistorStuckClosed(net, t);
+  EXPECT_EQ(closed.value, State::S1);
+}
+
+TEST(FaultFactoryTest, FaultDeviceActivationComplementsGood) {
+  NetworkBuilder b;
+  const NodeId x = b.addNode("x");
+  const NodeId y = b.addNode("y");
+  const NodeId p = b.addNode("p");
+  const NodeId q = b.addNode("q");
+  const TransId shortDev = b.addShortFaultDevice(x, y);
+  const TransId openDev = b.addOpenFaultDevice(p, q);
+  const Network net = b.build();
+
+  const Fault fShort = Fault::faultDeviceActive(net, shortDev);
+  EXPECT_EQ(fShort.value, State::S1);  // good 0 -> faulty 1
+  EXPECT_EQ(fShort.name, "short(x,y)");
+  const Fault fOpen = Fault::faultDeviceActive(net, openDev);
+  EXPECT_EQ(fOpen.value, State::S0);  // good 1 -> faulty 0
+  EXPECT_EQ(fOpen.name, "open(p,q)");
+}
+
+TEST(FaultFactoryTest, KindMismatchesRejected) {
+  NetworkBuilder b;
+  const NodeId x = b.addNode("x");
+  const NodeId y = b.addNode("y");
+  const NodeId g = b.addInput("g");
+  const TransId normal = b.addTransistor(TransistorType::NType, 2, g, x, y);
+  const TransId dev = b.addShortFaultDevice(x, y);
+  const Network net = b.build();
+  EXPECT_THROW(Fault::faultDeviceActive(net, normal), Error);
+  EXPECT_THROW(Fault::transistorStuckOpen(net, dev), Error);
+  EXPECT_THROW(Fault::transistorStuckClosed(net, dev), Error);
+}
+
+TEST(UniverseTest, StorageNodeUniverseCoversEveryStorageNodeTwice) {
+  const Network net = smallNet();
+  const FaultList faults = allStorageNodeStuckFaults(net);
+  EXPECT_EQ(faults.size(), 2 * net.numStorage());
+  std::set<std::pair<std::uint32_t, State>> seen;
+  for (const Fault& f : faults) {
+    EXPECT_EQ(f.kind, FaultKind::NodeStuck);
+    EXPECT_FALSE(net.isInput(f.node)) << "inputs excluded";
+    EXPECT_TRUE(seen.insert({f.node.value, f.value}).second) << "duplicate";
+  }
+}
+
+TEST(UniverseTest, TransistorUniverseExcludesFaultDevices) {
+  const RamCircuit ram = buildRam(ram64Config());
+  const FaultList faults = allTransistorStuckFaults(ram.net);
+  EXPECT_EQ(faults.size(),
+            2 * (ram.net.numTransistors() - ram.net.numFaultDevices()));
+  for (const Fault& f : faults) {
+    EXPECT_FALSE(ram.net.transistor(f.transistor).isFaultDevice());
+  }
+}
+
+TEST(UniverseTest, FaultDeviceUniverseMatchesDeclaredDevices) {
+  const RamCircuit ram = buildRam(ram64Config());
+  const FaultList faults = allFaultDeviceFaults(ram.net);
+  EXPECT_EQ(faults.size(), ram.bitLineShorts.size());
+  for (const Fault& f : faults) {
+    EXPECT_EQ(f.kind, FaultKind::FaultDevice);
+    EXPECT_EQ(f.value, State::S1);  // all declared devices are shorts
+  }
+}
+
+TEST(UniverseTest, PaperUniverseSizesAreInRange) {
+  // Paper: RAM64 428 faults, RAM256 1382 ("all possible single stuck-at and
+  // single bus short faults").
+  const RamCircuit r64 = buildRam(ram64Config());
+  FaultList f64 = allStorageNodeStuckFaults(r64.net);
+  f64.append(allFaultDeviceFaults(r64.net));
+  EXPECT_GT(f64.size(), 380u);
+  EXPECT_LT(f64.size(), 520u);
+
+  const RamCircuit r256 = buildRam(ram256Config());
+  FaultList f256 = allStorageNodeStuckFaults(r256.net);
+  f256.append(allFaultDeviceFaults(r256.net));
+  EXPECT_GT(f256.size(), 1200u);
+  EXPECT_LT(f256.size(), 1600u);
+}
+
+TEST(SamplingTest, SampleIsDeterministicPerSeed) {
+  const Network net = smallNet();
+  FaultList universe = allStorageNodeStuckFaults(net);
+  universe.append(allTransistorStuckFaults(net));
+  Rng r1(9), r2(9), r3(10);
+  const FaultList a = sampleFaults(universe, 5, r1);
+  const FaultList b = sampleFaults(universe, 5, r2);
+  const FaultList c = sampleFaults(universe, 5, r3);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+  bool anyDiff = false;
+  for (std::uint32_t i = 0; i < 5; ++i) anyDiff |= a[i].name != c[i].name;
+  EXPECT_TRUE(anyDiff) << "different seeds should give different samples";
+}
+
+TEST(SamplingTest, SampleHasNoDuplicates) {
+  const Network net = smallNet();
+  FaultList universe = allStorageNodeStuckFaults(net);
+  universe.append(allTransistorStuckFaults(net));
+  Rng rng(123);
+  const FaultList s = sampleFaults(universe, universe.size(), rng);
+  std::set<std::string> names;
+  for (const Fault& f : s) {
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+  }
+  EXPECT_EQ(names.size(), universe.size());
+}
+
+TEST(SamplingTest, RejectsOversizedSample) {
+  const Network net = smallNet();
+  const FaultList universe = allStorageNodeStuckFaults(net);
+  Rng rng(1);
+  EXPECT_THROW(sampleFaults(universe, universe.size() + 1, rng), Error);
+}
+
+TEST(SamplingTest, ZeroSampleIsEmpty) {
+  const Network net = smallNet();
+  const FaultList universe = allStorageNodeStuckFaults(net);
+  Rng rng(1);
+  EXPECT_TRUE(sampleFaults(universe, 0, rng).empty());
+}
+
+TEST(FaultListTest, AppendAndIndexing) {
+  const Network net = smallNet();
+  FaultList a = allStorageNodeStuckFaults(net);
+  const std::uint32_t n = a.size();
+  FaultList b;
+  b.add(Fault::transistorStuckOpen(net, TransId(0)));
+  a.append(b);
+  EXPECT_EQ(a.size(), n + 1);
+  EXPECT_EQ(a[n].kind, FaultKind::TransistorStuck);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,171 @@
+// ISCAS-85 .bench parser and CMOS expansion: c17 functional equivalence
+// against a gate-level reference evaluator, error handling, fault mapping.
+#include "netlist/bench_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "netlist/gate_expand.hpp"
+#include "switch/logic_sim.hpp"
+
+namespace fmossim {
+namespace {
+
+TEST(BenchFormatTest, ParsesC17) {
+  const GateCircuit c17 = parseBench(kIscas85C17, "c17");
+  EXPECT_EQ(c17.inputs.size(), 5u);
+  EXPECT_EQ(c17.outputs.size(), 2u);
+  EXPECT_EQ(c17.numGates(), 6u);
+  for (const Gate& g : c17.gates) {
+    EXPECT_EQ(g.type, GateType::Nand);
+    EXPECT_EQ(g.inputs.size(), 2u);
+  }
+}
+
+TEST(BenchFormatTest, ParsesAllGateTypes) {
+  const GateCircuit c = parseBench(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\n"
+      "g1 = AND(a, b)\n"
+      "g2 = OR(a, b)\n"
+      "g3 = NAND(a, g1)\n"
+      "g4 = NOR(g2, b)\n"
+      "g5 = NOT(g3)\n"
+      "g6 = BUFF(g4)\n"
+      "g7 = XOR(g5, g6)\n"
+      "z = XNOR(g7, a)\n");
+  EXPECT_EQ(c.numGates(), 8u);
+  EXPECT_EQ(c.gates[7].type, GateType::Xnor);
+}
+
+TEST(BenchFormatTest, RejectsMalformedInput) {
+  EXPECT_THROW(parseBench("INPUT(a)\nz = FROB(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nz = NOT(a, a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nz = AND()\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nz = AND(a, ghost)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nINPUT(a)\nz = NOT(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nOUTPUT(missing)\nz = NOT(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\n"), Error);  // no gates
+  EXPECT_THROW(parseBench("gibberish line\n"), Error);
+}
+
+// Gate-level reference evaluator for combinational circuits (inputs 0/1).
+std::unordered_map<std::string, bool> evalGateLevel(
+    const GateCircuit& c, const std::unordered_map<std::string, bool>& inputs) {
+  std::unordered_map<std::string, bool> values = inputs;
+  // Gates may be out of order; iterate until fixed point (no cycles in
+  // combinational benchmarks).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Gate& g : c.gates) {
+      if (values.count(g.output)) continue;
+      bool ready = true;
+      for (const auto& in : g.inputs) ready &= values.count(in) > 0;
+      if (!ready) continue;
+      std::vector<bool> ins;
+      for (const auto& in : g.inputs) ins.push_back(values.at(in));
+      bool v = false;
+      switch (g.type) {
+        case GateType::And:
+        case GateType::Nand: {
+          v = true;
+          for (const bool x : ins) v = v && x;
+          if (g.type == GateType::Nand) v = !v;
+          break;
+        }
+        case GateType::Or:
+        case GateType::Nor: {
+          v = false;
+          for (const bool x : ins) v = v || x;
+          if (g.type == GateType::Nor) v = !v;
+          break;
+        }
+        case GateType::Not: v = !ins[0]; break;
+        case GateType::Buff: v = ins[0]; break;
+        case GateType::Xor:
+        case GateType::Xnor: {
+          v = false;
+          for (const bool x : ins) v = v != x;
+          if (g.type == GateType::Xnor) v = !v;
+          break;
+        }
+      }
+      values[g.output] = v;
+      progress = true;
+    }
+  }
+  return values;
+}
+
+TEST(GateExpandTest, C17MatchesGateLevelOnAllInputVectors) {
+  const GateCircuit c17 = parseBench(kIscas85C17, "c17");
+  const ExpandedCircuit ex = expandToCmos(c17);
+
+  LogicSimulator sim(ex.net);
+  sim.setInput(ex.net.nodeByName("Vdd"), State::S1);
+  sim.setInput(ex.net.nodeByName("Gnd"), State::S0);
+  sim.settle();
+
+  for (unsigned vec = 0; vec < 32; ++vec) {
+    std::unordered_map<std::string, bool> inputs;
+    for (std::size_t i = 0; i < c17.inputs.size(); ++i) {
+      const bool v = ((vec >> i) & 1u) != 0;
+      inputs[c17.inputs[i]] = v;
+      sim.setInput(ex.inputs[i], v ? State::S1 : State::S0);
+    }
+    sim.settle();
+    const auto ref = evalGateLevel(c17, inputs);
+    for (std::size_t o = 0; o < c17.outputs.size(); ++o) {
+      const State got = sim.state(ex.outputs[o]);
+      const State want = ref.at(c17.outputs[o]) ? State::S1 : State::S0;
+      EXPECT_EQ(got, want) << "vector " << vec << " output " << c17.outputs[o];
+    }
+  }
+}
+
+TEST(GateExpandTest, MixedGateCircuitMatchesGateLevel) {
+  const GateCircuit c = parseBench(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z1)\nOUTPUT(z2)\n"
+      "t1 = XOR(a, b)\n"
+      "t2 = AND(b, c)\n"
+      "t3 = OR(t1, t2)\n"
+      "z1 = XNOR(t3, c)\n"
+      "z2 = NOR(t1, NOTC)\n"
+      "NOTC = NOT(c)\n");
+  const ExpandedCircuit ex = expandToCmos(c);
+  LogicSimulator sim(ex.net);
+  sim.setInput(ex.net.nodeByName("Vdd"), State::S1);
+  sim.setInput(ex.net.nodeByName("Gnd"), State::S0);
+  sim.settle();
+
+  for (unsigned vec = 0; vec < 8; ++vec) {
+    std::unordered_map<std::string, bool> inputs;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      const bool v = ((vec >> i) & 1u) != 0;
+      inputs[c.inputs[i]] = v;
+      sim.setInput(ex.inputs[i], v ? State::S1 : State::S0);
+    }
+    sim.settle();
+    const auto ref = evalGateLevel(c, inputs);
+    for (std::size_t o = 0; o < c.outputs.size(); ++o) {
+      EXPECT_EQ(sim.state(ex.outputs[o]),
+                ref.at(c.outputs[o]) ? State::S1 : State::S0)
+          << "vector " << vec << " output " << c.outputs[o];
+    }
+  }
+}
+
+TEST(GateExpandTest, GateLevelFaultUniverseMapsToNodes) {
+  const GateCircuit c17 = parseBench(kIscas85C17, "c17");
+  const ExpandedCircuit ex = expandToCmos(c17);
+  const FaultList faults = gateLevelStuckFaults(c17, ex);
+  // SA0+SA1 per primary input and per gate output.
+  EXPECT_EQ(faults.size(), 2 * (c17.inputs.size() + c17.numGates()));
+  for (const Fault& f : faults) {
+    EXPECT_EQ(f.kind, FaultKind::NodeStuck);
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

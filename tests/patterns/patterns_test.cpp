@@ -1,0 +1,193 @@
+// Pattern/TestSequence machinery, RAM op encoding, and random patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/ram.hpp"
+#include "patterns/marching.hpp"
+#include "patterns/pattern.hpp"
+#include "patterns/ram_ops.hpp"
+#include "patterns/random_patterns.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+TEST(PatternTest, SettingAccumulatesAssignments) {
+  InputSetting s;
+  s.set(NodeId(3), State::S1);
+  s.set(NodeId(5), State::SX);
+  ASSERT_EQ(s.assignments.size(), 2u);
+  EXPECT_EQ(s.span()[0].first, NodeId(3));
+  EXPECT_EQ(s.span()[1].second, State::SX);
+}
+
+TEST(TestSequenceTest, AppendMergesPatternsAndChecksOutputs) {
+  TestSequence a, b;
+  a.addOutput(NodeId(1));
+  Pattern p;
+  p.label = "p0";
+  a.addPattern(p);
+  b.addOutput(NodeId(1));
+  b.addPattern(p);
+  b.addPattern(p);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+
+  TestSequence c;
+  c.addOutput(NodeId(2));  // different outputs
+  c.addPattern(p);
+  EXPECT_THROW(a.append(c), Error);
+}
+
+TEST(TestSequenceTest, AppendAdoptsOutputsWhenEmpty) {
+  TestSequence a, b;
+  b.addOutput(NodeId(7));
+  Pattern p;
+  b.addPattern(p);
+  a.append(b);
+  ASSERT_EQ(a.outputs().size(), 1u);
+  EXPECT_EQ(a.outputs()[0], NodeId(7));
+}
+
+TEST(TestSequenceTest, TotalSettingsSumsAcrossPatterns) {
+  TestSequence seq;
+  for (int i = 0; i < 3; ++i) {
+    Pattern p;
+    p.settings.resize(static_cast<std::size_t>(i) + 1);
+    seq.addPattern(std::move(p));
+  }
+  EXPECT_EQ(seq.totalSettings(), 1u + 2u + 3u);
+}
+
+class RamOpEncodingTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RamOpEncodingTest, AddressBitsEncodeRowThenColumn) {
+  const RamCircuit ram = buildRam(ram64Config());
+  const unsigned addr = GetParam();
+  const unsigned row = addr / ram.config.cols;
+  const unsigned col = addr % ram.config.cols;
+  const Pattern p = ramOpPattern(ram, RamOp::writeOp(addr, State::S1));
+  ASSERT_EQ(p.settings.size(), 6u);
+
+  // Collect the first setting's assignments into a map.
+  std::map<std::uint32_t, State> first;
+  for (const auto& [n, s] : p.settings[0].assignments) first[n.value] = s;
+
+  const unsigned nr = ram.config.rowAddressBits();
+  for (unsigned b = 0; b < nr; ++b) {
+    EXPECT_EQ(first.at(ram.addr[b].value),
+              ((row >> b) & 1u) ? State::S1 : State::S0)
+        << "row bit " << b;
+  }
+  for (unsigned b = 0; b < ram.config.colAddressBits(); ++b) {
+    EXPECT_EQ(first.at(ram.addr[nr + b].value),
+              ((col >> b) & 1u) ? State::S1 : State::S0)
+        << "col bit " << b;
+  }
+  EXPECT_EQ(first.at(ram.we.value), State::S1);
+  EXPECT_EQ(first.at(ram.din.value), State::S1);
+  EXPECT_EQ(first.at(ram.phiP.value), State::S1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, RamOpEncodingTest,
+                         ::testing::Values(0u, 1u, 7u, 8u, 21u, 63u));
+
+TEST(RamOpTest, ReadKeepsWriteEnableLow) {
+  const RamCircuit ram = buildRam(ram64Config());
+  const Pattern p = ramOpPattern(ram, RamOp::readOp(5));
+  for (const auto& [n, s] : p.settings[0].assignments) {
+    if (n == ram.we) EXPECT_EQ(s, State::S0);
+  }
+  EXPECT_EQ(p.label, "r@5");
+}
+
+TEST(RamOpTest, RejectsOutOfRangeAddress) {
+  const RamCircuit ram = buildRam(ram64Config());
+  EXPECT_THROW(ramOpPattern(ram, RamOp::readOp(64)), Error);
+}
+
+TEST(RamOpTest, ClockPhasesAreNonOverlapping) {
+  // At most one of phiP/phiR/phiL/phiW is raised in any setting, and each
+  // raised clock is lowered in a later setting of the same pattern.
+  const RamCircuit ram = buildRam(ram64Config());
+  const Pattern p = ramOpPattern(ram, RamOp::writeOp(9, State::S0));
+  const std::set<std::uint32_t> clocks = {ram.phiP.value, ram.phiR.value,
+                                          ram.phiL.value, ram.phiW.value};
+  std::map<std::uint32_t, State> level;  // current clock levels
+  for (const auto c : clocks) level[c] = State::S0;
+  for (const InputSetting& s : p.settings) {
+    for (const auto& [n, v] : s.assignments) {
+      if (clocks.count(n.value)) level[n.value] = v;
+    }
+    int high = 0;
+    for (const auto& [c, v] : level) {
+      if (v == State::S1) ++high;
+    }
+    EXPECT_LE(high, 1) << "overlapping clock phases";
+  }
+  for (const auto& [c, v] : level) {
+    EXPECT_EQ(v, State::S0) << "clock left high at end of pattern";
+  }
+}
+
+TEST(MarchTest, FiveOpsPerVisitedCell) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  EXPECT_EQ(ramMarch(ram, {0, 5, 9}).size(), 15u);
+  EXPECT_EQ(ramArrayMarch(ram).size(), 5u * 16u);
+}
+
+TEST(MarchTest, MarchVisitsEveryAddressInOrder) {
+  const RamCircuit ram = buildRam(RamConfig{4, 4});
+  const TestSequence seq = ramArrayMarch(ram);
+  // First 16 patterns are the w0 pass over ascending addresses.
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(seq[i].label, "w@" + std::to_string(i) + "=0");
+  }
+  // Then r/w pairs ascending.
+  EXPECT_EQ(seq[16].label, "r@0");
+  EXPECT_EQ(seq[17].label, "w@0=1");
+  EXPECT_EQ(seq[18].label, "r@1");
+}
+
+TEST(RandomPatternTest, DeterministicForFixedSeed) {
+  const std::vector<NodeId> inputs = {NodeId(0), NodeId(1), NodeId(2)};
+  Rng r1(42), r2(42);
+  const TestSequence a = randomPatterns(inputs, {.numPatterns = 16}, r1);
+  const TestSequence b = randomPatterns(inputs, {.numPatterns = 16}, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].settings.size(), b[i].settings.size());
+    for (std::size_t s = 0; s < a[i].settings.size(); ++s) {
+      EXPECT_EQ(a[i].settings[s].assignments, b[i].settings[s].assignments);
+    }
+  }
+}
+
+TEST(RandomPatternTest, RespectsXProbability) {
+  const std::vector<NodeId> inputs = {NodeId(0)};
+  Rng rng(7);
+  const TestSequence noX =
+      randomPatterns(inputs, {.numPatterns = 200, .xProbability = 0.0}, rng);
+  unsigned xs = 0;
+  for (std::uint32_t i = 0; i < noX.size(); ++i) {
+    for (const auto& [n, v] : noX[i].settings[0].assignments) {
+      if (v == State::SX) ++xs;
+    }
+  }
+  EXPECT_EQ(xs, 0u);
+
+  const TestSequence someX =
+      randomPatterns(inputs, {.numPatterns = 200, .xProbability = 0.5}, rng);
+  xs = 0;
+  for (std::uint32_t i = 0; i < someX.size(); ++i) {
+    for (const auto& [n, v] : someX[i].settings[0].assignments) {
+      if (v == State::SX) ++xs;
+    }
+  }
+  EXPECT_GT(xs, 50u);
+  EXPECT_LT(xs, 150u);
+}
+
+}  // namespace
+}  // namespace fmossim

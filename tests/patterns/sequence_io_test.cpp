@@ -1,0 +1,100 @@
+// Sequence text format: parsing, validation, round trip.
+#include "patterns/sequence_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+Network makeNet() {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId clk = b.addInput("clk");
+  const NodeId inv = cells.inverter(in, "inv");
+  cells.pass(clk, inv, b.addNode("out"));
+  return b.build();
+}
+
+TEST(SequenceIoTest, ParsesPatternsAndOutputs) {
+  const Network net = makeNet();
+  const TestSequence seq = parseSequence(net,
+                                         "# demo\n"
+                                         "outputs out inv\n"
+                                         "pattern p0\n"
+                                         "  set Vdd=1 Gnd=0 in=0 clk=1\n"
+                                         "  set clk=0\n"
+                                         "pattern\n"
+                                         "  set in=X\n");
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq.outputs().size(), 2u);
+  EXPECT_EQ(seq[0].label, "p0");
+  EXPECT_EQ(seq[0].settings.size(), 2u);
+  EXPECT_EQ(seq[0].settings[0].assignments.size(), 4u);
+  EXPECT_EQ(seq[1].settings[0].assignments[0].second, State::SX);
+}
+
+TEST(SequenceIoTest, RejectsMalformedInput) {
+  const Network net = makeNet();
+  // set before pattern
+  EXPECT_THROW(parseSequence(net, "outputs out\nset in=1\n"), Error);
+  // unknown node
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern\nset bogus=1\n"), Error);
+  // non-input assignment
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern\nset inv=1\n"), Error);
+  // bad value
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern\nset in=2\n"), Error);
+  // malformed assignment
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern\nset in\n"), Error);
+  // empty pattern
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern\npattern\nset in=1\n"),
+               Error);
+  // no outputs
+  EXPECT_THROW(parseSequence(net, "pattern\nset in=1\n"), Error);
+  // no patterns
+  EXPECT_THROW(parseSequence(net, "outputs out\n"), Error);
+  // unknown directive
+  EXPECT_THROW(parseSequence(net, "outputs out\nfrobnicate\n"), Error);
+  // unknown output node
+  EXPECT_THROW(parseSequence(net, "outputs nope\npattern\nset in=1\n"), Error);
+}
+
+TEST(SequenceIoTest, ErrorsCarryLineNumbers) {
+  const Network net = makeNet();
+  try {
+    parseSequence(net, "outputs out\npattern\n  set in=9\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SequenceIoTest, WriteParseRoundTrip) {
+  const Network net = makeNet();
+  const TestSequence seq = parseSequence(net,
+                                         "outputs out\n"
+                                         "pattern alpha\n"
+                                         "  set Vdd=1 Gnd=0 in=1 clk=0\n"
+                                         "  set clk=1\n"
+                                         "pattern beta\n"
+                                         "  set in=0\n");
+  const std::string text = writeSequence(net, seq);
+  const TestSequence again = parseSequence(net, text);
+  ASSERT_EQ(again.size(), seq.size());
+  EXPECT_EQ(again.outputs(), seq.outputs());
+  for (std::uint32_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(again[i].label, seq[i].label);
+    ASSERT_EQ(again[i].settings.size(), seq[i].settings.size());
+    for (std::size_t s = 0; s < seq[i].settings.size(); ++s) {
+      EXPECT_EQ(again[i].settings[s].assignments,
+                seq[i].settings[s].assignments);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

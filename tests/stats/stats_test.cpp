@@ -1,0 +1,148 @@
+// Statistics helpers: head/tail splits, downsampling, least-squares fits,
+// CSV output, and the ASCII chart renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/ascii_chart.hpp"
+#include "stats/recorder.hpp"
+
+namespace fmossim {
+namespace {
+
+FaultSimResult makeResult(std::uint32_t patterns) {
+  FaultSimResult res;
+  std::uint32_t cumulative = 0;
+  for (std::uint32_t i = 0; i < patterns; ++i) {
+    PatternStat st;
+    st.index = i;
+    st.seconds = 1.0 / (i + 1);       // falling cost
+    st.nodeEvals = 100 + i;
+    st.newlyDetected = (i % 3 == 0) ? 1 : 0;
+    cumulative += st.newlyDetected;
+    st.cumulativeDetected = cumulative;
+    st.aliveAfter = 50 - cumulative;
+    res.perPattern.push_back(st);
+    res.totalSeconds += st.seconds;
+    res.totalNodeEvals += st.nodeEvals;
+  }
+  res.numFaults = 50;
+  res.numDetected = cumulative;
+  return res;
+}
+
+TEST(RecorderTest, HeadTailSplitPartitionsEverything) {
+  const FaultSimResult res = makeResult(10);
+  const HeadTailSplit split = splitHeadTail(res, 4);
+  EXPECT_DOUBLE_EQ(split.headSeconds + split.tailSeconds, res.totalSeconds);
+  EXPECT_EQ(split.headNodeEvals + split.tailNodeEvals, res.totalNodeEvals);
+  EXPECT_EQ(split.detectedInHead + split.detectedInTail, res.numDetected);
+  EXPECT_EQ(split.detectedInHead, 2u);  // patterns 0 and 3
+  EXPECT_GT(split.headSecondsFraction(), 0.5) << "cost is front-loaded";
+}
+
+TEST(RecorderTest, MeanSlices) {
+  const FaultSimResult res = makeResult(4);  // secs: 1, 1/2, 1/3, 1/4
+  EXPECT_DOUBLE_EQ(meanSecondsPerPattern(res, 0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(meanSecondsPerPattern(res, 2, 4), (1.0 / 3 + 0.25) / 2);
+  EXPECT_DOUBLE_EQ(meanSecondsPerPattern(res, 4, 9), 0.0);  // empty slice
+  EXPECT_DOUBLE_EQ(meanNodeEvalsPerPattern(res, 0, 2), 100.5);
+}
+
+TEST(RecorderTest, DownsampleCoversWholeRunInOrder) {
+  const FaultSimResult res = makeResult(100);
+  const auto rows = downsample(res, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].pattern, i * 10);
+    if (i > 0) EXPECT_GE(rows[i].cumulativeDetected, rows[i - 1].cumulativeDetected);
+  }
+  EXPECT_EQ(rows.back().cumulativeDetected,
+            res.perPattern.back().cumulativeDetected);
+}
+
+TEST(RecorderTest, DownsampleHandlesDegenerateCases) {
+  const FaultSimResult res = makeResult(3);
+  EXPECT_EQ(downsample(res, 10).size(), 3u);  // clamped to run length
+  EXPECT_TRUE(downsample(res, 0).empty());
+  EXPECT_TRUE(downsample(FaultSimResult{}, 5).empty());
+}
+
+TEST(RecorderTest, LinearFitRecoversExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9, 11};  // y = 3 + 2x
+  const LinearFit fit = fitLine(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(RecorderTest, LinearFitDetectsNonlinearity) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(double(i) * i);  // quadratic
+  }
+  const LinearFit fit = fitLine(x, y);
+  EXPECT_LT(fit.r2, 0.99);
+  EXPECT_GT(fit.r2, 0.5);  // still correlated
+}
+
+TEST(RecorderTest, CsvRoundTrip) {
+  const FaultSimResult res = makeResult(5);
+  const std::string path = ::testing::TempDir() + "/fmossim_stats_test.csv";
+  writeCsv(res, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "pattern,seconds,node_evals,newly_detected,cumulative_detected,alive");
+  unsigned rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(RecorderTest, CsvRejectsUnwritablePath) {
+  const FaultSimResult res = makeResult(2);
+  EXPECT_THROW(writeCsv(res, "/nonexistent-dir/foo.csv"), Error);
+}
+
+TEST(AsciiChartTest, RendersBothSeriesWithinBounds) {
+  AsciiChart chart(20, 6);
+  std::vector<double> up, down;
+  for (int i = 0; i < 50; ++i) {
+    up.push_back(i);
+    down.push_back(50 - i);
+  }
+  const std::string s = chart.render(up, "up", down, "down");
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+  EXPECT_NE(s.find("up"), std::string::npos);
+  EXPECT_NE(s.find("down"), std::string::npos);
+  // 1 label line + 6 grid rows + 1 axis row.
+  std::istringstream lines(s);
+  std::string line;
+  unsigned count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_LE(line.size(), 24u + 40u);  // width + decoration, generous
+  }
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(AsciiChartTest, HandlesEmptyAndConstantSeries) {
+  AsciiChart chart(10, 4);
+  EXPECT_EQ(chart.render({}, "empty"), "");
+  const std::string s = chart.render({5, 5, 5}, "flat");
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,148 @@
+// Unit tests for NetworkBuilder and the Network structure.
+#include "switch/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fmossim {
+namespace {
+
+TEST(BuilderTest, BasicConstruction) {
+  NetworkBuilder b;
+  const NodeId vdd = b.addInput("Vdd");
+  const NodeId gnd = b.addInput("Gnd");
+  const NodeId in = b.addInput("in");
+  const NodeId out = b.addNode("out");
+  const TransId tp = b.addTransistor(TransistorType::PType, 2, in, vdd, out);
+  const TransId tn = b.addTransistor(TransistorType::NType, 2, in, out, gnd);
+
+  const Network net = b.build();
+  EXPECT_EQ(net.numNodes(), 4u);
+  EXPECT_EQ(net.numTransistors(), 2u);
+  EXPECT_EQ(net.numInputs(), 3u);
+  EXPECT_EQ(net.numStorage(), 1u);
+  EXPECT_EQ(net.numFaultDevices(), 0u);
+
+  EXPECT_TRUE(net.isInput(vdd));
+  EXPECT_FALSE(net.isInput(out));
+  EXPECT_EQ(net.nodeByName("out"), out);
+  EXPECT_FALSE(net.findNode("nonexistent").valid());
+  EXPECT_THROW(net.nodeByName("nonexistent"), Error);
+
+  // Adjacency.
+  EXPECT_EQ(net.node(in).gateOf.size(), 2u);
+  EXPECT_EQ(net.node(out).channelOf.size(), 2u);
+  EXPECT_EQ(net.node(vdd).channelOf.size(), 1u);
+
+  const auto& p = net.transistor(tp);
+  EXPECT_EQ(p.type, TransistorType::PType);
+  EXPECT_EQ(p.gate, in);
+  EXPECT_EQ(p.otherEnd(vdd), out);
+  EXPECT_EQ(p.otherEnd(out), vdd);
+  EXPECT_FALSE(p.isFaultDevice());
+  EXPECT_FALSE(net.transistor(tn).isFaultDevice());
+}
+
+TEST(BuilderTest, NodeSizesMapToLevels) {
+  NetworkBuilder b(SignalDomain(2, 3));
+  const NodeId small = b.addNode("small", 1);
+  const NodeId bus = b.addNode("bus", 2);
+  b.addInput("i");
+  const Network net = b.build();
+  EXPECT_EQ(net.node(small).size, 1);
+  EXPECT_EQ(net.node(bus).size, 2);
+}
+
+TEST(BuilderTest, RejectsDuplicateAndEmptyNames) {
+  NetworkBuilder b;
+  b.addNode("a");
+  EXPECT_THROW(b.addNode("a"), Error);
+  EXPECT_THROW(b.addInput("a"), Error);
+  EXPECT_THROW(b.addNode(""), Error);
+}
+
+TEST(BuilderTest, GetOrAddNodeReusesExisting) {
+  NetworkBuilder b;
+  const NodeId a = b.addInput("a");
+  EXPECT_EQ(b.getOrAddNode("a"), a);
+  const NodeId c = b.getOrAddNode("c");
+  EXPECT_EQ(b.getOrAddNode("c"), c);
+  EXPECT_EQ(b.numNodes(), 2u);
+}
+
+TEST(BuilderTest, RejectsSelfLoopTransistor) {
+  NetworkBuilder b;
+  const NodeId g = b.addInput("g");
+  const NodeId a = b.addNode("a");
+  EXPECT_THROW(b.addTransistor(TransistorType::NType, 1, g, a, a), Error);
+}
+
+TEST(BuilderTest, RejectsOutOfRangeStrengthAndSize) {
+  NetworkBuilder b(SignalDomain(1, 2));
+  const NodeId g = b.addInput("g");
+  const NodeId a = b.addNode("a");
+  const NodeId c = b.addNode("c");
+  EXPECT_THROW(b.addTransistor(TransistorType::NType, 3, g, a, c), Error);
+  EXPECT_THROW(b.addTransistor(TransistorType::NType, 0, g, a, c), Error);
+  EXPECT_THROW(b.addNode("d", 2), Error);
+}
+
+TEST(BuilderTest, RejectsEmptyNetwork) {
+  NetworkBuilder b;
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(BuilderTest, FaultDevices) {
+  NetworkBuilder b;
+  const NodeId a = b.addNode("a");
+  const NodeId c = b.addNode("c");
+  const NodeId x = b.addNode("x1");
+  const NodeId y = b.addNode("x2");
+  const TransId shortDev = b.addShortFaultDevice(a, c);
+  const TransId openDev = b.addOpenFaultDevice(x, y);
+  const Network net = b.build();
+
+  EXPECT_EQ(net.numFaultDevices(), 2u);
+  EXPECT_TRUE(net.transistor(shortDev).isFaultDevice());
+  EXPECT_EQ(*net.transistor(shortDev).goodConduction, State::S0);
+  EXPECT_EQ(*net.transistor(openDev).goodConduction, State::S1);
+  // Fault devices carry the reserved strongest gamma level.
+  EXPECT_EQ(net.transistor(shortDev).strength, net.domain().faultDeviceLevel());
+  // functionalTransistors excludes them.
+  EXPECT_TRUE(net.functionalTransistors().empty());
+  EXPECT_EQ(net.allTransistors().size(), 2u);
+}
+
+TEST(BuilderTest, UniqueNameGeneration) {
+  NetworkBuilder b;
+  b.addNode("t.0");
+  const std::string n1 = b.uniqueName("t");
+  const std::string n2 = b.uniqueName("t");
+  EXPECT_NE(n1, "t.0");
+  EXPECT_NE(n1, n2);
+  b.addNode(n1);
+  b.addNode(n2);
+}
+
+TEST(BuilderTest, StorageNodeEnumeration) {
+  NetworkBuilder b;
+  b.addInput("i0");
+  b.addNode("s0");
+  b.addInput("i1");
+  b.addNode("s1");
+  const Network net = b.build();
+  const auto storage = net.storageNodes();
+  ASSERT_EQ(storage.size(), 2u);
+  EXPECT_EQ(net.node(storage[0]).name, "s0");
+  EXPECT_EQ(net.node(storage[1]).name, "s1");
+  EXPECT_EQ(net.allNodes().size(), 4u);
+}
+
+TEST(BuilderTest, BuilderCannotBeReusedAfterBuild) {
+  NetworkBuilder b;
+  b.addNode("a");
+  (void)b.build();
+  EXPECT_DEATH((void)b.build(), "build");
+}
+
+}  // namespace
+}  // namespace fmossim

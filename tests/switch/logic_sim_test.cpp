@@ -1,0 +1,362 @@
+// LogicSimulator: event-driven behaviour, sequential circuits, fault forcing,
+// oscillation handling, counters.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+
+TEST(LogicSimTest, SetInputRejectsStorageNodes) {
+  NetworkBuilder b;
+  b.addInput("i");
+  const NodeId s = b.addNode("s");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  EXPECT_THROW(sim.setInput(s, State::S1), Error);
+}
+
+TEST(LogicSimTest, UninitializedNodesReadX) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  // Nothing driven yet: everything is X.
+  EXPECT_NODE(sim, "out", 'X');
+}
+
+TEST(LogicSimTest, InverterChainPropagatesThroughPhases) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  NodeId n = b.addInput("in");
+  for (int i = 0; i < 6; ++i) {
+    n = cells.inverter(n, "n" + std::to_string(i));
+  }
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", '0'}});
+  EXPECT_NODE(sim, "n0", '1');
+  EXPECT_NODE(sim, "n5", '0');  // six inversions: follows the input
+  driveAll(sim, {{"in", '1'}});
+  EXPECT_NODE(sim, "n5", '1');
+}
+
+TEST(LogicSimTest, DynamicLatchHoldsAcrossClock) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId clk = b.addInput("clk");
+  const NodeId latch = cells.dynamicLatch(d, clk, "latch");
+  cells.inverter(latch, "q");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"clk", '1'}, {"d", '1'}});
+  EXPECT_NODE(sim, "latch", '1');
+  EXPECT_NODE(sim, "q", '0');
+  driveAll(sim, {{"clk", '0'}});
+  driveAll(sim, {{"d", '0'}});
+  EXPECT_NODE(sim, "latch", '1');  // isolated: holds
+  EXPECT_NODE(sim, "q", '0');
+  driveAll(sim, {{"clk", '1'}});
+  EXPECT_NODE(sim, "latch", '0');  // follows d again
+  EXPECT_NODE(sim, "q", '1');
+}
+
+TEST(LogicSimTest, TwoPhaseShiftRegister) {
+  // Two-stage pass-transistor shift register with non-overlapping clocks:
+  // classic MOS dynamic structure (paper §5 mentions dynamic latches).
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId p1 = b.addInput("p1");
+  const NodeId p2 = b.addInput("p2");
+  NodeId stageIn = d;
+  for (int i = 0; i < 2; ++i) {
+    const std::string tag = std::to_string(i);
+    const NodeId l1 = cells.dynamicLatch(stageIn, p1, "m" + tag);
+    const NodeId inv1 = cells.inverter(l1, "mi" + tag);
+    const NodeId l2 = cells.dynamicLatch(inv1, p2, "s" + tag);
+    stageIn = cells.inverter(l2, "q" + tag);
+  }
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"p1", '0'}, {"p2", '0'}, {"d", '1'}});
+
+  const auto clockCycle = [&](char bit) {
+    driveAll(sim, {{"d", bit}});
+    driveAll(sim, {{"p1", '1'}});
+    driveAll(sim, {{"p1", '0'}});
+    driveAll(sim, {{"p2", '1'}});
+    driveAll(sim, {{"p2", '0'}});
+  };
+
+  clockCycle('1');
+  EXPECT_NODE(sim, "q0", '1');
+  clockCycle('0');
+  EXPECT_NODE(sim, "q0", '0');
+  EXPECT_NODE(sim, "q1", '1');  // previous bit shifted one stage on
+  clockCycle('1');
+  EXPECT_NODE(sim, "q0", '1');
+  EXPECT_NODE(sim, "q1", '0');
+}
+
+TEST(LogicSimTest, ForceNodeActsAsStuckInput) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  cells.inverter(mid, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  sim.forceNode(mid, State::S0);  // mid stuck-at-0
+  sim.settle();
+  driveAll(sim, {{"in", '1'}});
+  EXPECT_NODE(sim, "mid", '0');  // would be 0 anyway
+  EXPECT_NODE(sim, "out", '1');
+  driveAll(sim, {{"in", '0'}});
+  EXPECT_NODE(sim, "mid", '0');  // fault visible: good value would be 1
+  EXPECT_NODE(sim, "out", '1');
+}
+
+TEST(LogicSimTest, ForcedInputIgnoresSetInput) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  sim.forceNode(in, State::S1);  // frozen input (e.g. stuck clock line)
+  sim.settle();
+  driveAll(sim, {{"in", '0'}});  // ignored
+  EXPECT_NODE(sim, "out", '0');
+  EXPECT_TRUE(sim.isForcedNode(in));
+}
+
+TEST(LogicSimTest, ForceTransistorStuckClosed) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId out = b.addNode("out");
+  const TransId t = cells.pass(g, d, out);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  sim.forceTransistor(t, State::S1);  // stuck-closed
+  sim.settle();
+  driveAll(sim, {{"g", '0'}, {"d", '1'}});
+  EXPECT_NODE(sim, "out", '1');  // conducts despite gate low
+  driveAll(sim, {{"d", '0'}});
+  EXPECT_NODE(sim, "out", '0');
+}
+
+TEST(LogicSimTest, CmosStuckOpenMakesGateSequential) {
+  // The classic non-classical fault (paper §1): a stuck-open transistor in a
+  // CMOS NAND turns it into a dynamic element that remembers its previous
+  // output.
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId a = b.addInput("a");
+  const NodeId bb = b.addInput("b");
+  cells.nand({a, bb}, "out");
+  const Network net = b.build();
+  // The pull-down chain transistor gated by `a`: find it (n-type, gate a).
+  TransId nA;
+  for (const TransId t : net.allTransistors()) {
+    const auto& tr = net.transistor(t);
+    if (tr.type == TransistorType::NType && tr.gate == a) nA = t;
+  }
+  ASSERT_TRUE(nA.valid());
+
+  LogicSimulator sim(net);
+  driveRails(sim);
+  sim.forceTransistor(nA, State::S0);  // stuck-open
+  sim.settle();
+  driveAll(sim, {{"a", '0'}, {"b", '1'}});
+  EXPECT_NODE(sim, "out", '1');  // pull-up through a's p-device
+  driveAll(sim, {{"a", '1'}});
+  // Good circuit: out = NAND(1,1) = 0. Faulty: no path to ground (stuck-open)
+  // and no path to Vdd (both p off): the output *holds* its previous 1.
+  EXPECT_NODE(sim, "out", '1');
+  // After establishing 0 via b=0 -> out=1... drive the other history:
+  driveAll(sim, {{"a", '0'}});
+  EXPECT_NODE(sim, "out", '1');
+  driveAll(sim, {{"a", '1'}, {"b", '1'}});
+  EXPECT_NODE(sim, "out", '1') << "sequential memory of the fault";
+}
+
+TEST(LogicSimTest, FaultDeviceInactiveInGoodCircuit) {
+  // A short fault device must not disturb the good circuit; once activated,
+  // two equal-strength CMOS drivers fight to X.
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId i1 = b.addInput("i1");
+  const NodeId i2 = b.addInput("i2");
+  const NodeId n1 = cells.inverter(i1, "n1");
+  const NodeId n2 = cells.inverter(i2, "n2");
+  const TransId ft = b.addShortFaultDevice(n1, n2);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"i1", '0'}, {"i2", '1'}});
+  EXPECT_NODE(sim, "n1", '1');
+  EXPECT_NODE(sim, "n2", '0');
+  sim.forceTransistor(ft, State::S1);
+  sim.settle();
+  EXPECT_NODE(sim, "n1", 'X');
+  EXPECT_NODE(sim, "n2", 'X');
+}
+
+TEST(LogicSimTest, ActivatedShortResolvesTowardStrongerDriver) {
+  // nMOS ratioed version: the weak pull-up side loses the fight and both
+  // sides settle to a definite 0 — shorts are resolved by relative strength,
+  // exactly what the switch-level model buys over gate-level fault models.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId i1 = b.addInput("i1");
+  const NodeId i2 = b.addInput("i2");
+  const NodeId n1 = cells.inverter(i1, "n1");
+  const NodeId n2 = cells.inverter(i2, "n2");
+  const TransId ft = b.addShortFaultDevice(n1, n2);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"i1", '0'}, {"i2", '1'}});
+  EXPECT_NODE(sim, "n1", '1');  // weak load pulls up
+  EXPECT_NODE(sim, "n2", '0');  // strong driver pulls down
+  sim.forceTransistor(ft, State::S1);
+  sim.settle();
+  EXPECT_NODE(sim, "n1", '0');
+  EXPECT_NODE(sim, "n2", '0');
+}
+
+TEST(LogicSimTest, OpenFaultDeviceSplitsNode) {
+  // Wire modeled as two halves w1-w2 joined by an open fault device.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId w1 = cells.inverter(in, "w1");
+  const NodeId w2 = b.addNode("w2");
+  const TransId ft = b.addOpenFaultDevice(w1, w2);
+  cells.inverter(w2, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", '0'}});
+  EXPECT_NODE(sim, "w2", '1');  // good circuit: wire is whole
+  EXPECT_NODE(sim, "out", '0');
+  sim.forceTransistor(ft, State::S0);  // break the wire
+  sim.settle();
+  driveAll(sim, {{"in", '1'}});
+  EXPECT_NODE(sim, "w1", '0');
+  EXPECT_NODE(sim, "w2", '1');  // floating half holds old charge
+  EXPECT_NODE(sim, "out", '0');
+}
+
+TEST(LogicSimTest, RingOscillatorGoesXWithOscillationFlag) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId en = b.addInput("en");
+  // NAND-based ring: out = NAND(en, r2), r1 = INV(out), r2 = INV(r1).
+  const NodeId r2 = b.addNode("r2");
+  const NodeId out = b.addNode("ring");
+  cells.nandInto({en, r2}, out);
+  const NodeId r1 = cells.inverter(out, "r1");
+  cells.inverterInto(r1, r2);
+  const Network net = b.build();
+  LogicSimulator sim(net, SimOptions{.settleLimit = 50});
+  driveRails(sim);
+  driveAll(sim, {{"en", '0'}});  // stable: out=1, r1=0, r2=1
+  EXPECT_NODE(sim, "ring", '1');
+  sim.setInput(net.nodeByName("en"), State::S1);
+  const SettleResult res = sim.settle();
+  EXPECT_TRUE(res.oscillated);
+  EXPECT_NODE(sim, "ring", 'X');
+  EXPECT_GE(sim.counters().oscillations, 1u);
+}
+
+TEST(LogicSimTest, ResetStateReturnsToAllX) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", '0'}});
+  EXPECT_NODE(sim, "out", '1');
+  sim.resetState();
+  EXPECT_NODE(sim, "in", 'X');
+  sim.settle();
+  // Inputs are X again; output follows as X (pull-down X vs load).
+  EXPECT_NODE(sim, "out", 'X');
+}
+
+TEST(LogicSimTest, ClearForcesRestoresGoodBehaviour) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  cells.inverter(mid, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  sim.forceNode(mid, State::S0);
+  sim.settle();
+  driveAll(sim, {{"in", '0'}});
+  EXPECT_NODE(sim, "out", '1');  // faulty
+  sim.clearForces();
+  sim.settle();
+  EXPECT_NODE(sim, "mid", '1');
+  EXPECT_NODE(sim, "out", '0');  // good again
+}
+
+TEST(LogicSimTest, CountersAdvanceMonotonically) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  const auto before = sim.counters();
+  driveAll(sim, {{"in", '1'}});
+  driveAll(sim, {{"in", '0'}});
+  const auto after = sim.counters();
+  EXPECT_GT(after.settles, before.settles);
+  EXPECT_GT(after.nodeEvals, before.nodeEvals);
+  EXPECT_GT(after.transistorToggles, before.transistorToggles);
+  sim.resetCounters();
+  EXPECT_EQ(sim.counters().settles, 0u);
+}
+
+TEST(LogicSimTest, RedundantInputAssignmentIsCheap) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  cells.inverter(in, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", '1'}});
+  const auto evalsBefore = sim.counters().nodeEvals;
+  driveAll(sim, {{"in", '1'}});  // no change
+  EXPECT_EQ(sim.counters().nodeEvals, evalsBefore)
+      << "re-asserting an unchanged input must not schedule work";
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,134 @@
+// Unit tests for the ternary signal algebra, including the full Table 1 of
+// the paper (transistor conduction as a function of gate state).
+#include "switch/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace fmossim {
+namespace {
+
+TEST(StateTest, CharRoundTrip) {
+  EXPECT_EQ(stateChar(State::S0), '0');
+  EXPECT_EQ(stateChar(State::S1), '1');
+  EXPECT_EQ(stateChar(State::SX), 'X');
+  EXPECT_EQ(stateFromChar('0'), State::S0);
+  EXPECT_EQ(stateFromChar('1'), State::S1);
+  EXPECT_EQ(stateFromChar('X'), State::SX);
+  EXPECT_EQ(stateFromChar('x'), State::SX);
+  EXPECT_THROW(stateFromChar('2'), Error);
+  EXPECT_THROW(stateFromChar(' '), Error);
+}
+
+TEST(StateTest, Invert) {
+  EXPECT_EQ(invertState(State::S0), State::S1);
+  EXPECT_EQ(invertState(State::S1), State::S0);
+  EXPECT_EQ(invertState(State::SX), State::SX);
+}
+
+TEST(StateTest, InvertIsInvolution) {
+  for (State s : {State::S0, State::S1, State::SX}) {
+    EXPECT_EQ(invertState(invertState(s)), s);
+  }
+}
+
+TEST(StateTest, MergeValues) {
+  EXPECT_EQ(mergeValues(State::S0, State::S0), State::S0);
+  EXPECT_EQ(mergeValues(State::S1, State::S1), State::S1);
+  EXPECT_EQ(mergeValues(State::S0, State::S1), State::SX);
+  EXPECT_EQ(mergeValues(State::S1, State::S0), State::SX);
+  EXPECT_EQ(mergeValues(State::SX, State::S0), State::SX);
+  EXPECT_EQ(mergeValues(State::S1, State::SX), State::SX);
+  EXPECT_EQ(mergeValues(State::SX, State::SX), State::SX);
+}
+
+TEST(StateTest, MergeIsCommutativeAndIdempotent) {
+  const State all[] = {State::S0, State::S1, State::SX};
+  for (State a : all) {
+    EXPECT_EQ(mergeValues(a, a), a);
+    for (State b : all) {
+      EXPECT_EQ(mergeValues(a, b), mergeValues(b, a));
+    }
+  }
+}
+
+// Paper Table 1:
+//   gate state | n-type  p-type  d-type
+//       0      |   0       1       1
+//       1      |   1       0       1
+//       X      |   X       X       1
+using Table1Row = std::tuple<State, State, State, State>;  // gate, n, p, d
+
+class Table1Test : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Test, ConductionMatchesPaper) {
+  const auto [gate, n, p, d] = GetParam();
+  EXPECT_EQ(conductionState(TransistorType::NType, gate), n);
+  EXPECT_EQ(conductionState(TransistorType::PType, gate), p);
+  EXPECT_EQ(conductionState(TransistorType::DType, gate), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, Table1Test,
+    ::testing::Values(
+        Table1Row{State::S0, State::S0, State::S1, State::S1},
+        Table1Row{State::S1, State::S1, State::S0, State::S1},
+        Table1Row{State::SX, State::SX, State::SX, State::S1}));
+
+TEST(TransistorTypeTest, Names) {
+  EXPECT_STREQ(transistorTypeName(TransistorType::NType), "n");
+  EXPECT_STREQ(transistorTypeName(TransistorType::PType), "p");
+  EXPECT_STREQ(transistorTypeName(TransistorType::DType), "d");
+  EXPECT_EQ(transistorTypeFromName("n"), TransistorType::NType);
+  EXPECT_EQ(transistorTypeFromName("e"), TransistorType::NType);
+  EXPECT_EQ(transistorTypeFromName("P"), TransistorType::PType);
+  EXPECT_EQ(transistorTypeFromName("d"), TransistorType::DType);
+  EXPECT_THROW(transistorTypeFromName("q"), Error);
+  EXPECT_THROW(transistorTypeFromName("nn"), Error);
+  EXPECT_THROW(transistorTypeFromName(""), Error);
+}
+
+TEST(SignalDomainTest, LevelLayout) {
+  const SignalDomain d(2, 3);
+  // lambda=0, sizes 1..2, strengths 3..5, omega=6.
+  EXPECT_EQ(d.sizeLevel(1), 1);
+  EXPECT_EQ(d.sizeLevel(2), 2);
+  EXPECT_EQ(d.strengthLevel(1), 3);
+  EXPECT_EQ(d.strengthLevel(3), 5);
+  EXPECT_EQ(d.omega(), 6);
+  EXPECT_EQ(d.numLevels(), 7u);
+  EXPECT_TRUE(d.isSizeLevel(1));
+  EXPECT_TRUE(d.isSizeLevel(2));
+  EXPECT_FALSE(d.isSizeLevel(3));
+  EXPECT_TRUE(d.isStrengthLevel(3));
+  EXPECT_TRUE(d.isStrengthLevel(5));
+  EXPECT_FALSE(d.isStrengthLevel(6));
+  EXPECT_EQ(d.faultDeviceLevel(), 5);
+}
+
+TEST(SignalDomainTest, TotalOrderSizesBelowStrengthsBelowOmega) {
+  for (unsigned k = 1; k <= 4; ++k) {
+    for (unsigned g = 1; g <= 4; ++g) {
+      const SignalDomain d(k, g);
+      EXPECT_LT(d.sizeLevel(k), d.strengthLevel(1));
+      EXPECT_LT(d.strengthLevel(g), d.omega());
+      EXPECT_GT(d.sizeLevel(1), 0);  // everything above lambda
+    }
+  }
+}
+
+TEST(SignalDomainTest, RejectsOutOfRangeConfig) {
+  EXPECT_THROW(SignalDomain(0, 1), Error);
+  EXPECT_THROW(SignalDomain(1, 0), Error);
+  EXPECT_THROW(SignalDomain(9, 1), Error);
+  EXPECT_THROW(SignalDomain(1, 9), Error);
+  const SignalDomain d(2, 2);
+  EXPECT_THROW(d.sizeLevel(0), Error);
+  EXPECT_THROW(d.sizeLevel(3), Error);
+  EXPECT_THROW(d.strengthLevel(0), Error);
+  EXPECT_THROW(d.strengthLevel(3), Error);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,322 @@
+// Steady-state solver: basic driven logic, exercised through LogicSimulator
+// on hand-built circuits (nMOS ratioed gates, CMOS complementary gates, pass
+// transistors).
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+using testing::read;
+
+// --- nMOS inverter ---------------------------------------------------------
+
+struct InverterFixture {
+  Network net;
+  static InverterFixture make() {
+    NetworkBuilder b;
+    NmosCells cells(b);
+    const NodeId in = b.addInput("in");
+    cells.inverter(in, "out");
+    return {b.build()};
+  }
+};
+
+class NmosInverterTest : public ::testing::TestWithParam<std::pair<char, char>> {};
+
+TEST_P(NmosInverterTest, TruthTable) {
+  const auto [in, expected] = GetParam();
+  auto fx = InverterFixture::make();
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  driveAll(sim, {{"in", in}});
+  EXPECT_NODE(sim, "out", expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, NmosInverterTest,
+                         ::testing::Values(std::pair{'0', '1'},
+                                           std::pair{'1', '0'},
+                                           std::pair{'X', 'X'}));
+
+// --- nMOS NOR / NAND -------------------------------------------------------
+
+struct TwoInputRow {
+  char a, b, expected;
+};
+
+class NmosNorTest : public ::testing::TestWithParam<TwoInputRow> {};
+
+TEST_P(NmosNorTest, TruthTable) {
+  const auto row = GetParam();
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId a = b.addInput("a");
+  const NodeId bb = b.addInput("b");
+  cells.nor({a, bb}, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"a", row.a}, {"b", row.b}});
+  EXPECT_NODE(sim, "out", row.expected);
+}
+
+// Ternary NOR: 0 dominates to 1 only when both low; any 1 forces 0.
+INSTANTIATE_TEST_SUITE_P(AllInputs, NmosNorTest,
+                         ::testing::Values(TwoInputRow{'0', '0', '1'},
+                                           TwoInputRow{'0', '1', '0'},
+                                           TwoInputRow{'1', '0', '0'},
+                                           TwoInputRow{'1', '1', '0'},
+                                           TwoInputRow{'X', '0', 'X'},
+                                           TwoInputRow{'0', 'X', 'X'},
+                                           TwoInputRow{'X', '1', '0'},
+                                           TwoInputRow{'1', 'X', '0'},
+                                           TwoInputRow{'X', 'X', 'X'}));
+
+class NmosNandTest : public ::testing::TestWithParam<TwoInputRow> {};
+
+TEST_P(NmosNandTest, TruthTable) {
+  const auto row = GetParam();
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId a = b.addInput("a");
+  const NodeId bb = b.addInput("b");
+  cells.nand({a, bb}, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"a", row.a}, {"b", row.b}});
+  EXPECT_NODE(sim, "out", row.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, NmosNandTest,
+                         ::testing::Values(TwoInputRow{'0', '0', '1'},
+                                           TwoInputRow{'0', '1', '1'},
+                                           TwoInputRow{'1', '0', '1'},
+                                           TwoInputRow{'1', '1', '0'},
+                                           TwoInputRow{'X', '1', 'X'},
+                                           TwoInputRow{'1', 'X', 'X'},
+                                           TwoInputRow{'X', '0', '1'},
+                                           TwoInputRow{'0', 'X', '1'},
+                                           TwoInputRow{'X', 'X', 'X'}));
+
+// --- CMOS gates ------------------------------------------------------------
+
+class CmosInverterTest : public ::testing::TestWithParam<std::pair<char, char>> {};
+
+TEST_P(CmosInverterTest, TruthTable) {
+  const auto [in, expected] = GetParam();
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId inN = b.addInput("in");
+  cells.inverter(inN, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"in", in}});
+  EXPECT_NODE(sim, "out", expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, CmosInverterTest,
+                         ::testing::Values(std::pair{'0', '1'},
+                                           std::pair{'1', '0'},
+                                           std::pair{'X', 'X'}));
+
+class CmosNandTest : public ::testing::TestWithParam<TwoInputRow> {};
+
+TEST_P(CmosNandTest, TruthTable) {
+  const auto row = GetParam();
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId a = b.addInput("a");
+  const NodeId bb = b.addInput("b");
+  cells.nand({a, bb}, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"a", row.a}, {"b", row.b}});
+  EXPECT_NODE(sim, "out", row.expected);
+}
+
+// NAND(X,0) must be a definite 1: the 0 input cuts the pull-down chain and
+// turns its p-device definitely on.
+INSTANTIATE_TEST_SUITE_P(AllInputs, CmosNandTest,
+                         ::testing::Values(TwoInputRow{'0', '0', '1'},
+                                           TwoInputRow{'0', '1', '1'},
+                                           TwoInputRow{'1', '0', '1'},
+                                           TwoInputRow{'1', '1', '0'},
+                                           TwoInputRow{'X', '0', '1'},
+                                           TwoInputRow{'0', 'X', '1'},
+                                           TwoInputRow{'X', '1', 'X'},
+                                           TwoInputRow{'1', 'X', 'X'},
+                                           TwoInputRow{'X', 'X', 'X'}));
+
+class CmosNorTest : public ::testing::TestWithParam<TwoInputRow> {};
+
+TEST_P(CmosNorTest, TruthTable) {
+  const auto row = GetParam();
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId a = b.addInput("a");
+  const NodeId bb = b.addInput("b");
+  cells.nor({a, bb}, "out");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"a", row.a}, {"b", row.b}});
+  EXPECT_NODE(sim, "out", row.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, CmosNorTest,
+                         ::testing::Values(TwoInputRow{'0', '0', '1'},
+                                           TwoInputRow{'0', '1', '0'},
+                                           TwoInputRow{'1', '0', '0'},
+                                           TwoInputRow{'1', '1', '0'},
+                                           TwoInputRow{'X', '1', '0'},
+                                           TwoInputRow{'1', 'X', '0'},
+                                           TwoInputRow{'X', '0', 'X'},
+                                           TwoInputRow{'0', 'X', 'X'},
+                                           TwoInputRow{'X', 'X', 'X'}));
+
+// --- Ratioed logic ---------------------------------------------------------
+
+TEST(RatioedTest, WeakPullUpLosesToStrongPullDown) {
+  // A bare fight: weak always-on pull-up vs. gated strong pull-down.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId en = b.addInput("en");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::DType, 1, n, rails.vdd, n);      // weak load
+  b.addTransistor(TransistorType::NType, 2, en, n, rails.gnd);     // strong driver
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"en", '1'}});
+  EXPECT_NODE(sim, "n", '0');  // ratio fight: pull-down wins
+  driveAll(sim, {{"en", '0'}});
+  EXPECT_NODE(sim, "n", '1');  // load restores the node
+}
+
+TEST(RatioedTest, EqualStrengthFightIsX) {
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId en = b.addInput("en");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::NType, 2, en, rails.vdd, n);
+  b.addTransistor(TransistorType::NType, 2, en, n, rails.gnd);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"en", '1'}});
+  EXPECT_NODE(sim, "n", 'X');  // short circuit: equal-strength 0 and 1
+}
+
+TEST(RatioedTest, SeriesAttenuationToWeakestDevice) {
+  // Vdd -[strong]- a -[weak]- b, Gnd -[strong]- b: the Vdd signal arrives at
+  // b attenuated to the weak level and loses; a itself stays 1.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId on = b.addInput("on");
+  const NodeId a = b.addNode("a");
+  const NodeId bb = b.addNode("b");
+  b.addTransistor(TransistorType::NType, 2, on, rails.vdd, a);
+  b.addTransistor(TransistorType::NType, 1, on, a, bb);
+  b.addTransistor(TransistorType::NType, 2, on, bb, rails.gnd);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}});
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "b", '0');
+}
+
+// --- Pass transistors ------------------------------------------------------
+
+TEST(PassTest, DrivesAndIsolates) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId out = b.addNode("out");
+  cells.pass(g, d, out);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '1'}, {"d", '1'}});
+  EXPECT_NODE(sim, "out", '1');
+  driveAll(sim, {{"d", '0'}});
+  EXPECT_NODE(sim, "out", '0');  // still connected, follows the input
+  driveAll(sim, {{"g", '0'}});
+  EXPECT_NODE(sim, "out", '0');  // isolated: holds
+  driveAll(sim, {{"d", '1'}});
+  EXPECT_NODE(sim, "out", '0');  // input change does not reach it
+  driveAll(sim, {{"g", '1'}});
+  EXPECT_NODE(sim, "out", '1');  // reconnected
+}
+
+TEST(PassTest, TransmissionGatePassesBothPolarities) {
+  NetworkBuilder b;
+  CmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId c = b.addInput("c");
+  const NodeId cb = b.addInput("cb");
+  const NodeId out = b.addNode("out");
+  cells.transmissionGate(c, cb, d, out);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"c", '1'}, {"cb", '0'}, {"d", '1'}});
+  EXPECT_NODE(sim, "out", '1');
+  driveAll(sim, {{"d", '0'}});
+  EXPECT_NODE(sim, "out", '0');
+  driveAll(sim, {{"c", '0'}, {"cb", '1'}});
+  driveAll(sim, {{"d", '1'}});
+  EXPECT_NODE(sim, "out", '0');  // gate off: holds
+}
+
+// --- Bidirectionality ------------------------------------------------------
+
+TEST(BidirectionalTest, ConductionIsSymmetric) {
+  // The same transistor drives b from a and a from b depending on which side
+  // is driven; no source/drain asymmetry exists.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId g = b.addInput("g");
+  const NodeId a = b.addNode("a");
+  const NodeId c = b.addNode("c");
+  const NodeId sel = b.addInput("sel");
+  b.addTransistor(TransistorType::NType, 2, g, a, c);
+  // Drive a from Vdd when sel=1:
+  b.addTransistor(TransistorType::NType, 2, sel, rails.vdd, a);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '1'}, {"sel", '1'}});
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "c", '1');  // conducted a -> c
+}
+
+// --- Depletion device ------------------------------------------------------
+
+TEST(DTypeTest, ConductsRegardlessOfGate) {
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId g = b.addInput("g");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::DType, 1, g, rails.vdd, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  for (const char gs : {'0', '1', 'X'}) {
+    driveAll(sim, {{"g", gs}});
+    EXPECT_NODE(sim, "n", '1');
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

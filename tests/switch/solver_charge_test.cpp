@@ -1,0 +1,233 @@
+// Steady-state solver: charge storage, charge sharing by node size,
+// precharged busses — the dynamic-memory behaviours of paper §2/§5.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+
+// Helper circuit: two storage nodes a (sizeA) and b (sizeB), each loadable
+// from its own data input through a pass transistor, then connectable to each
+// other through a "share" pass transistor.
+struct SharePair {
+  Network net;
+  static SharePair make(unsigned sizeA, unsigned sizeB) {
+    NetworkBuilder b;
+    NmosCells cells(b);
+    const NodeId da = b.addInput("da");
+    const NodeId db = b.addInput("db");
+    const NodeId la = b.addInput("la");
+    const NodeId lb = b.addInput("lb");
+    const NodeId share = b.addInput("share");
+    const NodeId a = b.addNode("a", sizeA);
+    const NodeId bb = b.addNode("b", sizeB);
+    cells.pass(la, da, a);
+    cells.pass(lb, db, bb);
+    cells.pass(share, a, bb);
+    return {b.build()};
+  }
+};
+
+// Loads a=va, b=vb, isolates both, then shares.
+void loadAndShare(LogicSimulator& sim, char va, char vb) {
+  driveRails(sim);
+  driveAll(sim, {{"share", '0'}, {"la", '1'}, {"lb", '1'},
+                 {"da", va}, {"db", vb}});
+  driveAll(sim, {{"la", '0'}, {"lb", '0'}});
+  driveAll(sim, {{"share", '1'}});
+}
+
+TEST(ChargeSharingTest, LargerNodeWins) {
+  auto fx = SharePair::make(2, 1);
+  LogicSimulator sim(fx.net);
+  loadAndShare(sim, '1', '0');
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "b", '1');  // the big capacitor overwrites the small one
+}
+
+TEST(ChargeSharingTest, LargerNodeWinsLowToo) {
+  auto fx = SharePair::make(2, 1);
+  LogicSimulator sim(fx.net);
+  loadAndShare(sim, '0', '1');
+  EXPECT_NODE(sim, "a", '0');
+  EXPECT_NODE(sim, "b", '0');
+}
+
+TEST(ChargeSharingTest, EqualSizesDisagreeingGoX) {
+  auto fx = SharePair::make(1, 1);
+  LogicSimulator sim(fx.net);
+  loadAndShare(sim, '1', '0');
+  EXPECT_NODE(sim, "a", 'X');
+  EXPECT_NODE(sim, "b", 'X');
+}
+
+TEST(ChargeSharingTest, EqualSizesAgreeingKeepValue) {
+  auto fx = SharePair::make(1, 1);
+  LogicSimulator sim(fx.net);
+  loadAndShare(sim, '1', '1');
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "b", '1');
+}
+
+TEST(ChargeSharingTest, SmallSideXCorruptsEqualSizedNeighbour) {
+  auto fx = SharePair::make(1, 1);
+  LogicSimulator sim(fx.net);
+  // b never loaded -> X; sharing with a=1 at equal size gives X on both.
+  driveRails(sim);
+  driveAll(sim, {{"share", '0'}, {"la", '1'}, {"da", '1'}, {"lb", '0'}, {"db", '0'}});
+  driveAll(sim, {{"la", '0'}});
+  driveAll(sim, {{"share", '1'}});
+  EXPECT_NODE(sim, "a", 'X');
+  EXPECT_NODE(sim, "b", 'X');
+}
+
+TEST(ChargeSharingTest, BigNodeOverridesXOnSmallNode) {
+  auto fx = SharePair::make(2, 1);
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  driveAll(sim, {{"share", '0'}, {"la", '1'}, {"da", '1'}, {"lb", '0'}, {"db", '0'}});
+  driveAll(sim, {{"la", '0'}});
+  driveAll(sim, {{"share", '1'}});
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "b", '1');  // big definite charge beats small X charge
+}
+
+TEST(ChargeTest, DrivenSignalOverridesStoredCharge) {
+  // A driven value (transistor strength) always beats stored charge (size),
+  // even on the largest node.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId load = b.addInput("load");
+  const NodeId bus = b.addNode("bus", 2);
+  b.addTransistor(TransistorType::NType, 2, load, rails.gnd, bus);
+  // Give the bus a 1 first through another pass from Vdd.
+  const NodeId pre = b.addInput("pre");
+  b.addTransistor(TransistorType::NType, 2, pre, rails.vdd, bus);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"pre", '1'}, {"load", '0'}});
+  EXPECT_NODE(sim, "bus", '1');
+  driveAll(sim, {{"pre", '0'}});
+  EXPECT_NODE(sim, "bus", '1');  // holds charge
+  driveAll(sim, {{"load", '1'}});
+  EXPECT_NODE(sim, "bus", '0');  // driven low despite size-2 stored 1
+}
+
+TEST(ChargeTest, IsolatedNodeHoldsIndefinitely) {
+  auto fx = SharePair::make(2, 1);
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  driveAll(sim, {{"share", '0'}, {"la", '1'}, {"da", '1'}});
+  driveAll(sim, {{"la", '0'}});
+  // Wiggle the unrelated input repeatedly; a must hold its charge.
+  for (int i = 0; i < 5; ++i) {
+    driveAll(sim, {{"da", i % 2 ? '1' : '0'}});
+    EXPECT_NODE(sim, "a", '1');
+  }
+}
+
+// --- Precharged bit-line read (the 3T DRAM read path of paper §5) ----------
+
+struct ThreeTCell {
+  Network net;
+  static ThreeTCell make() {
+    NetworkBuilder b;
+    NmosCells cells(b);
+    const NodeId phiP = b.addInput("phiP");   // precharge clock
+    const NodeId wwl = b.addInput("wwl");     // write word line
+    const NodeId rwl = b.addInput("rwl");     // read word line
+    const NodeId wbl = b.addInput("wbl");     // write bit line (driven)
+    const NodeId rbl = b.addNode("rbl", 2);   // read bit line: big bus node
+    const NodeId s = b.addNode("s");          // storage node
+    const NodeId mid = b.addNode("mid");      // T2/T3 junction
+    cells.precharge(phiP, rbl);
+    cells.pass(wwl, wbl, s);                                   // T1
+    b.addTransistor(TransistorType::NType, 2, s, mid,
+                    b.getOrAddNode("Gnd"));                    // T2
+    cells.pass(rwl, rbl, mid);                                 // T3
+    return {b.build()};
+  }
+};
+
+TEST(PrechargedBusTest, ReadOneDischargesBitLine) {
+  auto fx = ThreeTCell::make();
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  // Write 1 into the cell.
+  driveAll(sim, {{"phiP", '0'}, {"rwl", '0'}, {"wbl", '1'}, {"wwl", '1'}});
+  driveAll(sim, {{"wwl", '0'}});
+  EXPECT_NODE(sim, "s", '1');
+  // Precharge, then read: bit line must discharge through T3/T2.
+  driveAll(sim, {{"phiP", '1'}});
+  EXPECT_NODE(sim, "rbl", '1');
+  driveAll(sim, {{"phiP", '0'}});
+  driveAll(sim, {{"rwl", '1'}});
+  EXPECT_NODE(sim, "rbl", '0');
+  EXPECT_NODE(sim, "s", '1');  // read is non-destructive for the cell
+}
+
+TEST(PrechargedBusTest, ReadZeroKeepsBitLineHigh) {
+  auto fx = ThreeTCell::make();
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  driveAll(sim, {{"phiP", '0'}, {"rwl", '0'}, {"wbl", '0'}, {"wwl", '1'}});
+  driveAll(sim, {{"wwl", '0'}});
+  EXPECT_NODE(sim, "s", '0');
+  driveAll(sim, {{"phiP", '1'}});
+  driveAll(sim, {{"phiP", '0'}});
+  driveAll(sim, {{"rwl", '1'}});
+  // T2 is off; the size-2 bit line keeps its charge against the size-1
+  // junction node.
+  EXPECT_NODE(sim, "rbl", '1');
+}
+
+TEST(PrechargedBusTest, CellSurvivesManyReads) {
+  auto fx = ThreeTCell::make();
+  LogicSimulator sim(fx.net);
+  driveRails(sim);
+  driveAll(sim, {{"phiP", '0'}, {"rwl", '0'}, {"wbl", '1'}, {"wwl", '1'}});
+  driveAll(sim, {{"wwl", '0'}});
+  for (int i = 0; i < 4; ++i) {
+    driveAll(sim, {{"phiP", '1'}});
+    driveAll(sim, {{"phiP", '0'}});
+    driveAll(sim, {{"rwl", '1'}});
+    EXPECT_NODE(sim, "rbl", '0') << "read " << i;
+    driveAll(sim, {{"rwl", '0'}});
+    EXPECT_NODE(sim, "s", '1') << "after read " << i;
+  }
+}
+
+TEST(ChargeChainTest, ChargeEqualizesAcrossConductingChain) {
+  // Three nodes in a chain, the big one at the end dominates all.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId ld = b.addInput("ld");
+  const NodeId g = b.addInput("g");
+  const NodeId n1 = b.addNode("n1", 2);
+  const NodeId n2 = b.addNode("n2", 1);
+  const NodeId n3 = b.addNode("n3", 1);
+  cells.pass(ld, d, n1);
+  cells.pass(g, n1, n2);
+  cells.pass(g, n2, n3);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '0'}, {"ld", '1'}, {"d", '1'}});
+  driveAll(sim, {{"ld", '0'}});
+  driveAll(sim, {{"g", '1'}});
+  EXPECT_NODE(sim, "n1", '1');
+  EXPECT_NODE(sim, "n2", '1');
+  EXPECT_NODE(sim, "n3", '1');
+}
+
+}  // namespace
+}  // namespace fmossim

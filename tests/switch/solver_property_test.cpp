@@ -1,0 +1,193 @@
+// Property-based tests of the steady-state solver on randomly generated
+// vicinities: determinism, idempotence (a steady state is a fixed point),
+// charge conservation for isolated nodes, strength-domination invariants,
+// and monotonicity of X (replacing a definite source value by X never makes
+// the result *more* definite).
+#include <gtest/gtest.h>
+
+#include "switch/solver.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+State randomState(Rng& rng) {
+  const auto r = rng.below(3);
+  return static_cast<State>(r);
+}
+
+// Random connected-ish vicinity over the default domain.
+Vicinity randomVicinity(Rng& rng, const SignalDomain& domain) {
+  Vicinity vic;
+  const unsigned n = 1 + static_cast<unsigned>(rng.below(10));
+  for (unsigned i = 0; i < n; ++i) {
+    vic.members.push_back(NodeId(i));
+    vic.memberSize.push_back(
+        domain.sizeLevel(1 + static_cast<unsigned>(rng.below(domain.numSizes()))));
+    vic.memberCharge.push_back(randomState(rng));
+  }
+  const unsigned edges = static_cast<unsigned>(rng.below(2 * n + 1));
+  for (unsigned e = 0; e < edges; ++e) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) continue;
+    vic.edges.push_back({a, b,
+                         domain.strengthLevel(
+                             1 + static_cast<unsigned>(rng.below(domain.numStrengths()))),
+                         rng.chance(0.7)});
+  }
+  const unsigned inputs = static_cast<unsigned>(rng.below(3));
+  for (unsigned i = 0; i < inputs; ++i) {
+    vic.inputEdges.push_back({static_cast<std::uint32_t>(rng.below(n)),
+                              domain.strengthLevel(1 + static_cast<unsigned>(
+                                                           rng.below(domain.numStrengths()))),
+                              rng.chance(0.7), randomState(rng)});
+  }
+  return vic;
+}
+
+// Information order: X is below 0 and 1. lessDefinite(a, b) == a is no more
+// definite than b.
+bool noMoreDefinite(State a, State b) { return a == b || a == State::SX; }
+
+class SolverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverPropertyTest, DeterministicAcrossSolverInstances) {
+  Rng rng(GetParam());
+  const SignalDomain domain;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vicinity vic = randomVicinity(rng, domain);
+    SteadyStateSolver s1(domain), s2(domain);
+    std::vector<State> o1, o2;
+    s1.solve(vic, o1);
+    s2.solve(vic, o2);
+    EXPECT_EQ(o1, o2);
+  }
+}
+
+TEST_P(SolverPropertyTest, SteadyStateIsAFixedPoint) {
+  // Re-solving with the computed states as charge returns the same states:
+  // the "steady state" really is steady.
+  Rng rng(GetParam() + 1000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vicinity vic = randomVicinity(rng, domain);
+    std::vector<State> first, second;
+    solver.solve(vic, first);
+    vic.memberCharge = first;
+    solver.solve(vic, second);
+    EXPECT_EQ(first, second) << "trial " << trial;
+  }
+}
+
+TEST_P(SolverPropertyTest, IsolatedNodesKeepTheirCharge) {
+  Rng rng(GetParam() + 2000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vicinity vic = randomVicinity(rng, domain);
+    vic.edges.clear();
+    vic.inputEdges.clear();
+    std::vector<State> out;
+    solver.solve(vic, out);
+    for (std::size_t i = 0; i < vic.size(); ++i) {
+      EXPECT_EQ(out[i], vic.memberCharge[i]);
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, OmegaDefiniteDriveDominatesEverything) {
+  // Add a definite input edge at the strongest transistor strength to every
+  // node: each node must take exactly that value.
+  Rng rng(GetParam() + 3000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  for (int trial = 0; trial < 30; ++trial) {
+    Vicinity vic = randomVicinity(rng, domain);
+    // Remove competing input drives (they could fight at equal strength),
+    // then drive every node definitely at the strongest level.
+    vic.inputEdges.clear();
+    const State v = rng.chance(0.5) ? State::S1 : State::S0;
+    for (std::uint32_t i = 0; i < vic.size(); ++i) {
+      vic.inputEdges.push_back(
+          {i, domain.strengthLevel(domain.numStrengths()), true, v});
+    }
+    std::vector<State> out;
+    solver.solve(vic, out);
+    for (std::size_t i = 0; i < vic.size(); ++i) {
+      EXPECT_EQ(out[i], v) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, XingASourceNeverAddsDefiniteness) {
+  // Conservativeness: replacing one charge or input value with X can only
+  // move results down the information order (or leave them unchanged).
+  Rng rng(GetParam() + 4000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  for (int trial = 0; trial < 60; ++trial) {
+    Vicinity vic = randomVicinity(rng, domain);
+    std::vector<State> base;
+    solver.solve(vic, base);
+
+    Vicinity mutated = vic;
+    if (!mutated.inputEdges.empty() && rng.chance(0.5)) {
+      mutated.inputEdges[rng.below(mutated.inputEdges.size())].value = State::SX;
+    } else {
+      mutated.memberCharge[rng.below(mutated.size())] = State::SX;
+    }
+    std::vector<State> xed;
+    solver.solve(mutated, xed);
+    for (std::size_t i = 0; i < vic.size(); ++i) {
+      EXPECT_TRUE(noMoreDefinite(xed[i], base[i]))
+          << "trial " << trial << " node " << i << ": base "
+          << stateChar(base[i]) << " -> X'd " << stateChar(xed[i]);
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, WeakeningAnEdgeToXOnlyLosesDefiniteness) {
+  // Turning a definite edge into an uncertain (X conduction) one is also a
+  // conservative transformation.
+  Rng rng(GetParam() + 5000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  for (int trial = 0; trial < 60; ++trial) {
+    Vicinity vic = randomVicinity(rng, domain);
+    if (vic.edges.empty()) continue;
+    std::vector<State> base;
+    solver.solve(vic, base);
+
+    Vicinity mutated = vic;
+    auto& edge = mutated.edges[rng.below(mutated.edges.size())];
+    if (!edge.definite) continue;
+    edge.definite = false;
+    std::vector<State> weakened;
+    solver.solve(mutated, weakened);
+    for (std::size_t i = 0; i < vic.size(); ++i) {
+      EXPECT_TRUE(weakened[i] == base[i] || weakened[i] == State::SX)
+          << "trial " << trial << " node " << i;
+    }
+  }
+}
+
+TEST_P(SolverPropertyTest, CountersAdvance) {
+  Rng rng(GetParam() + 6000);
+  const SignalDomain domain;
+  SteadyStateSolver solver(domain);
+  const Vicinity vic = randomVicinity(rng, domain);
+  std::vector<State> out;
+  solver.solve(vic, out);
+  EXPECT_EQ(solver.solves(), 1u);
+  EXPECT_EQ(solver.nodeEvals(), vic.size());
+  solver.resetCounters();
+  EXPECT_EQ(solver.solves(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,153 @@
+// Multi-strength / multi-size domains: the generalized ratioed behaviour of
+// paper §2 ("we can introduce additional strengths to model more peculiar
+// circuit structures or to model fault effects") and the reserved fault-
+// device strength dominating every functional driver.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+
+// Three strengths: 1 (weak), 2 (normal), 3 (strong). Two fighting drivers
+// of parameterized strengths; result follows the stronger, X on tie.
+struct FightCase {
+  unsigned upStrength;
+  unsigned downStrength;
+  char expected;
+};
+
+class StrengthFightTest : public ::testing::TestWithParam<FightCase> {};
+
+TEST_P(StrengthFightTest, StrongerDriverWins) {
+  const auto pc = GetParam();
+  NetworkBuilder b(SignalDomain(2, 3));
+  const Supplies rails = ensureSupplies(b);
+  const NodeId on = b.addInput("on");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::NType, pc.upStrength, on, rails.vdd, n);
+  b.addTransistor(TransistorType::NType, pc.downStrength, on, n, rails.gnd);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}});
+  EXPECT_NODE(sim, "n", pc.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, StrengthFightTest,
+                         ::testing::Values(FightCase{1, 1, 'X'},
+                                           FightCase{1, 2, '0'},
+                                           FightCase{1, 3, '0'},
+                                           FightCase{2, 1, '1'},
+                                           FightCase{2, 2, 'X'},
+                                           FightCase{2, 3, '0'},
+                                           FightCase{3, 1, '1'},
+                                           FightCase{3, 2, '1'},
+                                           FightCase{3, 3, 'X'}));
+
+TEST(StrengthTest, FourSizeChargeSharingFollowsLargestCapacitor) {
+  // Sizes 1..4: the largest node's charge wins any sharing event.
+  NetworkBuilder b(SignalDomain(4, 2));
+  NmosCells cells(b);
+  const NodeId ld = b.addInput("ld");
+  const NodeId share = b.addInput("share");
+  const NodeId d = b.addInput("d");
+  const NodeId small = b.addNode("small", 1);
+  const NodeId mid1 = b.addNode("mid1", 2);
+  const NodeId mid2 = b.addNode("mid2", 3);
+  const NodeId big = b.addNode("big", 4);
+  cells.pass(ld, d, big);
+  cells.pass(share, big, mid2);
+  cells.pass(share, mid2, mid1);
+  cells.pass(share, mid1, small);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  // Load big=1, leave others at X, then share: 1 wins everywhere.
+  driveAll(sim, {{"share", '0'}, {"ld", '1'}, {"d", '1'}});
+  driveAll(sim, {{"ld", '0'}});
+  driveAll(sim, {{"share", '1'}});
+  EXPECT_NODE(sim, "small", '1');
+  EXPECT_NODE(sim, "mid1", '1');
+  EXPECT_NODE(sim, "mid2", '1');
+  EXPECT_NODE(sim, "big", '1');
+}
+
+TEST(StrengthTest, IntermediateSizeBeatsSmallerLosesToLarger) {
+  NetworkBuilder b(SignalDomain(3, 1));
+  NmosCells cells(b, CellStrengths{1, 1});  // single-strength domain
+  const NodeId la = b.addInput("la");
+  const NodeId lb = b.addInput("lb");
+  const NodeId share = b.addInput("share");
+  const NodeId da = b.addInput("da");
+  const NodeId db = b.addInput("db");
+  const NodeId a = b.addNode("a", 2);
+  const NodeId c = b.addNode("c", 3);
+  cells.pass(la, da, a);
+  cells.pass(lb, db, c);
+  cells.pass(share, a, c);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"share", '0'}, {"la", '1'}, {"lb", '1'}, {"da", '1'}, {"db", '0'}});
+  driveAll(sim, {{"la", '0'}, {"lb", '0'}});
+  driveAll(sim, {{"share", '1'}});
+  // size-3 node (holding 0) overrides size-2 node (holding 1).
+  EXPECT_NODE(sim, "a", '0');
+  EXPECT_NODE(sim, "c", '0');
+}
+
+TEST(StrengthTest, FaultDeviceStrengthDominatesAllDrivers) {
+  // A short fault device must out-drive even the strongest functional
+  // transistor ("a transistor of very high strength", paper §3).
+  NetworkBuilder b(SignalDomain(2, 3));
+  const Supplies rails = ensureSupplies(b);
+  const NodeId on = b.addInput("on");
+  const NodeId n = b.addNode("n");
+  const NodeId m = b.addNode("m");
+  // n strongly driven high (strength 2 of 3; level below the fault level).
+  b.addTransistor(TransistorType::NType, 2, on, rails.vdd, n);
+  // m tied to ground through a strength-2 device.
+  b.addTransistor(TransistorType::NType, 2, on, m, rails.gnd);
+  const TransId ft = b.addShortFaultDevice(n, m);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}});
+  EXPECT_NODE(sim, "n", '1');
+  EXPECT_NODE(sim, "m", '0');
+  sim.forceTransistor(ft, State::S1);
+  sim.settle();
+  // Through the strength-3 short the two strength-2 drivers now fight at
+  // their own (equal) strength: X on both — the short is "transparent".
+  EXPECT_NODE(sim, "n", 'X');
+  EXPECT_NODE(sim, "m", 'X');
+}
+
+TEST(StrengthTest, AttenuationChainDropsToWeakestLink) {
+  // Signal through strengths 3 -> 1 -> 2 arrives at strength 1 and loses to
+  // a strength-2 opponent.
+  NetworkBuilder b(SignalDomain(1, 3));
+  const Supplies rails = ensureSupplies(b);
+  const NodeId on = b.addInput("on");
+  const NodeId a = b.addNode("a");
+  const NodeId c = b.addNode("c");
+  b.addTransistor(TransistorType::NType, 3, on, rails.vdd, a);
+  b.addTransistor(TransistorType::NType, 1, on, a, c);  // weak link
+  b.addTransistor(TransistorType::NType, 2, on, c, rails.gnd);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}});
+  EXPECT_NODE(sim, "a", '1');
+  EXPECT_NODE(sim, "c", '0');
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,211 @@
+// Steady-state solver: X-state handling — uncertain switches, blocking of
+// weak potential signals by strong definite ones, conservative propagation.
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+#include "switch/logic_sim.hpp"
+#include "test_util.hpp"
+
+namespace fmossim {
+namespace {
+
+using testing::driveAll;
+using testing::driveRails;
+
+TEST(XGateTest, UncertainPassAgainstDisagreeingChargeIsX) {
+  // Driven 1 through an X-gated pass onto a node holding 0: the node may or
+  // may not be overwritten -> X.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId ld = b.addInput("ld");
+  const NodeId init = b.addInput("init");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, n);
+  cells.pass(ld, init, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '0'}, {"ld", '1'}, {"init", '0'}, {"d", '1'}});
+  driveAll(sim, {{"ld", '0'}});
+  EXPECT_NODE(sim, "n", '0');
+  driveAll(sim, {{"g", 'X'}});
+  EXPECT_NODE(sim, "n", 'X');
+}
+
+TEST(XGateTest, UncertainPassAgainstAgreeingChargeStaysDefinite) {
+  // Same topology but the stored value agrees with the driven one: no X.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId ld = b.addInput("ld");
+  const NodeId init = b.addInput("init");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, n);
+  cells.pass(ld, init, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '0'}, {"ld", '1'}, {"init", '1'}, {"d", '1'}});
+  driveAll(sim, {{"ld", '0'}});
+  EXPECT_NODE(sim, "n", '1');
+  driveAll(sim, {{"g", 'X'}});
+  EXPECT_NODE(sim, "n", '1');  // both resolutions give 1: stay definite
+}
+
+TEST(XBlockingTest, DefiniteStrongSignalBlocksUncertainWeakOne) {
+  // n is definitely driven low at full strength; an X-gated *weak* path to
+  // Vdd cannot possibly win, so n stays a definite 0.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId gx = b.addInput("gx");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::NType, 2, b.addInput("on"), n, rails.gnd);
+  b.addTransistor(TransistorType::NType, 1, gx, rails.vdd, n);  // weak
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}, {"gx", 'X'}});
+  EXPECT_NODE(sim, "n", '0');
+}
+
+TEST(XBlockingTest, EqualStrengthUncertainPathMakesX) {
+  // Same but the uncertain path has equal strength: now it could fight.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId gx = b.addInput("gx");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::NType, 2, b.addInput("on"), n, rails.gnd);
+  b.addTransistor(TransistorType::NType, 2, gx, rails.vdd, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}, {"gx", 'X'}});
+  EXPECT_NODE(sim, "n", 'X');
+}
+
+TEST(XBlockingTest, BlockingAppliesAtIntermediateNodes) {
+  // Vdd -[s2]- m (strongly driven 1), and a weak X path Gnd -[s1,gx]- m
+  // -[s1,on]- n: the weak 0 is absorbed at m, so n sees only m's 1.
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  const NodeId gx = b.addInput("gx");
+  const NodeId on = b.addInput("on");
+  const NodeId m = b.addNode("m");
+  const NodeId n = b.addNode("n");
+  b.addTransistor(TransistorType::NType, 2, on, rails.vdd, m);
+  b.addTransistor(TransistorType::NType, 1, gx, rails.gnd, m);  // weak, X-gated
+  b.addTransistor(TransistorType::NType, 1, on, m, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}, {"gx", 'X'}});
+  EXPECT_NODE(sim, "m", '1');
+  EXPECT_NODE(sim, "n", '1');
+}
+
+TEST(XSourceTest, XInputPropagatesThroughConductingPath) {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '1'}, {"d", 'X'}});
+  EXPECT_NODE(sim, "n", 'X');
+}
+
+TEST(XSourceTest, XOnIsolatedRegionDoesNotLeak) {
+  // X on one side of an off transistor must not corrupt the other side.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId dx = b.addInput("dx");
+  const NodeId d = b.addInput("d");
+  const NodeId a = b.addNode("a");
+  const NodeId c = b.addNode("c");
+  const NodeId off = b.addInput("off");
+  const NodeId on = b.addInput("on");
+  cells.pass(on, dx, a);
+  cells.pass(off, a, c);
+  cells.pass(on, d, c);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"on", '1'}, {"off", '0'}, {"dx", 'X'}, {"d", '1'}});
+  EXPECT_NODE(sim, "a", 'X');
+  EXPECT_NODE(sim, "c", '1');
+}
+
+TEST(XChainTest, SeriesOfUncertainSwitchesStaysConservative) {
+  // Two X-gated passes in series from a driven 1 to a node holding 0:
+  // still X (the connection may or may not exist).
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId ld = b.addInput("ld");
+  const NodeId init = b.addInput("init");
+  const NodeId mid = b.addNode("mid");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, mid);
+  cells.pass(g, mid, n);
+  cells.pass(ld, init, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '0'}, {"ld", '1'}, {"init", '0'}, {"d", '1'}});
+  driveAll(sim, {{"ld", '0'}});
+  driveAll(sim, {{"g", 'X'}});
+  EXPECT_NODE(sim, "n", 'X');
+  EXPECT_NODE(sim, "mid", 'X');
+}
+
+TEST(XRecoveryTest, DefiniteDriveCleansUpX) {
+  // A node that went X recovers to a definite value once definitely driven —
+  // X is not sticky in the model.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, n);
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", '1'}, {"d", 'X'}});
+  EXPECT_NODE(sim, "n", 'X');
+  driveAll(sim, {{"d", '1'}});
+  EXPECT_NODE(sim, "n", '1');
+}
+
+TEST(XInverterChainTest, XStopsAtRestoringLogicWhenInputDefinite) {
+  // X on a pass-gate output feeding an inverter gives X out of the inverter,
+  // but a definite input restores full levels downstream.
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId d = b.addInput("d");
+  const NodeId g = b.addInput("g");
+  const NodeId n = b.addNode("n");
+  cells.pass(g, d, n);
+  cells.inverter(n, "inv1");
+  cells.inverter(b.getOrAddNode("inv1"), "inv2");
+  const Network net = b.build();
+  LogicSimulator sim(net);
+  driveRails(sim);
+  driveAll(sim, {{"g", 'X'}, {"d", '1'}});
+  EXPECT_NODE(sim, "inv1", 'X');
+  EXPECT_NODE(sim, "inv2", 'X');
+  driveAll(sim, {{"g", '1'}});
+  EXPECT_NODE(sim, "n", '1');
+  EXPECT_NODE(sim, "inv1", '0');
+  EXPECT_NODE(sim, "inv2", '1');
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -1,0 +1,304 @@
+// Structural tests of the vicinity builder (dynamic locality, paper §4):
+// membership through conducting transistors, input-node boundaries, X
+// conduction, claim deduplication, and input-seed expansion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "switch/builder.hpp"
+#include "switch/vicinity.hpp"
+
+namespace fmossim {
+namespace {
+
+// A view whose states are set directly by the test.
+struct ManualView {
+  const Network* net;
+  std::vector<State> states;
+  std::vector<State> cond;
+  std::vector<bool> stuck;  // per-node "behaves as input" override
+
+  explicit ManualView(const Network& n)
+      : net(&n),
+        states(n.numNodes(), State::SX),
+        cond(n.numTransistors(), State::S0),
+        stuck(n.numNodes(), false) {}
+
+  State nodeState(NodeId id) const { return states[id.value]; }
+  State conduction(TransId t) const { return cond[t.value]; }
+  bool isInputNode(NodeId id) const {
+    return net->isInput(id) || stuck[id.value];
+  }
+};
+
+// Test chain: input -t0- a -t1- b -t2- c, all gated by input g.
+struct Chain {
+  NodeId in, a, b, c;
+  TransId t0, t1, t2;
+  Network net;
+
+  Chain() : net(buildNet(*this)) {}
+
+  static Network buildNet(Chain& f) {
+    NetworkBuilder bld;
+    const NodeId g = bld.addInput("g");
+    f.in = bld.addInput("in");
+    f.a = bld.addNode("a");
+    f.b = bld.addNode("b");
+    f.c = bld.addNode("c");
+    f.t0 = bld.addTransistor(TransistorType::NType, 2, g, f.in, f.a);
+    f.t1 = bld.addTransistor(TransistorType::NType, 2, g, f.a, f.b);
+    f.t2 = bld.addTransistor(TransistorType::NType, 2, g, f.b, f.c);
+    return bld.build();
+  }
+};
+
+std::set<std::string> memberNames(const Network& net, const Vicinity& vic) {
+  std::set<std::string> names;
+  for (const NodeId n : vic.members) names.insert(net.node(n).name);
+  return names;
+}
+
+TEST(VicinityTest, GrowsThroughConductingTransistors) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t0.value] = State::S1;
+  view.cond[f.t1.value] = State::S1;
+  view.cond[f.t2.value] = State::S1;
+  view.states[f.in.value] = State::S1;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(vic.edges.size(), 2u);       // a-b, b-c
+  ASSERT_EQ(vic.inputEdges.size(), 1u);  // in-a
+  EXPECT_EQ(vic.inputEdges[0].value, State::S1);
+  EXPECT_TRUE(vic.inputEdges[0].definite);
+}
+
+TEST(VicinityTest, OffTransistorBoundsTheRegion) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t0.value] = State::S1;
+  view.cond[f.t1.value] = State::S1;
+  view.cond[f.t2.value] = State::S0;  // b-c off
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a", "b"}));
+}
+
+TEST(VicinityTest, XConductionIncludedAsNonDefinite) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t0.value] = State::S0;
+  view.cond[f.t1.value] = State::SX;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a", "b"}));
+  ASSERT_EQ(vic.edges.size(), 1u);
+  EXPECT_FALSE(vic.edges[0].definite);
+}
+
+TEST(VicinityTest, InputNodesAreBoundariesNotMembers) {
+  // Even with everything conducting, the input node never becomes a member
+  // and paths do not continue through it.
+  NetworkBuilder bld;
+  const NodeId g = bld.addInput("g");
+  const NodeId mid = bld.addInput("midInput");
+  const NodeId a = bld.addNode("a");
+  const NodeId c = bld.addNode("c");
+  const TransId t0 = bld.addTransistor(TransistorType::NType, 2, g, a, mid);
+  const TransId t1 = bld.addTransistor(TransistorType::NType, 2, g, mid, c);
+  const Network net = bld.build();
+
+  ManualView view(net);
+  view.cond[t0.value] = State::S1;
+  view.cond[t1.value] = State::S1;
+  view.states[mid.value] = State::S0;
+
+  VicinityBuilder vb(net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, a, vic));
+  // c is NOT reached: the path passes through an input node.
+  EXPECT_EQ(memberNames(net, vic), (std::set<std::string>{"a"}));
+  ASSERT_EQ(vic.inputEdges.size(), 1u);
+}
+
+TEST(VicinityTest, PerCircuitStuckNodeActsAsInputBoundary) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t0.value] = State::S1;
+  view.cond[f.t1.value] = State::S1;
+  view.cond[f.t2.value] = State::S1;
+  view.stuck[f.b.value] = true;  // node fault: b behaves as an input (paper §3)
+  view.states[f.b.value] = State::S1;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a"}));
+  ASSERT_EQ(vic.inputEdges.size(), 2u);  // from "in" and from stuck "b"
+}
+
+TEST(VicinityTest, ClaimedSeedsAreSkippedWithinAGeneration) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t1.value] = State::S1;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  EXPECT_EQ(vic.size(), 2u);  // a, b
+  EXPECT_FALSE(vb.grow(view, f.b, vic)) << "b already claimed";
+  // A new generation allows re-growth.
+  vb.newGeneration();
+  ASSERT_TRUE(vb.grow(view, f.b, vic));
+  EXPECT_EQ(vic.size(), 2u);
+}
+
+TEST(VicinityTest, DisjointRegionsGetDistinctVicinities) {
+  Chain f;
+  ManualView view(f.net);
+  // t1 off: {a} and {b, c} are separate.
+  view.cond[f.t1.value] = State::S0;
+  view.cond[f.t2.value] = State::S1;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity v1, v2;
+  ASSERT_TRUE(vb.grow(view, f.a, v1));
+  ASSERT_TRUE(vb.grow(view, f.b, v2));
+  EXPECT_EQ(memberNames(f.net, v1), (std::set<std::string>{"a"}));
+  EXPECT_EQ(memberNames(f.net, v2), (std::set<std::string>{"b", "c"}));
+}
+
+TEST(VicinityTest, InputSeedExpandsToConductingNeighbours) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t0.value] = State::S1;
+  view.cond[f.t1.value] = State::S0;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.in, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a"}));
+}
+
+TEST(VicinityTest, InputSeedWithNoConductingNeighboursIsEmpty) {
+  Chain f;
+  ManualView view(f.net);  // everything off
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  EXPECT_FALSE(vb.grow(view, f.in, vic));
+  EXPECT_EQ(vic.size(), 0u);
+}
+
+TEST(VicinityTest, MemberChargeAndSizeAreCaptured) {
+  NetworkBuilder bld;
+  const NodeId g = bld.addInput("g");
+  const NodeId bus = bld.addNode("bus", 2);
+  const NodeId s = bld.addNode("s", 1);
+  const TransId t = bld.addTransistor(TransistorType::NType, 2, g, bus, s);
+  const Network net = bld.build();
+
+  ManualView view(net);
+  view.cond[t.value] = State::S1;
+  view.states[bus.value] = State::S1;
+  view.states[s.value] = State::S0;
+
+  VicinityBuilder vb(net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, s, vic));
+  ASSERT_EQ(vic.size(), 2u);
+  for (std::size_t i = 0; i < vic.size(); ++i) {
+    if (vic.members[i] == bus) {
+      EXPECT_EQ(vic.memberSize[i], 2);
+      EXPECT_EQ(vic.memberCharge[i], State::S1);
+    } else {
+      EXPECT_EQ(vic.memberSize[i], 1);
+      EXPECT_EQ(vic.memberCharge[i], State::S0);
+    }
+  }
+}
+
+TEST(VicinityTest, ParallelTransistorsProduceParallelEdges) {
+  NetworkBuilder bld;
+  const NodeId g = bld.addInput("g");
+  const NodeId a = bld.addNode("a");
+  const NodeId c = bld.addNode("c");
+  const TransId t0 = bld.addTransistor(TransistorType::NType, 2, g, a, c);
+  const TransId t1 = bld.addTransistor(TransistorType::NType, 1, g, a, c);
+  const Network net = bld.build();
+
+  ManualView view(net);
+  view.cond[t0.value] = State::S1;
+  view.cond[t1.value] = State::S1;
+
+  VicinityBuilder vb(net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, a, vic));
+  EXPECT_EQ(vic.edges.size(), 2u);
+}
+
+
+TEST(VicinityStaticTest, StaticGrowthCoversDcConnectedComponent) {
+  // growStatic traverses off transistors for membership (MOSSIM-81 cost
+  // model) but gives them no edges.
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t1.value] = State::S1;  // a-b on, b-c off
+  view.cond[f.t2.value] = State::S0;
+
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.growStatic(view, f.a, vic));
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a", "b", "c"}))
+      << "static partition includes the far side of the off transistor";
+  EXPECT_EQ(vic.edges.size(), 1u) << "only the conducting transistor has an edge";
+}
+
+TEST(VicinityStaticTest, StaticGrowthStillStopsAtInputs) {
+  Chain f;
+  ManualView view(f.net);  // everything off
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.growStatic(view, f.a, vic));
+  // in (input) is a boundary even statically; a, b, c are all members.
+  EXPECT_EQ(memberNames(f.net, vic), (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(vic.inputEdges.empty()) << "off input edges carry no drive";
+}
+
+TEST(VicinityTest, DescribeProducesReadableSummary) {
+  Chain f;
+  ManualView view(f.net);
+  view.cond[f.t1.value] = State::S1;
+  VicinityBuilder vb(f.net);
+  vb.newGeneration();
+  Vicinity vic;
+  ASSERT_TRUE(vb.grow(view, f.a, vic));
+  const std::string d = describeVicinity(f.net, vic);
+  EXPECT_NE(d.find("a="), std::string::npos);
+  EXPECT_NE(d.find("edge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmossim
