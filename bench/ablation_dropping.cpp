@@ -19,23 +19,22 @@ int main() {
   const FaultList faults = paperFaultUniverse(ram);
   const TestSequence seq = ramTestSequence1(ram);
 
-  FsimOptions dropOn = paperFsimOptions();
-  FsimOptions dropOff = paperFsimOptions();
+  EngineOptions dropOff = paperEngineOptions();
   dropOff.dropDetected = false;
 
-  ConcurrentFaultSimulator simOn(ram.net, faults, dropOn);
-  const FaultSimResult on = simOn.run(seq);
-  ConcurrentFaultSimulator simOff(ram.net, faults, dropOff);
-  const FaultSimResult off = simOff.run(seq);
+  Engine engineOn(ram.net, faults, paperEngineOptions());
+  const FaultSimResult on = engineOn.run(seq);
+  Engine engineOff(ram.net, faults, dropOff);
+  const FaultSimResult off = engineOff.run(seq);
 
   std::printf("  %-22s %14s %16s %14s\n", "configuration", "total (s)",
               "node evals", "final records");
   std::printf("  %-22s %14.3f %16llu %14llu\n", "dropping ON", on.totalSeconds,
               (unsigned long long)on.totalNodeEvals,
-              (unsigned long long)simOn.recordCount());
+              (unsigned long long)on.finalRecords);
   std::printf("  %-22s %14.3f %16llu %14llu\n", "dropping OFF", off.totalSeconds,
               (unsigned long long)off.totalNodeEvals,
-              (unsigned long long)simOff.recordCount());
+              (unsigned long long)off.finalRecords);
 
   const double speedup = double(off.totalNodeEvals) / double(on.totalNodeEvals);
   std::printf("\n  dropping saves %.1fx in work units (%.1fx wall)\n", speedup,

@@ -17,8 +17,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "api/engine.hpp"
 #include "circuits/ram.hpp"
-#include "core/concurrent_sim.hpp"
 #include "core/estimator.hpp"
 #include "core/serial_sim.hpp"
 #include "faults/universe.hpp"
@@ -39,8 +39,9 @@ inline FaultList paperFaultUniverse(const RamCircuit& ram) {
   return faults;
 }
 
-inline FsimOptions paperFsimOptions() {
-  FsimOptions opts;
+inline EngineOptions paperEngineOptions() {
+  EngineOptions opts;
+  opts.backend = Backend::Concurrent;
   opts.policy = DetectionPolicy::AnyDifference;
   return opts;
 }

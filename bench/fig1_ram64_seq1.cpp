@@ -26,13 +26,11 @@ int main() {
   std::printf("  faults:  %u (paper: 428)   patterns: %u (paper: 407)\n\n",
               faults.size(), seq.size());
 
-  // Good-circuit reference run.
-  SerialFaultSimulator serial(ram.net);
-  const GoodRunResult good = serial.runGood(seq);
+  Engine engine(ram.net, faults, paperEngineOptions());
 
-  // Concurrent run.
-  ConcurrentFaultSimulator sim(ram.net, faults, paperFsimOptions());
-  const FaultSimResult res = sim.run(seq);
+  // Good-circuit reference run, then the concurrent run.
+  const GoodRunResult good = engine.runGood(seq);
+  const FaultSimResult res = engine.run(seq);
 
   printSeriesTable(res, 20);
   std::printf("\n  Figure 1 rendering (x = pattern 0..%u):\n", seq.size() - 1);
@@ -49,7 +47,7 @@ int main() {
   std::printf("\n  Summary\n");
   std::printf("  detected %u / %u faults (%.1f%% coverage), max live circuits %u\n",
               res.numDetected, res.numFaults, 100.0 * res.coverage(),
-              sim.maxAliveObserved());
+              res.maxAlive);
   paperVsMeasured("concurrent total", "21.9 min",
                   format("%.3f s (%llu evals)", res.totalSeconds,
                          (unsigned long long)res.totalNodeEvals)

@@ -24,11 +24,10 @@ struct RunOutcome {
 
 RunOutcome runSequence(const RamCircuit& ram, const FaultList& faults,
                        const TestSequence& seq) {
-  SerialFaultSimulator serial(ram.net);
+  Engine engine(ram.net, faults, paperEngineOptions());
   RunOutcome out;
-  out.good = serial.runGood(seq);
-  ConcurrentFaultSimulator sim(ram.net, faults, paperFsimOptions());
-  out.res = sim.run(seq);
+  out.good = engine.runGood(seq);
+  out.res = engine.run(seq);
   out.est = estimateSerial(out.res.detectedAtPattern, seq.size(),
                            out.good.secondsPerPattern(),
                            out.good.nodeEvalsPerPattern());

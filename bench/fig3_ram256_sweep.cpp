@@ -29,6 +29,8 @@ int main() {
   std::printf("  fault universe: %u (paper: 1382)   patterns: %u (paper: 1447)\n\n",
               universe.size(), seq.size());
 
+  // Good-circuit baseline straight off the core serial simulator — no need
+  // to copy the RAM256 network into a throwaway Engine for it.
   SerialFaultSimulator serial(ram.net);
   const GoodRunResult good = serial.runGood(seq);
 
@@ -41,8 +43,8 @@ int main() {
   for (const double f : fractions) {
     const auto count = static_cast<std::uint32_t>(f * universe.size());
     const FaultList sample = sampleFaults(universe, count, rng);
-    ConcurrentFaultSimulator sim(ram.net, sample, paperFsimOptions());
-    const FaultSimResult res = sim.run(seq);
+    Engine engine(ram.net, sample, paperEngineOptions());
+    const FaultSimResult res = engine.run(seq);
     const SerialEstimate est =
         estimateSerial(res.detectedAtPattern, seq.size(),
                        good.secondsPerPattern(), good.nodeEvalsPerPattern());

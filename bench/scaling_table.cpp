@@ -44,13 +44,12 @@ ScalePoint measure(const RamConfig& config, const char* name) {
   pt.faults = faults.size();
   pt.patterns = seq.size();
 
-  SerialFaultSimulator serial(ram.net);
-  const GoodRunResult good = serial.runGood(seq);
+  Engine engine(ram.net, faults, paperEngineOptions());
+  const GoodRunResult good = engine.runGood(seq);
   pt.goodSeconds = good.totalSeconds;
   pt.goodEvals = double(good.totalNodeEvals);
 
-  ConcurrentFaultSimulator sim(ram.net, faults, paperFsimOptions());
-  const FaultSimResult res = sim.run(seq);
+  const FaultSimResult res = engine.run(seq);
   pt.concurrentSeconds = res.totalSeconds;
   pt.concurrentEvals = double(res.totalNodeEvals);
   pt.coverage = res.coverage();
@@ -110,15 +109,20 @@ int main() {
   const TestSequence seq = ramTestSequence1(ram);
   SerialOptions sopts;
   sopts.policy = DetectionPolicy::AnyDifference;
-  SerialFaultSimulator serial(ram.net, sopts);
-  const SerialRunResult real = serial.run(seq, faults);
+  SerialBackend serialBackend(ram.net, faults, sopts);
+  serialBackend.run(seq);
+  // lastSerialResult() keeps the directly measured good/faulty timing split
+  // the shared FaultSimResult folds together.
+  const SerialRunResult& real = serialBackend.lastSerialResult();
+  const double faultSeconds = real.faultSeconds;
+  const std::uint64_t faultEvals = real.faultNodeEvals;
   std::printf("  true serial: %.3f s, %llu evals; estimate: %.3f s, %.0f evals\n",
-              real.faultSeconds, (unsigned long long)real.faultNodeEvals,
+              faultSeconds, (unsigned long long)faultEvals,
               p64.serialSeconds, p64.serialEvals);
-  const double estErr = p64.serialEvals / double(real.faultNodeEvals);
+  const double estErr = p64.serialEvals / double(faultEvals);
   std::printf("  estimate/true ratio (work units): %.2f\n", estErr);
   std::printf("  true serial / concurrent (wall): %.1fx\n",
-              real.faultSeconds / p64.concurrentSeconds);
+              faultSeconds / p64.concurrentSeconds);
 
   bool ok = true;
   ok &= serialScale > 2.0 * concScale;  // serial scales much worse

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "circuits/demo_circuits.hpp"
-#include "core/concurrent_sim.hpp"
+#include "api/engine.hpp"
 #include "faults/universe.hpp"
 #include "switch/logic_sim.hpp"
 
@@ -133,8 +133,8 @@ int main() {
       p.label = "drive src " + std::to_string(src);
       seq.addPattern(std::move(p));
     }
-    ConcurrentFaultSimulator sim(bus.net, faults);
-    const FaultSimResult res = sim.run(seq);
+    Engine engine(bus.net, faults, {.backend = Backend::Concurrent});
+    const FaultSimResult res = engine.run(seq);
     std::printf("  coverage %.1f%% (%u/%u) after %u patterns, %llu potential\n",
                 100.0 * res.coverage(), res.numDetected, res.numFaults,
                 seq.size(), (unsigned long long)res.potentialDetections);

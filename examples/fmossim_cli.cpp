@@ -1,21 +1,28 @@
-// fmossim_cli — command-line fault simulator driver.
+// fmossim_cli — command-line fault simulator driver over the unified
+// Engine API.
 //
 //   fmossim_cli --sim <netlist.sim> --seq <sequence.txt> --faults <spec.txt>
+//               [--backend serial|concurrent] [--jobs N]
 //               [--policy any|definite] [--no-drop] [--csv <file>]
-//               [--serial] [--quiet]
+//               [--compare] [--quiet]
 //   fmossim_cli --bench <circuit.bench> ...      (ISCAS .bench input)
 //   fmossim_cli --demo                           (built-in demo run)
 //
+// Defaults: --backend concurrent, --jobs 1, --policy definite (a tester
+// cannot distinguish an X from a driven value; pass --policy any for the
+// paper's literal "any difference" criterion). --compare runs both backends
+// and fails on any detection disagreement.
+//
 // Input formats are documented in src/netlist/sim_format.hpp,
 // src/patterns/sequence_io.hpp, and src/faults/fault_spec.hpp.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
 
-#include "core/concurrent_sim.hpp"
+#include "api/engine.hpp"
 #include "core/estimator.hpp"
-#include "core/serial_sim.hpp"
 #include "faults/fault_spec.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/gate_expand.hpp"
@@ -31,8 +38,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--sim FILE | --bench FILE | --demo) --seq FILE "
                "--faults FILE\n"
-               "          [--policy any|definite] [--no-drop] [--csv FILE] "
-               "[--serial] [--quiet]\n",
+               "          [--backend serial|concurrent (default: concurrent)]\n"
+               "          [--jobs N        parallel fault shards (concurrent "
+               "backend only)]\n"
+               "          [--policy any|definite (default: definite)]\n"
+               "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -66,8 +76,8 @@ all-transistor-stuck
 
 int main(int argc, char** argv) {
   std::optional<std::string> simFile, benchFile, seqFile, faultFile, csvFile;
-  bool demo = false, noDrop = false, runSerial = false, quiet = false;
-  DetectionPolicy policy = DetectionPolicy::AnyDifference;
+  bool demo = false, noDrop = false, compare = false, quiet = false;
+  EngineOptions opts;  // backend/policy/jobs defaults are the library's
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -85,13 +95,27 @@ int main(int argc, char** argv) {
     else if (arg == "--csv") csvFile = next();
     else if (arg == "--demo") demo = true;
     else if (arg == "--no-drop") noDrop = true;
-    else if (arg == "--serial") runSerial = true;
+    else if (arg == "--compare") compare = true;
     else if (arg == "--quiet") quiet = true;
-    else if (arg == "--policy") {
-      const std::string p = next();
-      if (p == "any") policy = DetectionPolicy::AnyDifference;
-      else if (p == "definite") policy = DetectionPolicy::DefiniteOnly;
+    else if (arg == "--backend") {
+      const std::string b = next();
+      if (b == "serial") opts.backend = Backend::Serial;
+      else if (b == "concurrent") opts.backend = Backend::Concurrent;
       else return usage(argv[0]);
+    } else if (arg == "--jobs") {
+      const int n = std::atoi(next());
+      if (n < 1) return usage(argv[0]);
+      opts.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "any") opts.policy = DetectionPolicy::AnyDifference;
+      else if (p == "definite") opts.policy = DetectionPolicy::DefiniteOnly;
+      else return usage(argv[0]);
+    } else if (arg == "--serial") {
+      std::fprintf(stderr,
+                   "--serial was replaced: use --backend serial, or --compare "
+                   "to cross-check both backends\n");
+      return 2;
     } else {
       return usage(argv[0]);
     }
@@ -126,11 +150,17 @@ int main(int argc, char** argv) {
                   seq.size(), seq.outputs().size(), faults.size());
     }
 
-    FsimOptions opts;
-    opts.policy = policy;
     opts.dropDetected = !noDrop;
-    ConcurrentFaultSimulator sim(net, faults, opts);
-    const FaultSimResult res = sim.run(seq);
+    Engine engine(net, faults, opts);
+    if (!quiet) {
+      std::printf("backend: %s", engine.backendName());
+      if (std::string(engine.backendName()) == "sharded") {
+        // Report the effective shard count (clamped to the fault count).
+        std::printf(" (%u jobs)", std::min(opts.jobs, faults.size()));
+      }
+      std::printf("\n");
+    }
+    const FaultSimResult res = engine.run(seq);
 
     if (!quiet) {
       std::printf("\n%-8s %-10s %-12s %-8s\n", "pattern", "detected",
@@ -166,23 +196,26 @@ int main(int argc, char** argv) {
       std::printf("per-pattern series written to %s\n", csvFile->c_str());
     }
 
-    if (runSerial) {
-      SerialOptions sopts;
-      sopts.policy = policy;
-      SerialFaultSimulator serial(net, sopts);
-      const SerialRunResult sres = serial.run(seq, faults);
-      std::printf("\nserial reference: %u detected, %.4f s (good alone %.4f s)\n",
-                  sres.numDetected, sres.faultSeconds, sres.good.totalSeconds);
-      const SerialEstimate est = estimateSerial(
-          sres.detectedAtPattern, seq.size(), sres.good.secondsPerPattern(),
-          sres.good.nodeEvalsPerPattern());
-      std::printf("paper-method estimate: %.4f s; concurrent speedup %.1fx\n",
-                  est.seconds, sres.faultSeconds / res.totalSeconds);
-      bool match = sres.numDetected == res.numDetected;
+    if (compare) {
+      // Cross-check against the other backend through the same interface.
+      EngineOptions other = opts;
+      other.backend = opts.backend == Backend::Serial ? Backend::Concurrent
+                                                      : Backend::Serial;
+      other.jobs = 1;
+      Engine reference(net, faults, other);
+      const FaultSimResult rres = reference.run(seq);
+      std::printf("\n%s reference: %u detected, %.4f s\n",
+                  reference.backendName(), rres.numDetected, rres.totalSeconds);
+      const GoodRunResult good = engine.runGood(seq);
+      const SerialEstimate est =
+          estimateSerial(res.detectedAtPattern, seq.size(),
+                         good.secondsPerPattern(), good.nodeEvalsPerPattern());
+      std::printf("paper-method serial estimate: %.4f s\n", est.seconds);
+      bool match = rres.numDetected == res.numDetected;
       for (std::uint32_t i = 0; match && i < faults.size(); ++i) {
-        match = sres.detectedAtPattern[i] == res.detectedAtPattern[i];
+        match = rres.detectedAtPattern[i] == res.detectedAtPattern[i];
       }
-      std::printf("concurrent/serial detection agreement: %s\n",
+      std::printf("backend detection agreement: %s\n",
                   match ? "EXACT" : "MISMATCH");
       if (!match) return 1;
     }

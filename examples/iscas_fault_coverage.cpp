@@ -10,7 +10,7 @@
 // at the gate level (paper §1).
 #include <cstdio>
 
-#include "core/concurrent_sim.hpp"
+#include "api/engine.hpp"
 #include "faults/universe.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/gate_expand.hpp"
@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   for (const auto& [label, universe] :
        {std::pair{"gate-level stuck-at", &classical},
         std::pair{"transistor stuck-open/closed", &transistor}}) {
-    ConcurrentFaultSimulator sim(ex.net, *universe);
-    const FaultSimResult res = sim.run(seq);
+    Engine engine(ex.net, *universe, {.backend = Backend::Concurrent});
+    const FaultSimResult res = engine.run(seq);
     std::printf("%-32s %u faults, coverage %5.1f%%, potential (X) %llu\n",
                 label, res.numFaults, 100.0 * res.coverage(),
                 (unsigned long long)res.potentialDetections);

@@ -8,8 +8,8 @@
 // gate-level fault simulators cannot model faithfully.
 #include <cstdio>
 
+#include "api/engine.hpp"
 #include "circuits/cells.hpp"
-#include "core/concurrent_sim.hpp"
 #include "faults/universe.hpp"
 #include "switch/builder.hpp"
 #include "switch/logic_sim.hpp"
@@ -78,9 +78,12 @@ int main() {
     seq.addPattern(std::move(p));
   }
 
-  // 5. Run the concurrent fault simulator and report.
-  ConcurrentFaultSimulator fsim(net, faults);
-  const FaultSimResult res = fsim.run(seq);
+  // 5. Run a fault simulation through the Engine facade. The backend is
+  //    selectable (Backend::Serial replays each fault individually;
+  //    Backend::Concurrent simulates all faults by difference; jobs > 1
+  //    shards the concurrent run across threads) and runs are repeatable.
+  Engine engine(net, faults, {.backend = Backend::Concurrent});
+  const FaultSimResult res = engine.run(seq);
   std::printf("\n%-10s %-10s %s\n", "pattern", "detected", "cumulative");
   for (const PatternStat& st : res.perPattern) {
     std::printf("%-10u %-10u %u\n", st.index, st.newlyDetected,

@@ -17,7 +17,7 @@
 #include <string>
 
 #include "circuits/ram.hpp"
-#include "core/concurrent_sim.hpp"
+#include "api/engine.hpp"
 #include "faults/universe.hpp"
 #include "patterns/marching.hpp"
 
@@ -69,10 +69,10 @@ void report(const char* title, const Network& net, const FaultList& faults,
 
 FaultSimResult runWith(const RamCircuit& ram, const FaultList& faults,
                        const TestSequence& seq) {
-  FsimOptions opts;
+  EngineOptions opts;
   opts.policy = DetectionPolicy::AnyDifference;
-  ConcurrentFaultSimulator sim(ram.net, faults, opts);
-  return sim.run(seq);
+  Engine engine(ram.net, faults, opts);
+  return engine.run(seq);
 }
 
 }  // namespace

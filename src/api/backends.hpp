@@ -1,0 +1,79 @@
+// Adapter backends implementing the FaultSimulator interface over the two
+// existing engines.
+//
+//   * ConcurrentBackend wraps ConcurrentFaultSimulator (paper §4). The core
+//     engine is single-shot ("run may only be called once"); the adapter
+//     constructs a fresh engine per run() call, giving the interface its
+//     repeatable-run semantics without touching the core's invariants.
+//   * SerialBackend wraps SerialFaultSimulator (paper §1/§5) and lifts its
+//     SerialRunResult into the shared FaultSimResult: per-pattern detection
+//     counts, aggregated per-pattern cost rows, coverage(), and potential
+//     (X) detections are populated exactly like the concurrent backend's, so
+//     CSV output and the stats recorder work identically for both.
+#pragma once
+
+#include "api/fault_simulator.hpp"
+#include "core/serial_sim.hpp"
+
+namespace fmossim {
+
+class ConcurrentBackend : public FaultSimulator {
+ public:
+  ConcurrentBackend(const Network& net, FaultList faults,
+                    FsimOptions options = {});
+
+  const char* backendName() const override { return "concurrent"; }
+  const Network& network() const override { return net_; }
+  const FaultList& faults() const override { return faults_; }
+
+  FaultSimResult run(const TestSequence& seq,
+                     const PatternCallback& onPattern) override;
+  using FaultSimulator::run;
+
+ private:
+  const Network& net_;
+  FaultList faults_;
+  FsimOptions options_;
+};
+
+class SerialBackend : public FaultSimulator {
+ public:
+  /// `dropDetected` only affects how perPattern.aliveAfter is reported (the
+  /// serial replay always stops a fault at first detection): true mirrors a
+  /// dropping concurrent run (undetected-so-far), false mirrors a no-drop
+  /// run (all faults stay "being simulated").
+  SerialBackend(const Network& net, FaultList faults,
+                SerialOptions options = {}, bool dropDetected = true);
+
+  const char* backendName() const override { return "serial"; }
+  const Network& network() const override { return net_; }
+  const FaultList& faults() const override { return faults_; }
+
+  /// Serial replay of every fault. The result's totalSeconds/totalNodeEvals
+  /// include the good-circuit reference run (the concurrent engine likewise
+  /// simulates the good circuit as part of its run); perPattern rows cover
+  /// the faulty-circuit replays.
+  FaultSimResult run(const TestSequence& seq,
+                     const PatternCallback& onPattern) override;
+  using FaultSimulator::run;
+
+  /// The most recent run's serial-specific data (good-circuit trace and
+  /// timing split), for the paper-method estimator and benches.
+  const SerialRunResult& lastSerialResult() const { return last_; }
+
+  void reset() override { last_ = {}; }
+
+ private:
+  const Network& net_;
+  FaultList faults_;
+  SerialOptions options_;
+  bool dropDetected_;
+  SerialRunResult last_;
+};
+
+/// Lifts a SerialRunResult into the shared FaultSimResult shape.
+FaultSimResult toFaultSimResult(const SerialRunResult& serial,
+                                std::uint32_t numPatterns,
+                                bool dropDetected = true);
+
+}  // namespace fmossim

@@ -1,0 +1,53 @@
+#include "api/engine.hpp"
+
+#include "core/serial_sim.hpp"
+
+namespace fmossim {
+
+Engine::Engine(Network net, FaultList faults, EngineOptions options)
+    : net_(std::move(net)),
+      faults_(std::move(faults)),
+      options_(options),
+      backend_(makeBackend()) {}
+
+std::unique_ptr<FaultSimulator> Engine::makeBackend() const {
+  switch (options_.backend) {
+    case Backend::Serial: {
+      SerialOptions sopts;
+      sopts.sim = options_.sim;
+      sopts.policy = options_.policy;
+      return std::make_unique<SerialBackend>(net_, faults_, sopts,
+                                             options_.dropDetected);
+    }
+    case Backend::Concurrent: {
+      FsimOptions fopts;
+      fopts.sim = options_.sim;
+      fopts.policy = options_.policy;
+      fopts.dropDetected = options_.dropDetected;
+      if (options_.jobs > 1 && faults_.size() > 1) {
+        return std::make_unique<ShardedRunner>(net_, faults_, fopts,
+                                               options_.jobs);
+      }
+      return std::make_unique<ConcurrentBackend>(net_, faults_, fopts);
+    }
+  }
+  FMOSSIM_ASSERT(false, "unknown backend");
+  return nullptr;
+}
+
+FaultSimResult Engine::run(const TestSequence& seq,
+                           const PatternCallback& onPattern) {
+  return backend_->run(seq, onPattern);
+}
+
+void Engine::reset() { backend_ = makeBackend(); }
+
+GoodRunResult Engine::runGood(const TestSequence& seq) const {
+  SerialOptions sopts;
+  sopts.sim = options_.sim;
+  sopts.policy = options_.policy;
+  SerialFaultSimulator serial(net_, sopts);
+  return serial.runGood(seq);
+}
+
+}  // namespace fmossim

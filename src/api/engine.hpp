@@ -1,0 +1,77 @@
+// Engine — the single entry point for fault simulation.
+//
+// Owns the network and fault list, selects a backend (serial replay,
+// concurrent difference simulation, or sharded parallel concurrent runs)
+// from EngineOptions, and exposes the uniform FaultSimulator contract with
+// repeatable runs:
+//
+//   Engine engine(net, faults, {.backend = Backend::Concurrent, .jobs = 4});
+//   FaultSimResult r1 = engine.run(seq);
+//   FaultSimResult r2 = engine.run(seq);   // fresh session, identical result
+//
+// The library-wide default detection policy is DetectionPolicy::DefiniteOnly
+// (a tester cannot distinguish an X from a driven value); the paper's own
+// benchmark criterion is AnyDifference and the bench harnesses set it
+// explicitly.
+#pragma once
+
+#include <memory>
+
+#include "api/backends.hpp"
+#include "api/fault_simulator.hpp"
+#include "api/sharded_runner.hpp"
+
+namespace fmossim {
+
+enum class Backend : std::uint8_t {
+  Serial,      ///< one fresh LogicSimulator replay per fault (paper §1)
+  Concurrent,  ///< difference simulation of all faults at once (paper §4)
+};
+
+struct EngineOptions {
+  Backend backend = Backend::Concurrent;
+  SimOptions sim;
+  DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
+  /// Drop faulty circuits once detected (concurrent backends only; the
+  /// serial backend always stops a fault's replay at first detection).
+  bool dropDetected = true;
+  /// Number of parallel shards for the concurrent backend. jobs > 1
+  /// partitions the fault list and runs one engine per shard on its own
+  /// thread; detections are deterministic and identical to jobs = 1.
+  unsigned jobs = 1;
+};
+
+class Engine : public FaultSimulator {
+ public:
+  /// Takes ownership of the network and fault list (copy or move in).
+  Engine(Network net, FaultList faults, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const char* backendName() const override { return backend_->backendName(); }
+  const Network& network() const override { return net_; }
+  const FaultList& faults() const override { return faults_; }
+  const EngineOptions& options() const { return options_; }
+
+  FaultSimResult run(const TestSequence& seq,
+                     const PatternCallback& onPattern) override;
+  using FaultSimulator::run;
+
+  /// Rebuilds the backend from scratch (fresh-session semantics).
+  void reset() override;
+
+  /// Good-circuit-only reference run (output trace + timing), the baseline
+  /// the paper reports every fault-simulation cost against.
+  GoodRunResult runGood(const TestSequence& seq) const;
+
+ private:
+  std::unique_ptr<FaultSimulator> makeBackend() const;
+
+  Network net_;
+  FaultList faults_;
+  EngineOptions options_;
+  std::unique_ptr<FaultSimulator> backend_;
+};
+
+}  // namespace fmossim

@@ -1,0 +1,52 @@
+// Backend-agnostic fault-simulation interface — the seam every engine
+// (serial replay, concurrent difference simulation, sharded parallel runs,
+// and future batched/cached backends) plugs into.
+//
+// The contract, uniform across backends:
+//
+//   * run() takes a TestSequence and returns a fully populated FaultSimResult
+//     (per-pattern rows, per-fault detection indices, coverage) regardless of
+//     how the backend computes it.
+//   * run() is repeatable: every call is a fresh session over the same
+//     network and fault list. Backends that wrap single-shot engines
+//     construct a fresh engine instance per call.
+//   * reset() discards any cached session state; after reset() the simulator
+//     behaves as if newly constructed. (For the current backends runs are
+//     already independent, so reset() is cheap.)
+#pragma once
+
+#include <functional>
+
+#include "core/concurrent_sim.hpp"  // FaultSimResult, PatternStat, DetectionPolicy
+#include "faults/fault.hpp"
+#include "patterns/pattern.hpp"
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// Invoked after each pattern with the (possibly merged) per-pattern row.
+/// Parallel backends call it only after all shards have finished, once per
+/// pattern in ascending order.
+using PatternCallback = std::function<void(const PatternStat&)>;
+
+class FaultSimulator {
+ public:
+  virtual ~FaultSimulator() = default;
+
+  /// Stable identifier for reporting ("serial", "concurrent", "sharded").
+  virtual const char* backendName() const = 0;
+
+  virtual const Network& network() const = 0;
+  virtual const FaultList& faults() const = 0;
+
+  /// Runs the full test sequence and returns the complete result. Repeatable:
+  /// each call simulates from scratch.
+  virtual FaultSimResult run(const TestSequence& seq,
+                             const PatternCallback& onPattern) = 0;
+  FaultSimResult run(const TestSequence& seq) { return run(seq, nullptr); }
+
+  /// Discards cached session state (fresh-session semantics).
+  virtual void reset() {}
+};
+
+}  // namespace fmossim

@@ -1,0 +1,111 @@
+#include "api/sharded_runner.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace fmossim {
+
+ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
+                             FsimOptions options, unsigned jobs)
+    : net_(net), faults_(std::move(faults)), options_(options) {
+  jobs_ = std::max(1u, std::min(jobs, std::max(1u, faults_.size())));
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::partition(
+    std::uint32_t numFaults, unsigned jobs) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
+  slices.reserve(jobs);
+  for (unsigned s = 0; s < jobs; ++s) {
+    const std::uint32_t begin =
+        static_cast<std::uint32_t>(std::uint64_t(numFaults) * s / jobs);
+    const std::uint32_t end =
+        static_cast<std::uint32_t>(std::uint64_t(numFaults) * (s + 1) / jobs);
+    slices.emplace_back(begin, end);
+  }
+  return slices;
+}
+
+FaultSimResult mergeShardResults(
+    const std::vector<FaultSimResult>& shardResults,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
+    std::uint32_t numPatterns) {
+  FaultSimResult merged;
+  std::uint32_t numFaults = 0;
+  for (const auto& [begin, end] : slices) numFaults += end - begin;
+  merged.numFaults = numFaults;
+  merged.detectedAtPattern.assign(numFaults, -1);
+
+  merged.perPattern.resize(numPatterns);
+  for (std::uint32_t pi = 0; pi < numPatterns; ++pi) {
+    merged.perPattern[pi].index = pi;
+  }
+
+  for (std::size_t s = 0; s < shardResults.size(); ++s) {
+    const FaultSimResult& r = shardResults[s];
+    const auto [begin, end] = slices[s];
+    // Re-index the shard-local fault order to the global one.
+    for (std::uint32_t i = 0; i < end - begin; ++i) {
+      merged.detectedAtPattern[begin + i] = r.detectedAtPattern[i];
+    }
+    merged.numDetected += r.numDetected;
+    merged.potentialDetections += r.potentialDetections;
+    merged.totalNodeEvals += r.totalNodeEvals;
+    merged.maxAlive += r.maxAlive;
+    merged.finalRecords += r.finalRecords;
+    for (std::uint32_t pi = 0; pi < numPatterns && pi < r.perPattern.size();
+         ++pi) {
+      PatternStat& row = merged.perPattern[pi];
+      const PatternStat& src = r.perPattern[pi];
+      row.seconds += src.seconds;
+      row.nodeEvals += src.nodeEvals;
+      row.newlyDetected += src.newlyDetected;
+      row.aliveAfter += src.aliveAfter;
+    }
+  }
+  std::uint32_t cumulative = 0;
+  for (PatternStat& row : merged.perPattern) {
+    cumulative += row.newlyDetected;
+    row.cumulativeDetected = cumulative;
+  }
+  return merged;
+}
+
+FaultSimResult ShardedRunner::run(const TestSequence& seq,
+                                  const PatternCallback& onPattern) {
+  const auto slices = partition(faults_.size(), jobs_);
+
+  Timer total;
+  std::vector<FaultSimResult> shardResults(slices.size());
+  std::vector<std::exception_ptr> errors(slices.size());
+  std::vector<std::thread> threads;
+  threads.reserve(slices.size());
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    threads.emplace_back([&, s] {
+      try {
+        const auto [begin, end] = slices[s];
+        FaultList shard(std::vector<Fault>(faults_.all().begin() + begin,
+                                           faults_.all().begin() + end));
+        ConcurrentFaultSimulator sim(net_, shard, options_);
+        shardResults[s] = sim.run(seq);
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  FaultSimResult merged = mergeShardResults(shardResults, slices, seq.size());
+  merged.totalSeconds = total.seconds();
+  if (onPattern) {
+    for (const PatternStat& st : merged.perPattern) onPattern(st);
+  }
+  return merged;
+}
+
+}  // namespace fmossim

@@ -1,0 +1,67 @@
+// Sharded parallel fault simulation.
+//
+// The concurrent engine simulates faulty circuits purely by difference from
+// the good circuit; faulty circuits never interact with each other. The
+// fault universe can therefore be partitioned into K shards simulated fully
+// independently — the scaling lever ERASER and the batch-IVerilog work apply
+// to fault simulation (see PAPERS.md) — at the cost of re-simulating the
+// good circuit once per shard.
+//
+// Determinism: shards are contiguous slices of the fault list, each shard
+// runs an ordinary ConcurrentFaultSimulator on its own std::thread, and the
+// merge re-indexes detections back to the global fault order. Because fault
+// circuits are independent in the core engine, a sharded run's
+// detectedAtPattern is bit-identical to an unsharded run's for every jobs
+// count; per-pattern cost rows are summed across shards.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "api/fault_simulator.hpp"
+
+namespace fmossim {
+
+class ShardedRunner : public FaultSimulator {
+ public:
+  /// `jobs` is clamped to [1, faults.size()] (a shard per fault at most).
+  ShardedRunner(const Network& net, FaultList faults, FsimOptions options,
+                unsigned jobs);
+
+  const char* backendName() const override { return "sharded"; }
+  const Network& network() const override { return net_; }
+  const FaultList& faults() const override { return faults_; }
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs every shard on its own thread and merges:
+  ///   * detectedAtPattern re-indexed to the global fault order,
+  ///   * PatternStat rows summed per pattern (cumulative recomputed),
+  ///   * aliveAfter/potentialDetections/nodeEvals aggregated,
+  ///   * totalSeconds = wall clock of the whole sharded run.
+  /// `onPattern` fires after the merge, once per pattern in order.
+  FaultSimResult run(const TestSequence& seq,
+                     const PatternCallback& onPattern) override;
+  using FaultSimulator::run;
+
+  /// Contiguous near-equal partition of [0, numFaults) into `jobs` slices;
+  /// shard s covers [result[s].first, result[s].second). Deterministic.
+  static std::vector<std::pair<std::uint32_t, std::uint32_t>> partition(
+      std::uint32_t numFaults, unsigned jobs);
+
+ private:
+  const Network& net_;
+  FaultList faults_;
+  FsimOptions options_;
+  unsigned jobs_;
+};
+
+/// Merges per-shard results (in shard order, shard s covering global fault
+/// indices [slices[s].first, slices[s].second)) into one FaultSimResult.
+/// Exposed for the merge-logic unit tests.
+FaultSimResult mergeShardResults(
+    const std::vector<FaultSimResult>& shardResults,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
+    std::uint32_t numPatterns);
+
+}  // namespace fmossim

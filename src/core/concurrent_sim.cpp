@@ -453,6 +453,8 @@ FaultSimResult ConcurrentFaultSimulator::run(
 
   res.detectedAtPattern = detectedAt_;
   res.numDetected = cumulative;
+  res.maxAlive = maxAliveObserved_;
+  res.finalRecords = table_.totalRecords();
   res.potentialDetections = potentialDetections_;
   res.totalSeconds = total.seconds();
   res.totalNodeEvals = solver_.nodeEvals() - evalsAtStart;

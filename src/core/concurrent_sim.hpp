@@ -78,6 +78,12 @@ struct FaultSimResult {
   std::uint64_t potentialDetections = 0;  ///< X-involved mismatches observed
   double totalSeconds = 0.0;
   std::uint64_t totalNodeEvals = 0;
+  /// Peak number of simultaneously live faulty circuits (sharded runs report
+  /// the sum of per-shard peaks, an upper bound on the true peak).
+  std::uint32_t maxAlive = 0;
+  /// State-table divergence records at end of run (summed across shards;
+  /// 0 for the serial backend, which keeps no difference state).
+  std::uint64_t finalRecords = 0;
 
   double coverage() const {
     return numFaults == 0 ? 0.0 : double(numDetected) / double(numFaults);

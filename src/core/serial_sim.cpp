@@ -53,6 +53,8 @@ SerialRunResult SerialFaultSimulator::run(
   SerialRunResult res;
   res.good = runGood(seq);
   res.detectedAtPattern.assign(faults.size(), -1);
+  res.patternSeconds.assign(seq.size(), 0.0);
+  res.patternNodeEvals.assign(seq.size(), 0);
 
   Timer faultTimer;
   std::uint64_t evals = 0;
@@ -61,17 +63,29 @@ SerialRunResult SerialFaultSimulator::run(
     applyFault(sim, faults[fi]);
     sim.settle();
     std::int32_t detectedAt = -1;
+    std::uint64_t evalsBefore = sim.counters().nodeEvals;
     for (std::uint32_t pi = 0; pi < seq.size() && detectedAt < 0; ++pi) {
+      Timer patternTimer;
       for (const InputSetting& setting : seq[pi].settings) {
         sim.applyAssignments(setting.span());
       }
       const auto& goodOuts = res.good.outputTrace[pi];
       for (std::size_t oi = 0; oi < seq.outputs().size(); ++oi) {
-        if (detects(goodOuts[oi], sim.state(seq.outputs()[oi]))) {
+        const State good = goodOuts[oi];
+        const State faulty = sim.state(seq.outputs()[oi]);
+        if (detects(good, faulty)) {
           detectedAt = static_cast<std::int32_t>(pi);
           break;
         }
+        if (good != faulty &&
+            options_.policy == DetectionPolicy::DefiniteOnly) {
+          ++res.potentialDetections;  // X-involved mismatch, keeps simulating
+        }
       }
+      res.patternSeconds[pi] += patternTimer.seconds();
+      const std::uint64_t evalsNow = sim.counters().nodeEvals;
+      res.patternNodeEvals[pi] += evalsNow - evalsBefore;
+      evalsBefore = evalsNow;
     }
     res.detectedAtPattern[fi] = detectedAt;
     if (detectedAt >= 0) ++res.numDetected;

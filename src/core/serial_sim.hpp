@@ -48,6 +48,14 @@ struct SerialRunResult {
   std::uint32_t numDetected = 0;
   double faultSeconds = 0.0;          ///< time simulating faulty circuits
   std::uint64_t faultNodeEvals = 0;
+  /// Per-pattern aggregates over all faulty-circuit replays (index = pattern;
+  /// each fault contributes until its first detection). Same shape as the
+  /// concurrent engine's PatternStat series, enabling a shared FaultSimResult.
+  std::vector<double> patternSeconds;
+  std::vector<std::uint64_t> patternNodeEvals;
+  /// X-involved mismatches observed under DetectionPolicy::DefiniteOnly
+  /// (mirrors FaultSimResult::potentialDetections).
+  std::uint64_t potentialDetections = 0;
 };
 
 class SerialFaultSimulator {

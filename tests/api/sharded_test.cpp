@@ -1,0 +1,153 @@
+// Sharded parallel fault simulation: determinism and merge correctness.
+//
+// The acceptance property: a sharded run (jobs = 2, 4) on RAM64 with a
+// marching test produces detections bit-identical to the unsharded run,
+// because faulty circuits are simulated purely by difference from the good
+// circuit and never interact.
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "api/sharded_runner.hpp"
+#include "circuits/ram.hpp"
+#include "faults/sampling.hpp"
+#include "faults/universe.hpp"
+#include "patterns/marching.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+TEST(ShardedRunnerTest, PartitionCoversAllFaultsContiguously) {
+  for (const std::uint32_t n : {0u, 1u, 5u, 8u, 97u}) {
+    for (const unsigned jobs : {1u, 2u, 3u, 4u, 7u}) {
+      const auto slices = ShardedRunner::partition(n, jobs);
+      ASSERT_EQ(slices.size(), jobs);
+      std::uint32_t expectBegin = 0;
+      for (const auto& [begin, end] : slices) {
+        EXPECT_EQ(begin, expectBegin);
+        EXPECT_LE(begin, end);
+        expectBegin = end;
+      }
+      EXPECT_EQ(expectBegin, n);
+      // Near-equal: sizes differ by at most one.
+      std::uint32_t minSize = n, maxSize = 0;
+      for (const auto& [begin, end] : slices) {
+        minSize = std::min(minSize, end - begin);
+        maxSize = std::max(maxSize, end - begin);
+      }
+      if (jobs <= n) EXPECT_LE(maxSize - minSize, 1u);
+    }
+  }
+}
+
+TEST(ShardedRunnerTest, MergeReindexesAndSums) {
+  // Two synthetic shards: 2 + 3 faults over 2 patterns.
+  std::vector<FaultSimResult> shards(2);
+  shards[0].numFaults = 2;
+  shards[0].detectedAtPattern = {1, -1};
+  shards[0].numDetected = 1;
+  shards[0].totalNodeEvals = 10;
+  shards[0].maxAlive = 2;
+  shards[0].perPattern = {{0, 0.5, 6, 0, 0, 2}, {1, 0.25, 4, 1, 1, 1}};
+  shards[1].numFaults = 3;
+  shards[1].detectedAtPattern = {0, -1, 1};
+  shards[1].numDetected = 2;
+  shards[1].totalNodeEvals = 20;
+  shards[1].maxAlive = 3;
+  shards[1].perPattern = {{0, 1.0, 12, 1, 1, 2}, {1, 0.5, 8, 1, 2, 1}};
+
+  const auto slices = ShardedRunner::partition(5, 2);
+  const FaultSimResult merged = mergeShardResults(shards, slices, 2);
+
+  EXPECT_EQ(merged.numFaults, 5u);
+  EXPECT_EQ(merged.numDetected, 3u);
+  EXPECT_EQ(merged.totalNodeEvals, 30u);
+  EXPECT_EQ(merged.maxAlive, 5u);
+  const std::vector<std::int32_t> expected = {1, -1, 0, -1, 1};
+  EXPECT_EQ(merged.detectedAtPattern, expected);
+  ASSERT_EQ(merged.perPattern.size(), 2u);
+  EXPECT_EQ(merged.perPattern[0].newlyDetected, 1u);
+  EXPECT_EQ(merged.perPattern[0].cumulativeDetected, 1u);
+  EXPECT_EQ(merged.perPattern[0].nodeEvals, 18u);
+  EXPECT_EQ(merged.perPattern[0].aliveAfter, 4u);
+  EXPECT_DOUBLE_EQ(merged.perPattern[0].seconds, 1.5);
+  EXPECT_EQ(merged.perPattern[1].newlyDetected, 2u);
+  EXPECT_EQ(merged.perPattern[1].cumulativeDetected, 3u);
+  EXPECT_EQ(merged.perPattern[1].aliveAfter, 2u);
+}
+
+TEST(ShardedRunnerTest, Ram64MarchDetectionsIdenticalAcrossJobCounts) {
+  // RAM64 (the paper's benchmark circuit) under a marching test: jobs 1, 2,
+  // and 4 must produce identical detectedAtPattern vectors.
+  const RamCircuit ram = buildRam(ram64Config());
+  FaultList universe = allStorageNodeStuckFaults(ram.net);
+  for (const TransId ft : ram.bitLineShorts) {
+    universe.add(Fault::faultDeviceActive(ram.net, ft));
+  }
+  Rng rng(42);
+  const FaultList faults = sampleFaults(universe, 72, rng);
+  TestSequence seq = ramControlTests(ram);
+  seq.append(ramRowMarch(ram));
+
+  EngineOptions opts;
+  opts.policy = DetectionPolicy::AnyDifference;
+
+  FaultSimResult baseline;
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    opts.jobs = jobs;
+    Engine engine(ram.net, faults, opts);
+    const FaultSimResult res = engine.run(seq);
+    ASSERT_EQ(res.detectedAtPattern.size(), faults.size());
+    if (jobs == 1) {
+      baseline = res;
+      EXPECT_GT(baseline.numDetected, 0u);
+      continue;
+    }
+    EXPECT_EQ(res.numDetected, baseline.numDetected) << "jobs=" << jobs;
+    EXPECT_EQ(res.detectedAtPattern, baseline.detectedAtPattern)
+        << "jobs=" << jobs;
+    EXPECT_EQ(res.potentialDetections, baseline.potentialDetections);
+    // Merged per-pattern detection counts match the unsharded series.
+    ASSERT_EQ(res.perPattern.size(), baseline.perPattern.size());
+    for (std::uint32_t pi = 0; pi < res.perPattern.size(); ++pi) {
+      EXPECT_EQ(res.perPattern[pi].newlyDetected,
+                baseline.perPattern[pi].newlyDetected)
+          << "jobs=" << jobs << " pattern=" << pi;
+      EXPECT_EQ(res.perPattern[pi].cumulativeDetected,
+                baseline.perPattern[pi].cumulativeDetected);
+    }
+  }
+}
+
+TEST(ShardedRunnerTest, MoreJobsThanFaultsIsClamped) {
+  const RamCircuit ram = buildRam(RamConfig{2, 2});
+  FaultList faults;
+  faults.add(Fault::nodeStuckAt(ram.net, ram.cell(0, 0), State::S0));
+  faults.add(Fault::nodeStuckAt(ram.net, ram.cell(1, 1), State::S1));
+
+  EngineOptions opts;
+  opts.policy = DetectionPolicy::AnyDifference;
+  opts.jobs = 16;  // far more than 2 faults
+  Engine engine(ram.net, faults, opts);
+  const TestSequence seq = ramArrayMarch(ram);
+  const FaultSimResult res = engine.run(seq);
+  EXPECT_EQ(res.numFaults, 2u);
+  EXPECT_EQ(res.numDetected, 2u);
+}
+
+TEST(ShardedRunnerTest, ShardedRunIsRepeatable) {
+  const RamCircuit ram = buildRam(RamConfig{2, 2});
+  FaultList faults = allStorageNodeStuckFaults(ram.net);
+  EngineOptions opts;
+  opts.policy = DetectionPolicy::AnyDifference;
+  opts.jobs = 3;
+  Engine engine(ram.net, faults, opts);
+  const TestSequence seq = ramArrayMarch(ram);
+  const FaultSimResult first = engine.run(seq);
+  const FaultSimResult second = engine.run(seq);
+  EXPECT_EQ(first.detectedAtPattern, second.detectedAtPattern);
+  EXPECT_EQ(first.totalNodeEvals, second.totalNodeEvals);
+}
+
+}  // namespace
+}  // namespace fmossim
