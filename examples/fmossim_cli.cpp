@@ -7,6 +7,13 @@
 //               [--compare] [--quiet]
 //   fmossim_cli --bench <circuit.bench> ...      (ISCAS .bench input)
 //   fmossim_cli --demo                           (built-in demo run)
+//   fmossim_cli fuzz --seeds N [--seed S] ...    (differential fuzzing)
+//
+// The fuzz subcommand generates seeded random switch-level workloads
+// (src/gen/random_circuit.hpp) and cross-checks the serial, concurrent and
+// sharded backends against each other (src/gen/diff_oracle.hpp). Any
+// divergence is shrunk to a minimized reproducer and re-derivable from its
+// seed alone: `fuzz --seed S --seeds 1` replays one campaign member.
 //
 // Defaults: --backend concurrent, --jobs 1, --policy definite (a tester
 // cannot distinguish an X from a driven value; pass --policy any for the
@@ -16,7 +23,9 @@
 // Input formats are documented in src/netlist/sim_format.hpp,
 // src/patterns/sequence_io.hpp, and src/faults/fault_spec.hpp.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -24,11 +33,14 @@
 #include "api/engine.hpp"
 #include "core/estimator.hpp"
 #include "faults/fault_spec.hpp"
+#include "gen/diff_oracle.hpp"
+#include "gen/random_circuit.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/gate_expand.hpp"
 #include "netlist/sim_format.hpp"
 #include "patterns/sequence_io.hpp"
 #include "stats/recorder.hpp"
+#include "util/strings.hpp"
 
 using namespace fmossim;
 
@@ -42,8 +54,10 @@ int usage(const char* argv0) {
                "          [--jobs N        parallel fault shards (concurrent "
                "backend only)]\n"
                "          [--policy any|definite (default: definite)]\n"
-               "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n",
-               argv0);
+               "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n"
+               "       %s fuzz --seeds N   differential fuzzing campaign "
+               "(see fuzz --help)\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -72,9 +86,144 @@ const char* kDemoFaults = R"(all-node-stuck
 all-transistor-stuck
 )";
 
+int fuzzUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s fuzz [--seeds N      campaign size (default 25)]\n"
+      "               [--seed S       first seed (default 1)]\n"
+      "               [--nodes N] [--inputs N] [--faults N] [--patterns N]\n"
+      "               [--policy any|definite] [--no-drop]\n"
+      "               [--chaos N      lose every Nth concurrent trigger\n"
+      "                               (oracle self-test; must find bugs)]\n"
+      "               [--quiet]\n",
+      argv0);
+  return 2;
+}
+
+int runFuzz(int argc, char** argv) {
+  std::uint64_t firstSeed = 1;
+  std::uint32_t numSeeds = 25;
+  std::optional<std::uint32_t> nodes, inputs, faults, patterns, chaos;
+  std::optional<DetectionPolicy> policy;
+  bool noDrop = false, quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    // Strict decimal parse: a typo like "1O0" must be an error, not a
+    // silently truncated campaign that exits 0.
+    const auto nextU64 = [&]() -> std::uint64_t {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr, "invalid number '%s' for %s\n", text, arg.c_str());
+        std::exit(2);
+      }
+      return v;
+    };
+    const auto nextUint = [&]() -> std::uint32_t {
+      const std::uint64_t v = nextU64();
+      if (v > 0xffffffffULL) {
+        std::fprintf(stderr, "value for %s out of range\n", arg.c_str());
+        std::exit(2);
+      }
+      return static_cast<std::uint32_t>(v);
+    };
+    if (arg == "--seeds") numSeeds = nextUint();
+    else if (arg == "--seed") firstSeed = nextU64();
+    else if (arg == "--nodes") nodes = nextUint();
+    else if (arg == "--inputs") inputs = nextUint();
+    else if (arg == "--faults") faults = nextUint();
+    else if (arg == "--patterns") patterns = nextUint();
+    else if (arg == "--chaos") chaos = nextUint();
+    else if (arg == "--no-drop") noDrop = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "any") policy = DetectionPolicy::AnyDifference;
+      else if (p == "definite") policy = DetectionPolicy::DefiniteOnly;
+      else return fuzzUsage(argv[0]);
+    } else {
+      return fuzzUsage(argv[0]);
+    }
+  }
+  if (numSeeds == 0) return fuzzUsage(argv[0]);
+
+  std::uint32_t failures = 0;
+  std::uint64_t totalRuns = 0;
+  // Iterate by offset so a huge --seed cannot wrap the end bound into a
+  // zero-iteration campaign that falsely exits 0.
+  for (std::uint32_t k = 0; k < numSeeds; ++k) {
+    const std::uint64_t seed = firstSeed + k;
+    GenOptions gen = GenOptions::randomized(seed);
+    if (nodes) gen.numNodes = *nodes;
+    if (inputs) gen.numInputs = *inputs;
+    if (faults) gen.numFaults = *faults;
+    if (patterns) gen.numPatterns = *patterns;
+
+    OracleOptions oracle;
+    // Sweep detection policy and drop mode across the campaign unless the
+    // caller pinned them; the variation stream is disjoint from the
+    // generator's so pinning one knob never changes the circuits.
+    Rng vary(seed ^ 0xd1b54a32d192ed03ULL);
+    oracle.policy = policy.value_or(vary.chance(0.5)
+                                        ? DetectionPolicy::DefiniteOnly
+                                        : DetectionPolicy::AnyDifference);
+    oracle.dropDetected = noDrop ? false : vary.chance(0.75);
+    if (chaos) oracle.debugLoseTriggerEvery = *chaos;
+
+    const GeneratedWorkload w = generateWorkload(gen);
+    DiffOracle diff(oracle);
+    const OracleReport rep = diff.check(w);
+    totalRuns += rep.checkRuns;
+    if (!rep.ok) {
+      ++failures;
+      // The reproduce command must carry every knob that shaped this run:
+      // pinned generator parameters, the policy/drop pair actually used,
+      // and the chaos injector if active.
+      std::string repro =
+          format("%s fuzz --seed %llu --seeds 1", argv[0],
+                 static_cast<unsigned long long>(seed));
+      if (nodes) repro += format(" --nodes %u", *nodes);
+      if (inputs) repro += format(" --inputs %u", *inputs);
+      if (faults) repro += format(" --faults %u", *faults);
+      if (patterns) repro += format(" --patterns %u", *patterns);
+      repro += oracle.policy == DetectionPolicy::AnyDifference
+                   ? " --policy any"
+                   : " --policy definite";
+      if (!oracle.dropDetected) repro += " --no-drop";
+      if (chaos) repro += format(" --chaos %u", *chaos);
+      std::printf("%s\n%s  reproduce: %s\n", describeWorkload(w).c_str(),
+                  rep.summary().c_str(), repro.c_str());
+    } else if (!quiet && (k + 1) % 10 == 0) {
+      std::printf("... %u/%u seeds done, %u divergence(s)\n", k + 1, numSeeds,
+                  failures);
+    }
+  }
+  std::printf("fuzz: %u seed(s), %u divergence(s), %llu comparison run(s)\n",
+              numSeeds, failures, static_cast<unsigned long long>(totalRuns));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
+    try {
+      return runFuzz(argc, argv);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   std::optional<std::string> simFile, benchFile, seqFile, faultFile, csvFile;
   bool demo = false, noDrop = false, compare = false, quiet = false;
   EngineOptions opts;  // backend/policy/jobs defaults are the library's

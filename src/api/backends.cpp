@@ -31,6 +31,7 @@ FaultSimResult toFaultSimResult(const SerialRunResult& serial,
   res.potentialDetections = serial.potentialDetections;
   res.totalSeconds = serial.good.totalSeconds + serial.faultSeconds;
   res.totalNodeEvals = serial.good.totalNodeEvals + serial.faultNodeEvals;
+  res.finalGoodStates = serial.good.finalStates;
   // Row semantics ("faults still being simulated after this pattern") map
   // onto the undetected-so-far count when dropping, or the full fault count
   // otherwise — matching the concurrent engine's aliveAfter in both modes.

@@ -39,6 +39,9 @@ struct EngineOptions {
   /// partitions the fault list and runs one engine per shard on its own
   /// thread; detections are deterministic and identical to jobs = 1.
   unsigned jobs = 1;
+  /// Forwarded to FsimOptions::debugLoseTriggerEvery (concurrent backends
+  /// only): the differential-fuzzing oracle's self-test bug injector. 0 = off.
+  std::uint32_t debugLoseTriggerEvery = 0;
 };
 
 class Engine : public FaultSimulator {

@@ -52,6 +52,11 @@ FaultSimResult mergeShardResults(
     }
     merged.numDetected += r.numDetected;
     merged.potentialDetections += r.potentialDetections;
+    // Every shard simulates the same good circuit; keep the first one's
+    // final states (the differential oracle cross-checks them per backend).
+    if (merged.finalGoodStates.empty()) {
+      merged.finalGoodStates = r.finalGoodStates;
+    }
     merged.totalNodeEvals += r.totalNodeEvals;
     merged.maxAlive += r.maxAlive;
     merged.finalRecords += r.finalRecords;

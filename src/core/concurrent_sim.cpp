@@ -321,6 +321,10 @@ void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
   }
   if (triggerScratch_.empty()) return;
   for (const CircuitId c : triggerScratch_) {
+    if (options_.debugLoseTriggerEvery != 0 &&
+        ++debugTriggerCount_ % options_.debugLoseTriggerEvery == 0) {
+      continue;  // deliberately lost trigger (oracle self-test; see FsimOptions)
+    }
     if (phaseCircuitStamp_[c] != phaseEpoch_) {
       phaseCircuitStamp_[c] = phaseEpoch_;
       curCircuits_.push_back(c);
@@ -454,6 +458,10 @@ FaultSimResult ConcurrentFaultSimulator::run(
   res.detectedAtPattern = detectedAt_;
   res.numDetected = cumulative;
   res.maxAlive = maxAliveObserved_;
+  res.finalGoodStates.reserve(net_.numNodes());
+  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+    res.finalGoodStates.push_back(table_.good(NodeId(n)));
+  }
   res.finalRecords = table_.totalRecords();
   res.potentialDetections = potentialDetections_;
   res.totalSeconds = total.seconds();

@@ -56,6 +56,12 @@ struct FsimOptions {
   /// Drop faulty circuits once detected (paper: "the simulation of that
   /// circuit is dropped"). Disable for the ablation benchmark.
   bool dropDetected = true;
+  /// Self-test hook for the differential fuzzing oracle (src/gen/): when
+  /// N > 0, every Nth faulty-circuit trigger collected during a good-circuit
+  /// phase is deliberately lost, emulating the classic concurrent-simulation
+  /// bug of missed divergence propagation. Must stay 0 in real use; only the
+  /// oracle's mutation tests set it.
+  std::uint32_t debugLoseTriggerEvery = 0;
 };
 
 /// Per-pattern measurement row (the raw data behind Figures 1 and 2).
@@ -84,6 +90,11 @@ struct FaultSimResult {
   /// State-table divergence records at end of run (summed across shards;
   /// 0 for the serial backend, which keeps no difference state).
   std::uint64_t finalRecords = 0;
+  /// Good-circuit state of every node after the last pattern, indexed by
+  /// NodeId. Every backend fills this (the serial backend from its reference
+  /// run, sharded runs from their first shard), so the differential oracle
+  /// can cross-check final states and not just detections.
+  std::vector<State> finalGoodStates;
 
   double coverage() const {
     return numFaults == 0 ? 0.0 : double(numDetected) / double(numFaults);
@@ -220,6 +231,7 @@ class ConcurrentFaultSimulator {
   std::vector<CircuitId> triggerScratch_;
   std::vector<std::uint32_t> triggerStamp_;
   std::uint32_t triggerGen_ = 1;
+  std::uint64_t debugTriggerCount_ = 0;
   std::vector<CircuitId> dropQueue_;
 
   std::uint32_t aliveCount_ = 0;

@@ -44,6 +44,10 @@ GoodRunResult SerialFaultSimulator::runGood(const TestSequence& seq) {
   }
   res.totalSeconds = timer.seconds();
   res.totalNodeEvals = sim.counters().nodeEvals;
+  res.finalStates.reserve(net_.numNodes());
+  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+    res.finalStates.push_back(sim.state(NodeId(n)));
+  }
   return res;
 }
 

@@ -29,6 +29,8 @@ struct SerialOptions {
 struct GoodRunResult {
   /// outputTrace[p][o] = state of output o after pattern p.
   std::vector<std::vector<State>> outputTrace;
+  /// State of every node after the last pattern, indexed by NodeId.
+  std::vector<State> finalStates;
   double totalSeconds = 0.0;
   std::uint64_t totalNodeEvals = 0;
   std::uint32_t numPatterns = 0;

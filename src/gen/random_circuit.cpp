@@ -1,0 +1,233 @@
+#include "gen/random_circuit.hpp"
+
+#include <algorithm>
+
+#include "circuits/cells.hpp"
+#include "faults/universe.hpp"
+#include "switch/builder.hpp"
+#include "util/strings.hpp"
+
+namespace fmossim {
+
+namespace {
+
+State randomDefinite(Rng& rng) {
+  return rng.below(2) == 0 ? State::S0 : State::S1;
+}
+
+State randomInputValue(Rng& rng, double xProbability) {
+  return rng.chance(xProbability) ? State::SX : randomDefinite(rng);
+}
+
+}  // namespace
+
+GenOptions GenOptions::randomized(std::uint64_t seed) {
+  // A distinct stream from the structural rng, so option variation and
+  // structure generation stay independent.
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  GenOptions o;
+  o.seed = seed;
+  o.numInputs = 3 + static_cast<std::uint32_t>(rng.below(4));    // 3..6
+  o.numNodes = 8 + static_cast<std::uint32_t>(rng.below(17));    // 8..24
+  o.passDensity = 0.2 + 0.1 * static_cast<double>(rng.below(5));
+  o.topology = static_cast<GenTopology>(rng.below(3));
+  o.chargeNodeFraction = 0.10 + 0.05 * static_cast<double>(rng.below(5));
+  o.bigNodeFraction = 0.05 * static_cast<double>(rng.below(5));
+  o.nmosFraction = 0.25 * static_cast<double>(rng.below(5));
+  o.feedbackProbability = 0.05 * static_cast<double>(rng.below(4));
+  o.numShortDevices = static_cast<std::uint32_t>(rng.below(4));  // 0..3
+  o.numOpenDevices = static_cast<std::uint32_t>(rng.below(3));   // 0..2
+  o.numFaults = 16 + static_cast<std::uint32_t>(rng.below(25));  // 16..40
+  o.numOutputs = 2 + static_cast<std::uint32_t>(rng.below(3));   // 2..4
+  o.numPatterns = 6 + static_cast<std::uint32_t>(rng.below(11)); // 6..16
+  o.maxSettingsPerPattern = 1 + static_cast<std::uint32_t>(rng.below(3));
+  o.xProbability = 0.05 * static_cast<double>(rng.below(4));
+  return o;
+}
+
+GeneratedWorkload generateWorkload(const GenOptions& options) {
+  GeneratedWorkload w;
+  w.options = options;
+  Rng rng(options.seed);
+
+  NetworkBuilder b;
+  const Supplies rails = ensureSupplies(b);
+  NmosCells nmos(b);
+  CmosCells cmos(b);
+
+  const std::uint32_t numInputs = std::max(1u, options.numInputs);
+  std::vector<NodeId> inputs;
+  inputs.reserve(numInputs);
+  for (std::uint32_t i = 0; i < numInputs; ++i) {
+    inputs.push_back(b.addInput("i" + std::to_string(i)));
+  }
+
+  // All storage nodes up front, so pass paths and feedback can reference any
+  // of them regardless of creation order.
+  const std::uint32_t numNodes = std::max(2u, options.numNodes);
+  std::vector<NodeId> nodes;
+  nodes.reserve(numNodes);
+  for (std::uint32_t k = 0; k < numNodes; ++k) {
+    const unsigned size = rng.chance(options.bigNodeFraction) ? 2u : 1u;
+    nodes.push_back(b.addNode("n" + std::to_string(k), size));
+  }
+
+  // Signal source for the structure feeding node k: mostly inputs and
+  // earlier nodes (forward logic), occasionally any node (feedback).
+  const auto pickSignal = [&](std::uint32_t k) -> NodeId {
+    if (rng.chance(options.feedbackProbability)) {
+      return nodes[rng.below(nodes.size())];
+    }
+    const std::uint64_t pool = inputs.size() + k;
+    if (pool == 0) return inputs[0];
+    const std::uint64_t idx = rng.below(pool);
+    return idx < inputs.size() ? inputs[idx]
+                               : nodes[idx - inputs.size()];
+  };
+
+  const auto passStructure = [&](std::uint32_t k) {
+    // 1-2 bidirectional pass transistors feeding the node, occasionally a
+    // precharge device — dynamic logic holding state as charge.
+    const std::uint32_t legs = 1 + static_cast<std::uint32_t>(rng.below(2));
+    for (std::uint32_t l = 0; l < legs; ++l) {
+      const NodeId from = pickSignal(k);
+      if (from == nodes[k]) continue;  // channel ends must be distinct
+      nmos.pass(pickSignal(k), from, nodes[k]);
+    }
+    if (rng.chance(0.3)) {
+      nmos.precharge(rng.pick(inputs), nodes[k]);
+    }
+  };
+
+  const auto gateStructure = [&](std::uint32_t k) {
+    std::vector<NodeId> fanin;
+    const std::uint32_t arity = 1 + static_cast<std::uint32_t>(rng.below(3));
+    for (std::uint32_t a = 0; a < arity; ++a) fanin.push_back(pickSignal(k));
+    const bool ratioedNmos = rng.chance(options.nmosFraction);
+    const std::uint64_t shape = rng.below(3);  // inverter / nand / nor
+    if (ratioedNmos) {
+      if (shape == 0) nmos.inverterInto(fanin[0], nodes[k]);
+      else if (shape == 1) nmos.nandInto(fanin, nodes[k]);
+      else nmos.norInto(fanin, nodes[k]);
+    } else {
+      if (shape == 0) cmos.inverterInto(fanin[0], nodes[k]);
+      else if (shape == 1) cmos.nandInto(fanin, nodes[k]);
+      else cmos.norInto(fanin, nodes[k]);
+    }
+  };
+
+  for (std::uint32_t k = 0; k < numNodes; ++k) {
+    if (rng.chance(options.chargeNodeFraction)) {
+      passStructure(k);
+      continue;
+    }
+    switch (options.topology) {
+      case GenTopology::GateStyle:
+        gateStructure(k);
+        break;
+      case GenTopology::PassHeavy:
+        if (rng.chance(0.7)) passStructure(k); else gateStructure(k);
+        break;
+      case GenTopology::Mixed:
+        if (rng.chance(0.35)) passStructure(k); else gateStructure(k);
+        break;
+    }
+  }
+
+  // Extra pass bridges between arbitrary storage nodes: bidirectional
+  // paths and charge sharing across otherwise unrelated structures.
+  const auto bridges = static_cast<std::uint32_t>(
+      options.passDensity * static_cast<double>(numNodes));
+  for (std::uint32_t j = 0; j < bridges; ++j) {
+    const NodeId a = rng.pick(nodes);
+    const NodeId c = rng.pick(nodes);
+    if (c == a) continue;
+    nmos.pass(pickSignal(numNodes), a, c);
+  }
+
+  // Fault devices (paper §3): shorts between any two distinct nodes
+  // (including rails/inputs), opens joining two storage nodes.
+  for (std::uint32_t j = 0; j < options.numShortDevices; ++j) {
+    const NodeId a = rng.pick(nodes);
+    std::vector<NodeId> all = {rails.vdd, rails.gnd};
+    all.insert(all.end(), inputs.begin(), inputs.end());
+    all.insert(all.end(), nodes.begin(), nodes.end());
+    const NodeId c = rng.pick(all);
+    if (c == a) continue;
+    b.addShortFaultDevice(a, c);
+  }
+  for (std::uint32_t j = 0; j < options.numOpenDevices; ++j) {
+    const NodeId a = rng.pick(nodes);
+    const NodeId c = rng.pick(nodes);
+    if (c == a) continue;
+    b.addOpenFaultDevice(a, c);
+  }
+
+  w.net = b.build();
+  w.dataInputs = inputs;
+
+  // Fault universe: node stuck-ats, transistor stuck-open/closed and fault
+  // device activations, sampled down to numFaults (0 keeps everything).
+  FaultList universe = allStorageNodeStuckFaults(w.net);
+  universe.append(allTransistorStuckFaults(w.net));
+  universe.append(allFaultDeviceFaults(w.net));
+  if (options.numFaults == 0 || options.numFaults >= universe.size()) {
+    w.faults = universe;
+  } else {
+    auto picked = rng.sampleIndices(universe.size(), options.numFaults);
+    std::sort(picked.begin(), picked.end());
+    for (const std::uint32_t i : picked) w.faults.add(universe[i]);
+  }
+
+  // Observed outputs: a sample of storage nodes.
+  const std::uint32_t numOutputs =
+      std::max(1u, std::min(options.numOutputs, numNodes));
+  auto outIdx = rng.sampleIndices(numNodes, numOutputs);
+  std::sort(outIdx.begin(), outIdx.end());
+  for (const std::uint32_t i : outIdx) w.seq.addOutput(nodes[i]);
+
+  // Test sequence. The first setting powers the rails and drives every data
+  // input to a definite value; later settings flip random input subsets.
+  const std::uint32_t numPatterns = std::max(1u, options.numPatterns);
+  for (std::uint32_t p = 0; p < numPatterns; ++p) {
+    Pattern pat;
+    pat.label = "p" + std::to_string(p);
+    const std::uint32_t numSettings =
+        1 + static_cast<std::uint32_t>(
+                rng.below(std::max(1u, options.maxSettingsPerPattern)));
+    for (std::uint32_t s = 0; s < numSettings; ++s) {
+      InputSetting st;
+      if (p == 0 && s == 0) {
+        st.set(rails.vdd, State::S1);
+        st.set(rails.gnd, State::S0);
+        for (const NodeId in : inputs) st.set(in, randomDefinite(rng));
+      } else {
+        for (const NodeId in : inputs) {
+          if (rng.chance(0.4)) {
+            st.set(in, randomInputValue(rng, options.xProbability));
+          }
+        }
+        if (st.assignments.empty()) {
+          // Two sequenced draws: argument evaluation order is unspecified,
+          // and seed reproducibility must not depend on the compiler.
+          const NodeId in = rng.pick(inputs);
+          st.set(in, randomInputValue(rng, options.xProbability));
+        }
+      }
+      pat.settings.push_back(std::move(st));
+    }
+    w.seq.addPattern(std::move(pat));
+  }
+  return w;
+}
+
+std::string describeWorkload(const GeneratedWorkload& w) {
+  return format(
+      "seed %llu: %u nodes (%u inputs), %u transistors (%u fault devices), "
+      "%u faults, %u patterns, %zu outputs",
+      static_cast<unsigned long long>(w.options.seed), w.net.numNodes(),
+      w.net.numInputs(), w.net.numTransistors(), w.net.numFaultDevices(),
+      w.faults.size(), w.seq.size(), w.seq.outputs().size());
+}
+
+}  // namespace fmossim

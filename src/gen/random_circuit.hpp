@@ -1,0 +1,90 @@
+// Seeded random switch-level circuit generation for differential fuzzing.
+//
+// generateWorkload() turns a seed into a complete, valid fault-simulation
+// workload: a Network (mixing ratioed nMOS gates, complementary CMOS gates,
+// pass-transistor bridges, dynamic charge-storage nodes and short/open fault
+// devices), a sampled fault universe over it, and a random clocked test
+// sequence. The same seed always produces the same workload bit-for-bit
+// (Rng is stable across platforms), so a failing fuzz seed IS the
+// reproducer.
+//
+// The generated scenario space deliberately goes beyond the hand-built
+// RAM/cell circuits: bidirectional pass paths, charge sharing between sized
+// nodes, ratioed fights, X-driving inputs and oscillating feedback are all
+// reachable, which is exactly the terrain where a concurrent difference
+// simulator can silently diverge from serial replay (see diff_oracle.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/fault.hpp"
+#include "patterns/pattern.hpp"
+#include "switch/network.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+
+/// Structural flavour of the generated logic (gate-style static logic vs.
+/// pass-transistor-heavy dynamic logic; Mixed draws both per node).
+enum class GenTopology : std::uint8_t {
+  GateStyle,
+  PassHeavy,
+  Mixed,
+};
+
+/// Generator knobs. Every field is deterministic given `seed`; the
+/// randomized() factory draws a varied configuration from the seed itself so
+/// a fuzzing campaign sweeps the whole parameter space with no extra flags.
+struct GenOptions {
+  std::uint64_t seed = 1;
+
+  std::uint32_t numInputs = 4;   ///< data/clock inputs beyond Vdd/Gnd
+  std::uint32_t numNodes = 12;   ///< storage nodes to create
+  /// Extra pass-transistor bridges per storage node on top of each node's
+  /// own structure (bidirectional paths, charge sharing).
+  double passDensity = 0.4;
+  GenTopology topology = GenTopology::Mixed;
+  /// Probability that a node is a dynamic charge-storage node (pass-fed
+  /// only, no static pull path).
+  double chargeNodeFraction = 0.25;
+  /// Probability that a storage node gets size 2 (bus-like capacitance).
+  double bigNodeFraction = 0.15;
+  /// Probability that a gate-style node uses ratioed nMOS (weak depletion
+  /// load vs. strong pull-down) instead of complementary CMOS.
+  double nmosFraction = 0.5;
+  /// Probability that a gate input is wired to a *later* node (feedback).
+  double feedbackProbability = 0.08;
+
+  std::uint32_t numShortDevices = 2;  ///< short-circuit fault devices
+  std::uint32_t numOpenDevices = 1;   ///< open-circuit fault devices
+
+  std::uint32_t numFaults = 24;    ///< sampled fault-universe size (0 = all)
+  std::uint32_t numOutputs = 3;    ///< observed output nodes
+  std::uint32_t numPatterns = 10;  ///< test patterns
+  std::uint32_t maxSettingsPerPattern = 3;
+  double xProbability = 0.05;  ///< chance an assigned input gets X
+
+  /// Draws a varied configuration (circuit size, density, topology, charge
+  /// and fault knobs) deterministically from the seed.
+  static GenOptions randomized(std::uint64_t seed);
+};
+
+/// A complete generated fault-simulation workload.
+struct GeneratedWorkload {
+  GenOptions options;
+  Network net;
+  FaultList faults;
+  TestSequence seq;
+  /// Data/clock input nodes the sequence drives (excludes Vdd/Gnd).
+  std::vector<NodeId> dataInputs;
+};
+
+/// Generates the workload for the given options. Deterministic: equal
+/// options (in particular equal seeds) give identical workloads.
+GeneratedWorkload generateWorkload(const GenOptions& options);
+
+/// One-line human description ("seed 17: 14 nodes, 31 transistors, ...").
+std::string describeWorkload(const GeneratedWorkload& w);
+
+}  // namespace fmossim

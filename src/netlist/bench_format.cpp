@@ -60,13 +60,17 @@ GateType gateTypeFromName(const std::string& name, std::size_t lineNo) {
   fail(lineNo, "unsupported gate type '" + name + "'");
 }
 
-// Extracts the text inside the first (...) pair.
+// Extracts the text inside the first (...) pair. Anything after the closing
+// parenthesis is an error, not silently ignored.
 std::string_view parens(std::string_view s, std::size_t lineNo) {
   const auto open = s.find('(');
   const auto close = s.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos ||
       close < open) {
     fail(lineNo, "expected parenthesised argument list");
+  }
+  if (!trim(s.substr(close + 1)).empty()) {
+    fail(lineNo, "unexpected text after ')'");
   }
   return s.substr(open + 1, close - open - 1);
 }
@@ -90,13 +94,19 @@ GateCircuit parseBench(const std::string& text, const std::string& name) {
 
     const auto eq = trimmed.find('=');
     if (eq == std::string_view::npos) {
-      const std::string up = toUpper(std::string(trimmed.substr(0, 6)));
-      if (startsWith(up, "INPUT")) {
+      // The keyword is everything before '(' — exactly INPUT or OUTPUT, so
+      // that a typo like "INPUTS(1)" errors instead of being accepted.
+      const auto open = trimmed.find('(');
+      const std::string up =
+          open == std::string_view::npos
+              ? std::string()
+              : toUpper(trim(trimmed.substr(0, open)));
+      if (up == "INPUT") {
         const std::string sig(trim(parens(trimmed, lineNo)));
         if (sig.empty()) fail(lineNo, "empty INPUT name");
         if (!defined.insert(sig).second) fail(lineNo, "duplicate INPUT '" + sig + "'");
         circuit.inputs.push_back(sig);
-      } else if (startsWith(up, "OUTPUT")) {
+      } else if (up == "OUTPUT") {
         const std::string sig(trim(parens(trimmed, lineNo)));
         if (sig.empty()) fail(lineNo, "empty OUTPUT name");
         if (!declaredOutputs.insert(sig).second) {

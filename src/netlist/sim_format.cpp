@@ -14,6 +14,23 @@ namespace {
   throw Error(format("sim netlist line %zu: %s", lineNo, msg.c_str()));
 }
 
+/// Strict unsigned decimal parse: every character must be a digit, so that
+/// "2x" or "3.5" is an error rather than silently truncated by stoi.
+unsigned parseUint(std::string_view tok, std::size_t lineNo, const char* what) {
+  if (tok.empty()) fail(lineNo, format("empty %s", what));
+  unsigned value = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') {
+      fail(lineNo, format("invalid %s '%s'", what, std::string(tok).c_str()));
+    }
+    if (value > 100000u) {
+      fail(lineNo, format("%s '%s' out of range", what, std::string(tok).c_str()));
+    }
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  return value;
+}
+
 }  // namespace
 
 Network parseSimNetlist(const std::string& text) {
@@ -41,14 +58,13 @@ Network parseSimNetlist(const std::string& text) {
       if (tok.size() != 3) fail(lineNo, "node requires <name> <size>");
       const std::string name(tok[1]);
       if (b.hasNode(name)) fail(lineNo, "duplicate declaration of '" + name + "'");
-      int size = 0;
-      try {
-        size = std::stoi(std::string(tok[2]));
-      } catch (...) {
-        fail(lineNo, "invalid node size '" + std::string(tok[2]) + "'");
-      }
+      const unsigned size = parseUint(tok[2], lineNo, "node size");
       if (size < 1) fail(lineNo, "node size must be >= 1");
-      b.addNode(name, static_cast<unsigned>(size));
+      try {
+        b.addNode(name, size);
+      } catch (const Error& e) {
+        fail(lineNo, e.what());
+      }
     }
   }
 
@@ -76,11 +92,7 @@ Network parseSimNetlist(const std::string& text) {
         std::tolower(static_cast<unsigned char>(kind[0])))));
     unsigned strength = (type == TransistorType::DType) ? 1u : 2u;
     if (tok.size() == 5) {
-      try {
-        strength = static_cast<unsigned>(std::stoi(std::string(tok[4])));
-      } catch (...) {
-        fail(lineNo, "invalid strength '" + std::string(tok[4]) + "'");
-      }
+      strength = parseUint(tok[4], lineNo, "strength");
     }
     const NodeId gate = b.getOrAddNode(std::string(tok[1]));
     const NodeId source = b.getOrAddNode(std::string(tok[2]));

@@ -1,5 +1,6 @@
 #include "patterns/sequence_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -48,6 +49,9 @@ TestSequence parseSequence(const Network& net, const std::string& text) {
         seq.addOutput(n);
       }
     } else if (kind == "PATTERN") {
+      if (tok.size() > 2) {
+        fail(lineNo, "pattern takes at most one label token");
+      }
       flush();
       inPattern = true;
       current.label = tok.size() > 1 ? std::string(tok[1]) : "";
@@ -99,22 +103,72 @@ TestSequence loadSequenceFile(const Network& net, const std::string& path) {
   return parseSequence(net, ss.str());
 }
 
+namespace {
+
+/// A single token the text format can carry losslessly: non-empty and free
+/// of whitespace (the token separator). '#' only starts a comment at the
+/// beginning of a line and '=' only separates inside assignments, so both
+/// are fine mid-token; assignment node names additionally exclude '='.
+bool representableToken(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::string writeSequence(const Network& net, const TestSequence& seq) {
+  // Validate representability up front so that writeSequence(parseSequence())
+  // and parseSequence(writeSequence()) are exact inverses: anything emitted
+  // here parses back to an equivalent sequence, and anything the format
+  // cannot carry (a sequence parseSequence could never have produced) is an
+  // error instead of silently emitting unparseable or lossy text.
+  if (seq.empty()) throw Error("writeSequence: sequence has no patterns");
+  if (seq.outputs().empty()) throw Error("writeSequence: sequence has no outputs");
+  const auto checkName = [&](NodeId n, bool assignment) -> const std::string& {
+    const std::string& name = net.node(n).name;
+    if (!representableToken(name) ||
+        (assignment && name.find('=') != std::string::npos)) {
+      throw Error("writeSequence: node name '" + name +
+                  "' is not representable in the sequence format");
+    }
+    return name;
+  };
+
   std::string out = "# written by fmossim\noutputs";
   for (const NodeId n : seq.outputs()) {
     out += ' ';
-    out += net.node(n).name;
+    out += checkName(n, /*assignment=*/false);
   }
   out += '\n';
   for (std::uint32_t i = 0; i < seq.size(); ++i) {
     const Pattern& p = seq[i];
+    if (p.settings.empty()) {
+      throw Error("writeSequence: pattern '" + p.label + "' has no settings");
+    }
+    if (!p.label.empty() && !representableToken(p.label)) {
+      throw Error("writeSequence: pattern label '" + p.label +
+                  "' is not representable (must be one token)");
+    }
     out += "pattern";
     if (!p.label.empty()) out += ' ' + p.label;
     out += '\n';
     for (const InputSetting& s : p.settings) {
+      if (s.assignments.empty()) {
+        throw Error("writeSequence: pattern '" + p.label +
+                    "' has an empty input setting");
+      }
       out += "  set";
       for (const auto& [n, v] : s.assignments) {
-        out += ' ' + net.node(n).name + '=' + stateChar(v);
+        if (!net.isInput(n)) {
+          // parseSequence rejects assignments to non-input nodes, so the
+          // writer must too (exact-inverse contract).
+          throw Error("writeSequence: assignment target '" +
+                      net.node(n).name + "' is not an input node");
+        }
+        out += ' ' + checkName(n, /*assignment=*/true) + '=' + stateChar(v);
       }
       out += '\n';
     }

@@ -21,7 +21,11 @@ TestSequence parseSequence(const Network& net, const std::string& text);
 /// Reads a sequence file.
 TestSequence loadSequenceFile(const Network& net, const std::string& path);
 
-/// Writes a sequence back in the same format.
+/// Writes a sequence back in the same format. Exact inverse of
+/// parseSequence: the emitted text parses back to an equivalent sequence.
+/// Throws Error for sequences the format cannot carry (no patterns or
+/// outputs, empty settings, node names / labels with whitespace, '=' in an
+/// assigned node's name) instead of emitting lossy or unparseable text.
 std::string writeSequence(const Network& net, const TestSequence& seq);
 
 }  // namespace fmossim

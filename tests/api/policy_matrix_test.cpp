@@ -1,0 +1,156 @@
+// Detection-policy / drop-mode matrix across all three backends.
+//
+// tests/api previously exercised DetectionPolicy::AnyDifference and
+// dropDetected=false only on the serial/concurrent pair and mostly on
+// DefiniteOnly paths; this suite pins the full matrix
+//   {DefiniteOnly, AnyDifference} x {drop, no-drop} x {serial, concurrent,
+//   sharded jobs 2 and 4}
+// to identical detections, potentials, per-pattern rows and final good
+// states — the same exactness contract the differential fuzzing oracle
+// (src/gen/diff_oracle.hpp) enforces on random circuits.
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "circuits/demo_circuits.hpp"
+#include "faults/universe.hpp"
+
+namespace fmossim {
+namespace {
+
+struct Workload {
+  ShiftRegister sr;
+  TestSequence seq;
+  FaultList faults;
+};
+
+Workload makeWorkload() {
+  Workload w{buildShiftRegister(2), {}, {}};
+  w.seq.addOutput(w.sr.out());
+  const char bits[] = "11010010";
+  for (const char* bit = bits; *bit; ++bit) {
+    Pattern p;
+    InputSetting s0;
+    s0.set(w.sr.vdd, State::S1);
+    s0.set(w.sr.gnd, State::S0);
+    s0.set(w.sr.din, *bit == '1' ? State::S1 : State::S0);
+    s0.set(w.sr.phi1, State::S1);
+    s0.set(w.sr.phi2, State::S0);
+    InputSetting s1;
+    s1.set(w.sr.phi1, State::S0);
+    s1.set(w.sr.phi2, State::S1);
+    InputSetting s2;
+    s2.set(w.sr.phi2, State::S0);
+    p.settings = {s0, s1, s2};
+    w.seq.addPattern(std::move(p));
+  }
+  w.faults = allStorageNodeStuckFaults(w.sr.net);
+  w.faults.append(allTransistorStuckFaults(w.sr.net));
+  return w;
+}
+
+FaultSimResult runWith(const Workload& w, Backend backend, unsigned jobs,
+                       DetectionPolicy policy, bool drop) {
+  EngineOptions opts;
+  opts.backend = backend;
+  opts.jobs = jobs;
+  opts.policy = policy;
+  opts.dropDetected = drop;
+  Engine engine(w.sr.net, w.faults, opts);
+  return engine.run(w.seq);
+}
+
+TEST(PolicyMatrixTest, AllBackendsAgreeAcrossPolicyAndDropModes) {
+  const Workload w = makeWorkload();
+  for (const DetectionPolicy policy :
+       {DetectionPolicy::DefiniteOnly, DetectionPolicy::AnyDifference}) {
+    for (const bool drop : {true, false}) {
+      const FaultSimResult ref =
+          runWith(w, Backend::Serial, 1, policy, drop);
+      for (const unsigned jobs : {1u, 2u, 4u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "policy="
+                     << (policy == DetectionPolicy::AnyDifference ? "any"
+                                                                  : "definite")
+                     << " drop=" << drop << " jobs=" << jobs);
+        const FaultSimResult got =
+            runWith(w, Backend::Concurrent, jobs, policy, drop);
+        ASSERT_EQ(got.numFaults, ref.numFaults);
+        EXPECT_EQ(got.numDetected, ref.numDetected);
+        EXPECT_EQ(got.detectedAtPattern, ref.detectedAtPattern);
+        EXPECT_EQ(got.potentialDetections, ref.potentialDetections);
+        ASSERT_EQ(got.perPattern.size(), ref.perPattern.size());
+        for (std::size_t pi = 0; pi < ref.perPattern.size(); ++pi) {
+          EXPECT_EQ(got.perPattern[pi].newlyDetected,
+                    ref.perPattern[pi].newlyDetected);
+          EXPECT_EQ(got.perPattern[pi].cumulativeDetected,
+                    ref.perPattern[pi].cumulativeDetected);
+          EXPECT_EQ(got.perPattern[pi].aliveAfter,
+                    ref.perPattern[pi].aliveAfter);
+        }
+        EXPECT_EQ(got.finalGoodStates, ref.finalGoodStates);
+        ASSERT_EQ(got.finalGoodStates.size(), w.sr.net.numNodes());
+      }
+    }
+  }
+}
+
+TEST(PolicyMatrixTest, AnyDifferenceDetectsAtLeastAsMuchAsDefiniteOnly) {
+  const Workload w = makeWorkload();
+  for (const Backend backend : {Backend::Serial, Backend::Concurrent}) {
+    const FaultSimResult definite =
+        runWith(w, backend, 1, DetectionPolicy::DefiniteOnly, true);
+    const FaultSimResult any =
+        runWith(w, backend, 1, DetectionPolicy::AnyDifference, true);
+    EXPECT_GE(any.numDetected, definite.numDetected);
+    // An X-involved mismatch is a detection under AnyDifference, so no
+    // potential detections remain to be counted.
+    EXPECT_EQ(any.potentialDetections, 0u);
+    // Per fault: AnyDifference can only detect earlier (or equally late).
+    for (std::uint32_t fi = 0; fi < w.faults.size(); ++fi) {
+      if (definite.detectedAtPattern[fi] >= 0 &&
+          any.detectedAtPattern[fi] >= 0) {
+        EXPECT_LE(any.detectedAtPattern[fi], definite.detectedAtPattern[fi])
+            << "fault '" << w.faults[fi].name << "'";
+      }
+    }
+  }
+}
+
+TEST(PolicyMatrixTest, NoDropKeepsEveryCircuitAliveOnEveryBackend) {
+  const Workload w = makeWorkload();
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    const FaultSimResult res = runWith(w, Backend::Concurrent, jobs,
+                                       DetectionPolicy::AnyDifference, false);
+    ASSERT_GT(res.numDetected, 0u);
+    for (const PatternStat& st : res.perPattern) {
+      EXPECT_EQ(st.aliveAfter, res.numFaults);
+    }
+  }
+  // Serial reports the same shape for the no-drop view.
+  const FaultSimResult serial = runWith(w, Backend::Serial, 1,
+                                        DetectionPolicy::AnyDifference, false);
+  for (const PatternStat& st : serial.perPattern) {
+    EXPECT_EQ(st.aliveAfter, serial.numFaults);
+  }
+}
+
+TEST(PolicyMatrixTest, DropAndNoDropAgreeOnDetections) {
+  // Dropping detected circuits is a performance optimisation; it must not
+  // change what is detected or when, under either policy, on any backend.
+  const Workload w = makeWorkload();
+  for (const DetectionPolicy policy :
+       {DetectionPolicy::DefiniteOnly, DetectionPolicy::AnyDifference}) {
+    for (const unsigned jobs : {1u, 2u}) {
+      const FaultSimResult drop =
+          runWith(w, Backend::Concurrent, jobs, policy, true);
+      const FaultSimResult keep =
+          runWith(w, Backend::Concurrent, jobs, policy, false);
+      EXPECT_EQ(drop.detectedAtPattern, keep.detectedAtPattern);
+      EXPECT_EQ(drop.numDetected, keep.numDetected);
+      EXPECT_EQ(drop.finalGoodStates, keep.finalGoodStates);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

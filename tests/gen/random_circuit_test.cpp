@@ -1,0 +1,123 @@
+// Seeded random workload generation: determinism, structural validity, and
+// parameter plumbing.
+#include "gen/random_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/engine.hpp"
+
+namespace fmossim {
+namespace {
+
+TEST(RandomCircuitTest, SameSeedGivesIdenticalWorkload) {
+  const GeneratedWorkload a = generateWorkload(GenOptions::randomized(42));
+  const GeneratedWorkload b = generateWorkload(GenOptions::randomized(42));
+
+  ASSERT_EQ(a.net.numNodes(), b.net.numNodes());
+  ASSERT_EQ(a.net.numTransistors(), b.net.numTransistors());
+  for (const TransId t : a.net.allTransistors()) {
+    const auto& ta = a.net.transistor(t);
+    const auto& tb = b.net.transistor(t);
+    EXPECT_EQ(ta.type, tb.type);
+    EXPECT_EQ(ta.strength, tb.strength);
+    EXPECT_EQ(ta.gate, tb.gate);
+    EXPECT_EQ(ta.source, tb.source);
+    EXPECT_EQ(ta.drain, tb.drain);
+  }
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::uint32_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].name, b.faults[i].name);
+  }
+  ASSERT_EQ(a.seq.size(), b.seq.size());
+  EXPECT_EQ(a.seq.outputs(), b.seq.outputs());
+  for (std::uint32_t p = 0; p < a.seq.size(); ++p) {
+    ASSERT_EQ(a.seq[p].settings.size(), b.seq[p].settings.size());
+    for (std::size_t s = 0; s < a.seq[p].settings.size(); ++s) {
+      EXPECT_EQ(a.seq[p].settings[s].assignments,
+                b.seq[p].settings[s].assignments);
+    }
+  }
+  EXPECT_EQ(describeWorkload(a), describeWorkload(b));
+}
+
+TEST(RandomCircuitTest, DifferentSeedsVaryTheScenario) {
+  std::set<std::string> shapes;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    shapes.insert(describeWorkload(generateWorkload(GenOptions::randomized(seed))));
+  }
+  EXPECT_GT(shapes.size(), 4u);  // near-certainly all distinct
+}
+
+TEST(RandomCircuitTest, GeneratedWorkloadsAreStructurallyValid) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GenOptions o = GenOptions::randomized(seed);
+    const GeneratedWorkload w = generateWorkload(o);
+    SCOPED_TRACE(describeWorkload(w));
+
+    EXPECT_GT(w.net.numTransistors(), 0u);
+    EXPECT_GE(w.net.numInputs(), 3u);  // rails + at least one data input
+    EXPECT_FALSE(w.faults.empty());
+    EXPECT_LE(w.faults.size(), std::max(o.numFaults, 1u));
+    ASSERT_FALSE(w.seq.empty());
+    ASSERT_FALSE(w.seq.outputs().empty());
+
+    // Every assignment targets an input node; outputs are real nodes.
+    for (const Pattern& p : w.seq.patterns()) {
+      ASSERT_FALSE(p.settings.empty());
+      for (const InputSetting& s : p.settings) {
+        ASSERT_FALSE(s.assignments.empty());
+        for (const auto& [n, v] : s.assignments) {
+          EXPECT_TRUE(w.net.isInput(n));
+          (void)v;
+        }
+      }
+    }
+    for (const NodeId out : w.seq.outputs()) {
+      EXPECT_LT(out.value, w.net.numNodes());
+    }
+
+    // The first setting powers the rails.
+    const auto& first = w.seq[0].settings[0].assignments;
+    const NodeId vdd = w.net.nodeByName("Vdd");
+    const NodeId gnd = w.net.nodeByName("Gnd");
+    bool sawVdd = false, sawGnd = false;
+    for (const auto& [n, v] : first) {
+      if (n == vdd) { sawVdd = true; EXPECT_EQ(v, State::S1); }
+      if (n == gnd) { sawGnd = true; EXPECT_EQ(v, State::S0); }
+    }
+    EXPECT_TRUE(sawVdd);
+    EXPECT_TRUE(sawGnd);
+  }
+}
+
+TEST(RandomCircuitTest, GeneratedWorkloadRunsOnEveryBackend) {
+  const GeneratedWorkload w = generateWorkload(GenOptions::randomized(3));
+  for (const unsigned jobs : {1u, 2u}) {
+    for (const Backend backend : {Backend::Serial, Backend::Concurrent}) {
+      EngineOptions opts;
+      opts.backend = backend;
+      opts.jobs = jobs;
+      Engine engine(w.net, w.faults, opts);
+      const FaultSimResult res = engine.run(w.seq);
+      EXPECT_EQ(res.numFaults, w.faults.size());
+      EXPECT_EQ(res.perPattern.size(), w.seq.size());
+      EXPECT_EQ(res.finalGoodStates.size(), w.net.numNodes());
+    }
+  }
+}
+
+TEST(RandomCircuitTest, ParameterOverridesAreHonoured) {
+  GenOptions o = GenOptions::randomized(5);
+  o.numFaults = 7;
+  o.numPatterns = 4;
+  o.numOutputs = 2;
+  const GeneratedWorkload w = generateWorkload(o);
+  EXPECT_EQ(w.faults.size(), 7u);
+  EXPECT_EQ(w.seq.size(), 4u);
+  EXPECT_EQ(w.seq.outputs().size(), 2u);
+}
+
+}  // namespace
+}  // namespace fmossim

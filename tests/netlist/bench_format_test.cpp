@@ -49,6 +49,41 @@ TEST(BenchFormatTest, RejectsMalformedInput) {
   EXPECT_THROW(parseBench("gibberish line\n"), Error);
 }
 
+TEST(BenchFormatTest, RejectsWhatWasOnceSilentlyAccepted) {
+  // Keyword typos used to pass the prefix match ("INPUTS", "INPUTX"...).
+  EXPECT_THROW(parseBench("INPUTS(a)\nz = NOT(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nOUTPUTX(z)\nz = NOT(a)\n"), Error);
+  // Trailing garbage after the argument list used to be ignored.
+  EXPECT_THROW(parseBench("INPUT(a) junk\nz = NOT(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\nz = NOT(a) junk\n"), Error);
+  // Still-valid shapes keep parsing (keyword case, surrounding blanks).
+  const GateCircuit ok = parseBench("input(a)\n  z = NOT( a )  \nOUTPUT(z)\n");
+  EXPECT_EQ(ok.numGates(), 1u);
+}
+
+TEST(BenchFormatTest, RejectsDuplicateAndMissingDefinitions) {
+  // Duplicate gate definition.
+  EXPECT_THROW(parseBench("INPUT(a)\nz = NOT(a)\nz = BUFF(a)\n"), Error);
+  // Gate redefining an input.
+  EXPECT_THROW(parseBench("INPUT(a)\na = NOT(a)\n"), Error);
+  // Duplicate OUTPUT declaration.
+  EXPECT_THROW(parseBench("INPUT(a)\nOUTPUT(z)\nOUTPUT(z)\nz = NOT(a)\n"),
+               Error);
+  // Empty names and missing output name.
+  EXPECT_THROW(parseBench("INPUT()\nz = NOT(a)\n"), Error);
+  EXPECT_THROW(parseBench("INPUT(a)\n = NOT(a)\n"), Error);
+}
+
+TEST(BenchFormatTest, ErrorsCarryLineNumbers) {
+  try {
+    parseBench("INPUT(a)\nINPUT(b)\nz = FROB(a)\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 // Gate-level reference evaluator for combinational circuits (inputs 0/1).
 std::unordered_map<std::string, bool> evalGateLevel(
     const GateCircuit& c, const std::unordered_map<std::string, bool>& inputs) {

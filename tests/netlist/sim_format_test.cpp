@@ -95,6 +95,35 @@ TEST(SimFormatTest, RejectsMalformedInput) {
   EXPECT_THROW(parseSimNetlist("| only comments\n"), Error);   // no devices
 }
 
+TEST(SimFormatTest, RejectsNonStrictIntegers) {
+  // stoi used to accept these by parsing the leading digits and silently
+  // dropping the rest.
+  EXPECT_THROW(parseSimNetlist("node a 2x\nn g a b\n"), Error);
+  EXPECT_THROW(parseSimNetlist("node a 1.5\nn g a b\n"), Error);
+  EXPECT_THROW(parseSimNetlist("n g a b 2x\n"), Error);
+  EXPECT_THROW(parseSimNetlist("node a -1\nn g a b\n"), Error);
+  EXPECT_THROW(parseSimNetlist("n g a b 99999999999999\n"), Error);
+}
+
+TEST(SimFormatTest, OutOfRangeDeclarationsCarryLineNumbers) {
+  // Node size beyond the domain's kappa levels used to abort with no line
+  // context; strength already went through the device try/catch.
+  try {
+    parseSimNetlist("input ok\nnode fat 7\nn ok fat Gnd\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parseSimNetlist("input ok\nn ok a b 9\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(SimFormatTest, WriteReadRoundTrip) {
   const Network net = parseSimNetlist(
       "input in clk\n"

@@ -96,5 +96,126 @@ TEST(SequenceIoTest, WriteParseRoundTrip) {
   }
 }
 
+bool equivalent(const TestSequence& a, const TestSequence& b) {
+  if (a.size() != b.size() || a.outputs() != b.outputs()) return false;
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label) return false;
+    if (a[i].settings.size() != b[i].settings.size()) return false;
+    for (std::size_t s = 0; s < a[i].settings.size(); ++s) {
+      if (a[i].settings[s].assignments != b[i].settings[s].assignments) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(SequenceIoTest, ParseEmitParseIsExactlyEquivalent) {
+  const Network net = makeNet();
+  // Exercise every directive shape: multiple outputs, labelled and
+  // unlabelled patterns, multi-assignment and single-assignment settings,
+  // X values, comments and blank lines.
+  const std::string original =
+      "# header comment\n"
+      "outputs out inv\n"
+      "\n"
+      "pattern init\n"
+      "  set Vdd=1 Gnd=0 in=0 clk=1\n"
+      "pattern\n"
+      "  set in=X\n"
+      "  set clk=0\n"
+      "pattern last\n"
+      "  set in=1 clk=1\n";
+  const TestSequence once = parseSequence(net, original);
+  const std::string emitted = writeSequence(net, once);
+  const TestSequence twice = parseSequence(net, emitted);
+  EXPECT_TRUE(equivalent(once, twice));
+  // Emission is a fixed point: emit(parse(emit(x))) == emit(x).
+  EXPECT_EQ(writeSequence(net, twice), emitted);
+}
+
+TEST(SequenceIoTest, WriteRejectsUnrepresentableSequences) {
+  const Network net = makeNet();
+  const NodeId in = net.nodeByName("in");
+  const NodeId out = net.nodeByName("out");
+
+  // No patterns / no outputs (parse would reject the emitted text).
+  EXPECT_THROW(writeSequence(net, TestSequence{}), Error);
+  {
+    TestSequence seq;
+    Pattern p;
+    InputSetting s;
+    s.set(in, State::S1);
+    p.settings.push_back(s);
+    seq.addPattern(p);  // no outputs
+    EXPECT_THROW(writeSequence(net, seq), Error);
+  }
+  // A pattern with no settings would emit a bare "pattern" line that fails
+  // to reparse.
+  {
+    TestSequence seq;
+    seq.addOutput(out);
+    seq.addPattern(Pattern{});
+    EXPECT_THROW(writeSequence(net, seq), Error);
+  }
+  // An empty setting would emit a bare "set" line.
+  {
+    TestSequence seq;
+    seq.addOutput(out);
+    Pattern p;
+    p.settings.push_back(InputSetting{});
+    seq.addPattern(p);
+    EXPECT_THROW(writeSequence(net, seq), Error);
+  }
+  // An assignment to a non-input node would emit a line the parser rejects.
+  {
+    TestSequence seq;
+    seq.addOutput(out);
+    Pattern p;
+    InputSetting s;
+    s.set(net.nodeByName("inv"), State::S1);  // storage node, not an input
+    p.settings.push_back(s);
+    seq.addPattern(p);
+    EXPECT_THROW(writeSequence(net, seq), Error);
+  }
+  // A multi-token label would reparse as a different label.
+  {
+    TestSequence seq;
+    seq.addOutput(out);
+    Pattern p;
+    p.label = "two words";
+    InputSetting s;
+    s.set(in, State::S1);
+    p.settings.push_back(s);
+    seq.addPattern(p);
+    EXPECT_THROW(writeSequence(net, seq), Error);
+  }
+}
+
+TEST(SequenceIoTest, UnusualButParseableTokensRoundTrip) {
+  // '#' only opens a comment at the start of a line and '=' only separates
+  // inside assignments, so both are legal mid-token in labels and output
+  // names — the writer must carry them, not reject them.
+  const Network net = makeNet();
+  const TestSequence once = parseSequence(net,
+                                          "outputs out\n"
+                                          "pattern a=b\n"
+                                          "  set in=1\n"
+                                          "pattern x#y\n"
+                                          "  set in=0\n");
+  EXPECT_EQ(once[0].label, "a=b");
+  EXPECT_EQ(once[1].label, "x#y");
+  const TestSequence twice = parseSequence(net, writeSequence(net, once));
+  EXPECT_TRUE(equivalent(once, twice));
+}
+
+TEST(SequenceIoTest, ParseRejectsMultiTokenPatternLabels) {
+  const Network net = makeNet();
+  // "pattern a b" used to silently drop 'b'; round-trip symmetry requires
+  // rejecting what the writer may not emit.
+  EXPECT_THROW(parseSequence(net, "outputs out\npattern a b\nset in=1\n"),
+               Error);
+}
+
 }  // namespace
 }  // namespace fmossim
