@@ -23,28 +23,19 @@
 #include "core/serial_sim.hpp"
 #include "faults/universe.hpp"
 #include "patterns/marching.hpp"
+#include "perf/scenarios.hpp"
 #include "stats/ascii_chart.hpp"
 #include "stats/recorder.hpp"
 #include "util/strings.hpp"
 
 namespace fmossim::bench {
 
-/// The paper's fault universe for a RAM: all single storage-node stuck-at
-/// faults plus all adjacent-bit-line shorts (§5).
-inline FaultList paperFaultUniverse(const RamCircuit& ram) {
-  FaultList faults = allStorageNodeStuckFaults(ram.net);
-  for (const TransId ft : ram.bitLineShorts) {
-    faults.add(Fault::faultDeviceActive(ram.net, ft));
-  }
-  return faults;
-}
-
-inline EngineOptions paperEngineOptions() {
-  EngineOptions opts;
-  opts.backend = Backend::Concurrent;
-  opts.policy = DetectionPolicy::AnyDifference;
-  return opts;
-}
+// The paper's fault universe and engine configuration now live in the
+// perf scenario registry (src/perf/scenarios.hpp), the single source of
+// truth shared by these harnesses and the BENCH_*.json emitter; the old
+// bench-local copies are aliases.
+using perf::paperEngineOptions;
+using perf::paperFaultUniverse;
 
 inline void banner(const char* title) {
   std::printf("==============================================================\n");

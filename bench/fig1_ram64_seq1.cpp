@@ -18,15 +18,18 @@ using namespace fmossim::bench;
 int main() {
   banner("Figure 1: RAM64, test sequence 1 (concurrent fault simulation)");
 
-  const RamCircuit ram = buildRam(ram64Config());
-  const FaultList faults = paperFaultUniverse(ram);
-  const TestSequence seq = ramTestSequence1(ram);
+  // The workload is the registry's "ram64_seq1" scenario — the same bytes
+  // the BENCH_ram64_seq1.json harness rows measure.
+  const perf::Workload w = perf::buildScenarioWorkload("ram64_seq1");
+  const Network& net = w.net;
+  const FaultList& faults = w.faults;
+  const TestSequence& seq = w.seq;
   std::printf("  circuit: %u transistors, %u nodes (paper: 378 / 229)\n",
-              ram.net.numTransistors(), ram.net.numNodes());
+              net.numTransistors(), net.numNodes());
   std::printf("  faults:  %u (paper: 428)   patterns: %u (paper: 407)\n\n",
               faults.size(), seq.size());
 
-  Engine engine(ram.net, faults, paperEngineOptions());
+  Engine engine(net, faults, paperEngineOptions());
 
   // Good-circuit reference run, then the concurrent run.
   const GoodRunResult good = engine.runGood(seq);

@@ -22,9 +22,9 @@ struct RunOutcome {
   SerialEstimate est;
 };
 
-RunOutcome runSequence(const RamCircuit& ram, const FaultList& faults,
+RunOutcome runSequence(const Network& net, const FaultList& faults,
                        const TestSequence& seq) {
-  Engine engine(ram.net, faults, paperEngineOptions());
+  Engine engine(net, faults, paperEngineOptions());
   RunOutcome out;
   out.good = engine.runGood(seq);
   out.res = engine.run(seq);
@@ -39,21 +39,23 @@ RunOutcome runSequence(const RamCircuit& ram, const FaultList& faults,
 int main() {
   banner("Figure 2: RAM64, test sequence 2 (row/column marches omitted)");
 
-  const RamCircuit ram = buildRam(ram64Config());
-  const FaultList faults = paperFaultUniverse(ram);
-  const TestSequence seq1 = ramTestSequence1(ram);
-  const TestSequence seq2 = ramTestSequence2(ram);
+  // Both sequences come from the scenario registry ("ram64_seq2" is this
+  // figure's workload; "ram64_seq1" provides the contrast run).
+  const perf::Workload w2 = perf::buildScenarioWorkload("ram64_seq2");
+  const perf::Workload w1 = perf::buildScenarioWorkload("ram64_seq1");
+  const TestSequence& seq1 = w1.seq;
+  const TestSequence& seq2 = w2.seq;
   std::printf("  sequence 2: %u patterns (paper: 327); sequence 1: %u (407)\n\n",
               seq2.size(), seq1.size());
 
-  const RunOutcome r2 = runSequence(ram, faults, seq2);
+  const RunOutcome r2 = runSequence(w2.net, w2.faults, seq2);
 
   printSeriesTable(r2.res, 20);
   std::printf("\n  Figure 2 rendering (x = pattern 0..%u):\n", seq2.size() - 1);
   printDetectionChart(r2.res);
 
   // The comparison that makes the figure's point needs sequence 1 too.
-  const RunOutcome r1 = runSequence(ram, faults, seq1);
+  const RunOutcome r1 = runSequence(w1.net, w1.faults, seq1);
 
   const double ratio2 = r2.est.seconds / r2.res.totalSeconds;
   const double ratio1 = r1.est.seconds / r1.res.totalSeconds;

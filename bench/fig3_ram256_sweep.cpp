@@ -21,17 +21,20 @@ using namespace fmossim::bench;
 int main() {
   banner("Figure 3: RAM256, avg time per pattern vs. number of faults");
 
-  const RamCircuit ram = buildRam(ram256Config());
-  const FaultList universe = paperFaultUniverse(ram);
-  const TestSequence seq = ramTestSequence1(ram);
+  // The full-universe point of this sweep is exactly the registry's
+  // "ram256_seq1" scenario (the BENCH_ram256_seq1.json workload); the other
+  // points sample its fault universe.
+  const perf::Workload w = perf::buildScenarioWorkload("ram256_seq1");
+  const FaultList& universe = w.faults;
+  const TestSequence& seq = w.seq;
   std::printf("  circuit: %u transistors, %u nodes (paper: 1148 / 695)\n",
-              ram.net.numTransistors(), ram.net.numNodes());
+              w.net.numTransistors(), w.net.numNodes());
   std::printf("  fault universe: %u (paper: 1382)   patterns: %u (paper: 1447)\n\n",
               universe.size(), seq.size());
 
   // Good-circuit baseline straight off the core serial simulator — no need
   // to copy the RAM256 network into a throwaway Engine for it.
-  SerialFaultSimulator serial(ram.net);
+  SerialFaultSimulator serial(w.net);
   const GoodRunResult good = serial.runGood(seq);
 
   Rng rng(19850625);  // DAC 1985, deterministic sweep
@@ -43,7 +46,7 @@ int main() {
   for (const double f : fractions) {
     const auto count = static_cast<std::uint32_t>(f * universe.size());
     const FaultList sample = sampleFaults(universe, count, rng);
-    Engine engine(ram.net, sample, paperEngineOptions());
+    Engine engine(w.net, sample, paperEngineOptions());
     const FaultSimResult res = engine.run(seq);
     const SerialEstimate est =
         estimateSerial(res.detectedAtPattern, seq.size(),

@@ -34,17 +34,16 @@ struct ScalePoint {
   double coverage = 0.0;
 };
 
-ScalePoint measure(const RamConfig& config, const char* name) {
+ScalePoint measure(const perf::Workload& w, const char* name) {
   ScalePoint pt;
   pt.name = name;
-  const RamCircuit ram = buildRam(config);
-  const FaultList faults = paperFaultUniverse(ram);
-  const TestSequence seq = ramTestSequence1(ram);
-  pt.transistors = ram.net.numTransistors();
+  const FaultList& faults = w.faults;
+  const TestSequence& seq = w.seq;
+  pt.transistors = w.net.numTransistors();
   pt.faults = faults.size();
   pt.patterns = seq.size();
 
-  Engine engine(ram.net, faults, paperEngineOptions());
+  Engine engine(w.net, faults, paperEngineOptions());
   const GoodRunResult good = engine.runGood(seq);
   pt.goodSeconds = good.totalSeconds;
   pt.goodEvals = double(good.totalNodeEvals);
@@ -67,8 +66,12 @@ ScalePoint measure(const RamConfig& config, const char* name) {
 int main() {
   banner("Scaling study (paper §5 text): RAM64 -> RAM256");
 
-  const ScalePoint p64 = measure(ram64Config(), "RAM64");
-  const ScalePoint p256 = measure(ram256Config(), "RAM256");
+  // Both scale points are registry scenarios, shared with the BENCH_*.json
+  // harness (see src/perf/scenarios.hpp).
+  const perf::Workload w64 = perf::buildScenarioWorkload("ram64_seq1");
+  const perf::Workload w256 = perf::buildScenarioWorkload("ram256_seq1");
+  const ScalePoint p64 = measure(w64, "RAM64");
+  const ScalePoint p256 = measure(w256, "RAM256");
 
   std::printf("  %-8s %11s %8s %9s %12s %14s %14s %9s\n", "circuit",
               "transistors", "faults", "patterns", "good (s)",
@@ -104,13 +107,10 @@ int main() {
 
   // Validate the estimator against TRUE serial simulation on RAM64.
   std::printf("\n  Estimator validation (true serial run, RAM64, all faults)\n");
-  const RamCircuit ram = buildRam(ram64Config());
-  const FaultList faults = paperFaultUniverse(ram);
-  const TestSequence seq = ramTestSequence1(ram);
   SerialOptions sopts;
   sopts.policy = DetectionPolicy::AnyDifference;
-  SerialBackend serialBackend(ram.net, faults, sopts);
-  serialBackend.run(seq);
+  SerialBackend serialBackend(w64.net, w64.faults, sopts);
+  serialBackend.run(w64.seq);
   // lastSerialResult() keeps the directly measured good/faulty timing split
   // the shared FaultSimResult folds together.
   const SerialRunResult& real = serialBackend.lastSerialResult();

@@ -8,12 +8,19 @@
 //   fmossim_cli --bench <circuit.bench> ...      (ISCAS .bench input)
 //   fmossim_cli --demo                           (built-in demo run)
 //   fmossim_cli fuzz --seeds N [--seed S] ...    (differential fuzzing)
+//   fmossim_cli bench [--json] [--smoke] ...     (performance harness)
+//   fmossim_cli --help                           (full subcommand summary)
 //
 // The fuzz subcommand generates seeded random switch-level workloads
 // (src/gen/random_circuit.hpp) and cross-checks the serial, concurrent and
 // sharded backends against each other (src/gen/diff_oracle.hpp). Any
 // divergence is shrunk to a minimized reproducer and re-derivable from its
 // seed alone: `fuzz --seed S --seeds 1` replays one campaign member.
+//
+// The bench subcommand runs the reproducible performance harness
+// (src/perf/): the named scenario matrix of docs/BENCHMARKING.md with
+// warmup + repetition, writing schema-versioned BENCH_<scenario>.json files
+// with --json. Unknown subcommands are an error (exit 2).
 //
 // Defaults: --backend concurrent, --jobs 1, --policy definite (a tester
 // cannot distinguish an X from a driven value; pass --policy any for the
@@ -39,6 +46,8 @@
 #include "netlist/gate_expand.hpp"
 #include "netlist/sim_format.hpp"
 #include "patterns/sequence_io.hpp"
+#include "perf/bench_json.hpp"
+#include "perf/bench_runner.hpp"
 #include "stats/recorder.hpp"
 #include "util/strings.hpp"
 
@@ -46,8 +55,8 @@ using namespace fmossim;
 
 namespace {
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
+void printUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(to,
                "usage: %s (--sim FILE | --bench FILE | --demo) --seq FILE "
                "--faults FILE\n"
                "          [--backend serial|concurrent (default: concurrent)]\n"
@@ -55,9 +64,27 @@ int usage(const char* argv0) {
                "backend only)]\n"
                "          [--policy any|definite (default: definite)]\n"
                "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n"
-               "       %s fuzz --seeds N   differential fuzzing campaign "
-               "(see fuzz --help)\n",
-               argv0, argv0);
+               "       %s fuzz --seeds N    differential fuzzing campaign "
+               "(see %s fuzz --help)\n"
+               "       %s bench [--json]    performance harness over the "
+               "scenario matrix\n"
+               "                            (see %s bench --help)\n"
+               "       %s --help            this summary\n"
+               "\n"
+               "subcommands:\n"
+               "  fuzz    seeded random workloads cross-checked serial vs "
+               "concurrent vs sharded;\n"
+               "          divergences are shrunk to minimized seed "
+               "reproducers\n"
+               "  bench   reproducible benchmark runs (warmup + reps + "
+               "median/stddev), writing\n"
+               "          schema-versioned BENCH_<scenario>.json files with "
+               "--json\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
+}
+
+int usage(const char* argv0) {
+  printUsage(stderr, argv0);
   return 2;
 }
 
@@ -86,9 +113,9 @@ const char* kDemoFaults = R"(all-node-stuck
 all-transistor-stuck
 )";
 
-int fuzzUsage(const char* argv0) {
+int fuzzUsage(std::FILE* to, const char* argv0) {
   std::fprintf(
-      stderr,
+      to,
       "usage: %s fuzz [--seeds N      campaign size (default 25)]\n"
       "               [--seed S       first seed (default 1)]\n"
       "               [--nodes N] [--inputs N] [--faults N] [--patterns N]\n"
@@ -97,8 +124,10 @@ int fuzzUsage(const char* argv0) {
       "                               (oracle self-test; must find bugs)]\n"
       "               [--quiet]\n",
       argv0);
-  return 2;
+  return to == stderr ? 2 : 0;
 }
+
+int fuzzUsage(const char* argv0) { return fuzzUsage(stderr, argv0); }
 
 int runFuzz(int argc, char** argv) {
   std::uint64_t firstSeed = 1;
@@ -137,7 +166,8 @@ int runFuzz(int argc, char** argv) {
       }
       return static_cast<std::uint32_t>(v);
     };
-    if (arg == "--seeds") numSeeds = nextUint();
+    if (arg == "--help") return fuzzUsage(stdout, argv[0]);
+    else if (arg == "--seeds") numSeeds = nextUint();
     else if (arg == "--seed") firstSeed = nextU64();
     else if (arg == "--nodes") nodes = nextUint();
     else if (arg == "--inputs") inputs = nextUint();
@@ -213,9 +243,131 @@ int runFuzz(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+int benchUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s bench [--json          write BENCH_<scenario>.json files]\n"
+      "                [--out DIR       output directory (default: .)]\n"
+      "                [--scenario NAME run one scenario (repeatable)]\n"
+      "                [--reps N        measured repetitions (default 5)]\n"
+      "                [--warmup N      unmeasured warmup runs (default 1)]\n"
+      "                [--smoke         1 rep, no warmup (CI harness check)]\n"
+      "                [--list          list scenarios and exit]\n"
+      "                [--quiet]\n"
+      "Rows with equal policy/drop settings must produce equal result\n"
+      "checksums across backends; a mismatch fails the run (exit 1).\n",
+      argv0);
+  return to == stderr ? 2 : 0;
+}
+
+int runBench(int argc, char** argv) {
+  perf::BenchConfig config;
+  std::string outDir = ".";
+  bool json = false, list = false, quiet = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto nextUint = [&]() -> unsigned {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr, "invalid number '%s' for %s\n", text, arg.c_str());
+        std::exit(2);
+      }
+      return static_cast<unsigned>(v);
+    };
+    if (arg == "--json") json = true;
+    else if (arg == "--out") outDir = next();
+    else if (arg == "--scenario") config.only.push_back(next());
+    else if (arg == "--reps") config.reps = nextUint();
+    else if (arg == "--warmup") config.warmup = nextUint();
+    else if (arg == "--smoke") config.smoke = true;
+    else if (arg == "--list") list = true;
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help") return benchUsage(stdout, argv[0]);
+    else return benchUsage(stderr, argv[0]);
+  }
+  if (config.reps == 0) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return 2;
+  }
+
+  perf::BenchRunner runner(config);
+  if (list) {
+    for (const std::string& name : runner.selectedScenarios()) {
+      const perf::Workload w = perf::buildScenarioWorkload(name);
+      std::printf("%-14s %s\n", name.c_str(), w.description.c_str());
+    }
+    return 0;
+  }
+
+  if (!quiet) {
+    std::printf("%-14s %-11s %-8s %-5s %-5s %12s %10s  %s\n", "scenario",
+                "backend", "policy", "drop", "reps", "median(ms)",
+                "stddev(ms)", "checksum");
+  }
+  const auto onRow = [&](const perf::ScenarioResult& sr,
+                         const perf::BenchRow& row) {
+    if (quiet) return;
+    std::printf("%-14s %-11s %-8s %-5s %-5u %12.3f %10.3f  0x%016llx\n",
+                sr.scenario.c_str(), row.backend.c_str(), row.policy.c_str(),
+                row.dropDetected ? "yes" : "no", row.reps, row.medianMs,
+                row.stddevMs, static_cast<unsigned long long>(row.checksum));
+  };
+  const std::vector<perf::ScenarioResult> results = runner.runAll(onRow);
+
+  // Cross-backend bit-identity: rows that differ only in backend/jobs must
+  // produce the same result checksum (the harness-level restatement of the
+  // differential oracle's guarantee).
+  bool identical = true;
+  for (const perf::ScenarioResult& sr : results) {
+    for (std::size_t a = 0; a < sr.rows.size(); ++a) {
+      for (std::size_t b = a + 1; b < sr.rows.size(); ++b) {
+        const perf::BenchRow& ra = sr.rows[a];
+        const perf::BenchRow& rb = sr.rows[b];
+        if (ra.policy == rb.policy && ra.dropDetected == rb.dropDetected &&
+            ra.checksum != rb.checksum) {
+          std::fprintf(stderr,
+                       "checksum mismatch in %s: %s=0x%016llx vs %s=0x%016llx\n",
+                       sr.scenario.c_str(), ra.backend.c_str(),
+                       static_cast<unsigned long long>(ra.checksum),
+                       rb.backend.c_str(),
+                       static_cast<unsigned long long>(rb.checksum));
+          identical = false;
+        }
+      }
+    }
+  }
+
+  if (json) {
+    for (const perf::ScenarioResult& sr : results) {
+      const std::string path = perf::writeBenchFile(sr, outDir);
+      if (!quiet) std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "bench: cross-backend results NOT bit-identical\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    printUsage(stdout, argv[0]);
+    return 0;
+  }
   if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) {
     try {
       return runFuzz(argc, argv);
@@ -223,6 +375,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
+    try {
+      return runBench(argc, argv);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  // Any other non-flag first argument is a mistyped subcommand; refuse it
+  // instead of misparsing it as a file option.
+  if (argc > 1 && argv[1][0] != '-') {
+    std::fprintf(stderr, "unknown subcommand '%s' (try %s --help)\n", argv[1],
+                 argv[0]);
+    return 2;
   }
   std::optional<std::string> simFile, benchFile, seqFile, faultFile, csvFile;
   bool demo = false, noDrop = false, compare = false, quiet = false;

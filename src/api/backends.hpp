@@ -1,15 +1,16 @@
-// Adapter backends implementing the FaultSimulator interface over the two
-// existing engines.
-//
-//   * ConcurrentBackend wraps ConcurrentFaultSimulator (paper §4). The core
-//     engine is single-shot ("run may only be called once"); the adapter
-//     constructs a fresh engine per run() call, giving the interface its
-//     repeatable-run semantics without touching the core's invariants.
-//   * SerialBackend wraps SerialFaultSimulator (paper §1/§5) and lifts its
-//     SerialRunResult into the shared FaultSimResult: per-pattern detection
-//     counts, aggregated per-pattern cost rows, coverage(), and potential
-//     (X) detections are populated exactly like the concurrent backend's, so
-//     CSV output and the stats recorder work identically for both.
+/// \file
+/// Adapter backends implementing the FaultSimulator interface over the two
+/// existing engines.
+///
+///   * ConcurrentBackend wraps ConcurrentFaultSimulator (paper §4). The core
+///     engine is single-shot ("run may only be called once"); the adapter
+///     constructs a fresh engine per run() call, giving the interface its
+///     repeatable-run semantics without touching the core's invariants.
+///   * SerialBackend wraps SerialFaultSimulator (paper §1/§5) and lifts its
+///     SerialRunResult into the shared FaultSimResult: per-pattern detection
+///     counts, aggregated per-pattern cost rows, coverage(), and potential
+///     (X) detections are populated exactly like the concurrent backend's,
+///     so CSV output and the stats recorder work identically for both.
 #pragma once
 
 #include "api/fault_simulator.hpp"
@@ -17,15 +18,22 @@
 
 namespace fmossim {
 
+/// FaultSimulator adapter over the concurrent difference-simulation engine
+/// (one fresh ConcurrentFaultSimulator per run() call).
 class ConcurrentBackend : public FaultSimulator {
  public:
+  /// Captures the workload by reference (net) and copy (faults/options).
   ConcurrentBackend(const Network& net, FaultList faults,
                     FsimOptions options = {});
 
+  /// Always "concurrent".
   const char* backendName() const override { return "concurrent"; }
+  /// The referenced network.
   const Network& network() const override { return net_; }
+  /// The injected fault list.
   const FaultList& faults() const override { return faults_; }
 
+  /// Fresh concurrent simulation of the whole fault list.
   FaultSimResult run(const TestSequence& seq,
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
@@ -36,6 +44,8 @@ class ConcurrentBackend : public FaultSimulator {
   FsimOptions options_;
 };
 
+/// FaultSimulator adapter over the serial replay engine (the paper's
+/// baseline: one fresh LogicSimulator replay per fault).
 class SerialBackend : public FaultSimulator {
  public:
   /// `dropDetected` only affects how perPattern.aliveAfter is reported (the
@@ -45,8 +55,11 @@ class SerialBackend : public FaultSimulator {
   SerialBackend(const Network& net, FaultList faults,
                 SerialOptions options = {}, bool dropDetected = true);
 
+  /// Always "serial".
   const char* backendName() const override { return "serial"; }
+  /// The referenced network.
   const Network& network() const override { return net_; }
+  /// The injected fault list.
   const FaultList& faults() const override { return faults_; }
 
   /// Serial replay of every fault. The result's totalSeconds/totalNodeEvals
@@ -61,6 +74,7 @@ class SerialBackend : public FaultSimulator {
   /// timing split), for the paper-method estimator and benches.
   const SerialRunResult& lastSerialResult() const { return last_; }
 
+  /// Clears lastSerialResult().
   void reset() override { last_ = {}; }
 
  private:

@@ -1,18 +1,21 @@
-// Engine — the single entry point for fault simulation.
-//
-// Owns the network and fault list, selects a backend (serial replay,
-// concurrent difference simulation, or sharded parallel concurrent runs)
-// from EngineOptions, and exposes the uniform FaultSimulator contract with
-// repeatable runs:
-//
-//   Engine engine(net, faults, {.backend = Backend::Concurrent, .jobs = 4});
-//   FaultSimResult r1 = engine.run(seq);
-//   FaultSimResult r2 = engine.run(seq);   // fresh session, identical result
-//
-// The library-wide default detection policy is DetectionPolicy::DefiniteOnly
-// (a tester cannot distinguish an X from a driven value); the paper's own
-// benchmark criterion is AnyDifference and the bench harnesses set it
-// explicitly.
+/// \file
+/// Engine — the single entry point for fault simulation.
+///
+/// Owns the network and fault list, selects a backend (serial replay,
+/// concurrent difference simulation, or sharded parallel concurrent runs)
+/// from EngineOptions, and exposes the uniform FaultSimulator contract with
+/// repeatable runs:
+///
+/// \code
+///   Engine engine(net, faults, {.backend = Backend::Concurrent, .jobs = 4});
+///   FaultSimResult r1 = engine.run(seq);
+///   FaultSimResult r2 = engine.run(seq);   // fresh session, identical result
+/// \endcode
+///
+/// The library-wide default detection policy is DetectionPolicy::DefiniteOnly
+/// (a tester cannot distinguish an X from a driven value); the paper's own
+/// benchmark criterion is AnyDifference and the bench harnesses set it
+/// explicitly.
 #pragma once
 
 #include <memory>
@@ -23,14 +26,19 @@
 
 namespace fmossim {
 
+/// Simulation strategy selector for EngineOptions::backend.
 enum class Backend : std::uint8_t {
   Serial,      ///< one fresh LogicSimulator replay per fault (paper §1)
   Concurrent,  ///< difference simulation of all faults at once (paper §4)
 };
 
+/// Engine construction knobs (backend, detection policy, parallelism).
 struct EngineOptions {
+  /// Simulation strategy (default: the paper's concurrent algorithm).
   Backend backend = Backend::Concurrent;
+  /// Switch-level simulation options forwarded to the core engines.
   SimOptions sim;
+  /// Output-mismatch detection criterion.
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
   /// Drop faulty circuits once detected (concurrent backends only; the
   /// serial backend always stops a fault's replay at first detection).
@@ -44,19 +52,26 @@ struct EngineOptions {
   std::uint32_t debugLoseTriggerEvery = 0;
 };
 
+/// The facade every caller should use: owns the workload, builds the
+/// selected backend, and delegates the FaultSimulator contract to it.
 class Engine : public FaultSimulator {
  public:
   /// Takes ownership of the network and fault list (copy or move in).
   Engine(Network net, FaultList faults, EngineOptions options = {});
 
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  Engine(const Engine&) = delete;             ///< non-copyable (owns backend)
+  Engine& operator=(const Engine&) = delete;  ///< non-copyable (owns backend)
 
+  /// Name of the selected backend ("serial", "concurrent", "sharded").
   const char* backendName() const override { return backend_->backendName(); }
+  /// The owned network.
   const Network& network() const override { return net_; }
+  /// The owned fault list.
   const FaultList& faults() const override { return faults_; }
+  /// The options the engine was constructed with.
   const EngineOptions& options() const { return options_; }
 
+  /// Runs the sequence on the selected backend (fresh session per call).
   FaultSimResult run(const TestSequence& seq,
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;

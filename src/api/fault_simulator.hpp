@@ -1,18 +1,19 @@
-// Backend-agnostic fault-simulation interface — the seam every engine
-// (serial replay, concurrent difference simulation, sharded parallel runs,
-// and future batched/cached backends) plugs into.
-//
-// The contract, uniform across backends:
-//
-//   * run() takes a TestSequence and returns a fully populated FaultSimResult
-//     (per-pattern rows, per-fault detection indices, coverage) regardless of
-//     how the backend computes it.
-//   * run() is repeatable: every call is a fresh session over the same
-//     network and fault list. Backends that wrap single-shot engines
-//     construct a fresh engine instance per call.
-//   * reset() discards any cached session state; after reset() the simulator
-//     behaves as if newly constructed. (For the current backends runs are
-//     already independent, so reset() is cheap.)
+/// \file
+/// Backend-agnostic fault-simulation interface — the seam every engine
+/// (serial replay, concurrent difference simulation, sharded parallel runs,
+/// and future batched/cached backends) plugs into.
+///
+/// The contract, uniform across backends:
+///
+///   * run() takes a TestSequence and returns a fully populated
+///     FaultSimResult (per-pattern rows, per-fault detection indices,
+///     coverage) regardless of how the backend computes it.
+///   * run() is repeatable: every call is a fresh session over the same
+///     network and fault list. Backends that wrap single-shot engines
+///     construct a fresh engine instance per call.
+///   * reset() discards any cached session state; after reset() the
+///     simulator behaves as if newly constructed. (For the current backends
+///     runs are already independent, so reset() is cheap.)
 #pragma once
 
 #include <functional>
@@ -22,6 +23,8 @@
 #include "patterns/pattern.hpp"
 #include "switch/network.hpp"
 
+/// Switch-level concurrent fault simulation (Bryant & Schuster, DAC 1985
+/// reproduction). See README.md for the architecture overview.
 namespace fmossim {
 
 /// Invoked after each pattern with the (possibly merged) per-pattern row.
@@ -29,6 +32,9 @@ namespace fmossim {
 /// pattern in ascending order.
 using PatternCallback = std::function<void(const PatternStat&)>;
 
+/// Abstract fault simulator: one network + fault list, simulated over a test
+/// sequence by some backend strategy. See the file comment for the run() and
+/// reset() contract shared by all implementations.
 class FaultSimulator {
  public:
   virtual ~FaultSimulator() = default;
@@ -36,13 +42,18 @@ class FaultSimulator {
   /// Stable identifier for reporting ("serial", "concurrent", "sharded").
   virtual const char* backendName() const = 0;
 
+  /// The simulated network (shared by every run).
   virtual const Network& network() const = 0;
+
+  /// The injected fault list, in global fault-index order.
   virtual const FaultList& faults() const = 0;
 
   /// Runs the full test sequence and returns the complete result. Repeatable:
-  /// each call simulates from scratch.
+  /// each call simulates from scratch. `onPattern` (may be null) fires after
+  /// each pattern with its merged PatternStat row.
   virtual FaultSimResult run(const TestSequence& seq,
                              const PatternCallback& onPattern) = 0;
+  /// Convenience overload of run() without a per-pattern callback.
   FaultSimResult run(const TestSequence& seq) { return run(seq, nullptr); }
 
   /// Discards cached session state (fresh-session semantics).

@@ -1,18 +1,19 @@
-// Sharded parallel fault simulation.
-//
-// The concurrent engine simulates faulty circuits purely by difference from
-// the good circuit; faulty circuits never interact with each other. The
-// fault universe can therefore be partitioned into K shards simulated fully
-// independently — the scaling lever ERASER and the batch-IVerilog work apply
-// to fault simulation (see PAPERS.md) — at the cost of re-simulating the
-// good circuit once per shard.
-//
-// Determinism: shards are contiguous slices of the fault list, each shard
-// runs an ordinary ConcurrentFaultSimulator on its own std::thread, and the
-// merge re-indexes detections back to the global fault order. Because fault
-// circuits are independent in the core engine, a sharded run's
-// detectedAtPattern is bit-identical to an unsharded run's for every jobs
-// count; per-pattern cost rows are summed across shards.
+/// \file
+/// Sharded parallel fault simulation.
+///
+/// The concurrent engine simulates faulty circuits purely by difference from
+/// the good circuit; faulty circuits never interact with each other. The
+/// fault universe can therefore be partitioned into K shards simulated fully
+/// independently — the scaling lever ERASER and the batch-IVerilog work
+/// apply to fault simulation (see PAPERS.md) — at the cost of re-simulating
+/// the good circuit once per shard.
+///
+/// Determinism: shards are contiguous slices of the fault list, each shard
+/// runs an ordinary ConcurrentFaultSimulator on its own std::thread, and the
+/// merge re-indexes detections back to the global fault order. Because fault
+/// circuits are independent in the core engine, a sharded run's
+/// detectedAtPattern is bit-identical to an unsharded run's for every jobs
+/// count; per-pattern cost rows are summed across shards.
 #pragma once
 
 #include <cstdint>
@@ -23,15 +24,21 @@
 
 namespace fmossim {
 
+/// FaultSimulator that runs one concurrent engine per fault shard on its own
+/// thread and deterministically merges the shard results.
 class ShardedRunner : public FaultSimulator {
  public:
   /// `jobs` is clamped to [1, faults.size()] (a shard per fault at most).
   ShardedRunner(const Network& net, FaultList faults, FsimOptions options,
                 unsigned jobs);
 
+  /// Always "sharded".
   const char* backendName() const override { return "sharded"; }
+  /// The referenced network.
   const Network& network() const override { return net_; }
+  /// The injected fault list (global order).
   const FaultList& faults() const override { return faults_; }
+  /// Effective shard count after clamping.
   unsigned jobs() const { return jobs_; }
 
   /// Runs every shard on its own thread and merges:

@@ -27,14 +27,6 @@ struct FaultyCircuitView {
   }
 };
 
-const ConcurrentFaultSimulator::Override* ConcurrentFaultSimulator::findOverride(
-    const std::vector<Override>& v, CircuitId c) {
-  const auto it = std::lower_bound(
-      v.begin(), v.end(), c,
-      [](const Override& o, CircuitId id) { return o.circuit < id; });
-  return (it != v.end() && it->circuit == c) ? &*it : nullptr;
-}
-
 bool ConcurrentFaultSimulator::isStuckNode(NodeId n, CircuitId c) const {
   return findOverride(nodeStuck_[n.value], c) != nullptr;
 }
@@ -46,8 +38,12 @@ State ConcurrentFaultSimulator::stuckValue(NodeId n, CircuitId c) const {
 }
 
 State ConcurrentFaultSimulator::stateIn(NodeId n, CircuitId c) const {
-  if (const Override* o = findOverride(nodeStuck_[n.value], c)) return o->value;
-  if (const StateRecord* r = table_.findRecord(n, c)) return r->value;
+  if (divCount_[n.value] != 0) {
+    if (const Override* o = findOverride(nodeStuck_[n.value], c)) {
+      return o->value;
+    }
+    if (const StateRecord* r = table_.findRecord(n, c)) return r->value;
+  }
   if (goodOldStamp_[n.value] == phaseEpoch_) return goodOldValue_[n.value];
   return table_.good(n);
 }
@@ -74,6 +70,8 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(const Network& net,
       alive_(faults.size() + 1, 0),
       detectedAt_(faults.size(), -1),
       touched_(faults.size() + 1),
+      watchCount_(net.numNodes(), 0),
+      divCount_(net.numNodes(), 0),
       goodSeedStamp_(net.numNodes(), 0),
       faultySeeds_(faults.size() + 1),
       circuitStamp_(faults.size() + 1, 0),
@@ -107,6 +105,8 @@ void ConcurrentFaultSimulator::inject() {
     switch (f.kind) {
       case FaultKind::NodeStuck: {
         nodeStuck_[f.node.value].push_back({c, f.value});  // ascending c
+        addStuckWatch(f.node, +1);
+        ++divCount_[f.node.value];
         scheduleFaulty(c, f.node);
         for (const TransId t : net_.node(f.node).gateOf) {
           const auto& tr = net_.transistor(t);
@@ -118,6 +118,7 @@ void ConcurrentFaultSimulator::inject() {
       case FaultKind::TransistorStuck:
       case FaultKind::FaultDevice: {
         transOverride_[f.transistor.value].push_back({c, f.value});
+        addTransWatch(f.transistor, +1);
         const auto& tr = net_.transistor(f.transistor);
         scheduleFaulty(c, tr.source);
         scheduleFaulty(c, tr.drain);
@@ -226,6 +227,7 @@ SettleResult ConcurrentFaultSimulator::settleAll() {
 
 void ConcurrentFaultSimulator::runPhase(bool coerce) {
   ++phaseEpoch_;
+  memoReset();
   curGoodSeeds_.swap(goodSeeds_);
   goodSeeds_.clear();
   curCircuits_.swap(activeCircuits_);
@@ -258,7 +260,7 @@ void ConcurrentFaultSimulator::processGoodPhase(bool coerce) {
   const GoodCircuitView view{this};
   for (const NodeId seed : curGoodSeeds_) {
     if (!vicBuilder_.grow(view, seed, vic_)) continue;
-    solver_.solve(vic_, newStates_);
+    solveMemoized(vic_, newStates_);
     for (std::size_t i = 0; i < vic_.size(); ++i) {
       if (newStates_[i] != vic_.memberCharge[i]) {
         goodChanges_.emplace_back(vic_.members[i], newStates_[i]);
@@ -292,6 +294,7 @@ void ConcurrentFaultSimulator::processGoodPhase(bool coerce) {
 }
 
 void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
+  if (aliveCount_ == 0) return;  // nothing left to trigger
   ++triggerGen_;
   triggerScratch_.clear();
   const auto mark = [this](CircuitId c) {
@@ -301,6 +304,8 @@ void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
     triggerScratch_.push_back(c);
   };
   for (const NodeId n : vic.members) {
+    // No divergence source lands on this member: nothing below can mark.
+    if (watchCount_[n.value] == 0) continue;
     for (const StateRecord& r : table_.records(n)) mark(r.circuit);
     for (const Override& o : nodeStuck_[n.value]) mark(o.circuit);
     for (const TransId t : net_.node(n).channelOf) {
@@ -342,7 +347,7 @@ void ConcurrentFaultSimulator::processFaultyCircuit(CircuitId c, bool coerce) {
   faultyChanges_.clear();
   for (const NodeId seed : curFaultySeeds_[c]) {
     if (!vicBuilder_.grow(view, seed, vic_)) continue;
-    solver_.solve(vic_, newStates_);
+    solveMemoized(vic_, newStates_);
     for (std::size_t i = 0; i < vic_.size(); ++i) {
       const NodeId n = vic_.members[i];
       const State pre = vic_.memberCharge[i];
@@ -354,8 +359,14 @@ void ConcurrentFaultSimulator::processFaultyCircuit(CircuitId c, bool coerce) {
   }
   // Commit this circuit's records (vs. the good circuit's *current* state).
   for (const auto& [n, v] : faultyResults_) {
-    if (table_.reconcile(n, c, v)) {
+    const StateTable::Reconciled rec = table_.reconcile(n, c, v);
+    if (rec.inserted) {
       touched_[c].push_back(n);
+      addRecordWatch(n, +1);
+      ++divCount_[n.value];
+    } else if (rec.erased) {
+      addRecordWatch(n, -1);
+      --divCount_[n.value];
     }
   }
   // Gate toggles within circuit c schedule next-phase events for c.
@@ -406,11 +417,214 @@ void ConcurrentFaultSimulator::dropCircuit(CircuitId c) {
   alive_[c] = 0;
   --aliveCount_;
   for (const NodeId n : touched_[c]) {
-    table_.erase(n, c);
+    // touched_ may hold duplicates (re-divergence after convergence); only a
+    // real erase decrements the watch counts.
+    if (table_.erase(n, c)) {
+      addRecordWatch(n, -1);
+      --divCount_[n.value];
+    }
   }
   touched_[c].clear();
   touched_[c].shrink_to_fit();
   faultySeeds_[c].clear();
+  removeOverlay(c);
+}
+
+void ConcurrentFaultSimulator::removeOverlay(CircuitId c) {
+  // A dropped circuit's static overlays would otherwise be scanned by every
+  // future trigger collection and faulty-view lookup; removing them is what
+  // makes the paper's falling per-pattern cost curve steep. The fault tells
+  // us exactly where the overlays live.
+  const Fault& f = faults_[c - 1];
+  const auto removeFrom = [c](std::vector<Override>& v) {
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->circuit == c) {
+        v.erase(it);
+        return;
+      }
+    }
+  };
+  switch (f.kind) {
+    case FaultKind::NodeStuck:
+      removeFrom(nodeStuck_[f.node.value]);
+      addStuckWatch(f.node, -1);
+      --divCount_[f.node.value];
+      break;
+    case FaultKind::TransistorStuck:
+    case FaultKind::FaultDevice:
+      removeFrom(transOverride_[f.transistor.value]);
+      addTransWatch(f.transistor, -1);
+      break;
+  }
+}
+
+// The three watch helpers mirror collectTriggers' member scan: each counts,
+// at every node the scan could mark from, one unit per divergence source.
+
+void ConcurrentFaultSimulator::addRecordWatch(NodeId m, std::int32_t delta) {
+  watchCount_[m.value] += static_cast<std::uint32_t>(delta);  // member scan
+  for (const TransId t : net_.node(m).gateOf) {               // gate scan
+    const auto& tr = net_.transistor(t);
+    if (tr.isFaultDevice()) continue;
+    watchCount_[tr.source.value] += static_cast<std::uint32_t>(delta);
+    watchCount_[tr.drain.value] += static_cast<std::uint32_t>(delta);
+  }
+}
+
+void ConcurrentFaultSimulator::addStuckWatch(NodeId n, std::int32_t delta) {
+  // A stuck overlay influences the same member/gate scans as a record...
+  addRecordWatch(n, delta);
+  if (net_.isInput(n)) {  // ...plus the stuck-input-neighbour scan
+    for (const TransId t : net_.node(n).channelOf) {
+      watchCount_[net_.transistor(t).otherEnd(n).value] +=
+          static_cast<std::uint32_t>(delta);
+    }
+  }
+}
+
+void ConcurrentFaultSimulator::addTransWatch(TransId t, std::int32_t delta) {
+  const auto& tr = net_.transistor(t);  // channel-override scan
+  watchCount_[tr.source.value] += static_cast<std::uint32_t>(delta);
+  watchCount_[tr.drain.value] += static_cast<std::uint32_t>(delta);
+}
+
+// --- per-phase vicinity-solution memo (see header for the rationale) -------
+
+namespace {
+
+inline void hashMix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+}  // namespace
+
+std::uint64_t ConcurrentFaultSimulator::memoHash(const Vicinity& vic) {
+  std::uint64_t h = vic.members.size();
+  for (std::size_t i = 0; i < vic.members.size(); ++i) {
+    hashMix(h, (std::uint64_t(vic.members[i].value) << 2) |
+                   std::uint64_t(vic.memberCharge[i]));
+  }
+  for (const Vicinity::Edge& e : vic.edges) {
+    hashMix(h, (std::uint64_t(e.a) << 32) | (std::uint64_t(e.b) << 10) |
+                   (std::uint64_t(e.strength) << 1) | std::uint64_t(e.definite));
+  }
+  for (const Vicinity::InputEdge& ie : vic.inputEdges) {
+    hashMix(h, (std::uint64_t(ie.member) << 32) |
+                   (std::uint64_t(ie.strength) << 4) |
+                   (std::uint64_t(ie.value) << 1) | std::uint64_t(ie.definite));
+  }
+  return h;
+}
+
+void ConcurrentFaultSimulator::memoReset() {
+  memoEntries_.clear();
+  memoMembers_.clear();
+  memoCharges_.clear();
+  memoEdges_.clear();
+  memoInputs_.clear();
+  memoSolutions_.clear();
+  ++memoStamp_;
+  if (memoSlots_.empty()) {
+    memoSlots_.assign(1024, 0);
+    memoSlotStamp_.assign(1024, 0);
+  }
+}
+
+bool ConcurrentFaultSimulator::memoLookup(std::uint64_t hash,
+                                          const Vicinity& vic,
+                                          std::vector<State>& out) const {
+  const std::size_t mask = memoSlots_.size() - 1;
+  for (std::size_t i = hash & mask; memoSlotStamp_[i] == memoStamp_;
+       i = (i + 1) & mask) {
+    const MemoEntry& e = memoEntries_[memoSlots_[i] - 1];
+    if (e.hash != hash || e.memberCount != vic.members.size() ||
+        e.edgeCount != vic.edges.size() ||
+        e.inputCount != vic.inputEdges.size()) {
+      continue;
+    }
+    bool equal = true;
+    for (std::uint32_t k = 0; equal && k < e.memberCount; ++k) {
+      equal = memoMembers_[e.membersOff + k].value == vic.members[k].value &&
+              memoCharges_[e.membersOff + k] == vic.memberCharge[k];
+    }
+    for (std::uint32_t k = 0; equal && k < e.edgeCount; ++k) {
+      equal = memoEdges_[e.edgesOff + k] == vic.edges[k];
+    }
+    for (std::uint32_t k = 0; equal && k < e.inputCount; ++k) {
+      equal = memoInputs_[e.inputsOff + k] == vic.inputEdges[k];
+    }
+    if (equal) {
+      out.assign(memoSolutions_.begin() + e.solutionOff,
+                 memoSolutions_.begin() + e.solutionOff + e.memberCount);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentFaultSimulator::memoStore(std::uint64_t hash,
+                                         const Vicinity& vic,
+                                         const std::vector<State>& solution) {
+  MemoEntry e;
+  e.hash = hash;
+  e.membersOff = static_cast<std::uint32_t>(memoMembers_.size());
+  e.memberCount = static_cast<std::uint32_t>(vic.members.size());
+  e.edgesOff = static_cast<std::uint32_t>(memoEdges_.size());
+  e.edgeCount = static_cast<std::uint32_t>(vic.edges.size());
+  e.inputsOff = static_cast<std::uint32_t>(memoInputs_.size());
+  e.inputCount = static_cast<std::uint32_t>(vic.inputEdges.size());
+  e.solutionOff = static_cast<std::uint32_t>(memoSolutions_.size());
+  memoMembers_.insert(memoMembers_.end(), vic.members.begin(),
+                      vic.members.end());
+  memoCharges_.insert(memoCharges_.end(), vic.memberCharge.begin(),
+                      vic.memberCharge.end());
+  memoEdges_.insert(memoEdges_.end(), vic.edges.begin(), vic.edges.end());
+  memoInputs_.insert(memoInputs_.end(), vic.inputEdges.begin(),
+                     vic.inputEdges.end());
+  memoSolutions_.insert(memoSolutions_.end(), solution.begin(),
+                        solution.begin() + vic.members.size());
+  memoEntries_.push_back(e);
+
+  // Keep the open-addressing table at most half full; rebuild (rare) keeps
+  // probes short even in the injection phases where every circuit is active.
+  if (memoEntries_.size() * 2 > memoSlots_.size()) {
+    const std::size_t newSize = memoSlots_.size() * 2;
+    memoSlots_.assign(newSize, 0);
+    memoSlotStamp_.assign(newSize, 0);
+    const std::size_t mask = newSize - 1;
+    for (std::uint32_t idx = 0; idx < memoEntries_.size(); ++idx) {
+      std::size_t i = memoEntries_[idx].hash & mask;
+      while (memoSlotStamp_[i] == memoStamp_) i = (i + 1) & mask;
+      memoSlotStamp_[i] = memoStamp_;
+      memoSlots_[i] = idx + 1;
+    }
+    return;
+  }
+  const std::size_t mask = memoSlots_.size() - 1;
+  std::size_t i = hash & mask;
+  while (memoSlotStamp_[i] == memoStamp_) i = (i + 1) & mask;
+  memoSlotStamp_[i] = memoStamp_;
+  memoSlots_[i] =
+      static_cast<std::uint32_t>(memoEntries_.size());  // last entry, 1-based
+}
+
+void ConcurrentFaultSimulator::solveMemoized(const Vicinity& vic,
+                                             std::vector<State>& out) {
+  // Edge-free vicinities take the solver's direct path: it is already
+  // cheaper than a memo probe would be.
+  if (vic.edges.empty()) {
+    solver_.solve(vic, out);
+    return;
+  }
+  const std::uint64_t h = memoHash(vic);
+  ++memoProbes_;
+  if (memoLookup(h, vic, out)) {
+    ++memoHits_;
+    memoReplayedEvals_ += vic.members.size();
+    return;
+  }
+  solver_.solve(vic, out);
+  memoStore(h, vic, out);
 }
 
 State ConcurrentFaultSimulator::faultyState(NodeId n, CircuitId c) const {
@@ -432,12 +646,12 @@ FaultSimResult ConcurrentFaultSimulator::run(
   res.perPattern.reserve(seq.size());
 
   Timer total;
-  const std::uint64_t evalsAtStart = solver_.nodeEvals();
+  const std::uint64_t evalsAtStart = nodeEvals();
   std::uint32_t cumulative = 0;
 
   for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
     Timer patternTimer;
-    const std::uint64_t evalsBefore = solver_.nodeEvals();
+    const std::uint64_t evalsBefore = nodeEvals();
     for (const InputSetting& setting : seq[pi].settings) {
       applySetting(setting.span());
     }
@@ -447,7 +661,7 @@ FaultSimResult ConcurrentFaultSimulator::run(
     PatternStat st;
     st.index = pi;
     st.seconds = patternTimer.seconds();
-    st.nodeEvals = solver_.nodeEvals() - evalsBefore;
+    st.nodeEvals = nodeEvals() - evalsBefore;
     st.newlyDetected = newly;
     st.cumulativeDetected = cumulative;
     st.aliveAfter = aliveCount_;
@@ -465,7 +679,7 @@ FaultSimResult ConcurrentFaultSimulator::run(
   res.finalRecords = table_.totalRecords();
   res.potentialDetections = potentialDetections_;
   res.totalSeconds = total.seconds();
-  res.totalNodeEvals = solver_.nodeEvals() - evalsAtStart;
+  res.totalNodeEvals = nodeEvals() - evalsAtStart;
   return res;
 }
 

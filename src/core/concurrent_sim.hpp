@@ -141,11 +141,21 @@ class ConcurrentFaultSimulator {
   }
   std::uint64_t potentialDetections() const { return potentialDetections_; }
 
-  /// Deterministic work counter (solver member-node evaluations, all
-  /// circuits combined).
-  std::uint64_t nodeEvals() const { return solver_.nodeEvals(); }
+  /// Deterministic work counter: logical member-node evaluations across all
+  /// circuits. Memo-replayed solves count exactly like solver-computed ones
+  /// (they answer the same logical work), so the counter is invariant under
+  /// the per-phase solution memo and the paper's growth-shape claims remain
+  /// comparable across engine versions; wall-clock time is what the memo
+  /// improves.
+  std::uint64_t nodeEvals() const {
+    return solver_.nodeEvals() + memoReplayedEvals_;
+  }
   std::uint64_t phaseCount() const { return phases_; }
   std::uint64_t triggeredEvents() const { return triggeredEvents_; }
+  /// Per-phase vicinity-solution memo statistics (performance diagnostics):
+  /// solver invocations avoided, and total memo probes.
+  std::uint64_t memoHits() const { return memoHits_; }
+  std::uint64_t memoProbes() const { return memoProbes_; }
   std::uint64_t recordCount() const { return table_.totalRecords(); }
   std::uint32_t maxAliveObserved() const { return maxAliveObserved_; }
 
@@ -166,9 +176,28 @@ class ConcurrentFaultSimulator {
   void processFaultyCircuit(CircuitId c, bool coerce);
   void collectTriggers(const Vicinity& vic);
   void dropCircuit(CircuitId c);
+  void removeOverlay(CircuitId c);
 
-  // Lookup helpers over the static overlay tables.
-  static const Override* findOverride(const std::vector<Override>& v, CircuitId c);
+  // Trigger watch counts: watchCount_[n] is the number of divergence sources
+  // (records, stuck-node overlays, transistor overrides) whose trigger scan
+  // lands on node n, mirroring collectTriggers' member scan exactly. A
+  // member with count 0 cannot mark any circuit, so the scan skips it — the
+  // common case once faults start dropping. Maintained incrementally on
+  // record insert/erase and overlay inject/removal.
+  void addRecordWatch(NodeId m, std::int32_t delta);
+  void addStuckWatch(NodeId n, std::int32_t delta);
+  void addTransWatch(TransId t, std::int32_t delta);
+
+  // Lookup helpers over the static overlay tables. Inline: this is the
+  // innermost lookup of the faulty-circuit views (tens of millions of calls
+  // per run, almost always over an empty or single-entry vector).
+  static const Override* findOverride(const std::vector<Override>& v,
+                                      CircuitId c) {
+    for (const Override& o : v) {
+      if (o.circuit >= c) return o.circuit == c ? &o : nullptr;
+    }
+    return nullptr;
+  }
   bool isStuckNode(NodeId n, CircuitId c) const;
   State stuckValue(NodeId n, CircuitId c) const;
   State conductionIn(TransId t, CircuitId c) const;
@@ -193,6 +222,12 @@ class ConcurrentFaultSimulator {
   std::vector<std::uint8_t> alive_;        // [0..F], alive_[0] unused
   std::vector<std::int32_t> detectedAt_;   // per fault index
   std::vector<std::vector<NodeId>> touched_;  // per circuit: nodes with records
+  std::vector<std::uint32_t> watchCount_;  // per node: trigger sources landing here
+  // Per node: #divergence records + #stuck overlays. Zero means every faulty
+  // circuit agrees with the (pre-phase) good circuit here, which lets the
+  // faulty-view state lookup skip both overlay and record searches — the
+  // common case for the tens of millions of stateIn calls per run.
+  std::vector<std::uint32_t> divCount_;
 
   // Good-circuit event queue (next phase).
   std::vector<NodeId> goodSeeds_;
@@ -214,6 +249,47 @@ class ConcurrentFaultSimulator {
   // Marks circuits already in curCircuits_ for the current phase.
   std::vector<std::uint32_t> phaseCircuitStamp_;
   std::uint32_t phaseEpoch_ = 1;
+
+  // Per-phase vicinity-solution memo: within one unit-delay phase, faulty
+  // circuits triggered on the same region usually present the solver with
+  // bit-identical vicinities (same members, charges, edges and input
+  // values) — the divergence that triggered them often lies outside the
+  // grown region or coincides across circuits. Solutions are therefore
+  // cached per phase keyed by full vicinity content; a hit replays the
+  // stored solution, which is sound because the solver is a pure function
+  // of that content. Only vicinities with member-to-member edges are
+  // memoized — edge-free ones take the solver's direct path, which is
+  // already cheaper than a memo probe. Flat arenas + a stamped
+  // open-addressing index keep the memo allocation-free in steady state.
+  struct MemoEntry {
+    std::uint64_t hash;
+    std::uint32_t membersOff, memberCount;
+    std::uint32_t edgesOff, edgeCount;
+    std::uint32_t inputsOff, inputCount;
+    std::uint32_t solutionOff;
+  };
+  void memoReset();
+  bool memoLookup(std::uint64_t hash, const Vicinity& vic,
+                  std::vector<State>& out) const;
+  void memoStore(std::uint64_t hash, const Vicinity& vic,
+                 const std::vector<State>& solution);
+  static std::uint64_t memoHash(const Vicinity& vic);
+  /// Solves via the per-phase memo (general entry point for both the good
+  /// phase and the faulty circuits).
+  void solveMemoized(const Vicinity& vic, std::vector<State>& out);
+
+  std::vector<MemoEntry> memoEntries_;
+  std::vector<NodeId> memoMembers_;
+  std::vector<State> memoCharges_;
+  std::vector<Vicinity::Edge> memoEdges_;
+  std::vector<Vicinity::InputEdge> memoInputs_;
+  std::vector<State> memoSolutions_;
+  std::vector<std::uint32_t> memoSlots_;       // open addressing: entry idx + 1
+  std::vector<std::uint32_t> memoSlotStamp_;   // slot valid iff == memoStamp_
+  std::uint32_t memoStamp_ = 0;
+  std::uint64_t memoHits_ = 0;
+  std::uint64_t memoProbes_ = 0;
+  std::uint64_t memoReplayedEvals_ = 0;  // member evals answered from the memo
 
   // Scratch.
   VicinityBuilder vicBuilder_;

@@ -1,46 +1,30 @@
 #include "core/state_table.hpp"
 
-#include <algorithm>
-
 namespace fmossim {
 
-std::vector<StateRecord>::const_iterator StateTable::find(
-    const std::vector<StateRecord>& recs, CircuitId c) {
-  return std::lower_bound(
-      recs.begin(), recs.end(), c,
-      [](const StateRecord& r, CircuitId id) { return r.circuit < id; });
-}
-
-bool StateTable::reconcile(NodeId n, CircuitId c, State value) {
-  FMOSSIM_ASSERT(c != kGoodCircuit, "reconcile is for faulty circuits");
-  auto& recs = records_[n.value];
-  const auto cit = find(recs, c);
-  const auto it = recs.begin() + (cit - recs.begin());
-  const bool present = it != recs.end() && it->circuit == c;
-  if (value == good_[n.value]) {
-    if (present) {
-      recs.erase(it);
-      --totalRecords_;
-    }
-    return false;
-  }
-  if (present) {
-    it->value = value;
+void StateTable::growBlock(Block& b) {
+  const std::uint32_t newCap = b.capacity == 0 ? kMinCapacity : b.capacity * 2;
+  const unsigned cls = classOf(newCap);
+  std::uint32_t newOffset;
+  if (cls < freeLists_.size() && !freeLists_[cls].empty()) {
+    newOffset = freeLists_[cls].back();
+    freeLists_[cls].pop_back();
   } else {
-    recs.insert(it, StateRecord{c, value});
-    ++totalRecords_;
+    newOffset = static_cast<std::uint32_t>(pool_.size());
+    pool_.resize(pool_.size() + newCap);
   }
-  return true;
-}
-
-void StateTable::erase(NodeId n, CircuitId c) {
-  auto& recs = records_[n.value];
-  const auto cit = find(recs, c);
-  const auto it = recs.begin() + (cit - recs.begin());
-  if (it != recs.end() && it->circuit == c) {
-    recs.erase(it);
-    --totalRecords_;
+  if (b.count > 0) {
+    // Self-assignment-free: source and destination regions never overlap
+    // (the new block is either recycled or freshly appended).
+    std::copy_n(pool_.data() + b.offset, b.count, pool_.data() + newOffset);
   }
+  if (b.capacity > 0) {
+    const unsigned oldCls = classOf(b.capacity);
+    if (oldCls >= freeLists_.size()) freeLists_.resize(oldCls + 1);
+    freeLists_[oldCls].push_back(b.offset);
+  }
+  b.offset = newOffset;
+  b.capacity = newCap;
 }
 
 }  // namespace fmossim

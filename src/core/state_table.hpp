@@ -7,12 +7,19 @@
 //    those circuits i such that s_i != s_0."
 //
 // The good circuit's state is a flat array; each node additionally carries a
-// vector of divergence records sorted by circuit ID. Scans with remembered
-// positions over these sorted vectors play the role of the paper's "shadow
-// pointers".
+// block of divergence records sorted by circuit ID. All blocks live in one
+// shared arena (a single std::vector<StateRecord> pool) indexed by per-node
+// {offset, count, capacity} descriptors: scanning a node's records — the
+// inner loop of trigger collection — touches one contiguous region instead
+// of chasing a per-node heap vector, and inserting a record never allocates
+// unless its block outgrows a power-of-two capacity class (freed blocks are
+// recycled through per-class free lists).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "faults/fault.hpp"
@@ -20,19 +27,28 @@
 
 namespace fmossim {
 
+/// One divergence record: circuit `circuit` holds state `value` at this node
+/// (necessarily different from the good circuit's state there).
 struct StateRecord {
   CircuitId circuit;
   State value;
+
+  bool operator==(const StateRecord&) const = default;
 };
 
+/// Good-circuit state plus per-node divergence record lists in a shared
+/// arena. Record pointers/spans are invalidated by any mutating call
+/// (reconcile/erase); do not hold them across mutations.
 class StateTable {
  public:
   explicit StateTable(const Network& net)
-      : good_(net.numNodes(), State::SX), records_(net.numNodes()) {}
+      : good_(net.numNodes(), State::SX), blocks_(net.numNodes()) {}
 
   // --- good circuit --------------------------------------------------------
 
+  /// State of node n in the good circuit.
   State good(NodeId n) const { return good_[n.value]; }
+  /// Sets the good-circuit state of node n (divergence records unchanged).
   void setGood(NodeId n, State s) { good_[n.value] = s; }
 
   // --- divergence records --------------------------------------------------
@@ -41,47 +57,137 @@ class StateTable {
   /// state (the concurrent representation invariant).
   State stateOf(NodeId n, CircuitId c) const {
     if (c != kGoodCircuit) {
-      const auto& recs = records_[n.value];
-      const auto it = find(recs, c);
-      if (it != recs.end() && it->circuit == c) return it->value;
+      if (const StateRecord* r = findRecord(n, c)) return r->value;
     }
     return good_[n.value];
   }
 
+  /// True if circuit c diverges from the good circuit at node n.
   bool hasRecord(NodeId n, CircuitId c) const {
     return findRecord(n, c) != nullptr;
   }
 
   /// Pointer to circuit c's record at node n, or nullptr if the circuit
-  /// agrees with the good circuit there.
+  /// agrees with the good circuit there. Invalidated by mutation.
   const StateRecord* findRecord(NodeId n, CircuitId c) const {
-    const auto& recs = records_[n.value];
-    const auto it = find(recs, c);
-    return (it != recs.end() && it->circuit == c) ? &*it : nullptr;
+    const Block& b = blocks_[n.value];
+    const StateRecord* begin = pool_.data() + b.offset;
+    const StateRecord* it = lowerBound(begin, begin + b.count, c);
+    return (it != begin + b.count && it->circuit == c) ? it : nullptr;
   }
 
-  /// All divergence records of a node, sorted by circuit ID.
-  const std::vector<StateRecord>& records(NodeId n) const {
-    return records_[n.value];
+  /// All divergence records of a node, sorted by circuit ID. Invalidated by
+  /// mutation.
+  std::span<const StateRecord> records(NodeId n) const {
+    const Block& b = blocks_[n.value];
+    return {pool_.data() + b.offset, b.count};
   }
+
+  /// Outcome of a reconcile(): whether the circuit now diverges at the node,
+  /// and whether the call inserted or erased a record (for callers that
+  /// maintain derived indexes over record existence).
+  struct Reconciled {
+    bool diverges;  ///< a record now exists
+    bool inserted;  ///< this call created the record
+    bool erased;    ///< this call removed a previously existing record
+  };
 
   /// Establishes circuit c's state at node n: removes the record if the
   /// value re-converges with the good circuit, else inserts/updates it.
-  /// Returns true if a record now exists (i.e. the circuit diverges here).
-  bool reconcile(NodeId n, CircuitId c, State value);
+  Reconciled reconcile(NodeId n, CircuitId c, State value) {
+    FMOSSIM_ASSERT(c != kGoodCircuit, "reconcile is for faulty circuits");
+    Block& b = blocks_[n.value];
+    StateRecord* begin = pool_.data() + b.offset;
+    StateRecord* it = lowerBound(begin, begin + b.count, c);
+    const bool present = it != begin + b.count && it->circuit == c;
+    if (value == good_[n.value]) {
+      if (present) {
+        removeAt(b, static_cast<std::uint32_t>(it - begin));
+        --totalRecords_;
+      }
+      return {false, false, present};
+    }
+    if (present) {
+      it->value = value;
+    } else {
+      insertAt(b, static_cast<std::uint32_t>(it - begin), {c, value});
+      ++totalRecords_;
+    }
+    return {true, !present, false};
+  }
 
-  /// Removes circuit c's record at node n if present.
-  void erase(NodeId n, CircuitId c);
+  /// Removes circuit c's record at node n if present; returns true if a
+  /// record was removed.
+  bool erase(NodeId n, CircuitId c) {
+    Block& b = blocks_[n.value];
+    StateRecord* begin = pool_.data() + b.offset;
+    StateRecord* it = lowerBound(begin, begin + b.count, c);
+    if (it != begin + b.count && it->circuit == c) {
+      removeAt(b, static_cast<std::uint32_t>(it - begin));
+      --totalRecords_;
+      return true;
+    }
+    return false;
+  }
 
   /// Total number of divergence records (statistics).
   std::uint64_t totalRecords() const { return totalRecords_; }
 
+  /// Arena slots currently allocated (capacity diagnostics / tests).
+  std::size_t arenaSize() const { return pool_.size(); }
+
  private:
-  static std::vector<StateRecord>::const_iterator find(
-      const std::vector<StateRecord>& recs, CircuitId c);
+  /// One node's record block inside the arena. capacity is 0 or a power of
+  /// two >= kMinCapacity.
+  struct Block {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  static constexpr std::uint32_t kMinCapacity = 4;
+
+  static const StateRecord* lowerBound(const StateRecord* first,
+                                       const StateRecord* last, CircuitId c) {
+    return std::lower_bound(
+        first, last, c,
+        [](const StateRecord& r, CircuitId id) { return r.circuit < id; });
+  }
+  static StateRecord* lowerBound(StateRecord* first, StateRecord* last,
+                                 CircuitId c) {
+    return const_cast<StateRecord*>(
+        lowerBound(static_cast<const StateRecord*>(first), last, c));
+  }
+
+  void insertAt(Block& b, std::uint32_t pos, StateRecord rec) {
+    if (b.count == b.capacity) growBlock(b);
+    StateRecord* begin = pool_.data() + b.offset;
+    for (std::uint32_t i = b.count; i > pos; --i) begin[i] = begin[i - 1];
+    begin[pos] = rec;
+    ++b.count;
+  }
+
+  void removeAt(Block& b, std::uint32_t pos) {
+    StateRecord* begin = pool_.data() + b.offset;
+    for (std::uint32_t i = pos + 1; i < b.count; ++i) begin[i - 1] = begin[i];
+    --b.count;
+  }
+
+  /// Moves the block to a capacity-doubled arena region (recycling freed
+  /// regions of the target class when available).
+  void growBlock(Block& b);
+
+  /// Free-list index of a capacity class (4 -> 0, 8 -> 1, ...).
+  static unsigned classOf(std::uint32_t capacity) {
+    return static_cast<unsigned>(std::countr_zero(capacity)) - 2;
+  }
 
   std::vector<State> good_;
-  std::vector<std::vector<StateRecord>> records_;
+  std::vector<Block> blocks_;
+  std::vector<StateRecord> pool_;
+  /// freeLists_[k] holds arena offsets of recycled blocks with capacity
+  /// kMinCapacity << k.
+  std::vector<std::vector<std::uint32_t>> freeLists_;
   std::uint64_t totalRecords_ = 0;
 };
 

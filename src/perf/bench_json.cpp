@@ -1,0 +1,271 @@
+#include "perf/bench_json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace fmossim::perf {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Fixed-precision float rendering: stable round-trip without locale traps.
+std::string num(double v) { return format("%.6f", v); }
+
+// ----------------------------------------------------------------- parser --
+//
+// Minimal recursive-descent JSON parser covering the subset toJson() emits
+// (objects, arrays, strings with the escapes above, numbers, booleans).
+// Errors carry the byte offset for debuggability.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  // --- values ---------------------------------------------------------------
+
+  void expect(char c) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool tryConsume(char c) {
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double parseNumber() {
+    skipWs();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  bool parseBool() {
+    skipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;  // unreachable
+  }
+
+  /// Iterates an object: calls onKey(key) for each member (the callback must
+  /// consume the value).
+  template <typename F>
+  void parseObject(F onKey) {
+    expect('{');
+    if (tryConsume('}')) return;
+    do {
+      const std::string key = parseString();
+      expect(':');
+      onKey(key);
+    } while (tryConsume(','));
+    expect('}');
+  }
+
+  template <typename F>
+  void parseArray(F onElement) {
+    expect('[');
+    if (tryConsume(']')) return;
+    do {
+      onElement();
+    } while (tryConsume(','));
+    expect(']');
+  }
+
+  void end() {
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing garbage");
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error(format("bench JSON: %s at byte %zu", what.c_str(), pos_));
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parseChecksum(const std::string& s) {
+  if (s.size() < 3 || s[0] != '0' || s[1] != 'x') {
+    throw Error("bench JSON: checksum must be a 0x-prefixed hex string");
+  }
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str() + 2, &end, 16);
+  if (end == nullptr || *end != '\0') {
+    throw Error("bench JSON: malformed checksum '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string toJson(const ScenarioResult& r) {
+  std::string out;
+  out += "{\n";
+  out += format("  \"schemaVersion\": %d,\n", r.schemaVersion);
+  out += "  \"scenario\": \"" + escape(r.scenario) + "\",\n";
+  out += "  \"description\": \"" + escape(r.description) + "\",\n";
+  out += format(
+      "  \"circuit\": {\"transistors\": %u, \"nodes\": %u, \"faults\": %u, "
+      "\"patterns\": %u},\n",
+      r.transistors, r.nodes, r.faults, r.patterns);
+  out += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    const BenchRow& row = r.rows[i];
+    out += "    {";
+    out += "\"backend\": \"" + escape(row.backend) + "\", ";
+    out += format("\"jobs\": %u, ", row.jobs);
+    out += "\"policy\": \"" + escape(row.policy) + "\", ";
+    out += format("\"dropDetected\": %s, ", row.dropDetected ? "true" : "false");
+    out += "\"medianMs\": " + num(row.medianMs) + ", ";
+    out += "\"stddevMs\": " + num(row.stddevMs) + ", ";
+    out += format("\"reps\": %u, ", row.reps);
+    out += format("\"checksum\": \"0x%016" PRIx64 "\", ", row.checksum);
+    out += format("\"nodeEvals\": %llu, ",
+                  static_cast<unsigned long long>(row.nodeEvals));
+    out += format("\"numDetected\": %u, ", row.numDetected);
+    out += format("\"numFaults\": %u", row.numFaults);
+    out += i + 1 < r.rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+ScenarioResult parseBenchJson(const std::string& text) {
+  ScenarioResult r;
+  r.schemaVersion = 0;
+  Parser p(text);
+  p.parseObject([&](const std::string& key) {
+    if (key == "schemaVersion") {
+      r.schemaVersion = static_cast<int>(p.parseNumber());
+    } else if (key == "scenario") {
+      r.scenario = p.parseString();
+    } else if (key == "description") {
+      r.description = p.parseString();
+    } else if (key == "circuit") {
+      p.parseObject([&](const std::string& ck) {
+        const double v = p.parseNumber();
+        if (ck == "transistors") r.transistors = static_cast<std::uint32_t>(v);
+        else if (ck == "nodes") r.nodes = static_cast<std::uint32_t>(v);
+        else if (ck == "faults") r.faults = static_cast<std::uint32_t>(v);
+        else if (ck == "patterns") r.patterns = static_cast<std::uint32_t>(v);
+        else throw Error("bench JSON: unknown circuit key '" + ck + "'");
+      });
+    } else if (key == "rows") {
+      p.parseArray([&] {
+        BenchRow row;
+        p.parseObject([&](const std::string& rk) {
+          if (rk == "backend") row.backend = p.parseString();
+          else if (rk == "jobs") row.jobs = static_cast<unsigned>(p.parseNumber());
+          else if (rk == "policy") row.policy = p.parseString();
+          else if (rk == "dropDetected") row.dropDetected = p.parseBool();
+          else if (rk == "medianMs") row.medianMs = p.parseNumber();
+          else if (rk == "stddevMs") row.stddevMs = p.parseNumber();
+          else if (rk == "reps") row.reps = static_cast<unsigned>(p.parseNumber());
+          else if (rk == "checksum") row.checksum = parseChecksum(p.parseString());
+          else if (rk == "nodeEvals") row.nodeEvals = static_cast<std::uint64_t>(p.parseNumber());
+          else if (rk == "numDetected") row.numDetected = static_cast<std::uint32_t>(p.parseNumber());
+          else if (rk == "numFaults") row.numFaults = static_cast<std::uint32_t>(p.parseNumber());
+          else throw Error("bench JSON: unknown row key '" + rk + "'");
+        });
+        r.rows.push_back(std::move(row));
+      });
+    } else {
+      throw Error("bench JSON: unknown key '" + key + "'");
+    }
+  });
+  p.end();
+  if (r.schemaVersion != 1) {
+    throw Error(format("bench JSON: unsupported schemaVersion %d (want 1)",
+                       r.schemaVersion));
+  }
+  return r;
+}
+
+std::string benchFileName(const std::string& scenario) {
+  return "BENCH_" + scenario + ".json";
+}
+
+std::string writeBenchFile(const ScenarioResult& result,
+                           const std::string& outDir) {
+  const std::string path =
+      (outDir.empty() ? std::string(".") : outDir) + "/" +
+      benchFileName(result.scenario);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw Error("cannot write benchmark file '" + path + "'");
+  }
+  const std::string json = toJson(result);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    throw Error("short write to benchmark file '" + path + "'");
+  }
+  return path;
+}
+
+}  // namespace fmossim::perf

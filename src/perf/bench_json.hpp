@@ -1,0 +1,36 @@
+/// \file
+/// Schema-versioned JSON serialization for benchmark results.
+///
+/// toJson() renders a ScenarioResult as the BENCH_<scenario>.json format
+/// documented in docs/BENCHMARKING.md; parseBenchJson() reads it back (used
+/// by the schema round-trip tests and by external tooling that wants to
+/// consume the files without a JSON library dependency in this repo).
+///
+/// The checksum field is serialized as a hex *string* ("0x1f2e...") because
+/// a 64-bit value does not survive the double-precision number
+/// representation of most JSON consumers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/bench_runner.hpp"
+
+namespace fmossim::perf {
+
+/// Renders one scenario result as pretty-printed JSON (trailing newline).
+std::string toJson(const ScenarioResult& result);
+
+/// Parses a BENCH_<scenario>.json document produced by toJson(). Throws
+/// Error on malformed input or schema-version mismatch.
+ScenarioResult parseBenchJson(const std::string& text);
+
+/// The file name a scenario's results are written to ("BENCH_<scenario>.json").
+std::string benchFileName(const std::string& scenario);
+
+/// Writes `result` to `<outDir>/BENCH_<scenario>.json` and returns the path.
+/// Throws Error if the file cannot be written.
+std::string writeBenchFile(const ScenarioResult& result,
+                           const std::string& outDir);
+
+}  // namespace fmossim::perf

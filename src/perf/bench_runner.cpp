@@ -1,0 +1,140 @@
+#include "perf/bench_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace fmossim::perf {
+
+namespace {
+
+inline void fnv(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v, byte-order independent.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t resultChecksum(const FaultSimResult& res) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv(h, res.numFaults);
+  fnv(h, res.numDetected);
+  fnv(h, res.potentialDetections);
+  for (const std::int32_t at : res.detectedAtPattern) {
+    fnv(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(at)));
+  }
+  for (const PatternStat& st : res.perPattern) {
+    fnv(h, st.newlyDetected);
+    fnv(h, st.cumulativeDetected);
+    fnv(h, st.aliveAfter);
+  }
+  for (const State s : res.finalGoodStates) {
+    fnv(h, static_cast<std::uint64_t>(s));
+  }
+  return h;
+}
+
+BenchRunner::BenchRunner(BenchConfig config) : config_(std::move(config)) {}
+
+std::vector<std::string> BenchRunner::selectedScenarios() const {
+  if (config_.only.empty()) return scenarioNames();
+  for (const std::string& name : config_.only) {
+    if (!isScenario(name)) {
+      throw Error("unknown benchmark scenario '" + name +
+                  "' (run `fmossim_cli bench --list`)");
+    }
+  }
+  // Honor registry order regardless of filter order, and drop duplicates, so
+  // scenario selection is deterministic for any --scenario flag spelling.
+  std::vector<std::string> out;
+  for (const std::string& name : scenarioNames()) {
+    if (std::find(config_.only.begin(), config_.only.end(), name) !=
+        config_.only.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+ScenarioResult BenchRunner::runScenario(const std::string& name) const {
+  return runScenario(name, nullptr);
+}
+
+ScenarioResult BenchRunner::runScenario(
+    const std::string& name,
+    const std::function<void(const ScenarioResult&, const BenchRow&)>& onRow)
+    const {
+  const Workload w = buildScenarioWorkload(name);
+  ScenarioResult sr;
+  sr.scenario = w.scenario;
+  sr.description = w.description;
+  sr.transistors = w.net.numTransistors();
+  sr.nodes = w.net.numNodes();
+  sr.faults = w.faults.size();
+  sr.patterns = w.seq.size();
+
+  const unsigned warmup = config_.effectiveWarmup();
+  const unsigned reps = std::max(1u, config_.effectiveReps());
+
+  for (const RowSpec& spec : w.rows) {
+    Engine engine(w.net, w.faults, spec.engineOptions());
+
+    BenchRow row;
+    row.backend = spec.label();
+    row.jobs = spec.jobs;
+    row.policy =
+        spec.policy == DetectionPolicy::AnyDifference ? "any" : "definite";
+    row.dropDetected = spec.dropDetected;
+    row.reps = reps;
+
+    for (unsigned i = 0; i < warmup; ++i) engine.run(w.seq);
+
+    std::vector<double> ms;
+    ms.reserve(reps);
+    for (unsigned i = 0; i < reps; ++i) {
+      // Time the complete repeatable run (fresh session per call), including
+      // engine construction and the initial settle — the cost a user pays.
+      Timer t;
+      const FaultSimResult res = engine.run(w.seq);
+      ms.push_back(t.seconds() * 1e3);
+      if (i == 0) {
+        row.checksum = resultChecksum(res);
+        row.nodeEvals = res.totalNodeEvals;
+        row.numDetected = res.numDetected;
+        row.numFaults = res.numFaults;
+      }
+    }
+    std::vector<double> sorted = ms;
+    std::sort(sorted.begin(), sorted.end());
+    row.medianMs = sorted[sorted.size() / 2];
+    if (sorted.size() % 2 == 0) {
+      row.medianMs = 0.5 * (row.medianMs + sorted[sorted.size() / 2 - 1]);
+    }
+    double mean = 0.0;
+    for (const double v : ms) mean += v;
+    mean /= double(ms.size());
+    double var = 0.0;
+    for (const double v : ms) var += (v - mean) * (v - mean);
+    row.stddevMs = ms.size() > 1 ? std::sqrt(var / double(ms.size() - 1)) : 0.0;
+
+    sr.rows.push_back(std::move(row));
+    if (onRow) onRow(sr, sr.rows.back());
+  }
+  return sr;
+}
+
+std::vector<ScenarioResult> BenchRunner::runAll(
+    const std::function<void(const ScenarioResult&, const BenchRow&)>& onRow)
+    const {
+  std::vector<ScenarioResult> out;
+  for (const std::string& name : selectedScenarios()) {
+    out.push_back(runScenario(name, onRow));
+  }
+  return out;
+}
+
+}  // namespace fmossim::perf

@@ -1,0 +1,112 @@
+/// \file
+/// BenchRunner — the reproducible performance harness.
+///
+/// Wraps the Engine API: for every named scenario (scenarios.hpp) it runs
+/// the scenario's configuration matrix with warmup + repetition, reports
+/// median and standard deviation of wall-clock time plus the deterministic
+/// work counter, and computes a result checksum over the semantically
+/// meaningful result fields (detections, per-pattern detection rows, final
+/// good states) so bit-identity across backends and across optimization PRs
+/// is visible in the emitted numbers themselves.
+///
+/// Results serialize to schema-versioned BENCH_<scenario>.json files
+/// (bench_json.hpp); docs/BENCHMARKING.md documents the schema and CI
+/// uploads the files as artifacts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "perf/scenarios.hpp"
+
+namespace fmossim::perf {
+
+/// Harness knobs. The defaults are the full measurement configuration; smoke
+/// mode (CI, ctest) drops to one repetition with no warmup so the harness
+/// stays exercised without costing minutes.
+struct BenchConfig {
+  unsigned warmup = 1;  ///< unmeasured runs before the measured repetitions
+  unsigned reps = 5;    ///< measured repetitions per row (median reported)
+  /// Smoke mode: forces warmup = 0, reps = 1 (harness self-test speed).
+  bool smoke = false;
+  /// Scenario-name filter; empty means every registered scenario, in
+  /// scenarioNames() order. Unknown names throw Error.
+  std::vector<std::string> only;
+
+  /// Warmup runs actually performed (0 in smoke mode).
+  unsigned effectiveWarmup() const { return smoke ? 0 : warmup; }
+  /// Measured repetitions actually performed (1 in smoke mode).
+  unsigned effectiveReps() const { return smoke ? 1 : reps; }
+};
+
+/// One measured (scenario, configuration) cell.
+struct BenchRow {
+  std::string backend;  ///< "serial", "concurrent", "sharded-<jobs>"
+  unsigned jobs = 1;    ///< shard count (1 for serial/plain concurrent)
+  std::string policy;   ///< "any" or "definite"
+  bool dropDetected = true;  ///< drop faulty circuits once detected
+  double medianMs = 0.0;  ///< median wall-clock per full run, milliseconds
+  double stddevMs = 0.0;  ///< sample stddev over the repetitions
+  unsigned reps = 0;      ///< number of measured repetitions
+  /// FNV-1a checksum over detections, per-pattern detection rows and final
+  /// good-circuit states (resultChecksum). Equal checksums across rows mean
+  /// the backends produced bit-identical results.
+  std::uint64_t checksum = 0;
+  std::uint64_t nodeEvals = 0;  ///< deterministic work counter (machine-free)
+  std::uint32_t numDetected = 0;  ///< faults detected by the sequence
+  std::uint32_t numFaults = 0;    ///< fault-universe size
+};
+
+/// One scenario's complete measurement (a BENCH_<scenario>.json file).
+struct ScenarioResult {
+  int schemaVersion = 1;     ///< see docs/BENCHMARKING.md
+  std::string scenario;      ///< registry name
+  std::string description;   ///< scenario description (incl. paper reference)
+  std::uint32_t transistors = 0;  ///< circuit size
+  std::uint32_t nodes = 0;        ///< circuit size
+  std::uint32_t faults = 0;       ///< fault-universe size
+  std::uint32_t patterns = 0;     ///< test-sequence length
+  std::vector<BenchRow> rows;     ///< one row per measured configuration
+};
+
+/// Checksum of the backend-invariant result fields (the same fields the
+/// differential oracle compares): per-fault detecting patterns, detection
+/// counts, potential detections, per-pattern detection rows, final
+/// good-circuit states. FNV-1a, stable across platforms.
+std::uint64_t resultChecksum(const FaultSimResult& res);
+
+/// Runs the scenario matrix; see the file comment.
+class BenchRunner {
+ public:
+  /// Constructs a runner with the given measurement configuration.
+  explicit BenchRunner(BenchConfig config = {});
+
+  /// The configuration this runner measures with.
+  const BenchConfig& config() const { return config_; }
+
+  /// The scenarios this runner will measure, honoring config().only, in
+  /// deterministic registry order. Throws Error on unknown filter names.
+  std::vector<std::string> selectedScenarios() const;
+
+  /// Measures one scenario (every row in its matrix).
+  ScenarioResult runScenario(const std::string& name) const;
+
+  /// Like runScenario(); `onRow` fires live after each measured row.
+  ScenarioResult runScenario(
+      const std::string& name,
+      const std::function<void(const ScenarioResult&, const BenchRow&)>&
+          onRow) const;
+
+  /// Measures every selected scenario. `onRow` (optional) fires after each
+  /// measured row for live progress reporting.
+  std::vector<ScenarioResult> runAll(
+      const std::function<void(const ScenarioResult&, const BenchRow&)>&
+          onRow = nullptr) const;
+
+ private:
+  BenchConfig config_;
+};
+
+}  // namespace fmossim::perf

@@ -1,0 +1,69 @@
+/// \file
+/// Named benchmark scenario registry — the single source of truth for what
+/// the performance harness measures.
+///
+/// Every scenario is a complete, deterministic fault-simulation workload
+/// (network + fault universe + test sequence) with a fixed matrix of engine
+/// configurations (backend, jobs, detection policy, drop mode). The paper
+/// reproduction harnesses under bench/ and the JSON-emitting BenchRunner
+/// (bench_runner.hpp) both build their workloads here, so a figure in
+/// docs/PAPER_MAP.md, a bench/fig*.cpp harness and a BENCH_<scenario>.json
+/// file all refer to the same bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "circuits/ram.hpp"
+#include "faults/fault.hpp"
+#include "patterns/pattern.hpp"
+#include "switch/network.hpp"
+
+/// Reproducible performance harness over the Engine API: scenario registry,
+/// BenchRunner, and BENCH_*.json serialization (see docs/BENCHMARKING.md).
+namespace fmossim::perf {
+
+/// The paper's fault universe for a RAM (§5): all single storage-node
+/// stuck-at faults plus all adjacent-bit-line shorts.
+FaultList paperFaultUniverse(const RamCircuit& ram);
+
+/// Engine configuration of the paper's own measurements: concurrent backend,
+/// literal "any difference" detection criterion.
+EngineOptions paperEngineOptions();
+
+/// One engine configuration to measure a scenario under.
+struct RowSpec {
+  Backend backend = Backend::Concurrent;  ///< simulation strategy
+  unsigned jobs = 1;  ///< >1 selects the sharded concurrent runner
+  DetectionPolicy policy = DetectionPolicy::DefiniteOnly;  ///< detection criterion
+  bool dropDetected = true;  ///< drop faulty circuits once detected
+
+  /// EngineOptions equivalent of this row.
+  EngineOptions engineOptions() const;
+  /// Stable row label ("concurrent", "sharded-4", "serial").
+  std::string label() const;
+};
+
+/// A fully built benchmark workload.
+struct Workload {
+  std::string scenario;     ///< registry name ("ram64_seq1", ...)
+  std::string description;  ///< one-line human summary incl. paper reference
+  Network net;              ///< the circuit under test
+  FaultList faults;         ///< fault universe, global index order
+  TestSequence seq;         ///< test patterns + observed outputs
+  std::vector<RowSpec> rows;  ///< configurations the harness measures
+};
+
+/// Deterministic, stable-order list of all scenario names. The order is the
+/// order BenchRunner runs them in.
+const std::vector<std::string>& scenarioNames();
+
+/// True if `name` is a registered scenario.
+bool isScenario(const std::string& name);
+
+/// Builds the named scenario's workload. Deterministic: two calls produce
+/// bit-identical workloads. Throws Error for unknown names.
+Workload buildScenarioWorkload(const std::string& name);
+
+}  // namespace fmossim::perf

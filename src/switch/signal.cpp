@@ -24,29 +24,8 @@ State stateFromChar(char c) {
   }
 }
 
-State invertState(State s) {
-  switch (s) {
-    case State::S0: return State::S1;
-    case State::S1: return State::S0;
-    case State::SX: return State::SX;
-  }
-  return State::SX;
-}
-
 State mergeValues(State a, State b) {
   return a == b ? a : State::SX;
-}
-
-State conductionState(TransistorType type, State gate) {
-  switch (type) {
-    case TransistorType::NType:
-      return gate;  // 0->0, 1->1, X->X
-    case TransistorType::PType:
-      return invertState(gate);  // 0->1, 1->0, X->X
-    case TransistorType::DType:
-      return State::S1;  // always conducting
-  }
-  return State::SX;
 }
 
 const char* transistorTypeName(TransistorType t) {

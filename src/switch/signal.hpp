@@ -41,7 +41,14 @@ char stateChar(State s);
 State stateFromChar(char c);
 
 /// Ternary inversion: 0 -> 1, 1 -> 0, X -> X.
-State invertState(State s);
+inline State invertState(State s) {
+  switch (s) {
+    case State::S0: return State::S1;
+    case State::S1: return State::S0;
+    case State::SX: return State::SX;
+  }
+  return State::SX;
+}
 
 /// True for 0 and 1; false for X.
 inline bool isDefinite(State s) { return s != State::SX; }
@@ -61,7 +68,19 @@ State mergeValues(State a, State b);
 ///    X   |   X       X       1
 ///
 /// The result is itself a State: 0 = open, 1 = closed, X = unknown.
-State conductionState(TransistorType type, State gate);
+/// Inline: this is the innermost lookup of both the vicinity builder and the
+/// concurrent engine's faulty-circuit views.
+inline State conductionState(TransistorType type, State gate) {
+  switch (type) {
+    case TransistorType::NType:
+      return gate;  // 0->0, 1->1, X->X
+    case TransistorType::PType:
+      return invertState(gate);  // 0->1, 1->0, X->X
+    case TransistorType::DType:
+      return State::S1;  // always conducting
+  }
+  return State::SX;
+}
 
 /// Display names "n", "p", "d".
 const char* transistorTypeName(TransistorType t);

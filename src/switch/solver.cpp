@@ -16,21 +16,22 @@ void SteadyStateSolver::buildAdjacency(const Vicinity& vic) {
   }
   for (std::uint32_t i = 0; i < m; ++i) arcOffset_[i + 1] += arcOffset_[i];
   arcs_.resize(arcOffset_[m]);
-  // Temporary cursors; reuse a copy of the offsets.
-  std::vector<std::uint32_t> cursor(arcOffset_.begin(), arcOffset_.end() - 1);
+  cursor_.assign(arcOffset_.begin(), arcOffset_.end() - 1);
   for (const auto& e : vic.edges) {
-    arcs_[cursor[e.a]++] = {e.b, e.strength, e.definite};
-    arcs_[cursor[e.b]++] = {e.a, e.strength, e.definite};
+    arcs_[cursor_[e.a]++] = {e.b, e.strength, e.definite};
+    arcs_[cursor_[e.b]++] = {e.a, e.strength, e.definite};
   }
 }
 
 void SteadyStateSolver::bucketPush(std::uint32_t node, Strength level) {
   buckets_[level].push_back(node);
+  if (level > topLevel_) topLevel_ = level;
 }
 
 void SteadyStateSolver::relaxDefinite(const Vicinity& vic) {
   const auto m = static_cast<std::uint32_t>(vic.size());
   def_.assign(m, 0);
+  topLevel_ = 0;
   for (std::uint32_t i = 0; i < m; ++i) {
     def_[i] = vic.memberSize[i];  // own charge is always a definite source
     bucketPush(i, def_[i]);
@@ -42,7 +43,9 @@ void SteadyStateSolver::relaxDefinite(const Vicinity& vic) {
       bucketPush(ie.member, ie.strength);
     }
   }
-  for (unsigned level = numLevels_; level-- > 0;) {
+  // Relaxation only ever re-pushes at or below the level being drained, so
+  // starting at the seeding watermark skips the empty top buckets.
+  for (unsigned level = topLevel_ + 1u; level-- > 0;) {
     auto& bucket = buckets_[level];
     while (!bucket.empty()) {
       const std::uint32_t i = bucket.back();
@@ -65,6 +68,7 @@ void SteadyStateSolver::relaxValue(const Vicinity& vic, bool wantHigh,
                                    std::vector<Strength>& field) {
   const auto m = static_cast<std::uint32_t>(vic.size());
   field.assign(m, 0);
+  topLevel_ = 0;
   const auto matches = [wantHigh](State v) {
     return v == State::SX || v == (wantHigh ? State::S1 : State::S0);
   };
@@ -86,7 +90,7 @@ void SteadyStateSolver::relaxValue(const Vicinity& vic, bool wantHigh,
       bucketPush(ie.member, ie.strength);
     }
   }
-  for (unsigned level = numLevels_; level-- > 0;) {
+  for (unsigned level = topLevel_ + 1u; level-- > 0;) {
     auto& bucket = buckets_[level];
     while (!bucket.empty()) {
       const std::uint32_t i = bucket.back();
@@ -104,12 +108,71 @@ void SteadyStateSolver::relaxValue(const Vicinity& vic, bool wantHigh,
   }
 }
 
+void SteadyStateSolver::solveEdgeless(const Vicinity& vic,
+                                      std::vector<State>& out) {
+  const auto m = static_cast<std::uint32_t>(vic.size());
+  // Small fixed-size scratch: edge-free vicinities are almost always one or
+  // two members, and heap-backed per-solve assigns would dominate the math.
+  constexpr std::uint32_t kStack = 16;
+  Strength defBuf[kStack], hBuf[kStack], lBuf[kStack];
+  Strength* def = defBuf;
+  Strength* h = hBuf;
+  Strength* l = lBuf;
+  if (m > kStack) {
+    def_.assign(m, 0);
+    hstr_.assign(m, 0);
+    lstr_.assign(m, 0);
+    def = def_.data();
+    h = hstr_.data();
+    l = lstr_.data();
+  }
+  // def per member: own size vs strongest definite input.
+  for (std::uint32_t i = 0; i < m; ++i) def[i] = vic.memberSize[i];
+  for (const auto& ie : vic.inputEdges) {
+    if (ie.definite && ie.strength > def[ie.member]) {
+      def[ie.member] = ie.strength;
+    }
+  }
+  // H / L per member: charge source (blocked by a strictly stronger definite
+  // signal) and input sources (blocked likewise). No propagation — there are
+  // no member-to-member edges.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const State ch = vic.memberCharge[i];
+    h[i] = (ch != State::S0 && vic.memberSize[i] >= def[i])
+               ? vic.memberSize[i]
+               : Strength(0);
+    l[i] = (ch != State::S1 && vic.memberSize[i] >= def[i])
+               ? vic.memberSize[i]
+               : Strength(0);
+  }
+  for (const auto& ie : vic.inputEdges) {
+    if (ie.strength < def[ie.member]) continue;
+    if (ie.value != State::S0 && ie.strength > h[ie.member]) {
+      h[ie.member] = ie.strength;
+    }
+    if (ie.value != State::S1 && ie.strength > l[ie.member]) {
+      l[ie.member] = ie.strength;
+    }
+  }
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const bool hi = h[i] > 0;
+    const bool lo = l[i] > 0;
+    FMOSSIM_ASSERT(hi || lo, "steady state: node with no possible signal");
+    out[i] = hi ? (lo ? State::SX : State::S1) : State::S0;
+  }
+}
+
 void SteadyStateSolver::solve(const Vicinity& vic, std::vector<State>& out) {
   const auto m = static_cast<std::uint32_t>(vic.size());
   out.resize(m);
   if (m == 0) return;
   ++solves_;
   nodeEvals_ += m;
+
+  if (vic.edges.empty()) {
+    solveEdgeless(vic, out);
+    return;
+  }
 
   buildAdjacency(vic);
   relaxDefinite(vic);

@@ -64,6 +64,14 @@ class SteadyStateSolver {
   // Relaxes H (wantHigh=true: sources with value 1 or X) or L into `field`.
   void relaxValue(const Vicinity& vic, bool wantHigh, std::vector<Strength>& field);
 
+  // Edge-free vicinities (isolated storage nodes, or an input seed fanning
+  // out to unconnected neighbours) need no relaxation at all: every member's
+  // response is a direct max over its own charge and its input edges. This
+  // is the overwhelmingly common case in practice (mean vicinity size on the
+  // paper's RAM workloads is ~1.3 members), so it bypasses the CSR build and
+  // the bucket queues entirely. Bit-identical to the general path.
+  void solveEdgeless(const Vicinity& vic, std::vector<State>& out);
+
   // Bucket-queue helpers over strength levels.
   void bucketPush(std::uint32_t node, Strength level);
 
@@ -72,11 +80,13 @@ class SteadyStateSolver {
   // CSR adjacency, rebuilt per solve.
   std::vector<std::uint32_t> arcOffset_;
   std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> cursor_;  // buildAdjacency scratch (hoisted)
 
   std::vector<Strength> def_;
   std::vector<Strength> hstr_;
   std::vector<Strength> lstr_;
   std::vector<std::vector<std::uint32_t>> buckets_;
+  Strength topLevel_ = 0;  // highest level seeded in the current relaxation
 
   std::uint64_t nodeEvals_ = 0;
   std::uint64_t solves_ = 0;

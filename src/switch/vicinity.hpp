@@ -41,12 +41,16 @@ struct Vicinity {
     std::uint32_t b;      ///< dense member index
     Strength strength;    ///< gamma level of the connecting transistor
     bool definite;        ///< true if conduction is 1, false if X
+
+    bool operator==(const Edge&) const = default;
   };
   struct InputEdge {
     std::uint32_t member;  ///< dense member index
     Strength strength;     ///< gamma level of the connecting transistor
     bool definite;         ///< true if conduction is 1, false if X
     State value;           ///< state of the input node
+
+    bool operator==(const InputEdge&) const = default;
   };
 
   std::vector<NodeId> members;

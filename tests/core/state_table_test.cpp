@@ -3,7 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
 #include "switch/builder.hpp"
+#include "util/rng.hpp"
 
 namespace fmossim {
 namespace {
@@ -35,13 +40,13 @@ TEST(StateTableTest, ReconcileCreatesRecordOnlyOnDivergence) {
   const Network net = twoNodeNet();
   StateTable t(net);
   t.setGood(NodeId(0), State::S1);
-  EXPECT_FALSE(t.reconcile(NodeId(0), 3, State::S1));  // agrees: no record
+  EXPECT_FALSE(t.reconcile(NodeId(0), 3, State::S1).diverges);  // agrees
   EXPECT_EQ(t.totalRecords(), 0u);
-  EXPECT_TRUE(t.reconcile(NodeId(0), 3, State::S0));   // diverges
+  EXPECT_TRUE(t.reconcile(NodeId(0), 3, State::S0).inserted);  // diverges
   EXPECT_EQ(t.totalRecords(), 1u);
   EXPECT_EQ(t.stateOf(NodeId(0), 3), State::S0);
   // Re-convergence removes the record.
-  EXPECT_FALSE(t.reconcile(NodeId(0), 3, State::S1));
+  EXPECT_TRUE(t.reconcile(NodeId(0), 3, State::S1).erased);
   EXPECT_EQ(t.totalRecords(), 0u);
   EXPECT_EQ(t.stateOf(NodeId(0), 3), State::S1);
 }
@@ -85,7 +90,7 @@ TEST(StateTableTest, GoodChangeFlipsDivergenceMeaning) {
   t.reconcile(NodeId(0), 1, State::S1);
   t.setGood(NodeId(0), State::S1);  // good moves to the faulty value
   EXPECT_EQ(t.stateOf(NodeId(0), 1), State::S1);
-  EXPECT_FALSE(t.reconcile(NodeId(0), 1, State::S1));
+  EXPECT_TRUE(t.reconcile(NodeId(0), 1, State::S1).erased);
   EXPECT_EQ(t.totalRecords(), 0u);
 }
 
@@ -109,6 +114,97 @@ TEST(StateTableTest, FindRecordReturnsNullWhenAbsent) {
   EXPECT_EQ(t.findRecord(NodeId(0), 1), nullptr);
   EXPECT_EQ(t.findRecord(NodeId(0), 3), nullptr);
   EXPECT_EQ(t.findRecord(NodeId(1), 2), nullptr);
+}
+
+// --- arena parity ----------------------------------------------------------
+//
+// The record blocks live in a shared arena with power-of-two capacity
+// classes and free-list recycling (see state_table.hpp). This drives a long
+// random insert/update/lookup/delete sequence against a straightforward
+// reference model (one std::map per node) and checks full behavioural
+// parity after every operation batch — the arena must be an invisible
+// storage optimization.
+TEST(StateTableArenaTest, RandomOpsMatchReferenceModel) {
+  NetworkBuilder b;
+  constexpr unsigned kNodes = 8;
+  for (unsigned i = 0; i < kNodes; ++i) b.addNode("n" + std::to_string(i));
+  const Network net = b.build();
+  StateTable t(net);
+  std::vector<std::map<CircuitId, State>> model(kNodes);
+  std::vector<State> goodModel(kNodes, State::SX);
+
+  Rng rng(20260726);
+  const auto randomState = [&] {
+    const std::uint32_t r = rng.below(3);
+    return r == 0 ? State::S0 : r == 1 ? State::S1 : State::SX;
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const NodeId n(rng.below(kNodes));
+    const CircuitId c = 1 + rng.below(64);  // dense circuit space: collisions
+    switch (rng.below(4)) {
+      case 0: {  // setGood: changes the divergence meaning of records
+        const State g = randomState();
+        t.setGood(n, g);
+        goodModel[n.value] = g;
+        break;
+      }
+      case 1:
+      case 2: {  // reconcile
+        const State v = randomState();
+        const StateTable::Reconciled rec = t.reconcile(n, c, v);
+        auto& m = model[n.value];
+        const bool present = m.count(c) != 0;
+        if (v == goodModel[n.value]) {
+          EXPECT_FALSE(rec.diverges);
+          EXPECT_EQ(rec.erased, present);
+          m.erase(c);
+        } else {
+          EXPECT_TRUE(rec.diverges);
+          EXPECT_EQ(rec.inserted, !present);
+          m[c] = v;
+        }
+        break;
+      }
+      case 3: {  // erase
+        const bool had = model[n.value].count(c) != 0;
+        EXPECT_EQ(t.erase(n, c), had);
+        model[n.value].erase(c);
+        break;
+      }
+    }
+
+    if (step % 251 == 0 || step > 19900) {
+      // Full-table parity sweep.
+      std::uint64_t total = 0;
+      for (unsigned ni = 0; ni < kNodes; ++ni) {
+        const NodeId node(ni);
+        const auto& m = model[ni];
+        total += m.size();
+        const std::span<const StateRecord> recs = t.records(node);
+        ASSERT_EQ(recs.size(), m.size());
+        std::size_t k = 0;
+        for (const auto& [circuit, value] : m) {  // map iterates sorted
+          EXPECT_EQ(recs[k].circuit, circuit);
+          EXPECT_EQ(recs[k].value, value);
+          EXPECT_TRUE(t.hasRecord(node, circuit));
+          EXPECT_EQ(t.stateOf(node, circuit), value);
+          ++k;
+        }
+        // Absent circuits fall back to the good state.
+        for (CircuitId probe = 1; probe <= 64; ++probe) {
+          if (m.count(probe) == 0) {
+            EXPECT_FALSE(t.hasRecord(node, probe));
+            EXPECT_EQ(t.stateOf(node, probe), goodModel[ni]);
+          }
+        }
+      }
+      EXPECT_EQ(t.totalRecords(), total);
+    }
+  }
+  // The arena recycles blocks: after 20k ops over 8 nodes it must stay far
+  // below one-slot-per-operation growth.
+  EXPECT_LT(t.arenaSize(), 4096u);
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// BENCH_*.json schema: writer/parser round trip, file naming, and rejection
+// of malformed or version-mismatched documents.
+#include "perf/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fmossim::perf {
+namespace {
+
+ScenarioResult sample() {
+  ScenarioResult r;
+  r.scenario = "fuzz_small";
+  r.description = "generated \"quoted\" workload\nwith a newline";
+  r.transistors = 123;
+  r.nodes = 45;
+  r.faults = 32;
+  r.patterns = 16;
+  BenchRow row;
+  row.backend = "sharded-4";
+  row.jobs = 4;
+  row.policy = "definite";
+  row.dropDetected = false;
+  row.medianMs = 12.34375;
+  row.stddevMs = 0.5;
+  row.reps = 5;
+  row.checksum = 0xdeadbeefcafef00dULL;  // needs full 64-bit round trip
+  row.nodeEvals = 987654321;
+  row.numDetected = 30;
+  row.numFaults = 32;
+  r.rows.push_back(row);
+  row.backend = "serial";
+  row.jobs = 1;
+  row.checksum = 0x1;
+  r.rows.push_back(row);
+  return r;
+}
+
+TEST(BenchJsonTest, RoundTripPreservesEveryField) {
+  const ScenarioResult r = sample();
+  const ScenarioResult back = parseBenchJson(toJson(r));
+  EXPECT_EQ(back.schemaVersion, 1);
+  EXPECT_EQ(back.scenario, r.scenario);
+  EXPECT_EQ(back.description, r.description);
+  EXPECT_EQ(back.transistors, r.transistors);
+  EXPECT_EQ(back.nodes, r.nodes);
+  EXPECT_EQ(back.faults, r.faults);
+  EXPECT_EQ(back.patterns, r.patterns);
+  ASSERT_EQ(back.rows.size(), r.rows.size());
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    EXPECT_EQ(back.rows[i].backend, r.rows[i].backend);
+    EXPECT_EQ(back.rows[i].jobs, r.rows[i].jobs);
+    EXPECT_EQ(back.rows[i].policy, r.rows[i].policy);
+    EXPECT_EQ(back.rows[i].dropDetected, r.rows[i].dropDetected);
+    EXPECT_DOUBLE_EQ(back.rows[i].medianMs, r.rows[i].medianMs);
+    EXPECT_DOUBLE_EQ(back.rows[i].stddevMs, r.rows[i].stddevMs);
+    EXPECT_EQ(back.rows[i].reps, r.rows[i].reps);
+    EXPECT_EQ(back.rows[i].checksum, r.rows[i].checksum);
+    EXPECT_EQ(back.rows[i].nodeEvals, r.rows[i].nodeEvals);
+    EXPECT_EQ(back.rows[i].numDetected, r.rows[i].numDetected);
+    EXPECT_EQ(back.rows[i].numFaults, r.rows[i].numFaults);
+  }
+}
+
+TEST(BenchJsonTest, ChecksumSerializesAsHexString) {
+  const std::string json = toJson(sample());
+  EXPECT_NE(json.find("\"checksum\": \"0xdeadbeefcafef00d\""),
+            std::string::npos);
+}
+
+TEST(BenchJsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(parseBenchJson(""), Error);
+  EXPECT_THROW(parseBenchJson("{"), Error);
+  EXPECT_THROW(parseBenchJson("{\"schemaVersion\": 1}{}"), Error);  // trailing
+  EXPECT_THROW(parseBenchJson("{\"unknownKey\": 1}"), Error);
+  // Version mismatch must be an error, not a silent misread.
+  std::string v2 = toJson(sample());
+  const auto pos = v2.find("\"schemaVersion\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  v2.replace(pos, 18, "\"schemaVersion\": 2");
+  EXPECT_THROW(parseBenchJson(v2), Error);
+  // Checksum must be a hex string.
+  EXPECT_THROW(
+      parseBenchJson("{\"schemaVersion\": 1, \"scenario\": \"x\", "
+                     "\"description\": \"\", \"rows\": [{\"backend\": \"s\", "
+                     "\"checksum\": \"nothex\"}]}"),
+      Error);
+}
+
+TEST(BenchJsonTest, FileNamingAndWrite) {
+  EXPECT_EQ(benchFileName("ram64_seq1"), "BENCH_ram64_seq1.json");
+  const ScenarioResult r = sample();
+  const std::string path = writeBenchFile(r, testing::TempDir());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), toJson(r));
+  const ScenarioResult back = parseBenchJson(buf.str());
+  EXPECT_EQ(back.scenario, r.scenario);
+  std::remove(path.c_str());
+  EXPECT_THROW(writeBenchFile(r, "/no/such/dir"), Error);
+}
+
+}  // namespace
+}  // namespace fmossim::perf
