@@ -20,7 +20,9 @@
 // The bench subcommand runs the reproducible performance harness
 // (src/perf/): the named scenario matrix of docs/BENCHMARKING.md with
 // warmup + repetition, writing schema-versioned BENCH_<scenario>.json files
-// with --json. Unknown subcommands are an error (exit 2).
+// with --json, and gating fresh results against checked-in baselines with
+// --check (the CI perf-regression gate; see docs/BENCHMARKING.md). Unknown
+// subcommands are an error (exit 2).
 //
 // Defaults: --backend concurrent, --jobs 1, --policy definite (a tester
 // cannot distinguish an X from a driven value; pass --policy any for the
@@ -46,6 +48,7 @@
 #include "netlist/gate_expand.hpp"
 #include "netlist/sim_format.hpp"
 #include "patterns/sequence_io.hpp"
+#include "perf/bench_check.hpp"
 #include "perf/bench_json.hpp"
 #include "perf/bench_runner.hpp"
 #include "stats/recorder.hpp"
@@ -60,8 +63,10 @@ void printUsage(std::FILE* to, const char* argv0) {
                "usage: %s (--sim FILE | --bench FILE | --demo) --seq FILE "
                "--faults FILE\n"
                "          [--backend serial|concurrent (default: concurrent)]\n"
-               "          [--jobs N        parallel fault shards (concurrent "
+               "          [--jobs N        parallel workers (concurrent "
                "backend only)]\n"
+               "          [--batch-faults N  sharded fault-batch size "
+               "(default: auto)]\n"
                "          [--policy any|definite (default: definite)]\n"
                "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n"
                "       %s fuzz --seeds N    differential fuzzing campaign "
@@ -252,6 +257,15 @@ int benchUsage(std::FILE* to, const char* argv0) {
       "                [--reps N        measured repetitions (default 5)]\n"
       "                [--warmup N      unmeasured warmup runs (default 1)]\n"
       "                [--smoke         1 rep, no warmup (CI harness check)]\n"
+      "                [--check         gate fresh results against baseline\n"
+      "                                 BENCH_*.json files (exit 1 on any\n"
+      "                                 checksum/nodeEvals drift or wall-clock\n"
+      "                                 regression beyond --tolerance)]\n"
+      "                [--baseline DIR  baseline directory for --check\n"
+      "                                 (default: .)]\n"
+      "                [--tolerance P   wall-clock regression tolerance in\n"
+      "                                 percent (default 15; raise on noisy\n"
+      "                                 runners — exact checks stay strict)]\n"
       "                [--list          list scenarios and exit]\n"
       "                [--quiet]\n"
       "Rows with equal policy/drop settings must produce equal result\n"
@@ -262,8 +276,9 @@ int benchUsage(std::FILE* to, const char* argv0) {
 
 int runBench(int argc, char** argv) {
   perf::BenchConfig config;
+  perf::CheckOptions checkOpts;
   std::string outDir = ".";
-  bool json = false, list = false, quiet = false;
+  bool json = false, list = false, quiet = false, check = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -291,6 +306,18 @@ int runBench(int argc, char** argv) {
     else if (arg == "--reps") config.reps = nextUint();
     else if (arg == "--warmup") config.warmup = nextUint();
     else if (arg == "--smoke") config.smoke = true;
+    else if (arg == "--check") check = true;
+    else if (arg == "--baseline") checkOpts.baselineDir = next();
+    else if (arg == "--tolerance") {
+      const char* text = next();
+      char* end = nullptr;
+      const double v = std::strtod(text, &end);
+      if (end == text || *end != '\0' || v < 0.0) {
+        std::fprintf(stderr, "invalid tolerance '%s'\n", text);
+        return 2;
+      }
+      checkOpts.tolerancePct = v;
+    }
     else if (arg == "--list") list = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help") return benchUsage(stdout, argv[0]);
@@ -358,6 +385,32 @@ int runBench(int argc, char** argv) {
     std::fprintf(stderr, "bench: cross-backend results NOT bit-identical\n");
     return 1;
   }
+  if (check) {
+    // An unfiltered run covers the whole registry, so every baseline file
+    // must correspond to a live scenario (stale files fail the gate).
+    checkOpts.expectComplete = config.only.empty();
+    const perf::CheckReport report =
+        perf::checkAgainstBaselines(results, checkOpts);
+    for (const perf::CheckIssue& issue : report.issues) {
+      const std::string where =
+          issue.row.empty() ? issue.scenario
+                            : issue.scenario + " [" + issue.row + "]";
+      std::fprintf(stderr, "bench --check: %s: %s\n", where.c_str(),
+                   issue.detail.c_str());
+    }
+    if (!report.ok()) {
+      std::fprintf(stderr,
+                   "bench --check: FAILED against baselines in '%s' "
+                   "(%zu issue(s), %u row(s) checked, tolerance %.0f%%)\n",
+                   checkOpts.baselineDir.c_str(), report.issues.size(),
+                   report.rowsChecked, checkOpts.tolerancePct);
+      return 1;
+    }
+    std::printf("bench --check: OK — %u row(s) within %.0f%% of baselines "
+                "in '%s', checksums and work counters exact\n",
+                report.rowsChecked, checkOpts.tolerancePct,
+                checkOpts.baselineDir.c_str());
+  }
   return 0;
 }
 
@@ -422,6 +475,10 @@ int main(int argc, char** argv) {
       const int n = std::atoi(next());
       if (n < 1) return usage(argv[0]);
       opts.jobs = static_cast<unsigned>(n);
+    } else if (arg == "--batch-faults") {
+      const int n = std::atoi(next());
+      if (n < 1) return usage(argv[0]);
+      opts.batchFaults = static_cast<std::uint32_t>(n);
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "any") opts.policy = DetectionPolicy::AnyDifference;

@@ -27,7 +27,8 @@ std::unique_ptr<FaultSimulator> Engine::makeBackend() const {
       fopts.debugLoseTriggerEvery = options_.debugLoseTriggerEvery;
       if (options_.jobs > 1 && faults_.size() > 1) {
         return std::make_unique<ShardedRunner>(net_, faults_, fopts,
-                                               options_.jobs);
+                                               options_.jobs,
+                                               options_.batchFaults);
       }
       return std::make_unique<ConcurrentBackend>(net_, faults_, fopts);
     }

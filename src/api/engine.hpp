@@ -43,10 +43,17 @@ struct EngineOptions {
   /// Drop faulty circuits once detected (concurrent backends only; the
   /// serial backend always stops a fault's replay at first detection).
   bool dropDetected = true;
-  /// Number of parallel shards for the concurrent backend. jobs > 1
-  /// partitions the fault list and runs one engine per shard on its own
-  /// thread; detections are deterministic and identical to jobs = 1.
+  /// Number of parallel workers for the concurrent backend. jobs > 1 records
+  /// a good-machine checkpoint once, cuts the fault list into batches and
+  /// runs one checkpoint-replaying engine per batch, work-stealing style;
+  /// results are deterministic and bit-identical to jobs = 1.
   unsigned jobs = 1;
+  /// Fault-batch size for the sharded scheduler (jobs > 1 only): 0 selects
+  /// the auto schedule (~4 batches per worker, floored at 32 faults), any
+  /// other value fixed-size batches of that many faults. Any setting
+  /// produces identical results; the knob trades scheduling granularity
+  /// against per-batch replay overhead.
+  std::uint32_t batchFaults = 0;
   /// Forwarded to FsimOptions::debugLoseTriggerEvery (concurrent backends
   /// only): the differential-fuzzing oracle's self-test bug injector. 0 = off.
   std::uint32_t debugLoseTriggerEvery = 0;

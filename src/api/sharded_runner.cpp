@@ -1,6 +1,7 @@
 #include "api/sharded_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <thread>
 
@@ -9,8 +10,12 @@
 namespace fmossim {
 
 ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
-                             FsimOptions options, unsigned jobs)
-    : net_(net), faults_(std::move(faults)), options_(options) {
+                             FsimOptions options, unsigned jobs,
+                             std::uint32_t batchFaults)
+    : net_(net),
+      faults_(std::move(faults)),
+      options_(options),
+      batchFaults_(batchFaults) {
   jobs_ = std::max(1u, std::min(jobs, std::max(1u, faults_.size())));
 }
 
@@ -28,10 +33,37 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::partition(
   return slices;
 }
 
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::makeBatches(
+    std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> batches;
+  if (numFaults == 0) return batches;
+  jobs = std::max(1u, jobs);
+  // Auto schedule: ~4 batches per worker, floored at 32 faults so the
+  // per-batch checkpoint-replay overhead stays amortized. Per-fault cost is
+  // wildly non-uniform under dropping (a batch whose faults all drop early
+  // exits almost immediately; one undetected fault keeps its batch running
+  // the whole sequence), so the queue needs several times more batches than
+  // workers for stealing to level the load — measured on RAM256, this
+  // schedule more than halves the critical path vs. one-slice-per-worker at
+  // a few percent of added total work.
+  const std::uint32_t size =
+      batchFaults > 0
+          ? batchFaults
+          : std::max<std::uint32_t>(32,
+                                    (numFaults + 4 * jobs - 1) / (4 * jobs));
+  std::uint32_t begin = 0;
+  while (begin < numFaults) {
+    const std::uint32_t end = std::min(numFaults, begin + size);
+    batches.emplace_back(begin, end);
+    begin = end;
+  }
+  return batches;
+}
+
 FaultSimResult mergeShardResults(
     const std::vector<FaultSimResult>& shardResults,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
-    std::uint32_t numPatterns) {
+    std::uint32_t numPatterns, const GoodMachineCheckpoint* good) {
   FaultSimResult merged;
   std::uint32_t numFaults = 0;
   for (const auto& [begin, end] : slices) numFaults += end - begin;
@@ -52,8 +84,9 @@ FaultSimResult mergeShardResults(
     }
     merged.numDetected += r.numDetected;
     merged.potentialDetections += r.potentialDetections;
-    // Every shard simulates the same good circuit; keep the first one's
-    // final states (the differential oracle cross-checks them per backend).
+    // Without a checkpoint every shard simulates the same good circuit; keep
+    // the first one's final states (the differential oracle cross-checks
+    // them per backend).
     if (merged.finalGoodStates.empty()) {
       merged.finalGoodStates = r.finalGoodStates;
     }
@@ -70,6 +103,18 @@ FaultSimResult mergeShardResults(
       row.aliveAfter += src.aliveAfter;
     }
   }
+  if (good != nullptr) {
+    // Checkpoint-replaying shards do no good-machine solver work; add the
+    // recorded good machine's logical evaluations exactly once so the merged
+    // work counter equals an unsharded run's.
+    merged.finalGoodStates = good->finalGoodStates();
+    merged.totalNodeEvals += good->totalGoodEvals();
+    const auto& goodEvals = good->perPatternGoodEvals();
+    for (std::uint32_t pi = 0; pi < numPatterns && pi < goodEvals.size();
+         ++pi) {
+      merged.perPattern[pi].nodeEvals += goodEvals[pi];
+    }
+  }
   std::uint32_t cumulative = 0;
   for (PatternStat& row : merged.perPattern) {
     cumulative += row.newlyDetected;
@@ -78,34 +123,68 @@ FaultSimResult mergeShardResults(
   return merged;
 }
 
+void ShardedRunner::ensureCheckpoint(const TestSequence& seq) {
+  const std::uint64_t fp = GoodMachineCheckpoint::fingerprint(seq);
+  if (checkpoint_ != nullptr && checkpoint_->seqFingerprint() == fp) return;
+  checkpoint_ = std::make_unique<GoodMachineCheckpoint>(
+      GoodMachineCheckpoint::record(net_, seq, options_));
+}
+
 FaultSimResult ShardedRunner::run(const TestSequence& seq,
                                   const PatternCallback& onPattern) {
-  const auto slices = partition(faults_.size(), jobs_);
-
   Timer total;
-  std::vector<FaultSimResult> shardResults(slices.size());
-  std::vector<std::exception_ptr> errors(slices.size());
-  std::vector<std::thread> threads;
-  threads.reserve(slices.size());
-  for (std::size_t s = 0; s < slices.size(); ++s) {
-    threads.emplace_back([&, s] {
-      try {
-        const auto [begin, end] = slices[s];
-        FaultList shard(std::vector<Fault>(faults_.all().begin() + begin,
-                                           faults_.all().begin() + end));
-        ConcurrentFaultSimulator sim(net_, shard, options_);
-        shardResults[s] = sim.run(seq);
-      } catch (...) {
-        errors[s] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  ensureCheckpoint(seq);
+  // More threads than cores only adds contention (the batch queue already
+  // decouples batch count from worker count), so the effective worker count
+  // is capped at the hardware's concurrency — and the batch schedule is
+  // sized for the workers that will actually run, so a 1-core machine does
+  // not pay 4 cores' worth of per-batch replay overhead. Results are
+  // identical for any worker and batch count.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned effective = std::min(jobs_, hw);
+  const auto batches = makeBatches(faults_.size(), effective, batchFaults_);
+
+  std::vector<FaultSimResult> batchResults(batches.size());
+  std::atomic<std::uint32_t> nextBatch{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::uint32_t b =
+          nextBatch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= batches.size()) return;
+      const auto [begin, end] = batches[b];
+      FaultList batch(std::vector<Fault>(faults_.all().begin() + begin,
+                                         faults_.all().begin() + end));
+      ConcurrentFaultSimulator sim(net_, batch, options_, nullptr,
+                                   checkpoint_.get());
+      batchResults[b] = sim.run(seq);
+    }
+  };
+
+  const unsigned workers = std::min<std::size_t>(
+      effective, std::max<std::size_t>(1, batches.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          worker();
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
   }
 
-  FaultSimResult merged = mergeShardResults(shardResults, slices, seq.size());
+  FaultSimResult merged =
+      mergeShardResults(batchResults, batches, seq.size(), checkpoint_.get());
   merged.totalSeconds = total.seconds();
   if (onPattern) {
     for (const PatternStat& st : merged.perPattern) onPattern(st);

@@ -1,36 +1,62 @@
 /// \file
-/// Sharded parallel fault simulation.
+/// Sharded parallel fault simulation with good-machine checkpoint reuse and
+/// a work-stealing fault-batch scheduler.
 ///
 /// The concurrent engine simulates faulty circuits purely by difference from
 /// the good circuit; faulty circuits never interact with each other. The
-/// fault universe can therefore be partitioned into K shards simulated fully
-/// independently — the scaling lever ERASER and the batch-IVerilog work
-/// apply to fault simulation (see PAPERS.md) — at the cost of re-simulating
-/// the good circuit once per shard.
+/// fault universe can therefore be partitioned and simulated in parallel —
+/// the scaling lever ERASER and the batch-IVerilog work apply to fault
+/// simulation (see PAPERS.md). Two things make the partition scale for real:
 ///
-/// Determinism: shards are contiguous slices of the fault list, each shard
-/// runs an ordinary ConcurrentFaultSimulator on its own std::thread, and the
-/// merge re-indexes detections back to the global fault order. Because fault
-/// circuits are independent in the core engine, a sharded run's
-/// detectedAtPattern is bit-identical to an unsharded run's for every jobs
-/// count; per-pattern cost rows are summed across shards.
+///   * **Checkpointed good-machine reuse.** The fault-free circuit is
+///     simulated once per (network, sequence) into a GoodMachineCheckpoint
+///     (src/core/checkpoint.hpp); every batch replays the recorded trace
+///     instead of re-simulating the good machine, so adding workers adds
+///     faulty-circuit work only. The checkpoint is cached across run()
+///     calls (keyed on the sequence fingerprint) and discarded by reset().
+///
+///   * **Work stealing over fault batches.** Instead of one static slice
+///     per worker, the fault list is cut into several contiguous batches
+///     per worker and workers claim batches from a shared atomic queue.
+///     Fault dropping makes per-fault cost wildly non-uniform — a batch
+///     whose faults all drop early exits its replay early, while one
+///     undetected fault keeps its batch alive for the whole sequence — so
+///     late workers steal the remaining batches instead of idling behind a
+///     static slice.
+///
+/// Determinism: the batch list is a pure function of (numFaults, jobs,
+/// batchFaults) — workers race only for *which* batch they claim, never for
+/// batch boundaries — and the merge re-indexes detections back to the global
+/// fault order. A sharded run's result is bit-identical to an unsharded
+/// run's for every jobs and batch-size choice; per-pattern cost rows are
+/// summed across batches, and the checkpoint's good-machine work is added
+/// once so the merged deterministic work counter equals a jobs=1 run's
+/// exactly.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "api/fault_simulator.hpp"
+#include "core/checkpoint.hpp"
 
 namespace fmossim {
 
-/// FaultSimulator that runs one concurrent engine per fault shard on its own
-/// thread and deterministically merges the shard results.
+/// FaultSimulator that replays a shared good-machine checkpoint in one
+/// concurrent engine per fault batch, scheduled work-stealing style across
+/// `jobs` threads, and deterministically merges the batch results.
 class ShardedRunner : public FaultSimulator {
  public:
-  /// `jobs` is clamped to [1, faults.size()] (a shard per fault at most).
+  /// `jobs` is clamped to [1, faults.size()] (a worker per fault at most);
+  /// at run time the thread count is additionally capped at the hardware
+  /// concurrency (the batch queue decouples batch count from worker count).
+  /// `batchFaults` sets the fault-batch size: 0 selects the auto schedule
+  /// (see makeBatches), any other value fixed-size batches of that many
+  /// faults.
   ShardedRunner(const Network& net, FaultList faults, FsimOptions options,
-                unsigned jobs);
+                unsigned jobs, std::uint32_t batchFaults = 0);
 
   /// Always "sharded".
   const char* backendName() const override { return "sharded"; }
@@ -38,37 +64,67 @@ class ShardedRunner : public FaultSimulator {
   const Network& network() const override { return net_; }
   /// The injected fault list (global order).
   const FaultList& faults() const override { return faults_; }
-  /// Effective shard count after clamping.
+  /// Effective worker count after clamping.
   unsigned jobs() const { return jobs_; }
+  /// The configured batch-size knob (0 = guided schedule).
+  std::uint32_t batchFaults() const { return batchFaults_; }
 
-  /// Runs every shard on its own thread and merges:
+  /// The cached good-machine checkpoint, or nullptr before the first run()
+  /// (diagnostics and tests).
+  const GoodMachineCheckpoint* checkpoint() const { return checkpoint_.get(); }
+
+  /// Runs every fault batch through a checkpoint-replaying concurrent engine
+  /// (workers steal batches from a shared queue) and merges:
   ///   * detectedAtPattern re-indexed to the global fault order,
   ///   * PatternStat rows summed per pattern (cumulative recomputed),
-  ///   * aliveAfter/potentialDetections/nodeEvals aggregated,
-  ///   * totalSeconds = wall clock of the whole sharded run.
+  ///   * the checkpoint's good-machine node evaluations added once, making
+  ///     totalNodeEvals equal to an unsharded run's,
+  ///   * totalSeconds = wall clock of the whole sharded run (including
+  ///     checkpoint recording when this call had to record one).
   /// `onPattern` fires after the merge, once per pattern in order.
   FaultSimResult run(const TestSequence& seq,
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
 
+  /// Discards the cached checkpoint (fresh-session semantics).
+  void reset() override { checkpoint_.reset(); }
+
   /// Contiguous near-equal partition of [0, numFaults) into `jobs` slices;
   /// shard s covers [result[s].first, result[s].second). Deterministic.
+  /// (The legacy static partition; run() schedules makeBatches instead.)
   static std::vector<std::pair<std::uint32_t, std::uint32_t>> partition(
       std::uint32_t numFaults, unsigned jobs);
 
+  /// The work-stealing batch schedule: contiguous, ascending, covering
+  /// [0, numFaults). batchFaults > 0 yields fixed-size batches; 0 (auto)
+  /// yields ~4 batches per worker, floored at 32 faults so per-batch
+  /// checkpoint-replay overhead stays amortized. Deterministic — workers
+  /// only race for batch *claims*, never for boundaries.
+  static std::vector<std::pair<std::uint32_t, std::uint32_t>> makeBatches(
+      std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults);
+
  private:
+  /// Records the checkpoint for `seq`, or reuses the cached one when the
+  /// sequence fingerprint matches.
+  void ensureCheckpoint(const TestSequence& seq);
+
   const Network& net_;
   FaultList faults_;
   FsimOptions options_;
   unsigned jobs_;
+  std::uint32_t batchFaults_;
+  std::unique_ptr<GoodMachineCheckpoint> checkpoint_;
 };
 
-/// Merges per-shard results (in shard order, shard s covering global fault
-/// indices [slices[s].first, slices[s].second)) into one FaultSimResult.
-/// Exposed for the merge-logic unit tests.
+/// Merges per-batch results (in batch order, batch b covering global fault
+/// indices [slices[b].first, slices[b].second)) into one FaultSimResult.
+/// When `good` is non-null its per-pattern good-machine evaluation counts
+/// are added once (the merged work counter then equals an unsharded run's)
+/// and its final good states are used verbatim. Exposed for the merge-logic
+/// unit tests.
 FaultSimResult mergeShardResults(
     const std::vector<FaultSimResult>& shardResults,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
-    std::uint32_t numPatterns);
+    std::uint32_t numPatterns, const GoodMachineCheckpoint* good = nullptr);
 
 }  // namespace fmossim

@@ -1,0 +1,134 @@
+#include "core/checkpoint.hpp"
+
+#include "core/concurrent_sim.hpp"
+
+namespace fmossim {
+
+namespace {
+
+inline void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t GoodMachineCheckpoint::fingerprint(const TestSequence& seq) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv(h, seq.size());
+  for (const Pattern& p : seq.patterns()) {
+    fnv(h, p.settings.size());
+    for (const InputSetting& s : p.settings) {
+      fnv(h, s.assignments.size());
+      for (const auto& [n, v] : s.assignments) {
+        fnv(h, (std::uint64_t(n.value) << 8) | std::uint64_t(v));
+      }
+    }
+  }
+  fnv(h, seq.outputs().size());
+  for (const NodeId out : seq.outputs()) fnv(h, out.value);
+  return h;
+}
+
+GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
+                                                    const TestSequence& seq,
+                                                    const FsimOptions& options) {
+  GoodMachineCheckpoint ck;
+  CheckpointRecorder rec(ck);
+  // A fault-free concurrent run *is* the good machine: every phase it
+  // executes is a good phase, in exactly the order and with exactly the
+  // coercion timing any engine simulating this sequence reproduces.
+  ConcurrentFaultSimulator sim(net, FaultList(), options, &rec);
+  ck.initialGoodStates_.reserve(net.numNodes());
+  for (std::uint32_t n = 0; n < net.numNodes(); ++n) {
+    ck.initialGoodStates_.push_back(sim.goodState(NodeId(n)));
+  }
+  const FaultSimResult res = sim.run(seq);
+  ck.finalGoodStates_ = res.finalGoodStates;
+  ck.perPatternGoodEvals_.reserve(res.perPattern.size());
+  for (const PatternStat& st : res.perPattern) {
+    ck.perPatternGoodEvals_.push_back(st.nodeEvals);
+  }
+  ck.totalGoodEvals_ = res.totalNodeEvals;
+  ck.recordSeconds_ = res.totalSeconds;
+  // Settle k >= 1 is the k-th input setting in run order; each pattern owns
+  // a contiguous run of settles.
+  ck.patternSettleEnd_.reserve(seq.size());
+  std::uint32_t settle = 1;
+  for (const Pattern& p : seq.patterns()) {
+    settle += static_cast<std::uint32_t>(p.settings.size());
+    ck.patternSettleEnd_.push_back(settle);
+  }
+  FMOSSIM_ASSERT(settle == ck.numSettles(),
+                 "checkpoint recording lost a settle block");
+  ck.seqFingerprint_ = fingerprint(seq);
+  return ck;
+}
+
+std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
+    std::uint32_t p) const {
+  FMOSSIM_ASSERT(p < patternSettleEnd_.size(),
+                 "goodStateAfterPattern: pattern index out of range");
+  std::vector<State> state = initialGoodStates_;
+  const std::uint32_t settleEnd = patternSettleEnd_[p];
+  for (std::uint32_t s = 1; s < settleEnd; ++s) {
+    const Settle& blk = settles_[s];
+    for (const Change& ch : inputChanges(blk)) {
+      state[ch.node.value] = ch.value;
+    }
+    for (std::uint32_t ph = 0; ph < blk.phaseCount; ++ph) {
+      for (const Change& ch : changes(phases_[blk.phaseOff + ph])) {
+        state[ch.node.value] = ch.value;
+      }
+    }
+  }
+  return state;
+}
+
+std::size_t GoodMachineCheckpoint::memoryBytes() const {
+  return settles_.capacity() * sizeof(Settle) +
+         phases_.capacity() * sizeof(Phase) +
+         vics_.capacity() * sizeof(VicinitySpan) +
+         members_.capacity() * sizeof(NodeId) +
+         changes_.capacity() * sizeof(Change) +
+         inputChanges_.capacity() * sizeof(Change) +
+         initialGoodStates_.capacity() * sizeof(State) +
+         finalGoodStates_.capacity() * sizeof(State) +
+         perPatternGoodEvals_.capacity() * sizeof(std::uint64_t) +
+         patternSettleEnd_.capacity() * sizeof(std::uint32_t);
+}
+
+void CheckpointRecorder::inputChange(NodeId n, State v) {
+  ck_.inputChanges_.push_back({n, v});
+}
+
+void CheckpointRecorder::beginSettle() {
+  const auto total = static_cast<std::uint32_t>(ck_.inputChanges_.size());
+  ck_.settles_.push_back({static_cast<std::uint32_t>(ck_.phases_.size()), 0,
+                          inputMark_, total - inputMark_});
+  inputMark_ = total;
+}
+
+void CheckpointRecorder::beginPhase() {
+  FMOSSIM_ASSERT(!ck_.settles_.empty(), "phase recorded before any settle");
+  ck_.phases_.push_back({static_cast<std::uint32_t>(ck_.vics_.size()), 0,
+                         static_cast<std::uint32_t>(ck_.changes_.size()), 0});
+  ++ck_.settles_.back().phaseCount;
+}
+
+void CheckpointRecorder::goodVicinity(const Vicinity& vic) {
+  ck_.vics_.push_back({static_cast<std::uint32_t>(ck_.members_.size()),
+                       static_cast<std::uint32_t>(vic.members.size())});
+  ck_.members_.insert(ck_.members_.end(), vic.members.begin(),
+                      vic.members.end());
+  ++ck_.phases_.back().vicCount;
+}
+
+void CheckpointRecorder::goodCommit(NodeId n, State v) {
+  ck_.changes_.push_back({n, v});
+  ++ck_.phases_.back().changeCount;
+}
+
+}  // namespace fmossim

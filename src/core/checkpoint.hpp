@@ -1,0 +1,205 @@
+// Good-machine checkpoints — simulate the fault-free circuit once, reuse it
+// everywhere (the parallel-path answer to the paper's central observation
+// that the good circuit's work should be shared, not repeated).
+//
+// The concurrent engine already shares the good machine across all faulty
+// circuits *within* one engine; a sharded run used to throw that away by
+// re-simulating the good circuit once per shard. A GoodMachineCheckpoint
+// captures one complete good-machine run of a test sequence as a compact
+// phase-by-phase trace:
+//
+//   * per unit-delay phase: the member lists of every vicinity the good
+//     circuit evaluated (what faulty-circuit trigger collection scans), and
+//     the committed state changes (node, new value) — coercion already
+//     applied, so replay is a pure data walk with no solver work;
+//   * per settle (one per input setting, plus the initial all-X settle):
+//     the span of phases it ran, so replay keeps the global phase counter —
+//     and therefore oscillation-coercion timing — bit-aligned with an
+//     unsharded run;
+//   * per pattern: the good machine's logical node-evaluation count (so a
+//     merged sharded result can report exactly the same deterministic work
+//     counter as a jobs=1 run) and the good state of every node.
+//
+// Per-pattern good states are not stored as full snapshots: the change trace
+// *is* the snapshot store, copy-on-write style — all patterns share the one
+// change arena and goodStateAfterPattern() materializes a snapshot by
+// folding the deltas up to that pattern's last settle. For the RAM256
+// workload the whole trace is a few MB; spill-to-disk for huge pattern sets
+// is a ROADMAP follow-on.
+//
+// A ConcurrentFaultSimulator constructed with a checkpoint replays the good
+// machine from the trace instead of simulating it: identical good states,
+// identical trigger stimuli, identical phase alignment, zero good-circuit
+// solver work. ShardedRunner records the checkpoint once per (network,
+// sequence) and hands it to every fault batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "patterns/pattern.hpp"
+#include "switch/network.hpp"
+#include "switch/vicinity.hpp"
+
+namespace fmossim {
+
+struct FsimOptions;
+
+/// One recorded good-machine run of a test sequence (see file comment).
+/// Immutable after record(); safe to share across concurrently replaying
+/// engines (all accessors are const).
+class GoodMachineCheckpoint {
+ public:
+  /// One committed good-circuit state change (post-coercion; the new value
+  /// always differs from the node's pre-phase state).
+  struct Change {
+    NodeId node;
+    State value;
+  };
+  /// Member span of one good vicinity evaluation (into the members arena) —
+  /// what faulty-circuit trigger collection scans during replay.
+  struct VicinitySpan {
+    std::uint32_t memberOff;
+    std::uint32_t memberCount;
+  };
+  /// One unit-delay phase of good-circuit activity.
+  struct Phase {
+    std::uint32_t vicOff, vicCount;        ///< span into the vicinity table
+    std::uint32_t changeOff, changeCount;  ///< span into the change arena
+  };
+  /// One settle (input setting application): its span of phases, plus the
+  /// input-node changes applied immediately before it (empty for settle 0).
+  /// Settle 0 is the initial all-X network evaluation; settle k >= 1 is the
+  /// k-th input setting of the sequence, in run order. Input changes bypass
+  /// the phase commit path in the engine, so snapshot folding needs them
+  /// recorded separately.
+  struct Settle {
+    std::uint32_t phaseOff, phaseCount;
+    std::uint32_t inputOff, inputCount;  ///< span into the input-change arena
+  };
+
+  /// Records the good machine of `net` over `seq`: runs a fault-free
+  /// concurrent simulation with `options` (detection knobs are irrelevant;
+  /// options.sim controls settle limits) and captures the trace.
+  /// Deterministic: identical inputs produce identical checkpoints.
+  static GoodMachineCheckpoint record(const Network& net,
+                                      const TestSequence& seq,
+                                      const FsimOptions& options);
+
+  /// Content fingerprint of a test sequence (FNV-1a over patterns, settings
+  /// and outputs). Replay asserts the sequence it runs matches the one
+  /// recorded; ShardedRunner keys its checkpoint cache on this.
+  static std::uint64_t fingerprint(const TestSequence& seq);
+
+  // --- replay accessors ------------------------------------------------------
+
+  /// Number of recorded settles (1 + total input settings of the sequence).
+  std::uint32_t numSettles() const {
+    return static_cast<std::uint32_t>(settles_.size());
+  }
+  /// The i-th settle's phase span.
+  const Settle& settle(std::uint32_t i) const { return settles_[i]; }
+  /// Phase by global index (settle.phaseOff + k).
+  const Phase& phase(std::uint32_t i) const { return phases_[i]; }
+  /// The vicinities the good circuit evaluated in a phase, in evaluation
+  /// order (replay must preserve it: faulty-circuit seed order depends on it).
+  std::span<const VicinitySpan> vicinities(const Phase& p) const {
+    return {vics_.data() + p.vicOff, p.vicCount};
+  }
+  /// Member nodes of one recorded vicinity.
+  std::span<const NodeId> members(const VicinitySpan& v) const {
+    return {members_.data() + v.memberOff, v.memberCount};
+  }
+  /// The state changes the good circuit committed in a phase.
+  std::span<const Change> changes(const Phase& p) const {
+    return {changes_.data() + p.changeOff, p.changeCount};
+  }
+  /// The input-node changes applied just before a settle.
+  std::span<const Change> inputChanges(const Settle& s) const {
+    return {inputChanges_.data() + s.inputOff, s.inputCount};
+  }
+
+  // --- whole-run data --------------------------------------------------------
+
+  /// Fingerprint of the recorded sequence (see fingerprint()).
+  std::uint64_t seqFingerprint() const { return seqFingerprint_; }
+  /// Number of nodes of the recorded network.
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(finalGoodStates_.size());
+  }
+  /// Number of patterns of the recorded sequence.
+  std::uint32_t numPatterns() const {
+    return static_cast<std::uint32_t>(perPatternGoodEvals_.size());
+  }
+  /// Good state of every node after the last pattern (what an early-exiting
+  /// replay reports as finalGoodStates).
+  const std::vector<State>& finalGoodStates() const { return finalGoodStates_; }
+  /// Good-machine logical node evaluations per pattern — the work a replay
+  /// avoids; merged into sharded results so their deterministic work counter
+  /// equals a jobs=1 run's exactly.
+  const std::vector<std::uint64_t>& perPatternGoodEvals() const {
+    return perPatternGoodEvals_;
+  }
+  /// Total good-machine node evaluations over the sequence (excluding the
+  /// initial settle, matching FaultSimResult::totalNodeEvals semantics).
+  std::uint64_t totalGoodEvals() const { return totalGoodEvals_; }
+  /// Wall-clock seconds the recording run took (diagnostics).
+  double recordSeconds() const { return recordSeconds_; }
+
+  /// Materializes the good state of every node after pattern `p` by folding
+  /// the change trace up to that pattern's last settle (the copy-on-write
+  /// read path; O(nodes + changes up to p)).
+  std::vector<State> goodStateAfterPattern(std::uint32_t p) const;
+
+  /// Approximate heap footprint of the trace in bytes (spill-to-disk
+  /// planning; see ROADMAP).
+  std::size_t memoryBytes() const;
+
+ private:
+  friend class CheckpointRecorder;
+
+  std::vector<Settle> settles_;
+  std::vector<Phase> phases_;
+  std::vector<VicinitySpan> vics_;
+  std::vector<NodeId> members_;
+  std::vector<Change> changes_;
+  std::vector<Change> inputChanges_;
+
+  std::vector<State> initialGoodStates_;  ///< after the initial all-X settle
+  std::vector<State> finalGoodStates_;
+  std::vector<std::uint64_t> perPatternGoodEvals_;
+  /// One past the last settle index of each pattern (snapshot folding).
+  std::vector<std::uint32_t> patternSettleEnd_;
+  std::uint64_t totalGoodEvals_ = 0;
+  std::uint64_t seqFingerprint_ = 0;
+  double recordSeconds_ = 0.0;
+};
+
+/// Recording sink the concurrent engine drives during a checkpoint-recording
+/// run. Appends to the checkpoint's flat arenas; one beginSettle() per
+/// settleAll(), one beginPhase() per unit-delay phase, then the phase's good
+/// vicinities and commits in engine order.
+class CheckpointRecorder {
+ public:
+  /// Records into `into` (must outlive the recorder).
+  explicit CheckpointRecorder(GoodMachineCheckpoint& into) : ck_(into) {}
+
+  /// Records one input-node assignment (old != new); attached to the settle
+  /// the engine runs next.
+  void inputChange(NodeId n, State v);
+  /// Opens the next settle block.
+  void beginSettle();
+  /// Opens the next phase of the current settle.
+  void beginPhase();
+  /// Records one good-vicinity evaluation (member list only).
+  void goodVicinity(const Vicinity& vic);
+  /// Records one committed good-circuit change (post-coercion, old != new).
+  void goodCommit(NodeId n, State v);
+
+ private:
+  GoodMachineCheckpoint& ck_;
+  std::uint32_t inputMark_ = 0;  ///< input changes already owned by a settle
+};
+
+}  // namespace fmossim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.hpp"
+
 namespace fmossim {
 
 /// CircuitView over the good circuit's flat state.
@@ -57,12 +59,14 @@ State ConcurrentFaultSimulator::conductionIn(TransId t, CircuitId c) const {
   return conductionState(tr.type, stateIn(tr.gate, c));
 }
 
-ConcurrentFaultSimulator::ConcurrentFaultSimulator(const Network& net,
-                                                   const FaultList& faults,
-                                                   FsimOptions options)
+ConcurrentFaultSimulator::ConcurrentFaultSimulator(
+    const Network& net, const FaultList& faults, FsimOptions options,
+    CheckpointRecorder* record, const GoodMachineCheckpoint* replay)
     : net_(net),
       faults_(faults),
       options_(options),
+      record_(record),
+      replay_(replay),
       table_(net),
       cond0_(net.numTransistors(), State::SX),
       nodeStuck_(net.numNodes()),
@@ -82,15 +86,24 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(const Network& net,
       vicBuilder_(net),
       solver_(net.domain()),
       triggerStamp_(faults.size() + 1, 0) {
+  FMOSSIM_ASSERT(record_ == nullptr || replay_ == nullptr,
+                 "an engine cannot record and replay a checkpoint at once");
+  FMOSSIM_ASSERT(record_ == nullptr || faults_.empty(),
+                 "checkpoint recording requires a fault-free engine");
+  FMOSSIM_ASSERT(replay_ == nullptr || replay_->numNodes() == net_.numNodes(),
+                 "checkpoint was recorded for a different network");
   for (std::uint32_t t = 0; t < net_.numTransistors(); ++t) {
     const auto& tr = net_.transistor(TransId(t));
     cond0_[t] = tr.isFaultDevice()
                     ? *tr.goodConduction
                     : conductionState(tr.type, table_.good(tr.gate));
   }
-  // Initial good-circuit evaluation of the whole (all-X) network.
-  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
-    scheduleGood(NodeId(n));
+  // Initial good-circuit evaluation of the whole (all-X) network. In replay
+  // mode the checkpoint's settle block 0 stands in for it.
+  if (replay_ == nullptr) {
+    for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+      scheduleGood(NodeId(n));
+    }
   }
   inject();
   settleAll();
@@ -130,6 +143,7 @@ void ConcurrentFaultSimulator::inject() {
 }
 
 void ConcurrentFaultSimulator::scheduleGood(NodeId n) {
+  if (replay_ != nullptr) return;  // the checkpoint drives all good activity
   if (net_.isInput(n)) return;
   if (goodSeedStamp_[n.value] == seedGen_) return;
   goodSeedStamp_[n.value] = seedGen_;
@@ -156,6 +170,7 @@ SettleResult ConcurrentFaultSimulator::applySetting(
     }
     const State old = table_.good(n);
     if (old == s) continue;
+    if (record_ != nullptr) record_->inputChange(n, s);
     table_.setGood(n, s);
     scheduleSettingSeeds(n, old);
   }
@@ -206,11 +221,14 @@ void ConcurrentFaultSimulator::scheduleSettingSeeds(NodeId n, State /*oldGood*/)
 }
 
 SettleResult ConcurrentFaultSimulator::settleAll() {
+  if (record_ != nullptr) record_->beginSettle();
+  if (replay_ != nullptr) replayBeginSettle();
   SettleResult res;
   bool coerce = false;
   const std::uint32_t hardLimit =
       options_.sim.settleLimit + 8 * net_.numNodes() + 4096;
-  while (!goodSeeds_.empty() || !activeCircuits_.empty()) {
+  while (!goodSeeds_.empty() || !activeCircuits_.empty() ||
+         replayPhasesRemain()) {
     FMOSSIM_ASSERT(res.phases < hardLimit,
                    "concurrent settle failed to terminate under X-coercion");
     if (res.phases >= options_.sim.settleLimit && !coerce) {
@@ -239,7 +257,12 @@ void ConcurrentFaultSimulator::runPhase(bool coerce) {
   }
   ++seedGen_;  // scheduling from here on targets the next phase
 
-  processGoodPhase(coerce);
+  if (record_ != nullptr) record_->beginPhase();
+  if (replay_ != nullptr) {
+    replayGoodPhase();
+  } else {
+    processGoodPhase(coerce);
+  }
 
   // The paper simulates "the activities for each faulty circuit in turn";
   // circuits are independent within a phase, so queue order is fine.
@@ -268,13 +291,15 @@ void ConcurrentFaultSimulator::processGoodPhase(bool coerce) {
     }
     // Triggering is stimulus-based: even an unchanged vicinity may respond
     // differently in a diverging faulty circuit.
-    collectTriggers(vic_);
+    collectTriggers(vic_.members);
+    if (record_ != nullptr) record_->goodVicinity(vic_);
   }
   // Commit (two-buffered: all vicinities were solved against pre-phase state).
   for (auto [n, v] : goodChanges_) {
     if (coerce) v = State::SX;
     const State old = table_.good(n);
     if (old == v) continue;
+    if (record_ != nullptr) record_->goodCommit(n, v);
     if (goodOldStamp_[n.value] != phaseEpoch_) {
       goodOldStamp_[n.value] = phaseEpoch_;
       goodOldValue_[n.value] = old;
@@ -293,7 +318,8 @@ void ConcurrentFaultSimulator::processGoodPhase(bool coerce) {
   }
 }
 
-void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
+void ConcurrentFaultSimulator::collectTriggers(
+    std::span<const NodeId> members) {
   if (aliveCount_ == 0) return;  // nothing left to trigger
   ++triggerGen_;
   triggerScratch_.clear();
@@ -303,7 +329,7 @@ void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
     triggerStamp_[c] = triggerGen_;
     triggerScratch_.push_back(c);
   };
-  for (const NodeId n : vic.members) {
+  for (const NodeId n : members) {
     // No divergence source lands on this member: nothing below can mark.
     if (watchCount_[n.value] == 0) continue;
     for (const StateRecord& r : table_.records(n)) mark(r.circuit);
@@ -335,10 +361,58 @@ void ConcurrentFaultSimulator::collectTriggers(const Vicinity& vic) {
       curCircuits_.push_back(c);
     }
     auto& seeds = curFaultySeeds_[c];
-    seeds.insert(seeds.end(), vic.members.begin(), vic.members.end());
-    triggeredEvents_ += vic.members.size();
+    seeds.insert(seeds.end(), members.begin(), members.end());
+    triggeredEvents_ += members.size();
   }
 }
+
+// --- checkpoint replay (see checkpoint.hpp) --------------------------------
+
+bool ConcurrentFaultSimulator::replayPhasesRemain() const {
+  if (replay_ == nullptr) return false;
+  const auto& blk = replay_->settle(replaySettle_ - 1);
+  return replayPhase_ < blk.phaseCount;
+}
+
+void ConcurrentFaultSimulator::replayBeginSettle() {
+  FMOSSIM_ASSERT(replaySettle_ < replay_->numSettles(),
+                 "replay ran more settles than the checkpoint recorded");
+  ++replaySettle_;
+  replayPhase_ = 0;
+}
+
+void ConcurrentFaultSimulator::replayGoodPhase() {
+  const auto& blk = replay_->settle(replaySettle_ - 1);
+  if (replayPhase_ >= blk.phaseCount) return;  // good machine already quiet
+  const auto& ph = replay_->phase(blk.phaseOff + replayPhase_++);
+  // Trigger stimuli first, in recorded evaluation order: faulty-circuit seed
+  // order (and therefore vicinity growth order) must match a
+  // self-simulating engine's exactly.
+  if (aliveCount_ != 0) {
+    for (const auto& vs : replay_->vicinities(ph)) {
+      collectTriggers(replay_->members(vs));
+    }
+  }
+  // Then the commits. Recorded changes are post-coercion and always differ
+  // from the node's pre-phase value, so they apply verbatim; conduction
+  // states are pure functions of the gate state and are recomputed rather
+  // than stored. No good events are scheduled — the next recorded phase
+  // already embodies them.
+  for (const auto& ch : replay_->changes(ph)) {
+    const NodeId n = ch.node;
+    if (goodOldStamp_[n.value] != phaseEpoch_) {
+      goodOldStamp_[n.value] = phaseEpoch_;
+      goodOldValue_[n.value] = table_.good(n);
+    }
+    table_.setGood(n, ch.value);
+    for (const TransId t : net_.node(n).gateOf) {
+      const auto& tr = net_.transistor(t);
+      if (tr.isFaultDevice()) continue;
+      cond0_[t.value] = conductionState(tr.type, ch.value);
+    }
+  }
+}
+
 
 void ConcurrentFaultSimulator::processFaultyCircuit(CircuitId c, bool coerce) {
   const FaultyCircuitView view{this, c};
@@ -641,6 +715,11 @@ FaultSimResult ConcurrentFaultSimulator::run(
     const std::function<void(const PatternStat&)>& onPattern) {
   FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
   ran_ = true;
+  if (replay_ != nullptr) {
+    FMOSSIM_ASSERT(
+        replay_->seqFingerprint() == GoodMachineCheckpoint::fingerprint(seq),
+        "checkpoint was recorded for a different test sequence");
+  }
   FaultSimResult res;
   res.numFaults = faults_.size();
   res.perPattern.reserve(seq.size());
@@ -648,6 +727,7 @@ FaultSimResult ConcurrentFaultSimulator::run(
   Timer total;
   const std::uint64_t evalsAtStart = nodeEvals();
   std::uint32_t cumulative = 0;
+  bool earlyExit = false;
 
   for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
     Timer patternTimer;
@@ -667,14 +747,38 @@ FaultSimResult ConcurrentFaultSimulator::run(
     st.aliveAfter = aliveCount_;
     res.perPattern.push_back(st);
     if (onPattern) onPattern(st);
+
+    // Replay-mode early exit: with every faulty circuit detected and
+    // dropped, the remaining patterns would be pure good-machine replay.
+    // The rows they would produce are fully determined (no detections, no
+    // live circuits, no faulty solver work) and the checkpoint supplies the
+    // end-of-sequence good states, so the tail is synthesized instead of
+    // simulated — the lever that lets a fault batch cost only as many
+    // patterns as its hardest-to-detect fault needs.
+    if (replay_ != nullptr && options_.dropDetected && aliveCount_ == 0 &&
+        pi + 1 < seq.size()) {
+      for (std::uint32_t rest = pi + 1; rest < seq.size(); ++rest) {
+        PatternStat tail;
+        tail.index = rest;
+        tail.cumulativeDetected = cumulative;
+        res.perPattern.push_back(tail);
+        if (onPattern) onPattern(tail);
+      }
+      earlyExit = true;
+      break;
+    }
   }
 
   res.detectedAtPattern = detectedAt_;
   res.numDetected = cumulative;
   res.maxAlive = maxAliveObserved_;
-  res.finalGoodStates.reserve(net_.numNodes());
-  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
-    res.finalGoodStates.push_back(table_.good(NodeId(n)));
+  if (earlyExit) {
+    res.finalGoodStates = replay_->finalGoodStates();
+  } else {
+    res.finalGoodStates.reserve(net_.numNodes());
+    for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+      res.finalGoodStates.push_back(table_.good(NodeId(n)));
+    }
   }
   res.finalRecords = table_.totalRecords();
   res.potentialDetections = potentialDetections_;

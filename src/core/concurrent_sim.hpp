@@ -40,6 +40,9 @@
 
 namespace fmossim {
 
+class CheckpointRecorder;
+class GoodMachineCheckpoint;
+
 /// How output mismatches count as detections.
 enum class DetectionPolicy : std::uint8_t {
   /// Detected only when good and faulty outputs are both definite and differ
@@ -105,8 +108,25 @@ class ConcurrentFaultSimulator {
  public:
   /// Builds the engine and injects every fault (initial divergence records
   /// and events are created; call settle() or run a sequence next).
+  ///
+  /// `record` (optional) captures the good machine's phase trace into a
+  /// checkpoint being built — only meaningful with an empty fault list (the
+  /// checkpoint must contain pure good-machine activity).
+  ///
+  /// `replay` (optional) switches the engine into checkpoint-replay mode:
+  /// the good circuit is never simulated; every good phase (vicinity trigger
+  /// stimuli + state commits, already coerced) is replayed from the
+  /// checkpoint's trace instead, keeping phase alignment and results
+  /// bit-identical to a self-simulating engine while spending solver work on
+  /// faulty circuits only. The sequence later passed to run() must be the
+  /// one the checkpoint recorded (asserted via fingerprint). In replay mode
+  /// with dropDetected, the run exits early once every faulty circuit has
+  /// been detected and dropped — the checkpoint supplies the final good
+  /// states for the untouched tail of the sequence.
   ConcurrentFaultSimulator(const Network& net, const FaultList& faults,
-                           FsimOptions options = {});
+                           FsimOptions options = {},
+                           CheckpointRecorder* record = nullptr,
+                           const GoodMachineCheckpoint* replay = nullptr);
 
   const Network& network() const { return net_; }
   const FaultList& faults() const { return faults_; }
@@ -174,9 +194,17 @@ class ConcurrentFaultSimulator {
   void runPhase(bool coerce);
   void processGoodPhase(bool coerce);
   void processFaultyCircuit(CircuitId c, bool coerce);
-  void collectTriggers(const Vicinity& vic);
+  void collectTriggers(std::span<const NodeId> members);
   void dropCircuit(CircuitId c);
   void removeOverlay(CircuitId c);
+
+  // Checkpoint replay (see checkpoint.hpp): one settle block per settleAll,
+  // whose recorded phases are consumed one per runPhase — the good prefix of
+  // the settle. replayGoodPhase applies a recorded phase's trigger stimuli
+  // and state commits in place of processGoodPhase.
+  bool replayPhasesRemain() const;
+  void replayBeginSettle();
+  void replayGoodPhase();
 
   // Trigger watch counts: watchCount_[n] is the number of divergence sources
   // (records, stuck-node overlays, transistor overrides) whose trigger scan
@@ -211,6 +239,10 @@ class ConcurrentFaultSimulator {
   const Network& net_;
   FaultList faults_;
   FsimOptions options_;
+  CheckpointRecorder* record_ = nullptr;
+  const GoodMachineCheckpoint* replay_ = nullptr;
+  std::uint32_t replaySettle_ = 0;  // 1-based after replayBeginSettle
+  std::uint32_t replayPhase_ = 0;   // next phase within the current settle
 
   StateTable table_;
   std::vector<State> cond0_;  // good-circuit conduction states

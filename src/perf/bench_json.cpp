@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "util/strings.hpp"
 
@@ -252,9 +253,16 @@ std::string benchFileName(const std::string& scenario) {
 
 std::string writeBenchFile(const ScenarioResult& result,
                            const std::string& outDir) {
-  const std::string path =
-      (outDir.empty() ? std::string(".") : outDir) + "/" +
-      benchFileName(result.scenario);
+  const std::string dir = outDir.empty() ? std::string(".") : outDir;
+  // CI writes into build/bench/ so artifact upload cannot race a dirty
+  // checkout; create the directory on demand.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw Error("cannot create benchmark output directory '" + dir +
+                "': " + ec.message());
+  }
+  const std::string path = dir + "/" + benchFileName(result.scenario);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     throw Error("cannot write benchmark file '" + path + "'");

@@ -38,6 +38,7 @@ struct RowSpec {
   unsigned jobs = 1;  ///< >1 selects the sharded concurrent runner
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;  ///< detection criterion
   bool dropDetected = true;  ///< drop faulty circuits once detected
+  std::uint32_t batchFaults = 0;  ///< sharded fault-batch size (0 = auto)
 
   /// EngineOptions equivalent of this row.
   EngineOptions engineOptions() const;

@@ -1,0 +1,193 @@
+// Work-stealing scheduler determinism matrix (the PR's acceptance property):
+// jobs x dropDetected x batch size on RAM64 and a generated workload, every
+// cell's merged result identical to the serial reference backend.
+//
+// The serial backend shares no code with the concurrent engine's difference
+// simulation, the checkpoint replay, or the merge, so equality here vouches
+// for the whole sharded pipeline end to end.
+#include <gtest/gtest.h>
+
+#include "api/engine.hpp"
+#include "api/sharded_runner.hpp"
+#include "circuits/ram.hpp"
+#include "faults/sampling.hpp"
+#include "faults/universe.hpp"
+#include "gen/random_circuit.hpp"
+#include "patterns/marching.hpp"
+#include "perf/bench_runner.hpp"
+#include "util/rng.hpp"
+
+namespace fmossim {
+namespace {
+
+struct MatrixWorkload {
+  std::string name;
+  Network net;
+  FaultList faults;
+  TestSequence seq;
+};
+
+std::vector<MatrixWorkload> matrixWorkloads() {
+  std::vector<MatrixWorkload> out;
+  {
+    MatrixWorkload w;
+    w.name = "ram64";
+    RamCircuit ram = buildRam(ram64Config());
+    FaultList universe = allStorageNodeStuckFaults(ram.net);
+    for (const TransId ft : ram.bitLineShorts) {
+      universe.add(Fault::faultDeviceActive(ram.net, ft));
+    }
+    Rng rng(1234);
+    w.faults = sampleFaults(universe, 60, rng);
+    w.seq = ramControlTests(ram);
+    w.seq.append(ramRowMarch(ram));
+    w.net = std::move(ram.net);
+    out.push_back(std::move(w));
+  }
+  {
+    MatrixWorkload w;
+    w.name = "fuzz-seed-1";
+    GenOptions gen;
+    gen.seed = 1;
+    gen.numNodes = 28;
+    gen.numInputs = 6;
+    gen.numFaults = 44;
+    gen.numPatterns = 14;
+    GeneratedWorkload g = generateWorkload(gen);
+    w.net = std::move(g.net);
+    w.faults = std::move(g.faults);
+    w.seq = std::move(g.seq);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void expectEqualResults(const FaultSimResult& ref, const FaultSimResult& got,
+                        const std::string& label) {
+  EXPECT_EQ(got.numFaults, ref.numFaults) << label;
+  EXPECT_EQ(got.detectedAtPattern, ref.detectedAtPattern) << label;
+  EXPECT_EQ(got.numDetected, ref.numDetected) << label;
+  EXPECT_EQ(got.potentialDetections, ref.potentialDetections) << label;
+  EXPECT_EQ(got.finalGoodStates, ref.finalGoodStates) << label;
+  ASSERT_EQ(got.perPattern.size(), ref.perPattern.size()) << label;
+  for (std::size_t pi = 0; pi < ref.perPattern.size(); ++pi) {
+    ASSERT_EQ(got.perPattern[pi].newlyDetected,
+              ref.perPattern[pi].newlyDetected)
+        << label << " pattern " << pi;
+    ASSERT_EQ(got.perPattern[pi].cumulativeDetected,
+              ref.perPattern[pi].cumulativeDetected)
+        << label << " pattern " << pi;
+    ASSERT_EQ(got.perPattern[pi].aliveAfter, ref.perPattern[pi].aliveAfter)
+        << label << " pattern " << pi;
+  }
+  // The harness-level statement of the same fact.
+  EXPECT_EQ(perf::resultChecksum(got), perf::resultChecksum(ref)) << label;
+}
+
+TEST(SchedulerMatrixTest, MergedResultsEqualSerialBackend) {
+  for (const MatrixWorkload& w : matrixWorkloads()) {
+    for (const bool drop : {true, false}) {
+      EngineOptions serialOpts;
+      serialOpts.backend = Backend::Serial;
+      serialOpts.policy = DetectionPolicy::AnyDifference;
+      serialOpts.dropDetected = drop;
+      Engine serial(w.net, w.faults, serialOpts);
+      const FaultSimResult ref = serial.run(w.seq);
+      ASSERT_GT(ref.numDetected, 0u) << w.name;
+
+      for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+        for (const std::uint32_t batch : {1u, 16u, 0u}) {
+          EngineOptions opts;
+          opts.backend = Backend::Concurrent;
+          opts.policy = DetectionPolicy::AnyDifference;
+          opts.dropDetected = drop;
+          opts.jobs = jobs;
+          opts.batchFaults = batch;
+          Engine engine(w.net, w.faults, opts);
+          const FaultSimResult got = engine.run(w.seq);
+          expectEqualResults(
+              ref, got,
+              w.name + " drop=" + (drop ? "on" : "off") +
+                  " jobs=" + std::to_string(jobs) +
+                  " batch=" + std::to_string(batch));
+        }
+      }
+    }
+  }
+}
+
+// Sharded work counters must equal the unsharded concurrent engine's for
+// every jobs/batch combination: the checkpoint counts the good machine once,
+// the batches partition the faulty work.
+TEST(SchedulerMatrixTest, NodeEvalsInvariantAcrossJobsAndBatches) {
+  const MatrixWorkload w = matrixWorkloads()[0];
+  EngineOptions base;
+  base.policy = DetectionPolicy::AnyDifference;
+  Engine reference(w.net, w.faults, base);
+  const FaultSimResult ref = reference.run(w.seq);
+
+  for (const unsigned jobs : {2u, 4u}) {
+    for (const std::uint32_t batch : {1u, 16u, 0u}) {
+      EngineOptions opts = base;
+      opts.jobs = jobs;
+      opts.batchFaults = batch;
+      Engine engine(w.net, w.faults, opts);
+      const FaultSimResult got = engine.run(w.seq);
+      EXPECT_EQ(got.totalNodeEvals, ref.totalNodeEvals)
+          << "jobs=" << jobs << " batch=" << batch;
+      for (std::size_t pi = 0; pi < ref.perPattern.size(); ++pi) {
+        ASSERT_EQ(got.perPattern[pi].nodeEvals, ref.perPattern[pi].nodeEvals)
+            << "jobs=" << jobs << " batch=" << batch << " pattern=" << pi;
+      }
+    }
+  }
+}
+
+// The batch schedule itself: contiguous, ascending, covering, respecting
+// the fixed-size knob and the auto floor.
+TEST(SchedulerMatrixTest, MakeBatchesCoversUniverse) {
+  for (const std::uint32_t n : {0u, 1u, 31u, 32u, 100u, 1398u}) {
+    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+      for (const std::uint32_t batch : {0u, 1u, 16u, 500u}) {
+        const auto batches = ShardedRunner::makeBatches(n, jobs, batch);
+        std::uint32_t expect = 0;
+        for (const auto& [begin, end] : batches) {
+          ASSERT_EQ(begin, expect);
+          ASSERT_LT(begin, end);
+          expect = end;
+        }
+        EXPECT_EQ(expect, n);
+        if (batch > 0) {
+          for (const auto& [begin, end] : batches) {
+            EXPECT_LE(end - begin, batch);
+          }
+        } else if (n > 0) {
+          // Auto: at most ceil(n/32) batches (the 32-fault floor).
+          EXPECT_LE(batches.size(), (n + 31) / 32);
+        }
+      }
+    }
+  }
+}
+
+// Checkpoint reuse across run() calls: the second run must not re-record
+// (same object), results stay identical; reset() drops the cache.
+TEST(SchedulerMatrixTest, CheckpointIsReusedAcrossRuns) {
+  const MatrixWorkload w = matrixWorkloads()[1];
+  FsimOptions fopts;
+  fopts.policy = DetectionPolicy::AnyDifference;
+  ShardedRunner runner(w.net, w.faults, fopts, 4);
+  EXPECT_EQ(runner.checkpoint(), nullptr);
+  const FaultSimResult first = runner.run(w.seq);
+  const GoodMachineCheckpoint* ck = runner.checkpoint();
+  ASSERT_NE(ck, nullptr);
+  const FaultSimResult second = runner.run(w.seq);
+  EXPECT_EQ(runner.checkpoint(), ck);  // reused, not re-recorded
+  EXPECT_EQ(first.detectedAtPattern, second.detectedAtPattern);
+  EXPECT_EQ(first.totalNodeEvals, second.totalNodeEvals);
+  runner.reset();
+  EXPECT_EQ(runner.checkpoint(), nullptr);
+}
+
+}  // namespace
+}  // namespace fmossim

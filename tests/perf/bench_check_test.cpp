@@ -1,0 +1,157 @@
+// Benchmark regression gate: row matching, exact checks, tolerance math,
+// and the file-level baseline loader.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "perf/bench_check.hpp"
+#include "perf/bench_json.hpp"
+
+namespace fmossim::perf {
+namespace {
+
+BenchRow makeRow(const char* backend, unsigned jobs, double medianMs) {
+  BenchRow row;
+  row.backend = backend;
+  row.jobs = jobs;
+  row.policy = "any";
+  row.dropDetected = true;
+  row.medianMs = medianMs;
+  row.stddevMs = 0.1;
+  row.reps = 3;
+  row.checksum = 0xabcdef0123456789ULL;
+  row.nodeEvals = 1000;
+  row.numDetected = 9;
+  row.numFaults = 10;
+  return row;
+}
+
+ScenarioResult makeScenario() {
+  ScenarioResult sr;
+  sr.scenario = "unit";
+  sr.description = "gate unit-test scenario";
+  sr.transistors = 4;
+  sr.nodes = 3;
+  sr.faults = 10;
+  sr.patterns = 5;
+  sr.rows = {makeRow("concurrent", 1, 100.0), makeRow("sharded-4", 4, 50.0)};
+  return sr;
+}
+
+TEST(BenchCheckTest, IdenticalResultsPass) {
+  const ScenarioResult sr = makeScenario();
+  CheckReport report;
+  checkScenarioAgainstBaseline(sr, sr, 15.0, report);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.rowsChecked, 2u);
+}
+
+TEST(BenchCheckTest, WallClockRegressionBeyondToleranceFails) {
+  const ScenarioResult base = makeScenario();
+  ScenarioResult fresh = base;
+  fresh.rows[0].medianMs = 116.0;  // +16% > 15%
+  CheckReport report;
+  checkScenarioAgainstBaseline(fresh, base, 15.0, report);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].detail.find("wall-clock regression"),
+            std::string::npos);
+  // The same regression passes under a raised tolerance (the noisy-runner
+  // override knob).
+  CheckReport relaxed;
+  checkScenarioAgainstBaseline(fresh, base, 50.0, relaxed);
+  EXPECT_TRUE(relaxed.ok());
+}
+
+TEST(BenchCheckTest, FasterIsNotARegression) {
+  const ScenarioResult base = makeScenario();
+  ScenarioResult fresh = base;
+  fresh.rows[0].medianMs = 10.0;
+  CheckReport report;
+  checkScenarioAgainstBaseline(fresh, base, 15.0, report);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BenchCheckTest, ChecksumAndWorkDriftAlwaysFail) {
+  const ScenarioResult base = makeScenario();
+  ScenarioResult fresh = base;
+  fresh.rows[1].checksum ^= 1;
+  fresh.rows[1].nodeEvals += 7;
+  CheckReport report;
+  // Even an absurd tolerance cannot excuse exact-check drift.
+  checkScenarioAgainstBaseline(fresh, base, 1e9, report);
+  ASSERT_EQ(report.issues.size(), 2u);
+  EXPECT_NE(report.issues[0].detail.find("checksum drift"), std::string::npos);
+  EXPECT_NE(report.issues[1].detail.find("nodeEvals drift"),
+            std::string::npos);
+}
+
+TEST(BenchCheckTest, MatrixChangesFailBothWays) {
+  const ScenarioResult base = makeScenario();
+  ScenarioResult fresh = base;
+  fresh.rows.pop_back();
+  fresh.rows.push_back(makeRow("sharded-8", 8, 40.0));
+  CheckReport report;
+  checkScenarioAgainstBaseline(fresh, base, 15.0, report);
+  // sharded-4 missing from fresh, sharded-8 missing from baseline.
+  EXPECT_EQ(report.issues.size(), 2u);
+}
+
+TEST(BenchCheckTest, WorkloadShapeChangeFails) {
+  const ScenarioResult base = makeScenario();
+  ScenarioResult fresh = base;
+  fresh.patterns += 1;
+  CheckReport report;
+  checkScenarioAgainstBaseline(fresh, base, 15.0, report);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_NE(report.issues[0].detail.find("workload shape"), std::string::npos);
+}
+
+TEST(BenchCheckTest, DirectoryGateLoadsBaselinesAndReportsMissing) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fmossim_bench_check_test";
+  fs::create_directories(dir);
+  const ScenarioResult sr = makeScenario();
+  writeBenchFile(sr, dir.string());
+
+  CheckOptions opts;
+  opts.baselineDir = dir.string();
+  const CheckReport ok = checkAgainstBaselines({sr}, opts);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.rowsChecked, 2u);
+
+  ScenarioResult other = sr;
+  other.scenario = "missing";
+  const CheckReport missing = checkAgainstBaselines({other}, opts);
+  ASSERT_EQ(missing.issues.size(), 1u);
+  EXPECT_NE(missing.issues[0].detail.find("cannot read baseline"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(BenchCheckTest, UnfilteredRunFlagsStaleBaselines) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fmossim_bench_stale_test";
+  fs::create_directories(dir);
+  const ScenarioResult sr = makeScenario();
+  writeBenchFile(sr, dir.string());
+  ScenarioResult removed = sr;
+  removed.scenario = "removed_scenario";
+  writeBenchFile(removed, dir.string());  // baseline with no live scenario
+
+  CheckOptions opts;
+  opts.baselineDir = dir.string();
+  // Filtered run (expectComplete off): the stale file is ignored.
+  EXPECT_TRUE(checkAgainstBaselines({sr}, opts).ok());
+  // Unfiltered run: the stale file fails the gate.
+  opts.expectComplete = true;
+  const CheckReport report = checkAgainstBaselines({sr}, opts);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].scenario, "removed_scenario");
+  EXPECT_NE(report.issues[0].detail.find("stale baseline"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fmossim::perf

@@ -102,7 +102,17 @@ TEST(BenchJsonTest, FileNamingAndWrite) {
   const ScenarioResult back = parseBenchJson(buf.str());
   EXPECT_EQ(back.scenario, r.scenario);
   std::remove(path.c_str());
-  EXPECT_THROW(writeBenchFile(r, "/no/such/dir"), Error);
+  // Missing directories are created on demand (CI writes to build/bench/).
+  const std::string nested = testing::TempDir() + "/bench_json_test_sub/dir";
+  const std::string nestedPath = writeBenchFile(r, nested);
+  std::ifstream nestedIn(nestedPath);
+  EXPECT_TRUE(nestedIn.good());
+  std::remove(nestedPath.c_str());
+  // A path whose parent is a regular file still fails loudly.
+  const std::string blocker = testing::TempDir() + "/bench_json_blocker";
+  std::ofstream(blocker) << "not a directory";
+  EXPECT_THROW(writeBenchFile(r, blocker + "/dir"), Error);
+  std::remove(blocker.c_str());
 }
 
 }  // namespace
