@@ -36,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -67,6 +68,12 @@ void printUsage(std::FILE* to, const char* argv0) {
                "backend only)]\n"
                "          [--batch-faults N  sharded fault-batch size "
                "(default: auto)]\n"
+               "          [--checkpoint-budget SIZE  good-machine checkpoint "
+               "memory budget\n"
+               "                           (bytes, k/m/g suffix; 0 = "
+               "unbounded; jobs > 1 only —\n"
+               "                           spills the trace to disk and "
+               "replays a sliding window)]\n"
                "          [--policy any|definite (default: definite)]\n"
                "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n"
                "       %s fuzz --seeds N    differential fuzzing campaign "
@@ -91,6 +98,36 @@ void printUsage(std::FILE* to, const char* argv0) {
 int usage(const char* argv0) {
   printUsage(stderr, argv0);
   return 2;
+}
+
+// Byte-size parse for --checkpoint-budget: plain bytes or a k/m/g suffix
+// (binary units). Strict like the other numeric parsers: trailing garbage
+// is an error, not a silently truncated budget.
+std::size_t parseByteSize(const char* text, const char* flag) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || errno == ERANGE || text[0] == '-') {
+    std::fprintf(stderr, "invalid size '%s' for %s\n", text, flag);
+    std::exit(2);
+  }
+  std::size_t shift = 0;
+  if (*end == 'k' || *end == 'K') shift = 10;
+  else if (*end == 'm' || *end == 'M') shift = 20;
+  else if (*end == 'g' || *end == 'G') shift = 30;
+  if (shift != 0) ++end;
+  if (*end != '\0') {
+    std::fprintf(stderr, "invalid size '%s' for %s (use bytes or k/m/g)\n",
+                 text, flag);
+    std::exit(2);
+  }
+  // The suffix shift must not wrap: a silently truncated budget would force
+  // the spill path the user asked to avoid.
+  if (shift != 0 && v > (std::numeric_limits<std::size_t>::max() >> shift)) {
+    std::fprintf(stderr, "size '%s' for %s is out of range\n", text, flag);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v) << shift;
 }
 
 const char* kDemoNetlist = R"(| demo: nMOS inverter chain with a pass gate
@@ -257,6 +294,11 @@ int benchUsage(std::FILE* to, const char* argv0) {
       "                [--reps N        measured repetitions (default 5)]\n"
       "                [--warmup N      unmeasured warmup runs (default 1)]\n"
       "                [--smoke         1 rep, no warmup (CI harness check)]\n"
+      "                [--checkpoint-budget SIZE  override every scenario's\n"
+      "                                 checkpoint-store memory budget (bytes,\n"
+      "                                 k/m/g suffix; 0 = unbounded in-memory\n"
+      "                                 traces) — forces the spill/window path\n"
+      "                                 when set below a trace's size]\n"
       "                [--check         gate fresh results against baseline\n"
       "                                 BENCH_*.json files (exit 1 on any\n"
       "                                 checksum/nodeEvals drift or wall-clock\n"
@@ -306,6 +348,9 @@ int runBench(int argc, char** argv) {
     else if (arg == "--reps") config.reps = nextUint();
     else if (arg == "--warmup") config.warmup = nextUint();
     else if (arg == "--smoke") config.smoke = true;
+    else if (arg == "--checkpoint-budget") {
+      config.checkpointBudget = parseByteSize(next(), "--checkpoint-budget");
+    }
     else if (arg == "--check") check = true;
     else if (arg == "--baseline") checkOpts.baselineDir = next();
     else if (arg == "--tolerance") {
@@ -479,6 +524,8 @@ int main(int argc, char** argv) {
       const int n = std::atoi(next());
       if (n < 1) return usage(argv[0]);
       opts.batchFaults = static_cast<std::uint32_t>(n);
+    } else if (arg == "--checkpoint-budget") {
+      opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "any") opts.policy = DetectionPolicy::AnyDifference;
@@ -546,8 +593,17 @@ int main(int argc, char** argv) {
     std::printf("\ncoverage: %u / %u (%.2f%%), potential (X) detections: %llu\n",
                 res.numDetected, res.numFaults, 100.0 * res.coverage(),
                 (unsigned long long)res.potentialDetections);
-    std::printf("time: %.4f s, work: %llu node evaluations\n", res.totalSeconds,
-                (unsigned long long)res.totalNodeEvals);
+    // Sharded runs overlap batch work on the wall clock; report the two
+    // timing fields separately so neither masquerades as the other.
+    if (std::string(engine.backendName()) == "sharded") {
+      std::printf("time: %.4f s wall (%.4f s engine CPU), work: %llu node "
+                  "evaluations\n",
+                  res.totalSeconds, res.totalCpuSeconds,
+                  (unsigned long long)res.totalNodeEvals);
+    } else {
+      std::printf("time: %.4f s, work: %llu node evaluations\n",
+                  res.totalSeconds, (unsigned long long)res.totalNodeEvals);
+    }
 
     if (!quiet) {
       std::printf("\nundetected faults:\n");

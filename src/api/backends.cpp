@@ -30,6 +30,8 @@ FaultSimResult toFaultSimResult(const SerialRunResult& serial,
   res.numDetected = serial.numDetected;
   res.potentialDetections = serial.potentialDetections;
   res.totalSeconds = serial.good.totalSeconds + serial.faultSeconds;
+  // Single-threaded replay: aggregate engine time is the wall clock.
+  res.totalCpuSeconds = res.totalSeconds;
   res.totalNodeEvals = serial.good.totalNodeEvals + serial.faultNodeEvals;
   res.finalGoodStates = serial.good.finalStates;
   // Row semantics ("faults still being simulated after this pattern") map

@@ -26,9 +26,9 @@ std::unique_ptr<FaultSimulator> Engine::makeBackend() const {
       fopts.dropDetected = options_.dropDetected;
       fopts.debugLoseTriggerEvery = options_.debugLoseTriggerEvery;
       if (options_.jobs > 1 && faults_.size() > 1) {
-        return std::make_unique<ShardedRunner>(net_, faults_, fopts,
-                                               options_.jobs,
-                                               options_.batchFaults);
+        return std::make_unique<ShardedRunner>(
+            net_, faults_, fopts, options_.jobs, options_.batchFaults,
+            options_.checkpointStore, options_.checkpointBudgetBytes);
       }
       return std::make_unique<ConcurrentBackend>(net_, faults_, fopts);
     }

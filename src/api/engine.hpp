@@ -54,6 +54,21 @@ struct EngineOptions {
   /// produces identical results; the knob trades scheduling granularity
   /// against per-batch replay overhead.
   std::uint32_t batchFaults = 0;
+  /// Shared good-machine checkpoint cache (jobs > 1 only). Engines handed
+  /// the same store record the fault-free run once per (network, sequence)
+  /// and reuse it across engines, rows and run() calls — the cache survives
+  /// Engine::reset(), which only rebuilds the backend. Null (the default)
+  /// gives each sharded backend a private store with `checkpointBudgetBytes`
+  /// as its budget; that private cache still persists across run() calls
+  /// but dies with reset(). Results are bit-identical either way.
+  std::shared_ptr<CheckpointStore> checkpointStore;
+  /// Memory budget in bytes for recorded good-machine checkpoints (the CLI's
+  /// `--checkpoint-budget`); 0 = unbounded (in-memory trace). A positive
+  /// budget spills the settle-block trace to a temp file and replays through
+  /// a sliding window so GoodMachineCheckpoint::memoryBytes() stays within
+  /// budget — the knob that opens million-pattern sequences. Applies to the
+  /// private store only; a shared `checkpointStore` carries its own budget.
+  std::size_t checkpointBudgetBytes = 0;
   /// Forwarded to FsimOptions::debugLoseTriggerEvery (concurrent backends
   /// only): the differential-fuzzing oracle's self-test bug injector. 0 = off.
   std::uint32_t debugLoseTriggerEvery = 0;

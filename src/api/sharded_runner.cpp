@@ -11,26 +11,21 @@ namespace fmossim {
 
 ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
                              FsimOptions options, unsigned jobs,
-                             std::uint32_t batchFaults)
+                             std::uint32_t batchFaults,
+                             std::shared_ptr<CheckpointStore> store,
+                             std::size_t checkpointBudgetBytes)
     : net_(net),
       faults_(std::move(faults)),
       options_(options),
-      batchFaults_(batchFaults) {
+      batchFaults_(batchFaults),
+      store_(std::move(store)),
+      ownsStore_(store_ == nullptr) {
   jobs_ = std::max(1u, std::min(jobs, std::max(1u, faults_.size())));
-}
-
-std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::partition(
-    std::uint32_t numFaults, unsigned jobs) {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> slices;
-  slices.reserve(jobs);
-  for (unsigned s = 0; s < jobs; ++s) {
-    const std::uint32_t begin =
-        static_cast<std::uint32_t>(std::uint64_t(numFaults) * s / jobs);
-    const std::uint32_t end =
-        static_cast<std::uint32_t>(std::uint64_t(numFaults) * (s + 1) / jobs);
-    slices.emplace_back(begin, end);
+  if (ownsStore_) {
+    CheckpointStore::Options sopts;
+    sopts.budgetBytes = checkpointBudgetBytes;
+    store_ = std::make_shared<CheckpointStore>(sopts);
   }
-  return slices;
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::makeBatches(
@@ -91,6 +86,15 @@ FaultSimResult mergeShardResults(
       merged.finalGoodStates = r.finalGoodStates;
     }
     merged.totalNodeEvals += r.totalNodeEvals;
+    // Engine time sums across batches (they overlap on the wall clock; the
+    // caller stamps merged.totalSeconds with the real elapsed time).
+    merged.totalCpuSeconds += r.totalCpuSeconds;
+    // Alive counts never increase during a run, so every batch's peak is
+    // its initial fault population and all the peaks coincide at sequence
+    // start of the modeled single-engine simulation: the summed per-batch
+    // peaks ARE that engine's peak, exactly — not an upper bound. (The
+    // scheduler matrix test pins merged == jobs=1; if batches ever gain
+    // mid-run fault injection this derivation, and the sum, must change.)
     merged.maxAlive += r.maxAlive;
     merged.finalRecords += r.finalRecords;
     for (std::uint32_t pi = 0; pi < numPatterns && pi < r.perPattern.size();
@@ -123,17 +127,20 @@ FaultSimResult mergeShardResults(
   return merged;
 }
 
-void ShardedRunner::ensureCheckpoint(const TestSequence& seq) {
+double ShardedRunner::ensureCheckpoint(const TestSequence& seq) {
   const std::uint64_t fp = GoodMachineCheckpoint::fingerprint(seq);
-  if (checkpoint_ != nullptr && checkpoint_->seqFingerprint() == fp) return;
-  checkpoint_ = std::make_unique<GoodMachineCheckpoint>(
-      GoodMachineCheckpoint::record(net_, seq, options_));
+  if (checkpoint_ != nullptr && checkpoint_->seqFingerprint() == fp) return 0.0;
+  // Charge the recording time to the run that actually recorded; cache
+  // hits (in this runner or a shared store) cost nothing.
+  bool recordedNow = false;
+  checkpoint_ = store_->acquire(net_, seq, options_, &recordedNow);
+  return recordedNow ? checkpoint_->recordSeconds() : 0.0;
 }
 
 FaultSimResult ShardedRunner::run(const TestSequence& seq,
                                   const PatternCallback& onPattern) {
   Timer total;
-  ensureCheckpoint(seq);
+  const double recordSeconds = ensureCheckpoint(seq);
   // More threads than cores only adds contention (the batch queue already
   // decouples batch count from worker count), so the effective worker count
   // is capped at the hardware's concurrency — and the batch schedule is
@@ -186,6 +193,7 @@ FaultSimResult ShardedRunner::run(const TestSequence& seq,
   FaultSimResult merged =
       mergeShardResults(batchResults, batches, seq.size(), checkpoint_.get());
   merged.totalSeconds = total.seconds();
+  merged.totalCpuSeconds += recordSeconds;
   if (onPattern) {
     for (const PatternStat& st : merged.perPattern) onPattern(st);
   }

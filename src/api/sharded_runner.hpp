@@ -12,8 +12,13 @@
 ///     simulated once per (network, sequence) into a GoodMachineCheckpoint
 ///     (src/core/checkpoint.hpp); every batch replays the recorded trace
 ///     instead of re-simulating the good machine, so adding workers adds
-///     faulty-circuit work only. The checkpoint is cached across run()
-///     calls (keyed on the sequence fingerprint) and discarded by reset().
+///     faulty-circuit work only. Checkpoints live in a CheckpointStore
+///     (src/core/checkpoint_store.hpp): either a store shared by the caller
+///     via EngineOptions::checkpointStore — so many engines and bench rows
+///     reuse one recording — or a private per-runner store, which also
+///     caches across run() calls and is discarded by reset(). The store's
+///     memory budget (EngineOptions::checkpointBudgetBytes for the private
+///     store) spills huge traces to disk with a sliding replay window.
 ///
 ///   * **Work stealing over fault batches.** Instead of one static slice
 ///     per worker, the fault list is cut into several contiguous batches
@@ -28,10 +33,12 @@
 /// batchFaults) — workers race only for *which* batch they claim, never for
 /// batch boundaries — and the merge re-indexes detections back to the global
 /// fault order. A sharded run's result is bit-identical to an unsharded
-/// run's for every jobs and batch-size choice; per-pattern cost rows are
-/// summed across batches, and the checkpoint's good-machine work is added
-/// once so the merged deterministic work counter equals a jobs=1 run's
-/// exactly.
+/// run's for every jobs and batch-size choice; the checkpoint's good-machine
+/// work is added once so the merged deterministic work counter equals a
+/// jobs=1 run's exactly. Timing is reported as two distinct fields:
+/// totalSeconds is the run's wall clock, totalCpuSeconds the engine time
+/// summed across batches and the recording (per-pattern rows sum the same
+/// way — CPU-like, since batches overlap on the wall clock).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +48,7 @@
 
 #include "api/fault_simulator.hpp"
 #include "core/checkpoint.hpp"
+#include "core/checkpoint_store.hpp"
 
 namespace fmossim {
 
@@ -55,8 +63,16 @@ class ShardedRunner : public FaultSimulator {
   /// `batchFaults` sets the fault-batch size: 0 selects the auto schedule
   /// (see makeBatches), any other value fixed-size batches of that many
   /// faults.
+  ///
+  /// `store` (optional) is a shared checkpoint cache; recordings are then
+  /// reused across every runner and engine holding the same store, and
+  /// reset() leaves the shared cache alone. When null, the runner creates a
+  /// private store with `checkpointBudgetBytes` as its memory budget
+  /// (ignored for a shared store, which carries its own budget).
   ShardedRunner(const Network& net, FaultList faults, FsimOptions options,
-                unsigned jobs, std::uint32_t batchFaults = 0);
+                unsigned jobs, std::uint32_t batchFaults = 0,
+                std::shared_ptr<CheckpointStore> store = nullptr,
+                std::size_t checkpointBudgetBytes = 0);
 
   /// Always "sharded".
   const char* backendName() const override { return "sharded"; }
@@ -69,8 +85,14 @@ class ShardedRunner : public FaultSimulator {
   /// The configured batch-size knob (0 = guided schedule).
   std::uint32_t batchFaults() const { return batchFaults_; }
 
-  /// The cached good-machine checkpoint, or nullptr before the first run()
-  /// (diagnostics and tests).
+  /// The checkpoint store this runner records into and reuses from (private
+  /// unless one was shared in at construction).
+  const std::shared_ptr<CheckpointStore>& checkpointStore() const {
+    return store_;
+  }
+
+  /// The checkpoint used by the most recent run(), or nullptr before the
+  /// first run or after reset() (diagnostics and tests).
   const GoodMachineCheckpoint* checkpoint() const { return checkpoint_.get(); }
 
   /// Runs every fault batch through a checkpoint-replaying concurrent engine
@@ -80,20 +102,20 @@ class ShardedRunner : public FaultSimulator {
   ///   * the checkpoint's good-machine node evaluations added once, making
   ///     totalNodeEvals equal to an unsharded run's,
   ///   * totalSeconds = wall clock of the whole sharded run (including
-  ///     checkpoint recording when this call had to record one).
+  ///     checkpoint recording when this call had to record one);
+  ///     totalCpuSeconds = engine time summed across batches + recording.
   /// `onPattern` fires after the merge, once per pattern in order.
   FaultSimResult run(const TestSequence& seq,
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
 
-  /// Discards the cached checkpoint (fresh-session semantics).
-  void reset() override { checkpoint_.reset(); }
-
-  /// Contiguous near-equal partition of [0, numFaults) into `jobs` slices;
-  /// shard s covers [result[s].first, result[s].second). Deterministic.
-  /// (The legacy static partition; run() schedules makeBatches instead.)
-  static std::vector<std::pair<std::uint32_t, std::uint32_t>> partition(
-      std::uint32_t numFaults, unsigned jobs);
+  /// Drops the runner's reference to the last checkpoint and, for a private
+  /// store, clears the cache (fresh-session semantics). A shared store is
+  /// left untouched — its whole point is outliving individual runners.
+  void reset() override {
+    checkpoint_.reset();
+    if (ownsStore_) store_->clear();
+  }
 
   /// The work-stealing batch schedule: contiguous, ascending, covering
   /// [0, numFaults). batchFaults > 0 yields fixed-size batches; 0 (auto)
@@ -104,24 +126,31 @@ class ShardedRunner : public FaultSimulator {
       std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults);
 
  private:
-  /// Records the checkpoint for `seq`, or reuses the cached one when the
-  /// sequence fingerprint matches.
-  void ensureCheckpoint(const TestSequence& seq);
+  /// Fetches the checkpoint for `seq` from the store (recording on a cache
+  /// miss). Returns the recording seconds this call newly spent (0 on a
+  /// cache hit) for the totalCpuSeconds accounting.
+  double ensureCheckpoint(const TestSequence& seq);
 
   const Network& net_;
   FaultList faults_;
   FsimOptions options_;
   unsigned jobs_;
   std::uint32_t batchFaults_;
-  std::unique_ptr<GoodMachineCheckpoint> checkpoint_;
+  std::shared_ptr<CheckpointStore> store_;
+  bool ownsStore_;
+  std::shared_ptr<const GoodMachineCheckpoint> checkpoint_;
 };
 
 /// Merges per-batch results (in batch order, batch b covering global fault
 /// indices [slices[b].first, slices[b].second)) into one FaultSimResult.
 /// When `good` is non-null its per-pattern good-machine evaluation counts
 /// are added once (the merged work counter then equals an unsharded run's)
-/// and its final good states are used verbatim. Exposed for the merge-logic
-/// unit tests.
+/// and its final good states are used verbatim. The merged maxAlive is the
+/// modeled single-engine peak (per-batch peaks coincide at sequence start,
+/// so it equals a jobs=1 run's exactly — see FaultSimResult::maxAlive);
+/// totalCpuSeconds and per-pattern seconds sum across batches, while the
+/// caller stamps totalSeconds with the real wall clock. Exposed for the
+/// merge-logic unit tests.
 FaultSimResult mergeShardResults(
     const std::vector<FaultSimResult>& shardResults,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,

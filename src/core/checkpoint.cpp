@@ -1,41 +1,208 @@
 #include "core/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
 #include "core/concurrent_sim.hpp"
+#include "util/hash.hpp"
 
 namespace fmossim {
 
 namespace {
 
-inline void fnv(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
+template <typename T>
+std::size_t vecBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// --- settle-block (de)serialization ----------------------------------------
+//
+// A spilled settle block is five raw POD arrays behind a count header. The
+// file is private to the process (created unlinked, read back by the same
+// build), so native layout is fine — no endianness or padding concerns.
+
+struct BlockHeader {
+  std::uint32_t phases, vics, members, changes, inputs;
+};
+
+template <typename T>
+void appendRaw(std::string& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (v.empty()) return;
+  const std::size_t off = out.size();
+  out.resize(off + v.size() * sizeof(T));
+  std::memcpy(out.data() + off, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+const char* readRaw(const char* p, const char* end, std::vector<T>& v,
+                    std::uint32_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  v.resize(count);
+  if (count == 0) return p;
+  const std::size_t bytes = std::size_t(count) * sizeof(T);
+  FMOSSIM_ASSERT(p + bytes <= end, "checkpoint spill block truncated");
+  std::memcpy(v.data(), p, bytes);
+  return p + bytes;
+}
+
+std::string encodeBlock(const GoodMachineCheckpoint::SettleBlock& b) {
+  std::string out;
+  const BlockHeader h{static_cast<std::uint32_t>(b.phases.size()),
+                      static_cast<std::uint32_t>(b.vics.size()),
+                      static_cast<std::uint32_t>(b.members.size()),
+                      static_cast<std::uint32_t>(b.changes.size()),
+                      static_cast<std::uint32_t>(b.inputChanges.size())};
+  out.append(reinterpret_cast<const char*>(&h), sizeof h);
+  appendRaw(out, b.phases);
+  appendRaw(out, b.vics);
+  appendRaw(out, b.members);
+  appendRaw(out, b.changes);
+  appendRaw(out, b.inputChanges);
+  return out;
+}
+
+void decodeBlock(const char* p, std::size_t size,
+                 GoodMachineCheckpoint::SettleBlock& b) {
+  const char* end = p + size;
+  FMOSSIM_ASSERT(size >= sizeof(BlockHeader), "checkpoint spill block truncated");
+  BlockHeader h;
+  std::memcpy(&h, p, sizeof h);
+  p += sizeof h;
+  p = readRaw(p, end, b.phases, h.phases);
+  p = readRaw(p, end, b.vics, h.vics);
+  p = readRaw(p, end, b.members, h.members);
+  p = readRaw(p, end, b.changes, h.changes);
+  p = readRaw(p, end, b.inputChanges, h.inputs);
+  FMOSSIM_ASSERT(p == end, "checkpoint spill block has trailing bytes");
 }
 
 }  // namespace
 
+std::size_t GoodMachineCheckpoint::SettleBlock::bytes() const {
+  return vecBytes(phases) + vecBytes(vics) + vecBytes(members) +
+         vecBytes(changes) + vecBytes(inputChanges);
+}
+
+// --- spill state ------------------------------------------------------------
+
+/// The temp-file backing store plus the sliding replay window: an LRU cache
+/// of decoded settle blocks, internally synchronized so concurrently
+/// replaying engines (one CheckpointReader each) share it. A reader pins its
+/// current block via shared_ptr; pinned blocks are never evicted, so spans
+/// handed out by a reader stay valid until its next enterSettle().
+struct GoodMachineCheckpoint::SpillState {
+  int fd = -1;
+  std::vector<std::uint64_t> blockOff;  ///< numSettles + 1 file offsets
+  std::size_t windowBudget = 0;         ///< bytes of decoded blocks to keep
+  std::size_t maxBlockBytes = 0;        ///< largest encoded block seen
+
+  mutable std::mutex mu;
+  struct Entry {
+    std::shared_ptr<const SettleBlock> block;
+    std::list<std::uint32_t>::iterator lruIt;
+    std::size_t bytes = 0;
+  };
+  mutable std::list<std::uint32_t> lru;  ///< front = most recently used
+  mutable std::unordered_map<std::uint32_t, Entry> cache;
+  mutable std::size_t cachedBytes = 0;
+
+  ~SpillState() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void open(const std::string& spillDir) {
+    std::string dir = spillDir;
+    if (dir.empty()) {
+      std::error_code ec;
+      const std::filesystem::path tmp = std::filesystem::temp_directory_path(ec);
+      // (ternary + move assignment rather than `dir = "..."`: GCC 12's
+      // -Wrestrict false-fires on the char* assign inlined here)
+      dir = ec ? std::string(1, '.') : tmp.string();
+    }
+    std::string tmpl = dir + "/fmossim-checkpoint-XXXXXX";
+    fd = ::mkstemp(tmpl.data());
+    if (fd < 0) {
+      throw Error("cannot create checkpoint spill file in '" + dir + "'");
+    }
+    // Unlink immediately: the kernel reclaims the blocks when the last fd
+    // closes, so no crash can leak a spill file.
+    ::unlink(tmpl.c_str());
+    blockOff.push_back(0);
+  }
+
+  void appendBlock(const std::string& encoded) {
+    const std::uint64_t off = blockOff.back();
+    std::size_t done = 0;
+    while (done < encoded.size()) {
+      const ssize_t n = ::pwrite(fd, encoded.data() + done,
+                                 encoded.size() - done,
+                                 static_cast<off_t>(off + done));
+      if (n < 0) throw Error("checkpoint spill write failed");
+      done += static_cast<std::size_t>(n);
+    }
+    blockOff.push_back(off + encoded.size());
+    maxBlockBytes = std::max(maxBlockBytes, encoded.size());
+  }
+
+  void readBlock(std::uint32_t i, std::string& buf) const {
+    const std::uint64_t off = blockOff[i];
+    const std::size_t size = static_cast<std::size_t>(blockOff[i + 1] - off);
+    buf.resize(size);
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::pread(fd, buf.data() + done, size - done,
+                                static_cast<off_t>(off + done));
+      if (n <= 0) throw Error("checkpoint spill read failed");
+      done += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+// --- GoodMachineCheckpoint ---------------------------------------------------
+
+GoodMachineCheckpoint::GoodMachineCheckpoint() = default;
+GoodMachineCheckpoint::GoodMachineCheckpoint(GoodMachineCheckpoint&&) noexcept =
+    default;
+GoodMachineCheckpoint& GoodMachineCheckpoint::operator=(
+    GoodMachineCheckpoint&&) noexcept = default;
+GoodMachineCheckpoint::~GoodMachineCheckpoint() = default;
+
 std::uint64_t GoodMachineCheckpoint::fingerprint(const TestSequence& seq) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  fnv(h, seq.size());
+  std::uint64_t h = kFnvOffsetBasis;
+  fnvMix(h, seq.size());
   for (const Pattern& p : seq.patterns()) {
-    fnv(h, p.settings.size());
+    fnvMix(h, p.settings.size());
     for (const InputSetting& s : p.settings) {
-      fnv(h, s.assignments.size());
+      fnvMix(h, s.assignments.size());
       for (const auto& [n, v] : s.assignments) {
-        fnv(h, (std::uint64_t(n.value) << 8) | std::uint64_t(v));
+        fnvMix(h, (std::uint64_t(n.value) << 8) | std::uint64_t(v));
       }
     }
   }
-  fnv(h, seq.outputs().size());
-  for (const NodeId out : seq.outputs()) fnv(h, out.value);
+  fnvMix(h, seq.outputs().size());
+  for (const NodeId out : seq.outputs()) fnvMix(h, out.value);
   return h;
 }
 
 GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
                                                     const TestSequence& seq,
-                                                    const FsimOptions& options) {
+                                                    const FsimOptions& options,
+                                                    std::size_t budgetBytes,
+                                                    const std::string& spillDir) {
   GoodMachineCheckpoint ck;
+  ck.budgetBytes_ = budgetBytes;
+  if (budgetBytes > 0) {
+    ck.spill_ = std::make_unique<SpillState>();
+    ck.spill_->open(spillDir);
+  }
   CheckpointRecorder rec(ck);
   // A fault-free concurrent run *is* the good machine: every phase it
   // executes is a good phase, in exactly the order and with exactly the
@@ -46,6 +213,7 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
     ck.initialGoodStates_.push_back(sim.goodState(NodeId(n)));
   }
   const FaultSimResult res = sim.run(seq);
+  rec.finish();
   ck.finalGoodStates_ = res.finalGoodStates;
   ck.perPatternGoodEvals_.reserve(res.perPattern.size());
   for (const PatternStat& st : res.perPattern) {
@@ -64,6 +232,26 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
   FMOSSIM_ASSERT(settle == ck.numSettles(),
                  "checkpoint recording lost a settle block");
   ck.seqFingerprint_ = fingerprint(seq);
+  // Push-back growth leaves up to 2x slack in the resident vectors; return
+  // it so memoryBytes() reports (and the budget governs) real content.
+  ck.settles_.shrink_to_fit();
+  ck.phases_.shrink_to_fit();
+  ck.vics_.shrink_to_fit();
+  ck.members_.shrink_to_fit();
+  ck.changes_.shrink_to_fit();
+  ck.inputChanges_.shrink_to_fit();
+  ck.initialGoodStates_.shrink_to_fit();
+  ck.patternSettleEnd_.shrink_to_fit();
+  if (ck.spill_ != nullptr) {
+    ck.spill_->blockOff.shrink_to_fit();
+    // The replay window gets whatever the budget leaves above the fixed
+    // resident floor, but always at least the largest block: one settle
+    // must be decodable or replay cannot proceed at all.
+    const std::size_t fixed = ck.fixedBytes();
+    ck.spill_->windowBudget =
+        std::max(budgetBytes > fixed ? budgetBytes - fixed : std::size_t{0},
+                 ck.spill_->maxBlockBytes);
+  }
   return ck;
 }
 
@@ -73,13 +261,14 @@ std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
                  "goodStateAfterPattern: pattern index out of range");
   std::vector<State> state = initialGoodStates_;
   const std::uint32_t settleEnd = patternSettleEnd_[p];
+  CheckpointReader reader(*this);
   for (std::uint32_t s = 1; s < settleEnd; ++s) {
-    const Settle& blk = settles_[s];
-    for (const Change& ch : inputChanges(blk)) {
+    reader.enterSettle(s);
+    for (const Change& ch : reader.inputChanges()) {
       state[ch.node.value] = ch.value;
     }
-    for (std::uint32_t ph = 0; ph < blk.phaseCount; ++ph) {
-      for (const Change& ch : changes(phases_[blk.phaseOff + ph])) {
+    for (std::uint32_t ph = 0; ph < reader.phaseCount(); ++ph) {
+      for (const Change& ch : reader.changes(ph)) {
         state[ch.node.value] = ch.value;
       }
     }
@@ -87,48 +276,186 @@ std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
   return state;
 }
 
-std::size_t GoodMachineCheckpoint::memoryBytes() const {
-  return settles_.capacity() * sizeof(Settle) +
-         phases_.capacity() * sizeof(Phase) +
-         vics_.capacity() * sizeof(VicinitySpan) +
-         members_.capacity() * sizeof(NodeId) +
-         changes_.capacity() * sizeof(Change) +
-         inputChanges_.capacity() * sizeof(Change) +
-         initialGoodStates_.capacity() * sizeof(State) +
-         finalGoodStates_.capacity() * sizeof(State) +
-         perPatternGoodEvals_.capacity() * sizeof(std::uint64_t) +
-         patternSettleEnd_.capacity() * sizeof(std::uint32_t);
+std::size_t GoodMachineCheckpoint::fixedBytes() const {
+  std::size_t n = vecBytes(settles_) + vecBytes(initialGoodStates_) +
+                  vecBytes(finalGoodStates_) + vecBytes(perPatternGoodEvals_) +
+                  vecBytes(patternSettleEnd_);
+  if (spill_ != nullptr) n += vecBytes(spill_->blockOff);
+  return n;
 }
 
+std::size_t GoodMachineCheckpoint::memoryBytes() const {
+  std::size_t n = fixedBytes() + vecBytes(phases_) + vecBytes(vics_) +
+                  vecBytes(members_) + vecBytes(changes_) +
+                  vecBytes(inputChanges_);
+  if (spill_ != nullptr) {
+    std::lock_guard<std::mutex> lock(spill_->mu);
+    n += spill_->cachedBytes;
+  }
+  return n;
+}
+
+std::shared_ptr<const GoodMachineCheckpoint::SettleBlock>
+GoodMachineCheckpoint::loadBlock(std::uint32_t i) const {
+  SpillState& sp = *spill_;
+  {
+    std::lock_guard<std::mutex> lock(sp.mu);
+    if (auto it = sp.cache.find(i); it != sp.cache.end()) {
+      sp.lru.splice(sp.lru.begin(), sp.lru, it->second.lruIt);
+      return it->second.block;
+    }
+  }
+  // Miss: read and decode OUTSIDE the window lock — pread is thread-safe
+  // and this is the expensive part, so concurrently replaying engines must
+  // not serialize on each other's file I/O. Two threads missing the same
+  // block both decode it; the loser's copy is dropped below (wasted work is
+  // bounded by one block and is far cheaper than holding the lock across
+  // disk reads).
+  std::string buf;
+  sp.readBlock(i, buf);
+  auto block = std::make_shared<SettleBlock>();
+  decodeBlock(buf.data(), buf.size(), *block);
+  const std::size_t bytes = block->bytes();
+
+  std::lock_guard<std::mutex> lock(sp.mu);
+  if (auto it = sp.cache.find(i); it != sp.cache.end()) {
+    sp.lru.splice(sp.lru.begin(), sp.lru, it->second.lruIt);
+    return it->second.block;  // another reader inserted it meanwhile
+  }
+  sp.lru.push_front(i);
+  sp.cache.emplace(i, SpillState::Entry{block, sp.lru.begin(), bytes});
+  sp.cachedBytes += bytes;
+  // Slide the window: drop least-recently-used blocks past the budget,
+  // never a pinned one (a reader still hands out spans into it) and never
+  // the block just loaded.
+  for (auto it = std::prev(sp.lru.end());
+       sp.cachedBytes > sp.windowBudget && it != sp.lru.begin();) {
+    const auto cur = it--;
+    auto entry = sp.cache.find(*cur);
+    if (entry->second.block.use_count() > 1) continue;  // pinned by a reader
+    sp.cachedBytes -= entry->second.bytes;
+    sp.cache.erase(entry);
+    sp.lru.erase(cur);
+  }
+  return block;
+}
+
+// --- CheckpointReader --------------------------------------------------------
+
+CheckpointReader::CheckpointReader(const GoodMachineCheckpoint& ck)
+    : ck_(&ck) {}
+
+CheckpointReader::~CheckpointReader() = default;
+
+void CheckpointReader::enterSettle(std::uint32_t i) {
+  FMOSSIM_ASSERT(i < ck_->numSettles(), "reader settle index out of range");
+  const GoodMachineCheckpoint::Settle& s = ck_->settles_[i];
+  phaseCount_ = s.phaseCount;
+  inputCount_ = s.inputCount;
+  if (ck_->spill_ == nullptr) {
+    // In-memory mode: point straight into the flat arenas (offsets inside
+    // Phase/VicinitySpan entries are global, so the bases are the arena
+    // starts).
+    phases_ = ck_->phases_.data() + s.phaseOff;
+    vicBase_ = ck_->vics_.data();
+    memberBase_ = ck_->members_.data();
+    changeBase_ = ck_->changes_.data();
+    inputs_ = ck_->inputChanges_.data() + s.inputOff;
+    return;
+  }
+  // Spilled mode: pin the decoded block (offsets are block-local). Release
+  // the previous pin BEFORE loading — spans into it are invalidated by this
+  // call anyway, and holding it across the load would make the window need
+  // two blocks per reader (old + new), overshooting the budget exactly when
+  // it is tightest. With the pin dropped first, the eviction pass inside
+  // loadBlock can reclaim the previous block, so one block per reader is
+  // the true floor (as documented on memoryBytes()).
+  pin_.reset();
+  pin_ = ck_->loadBlock(i);
+  phases_ = pin_->phases.data();
+  vicBase_ = pin_->vics.data();
+  memberBase_ = pin_->members.data();
+  changeBase_ = pin_->changes.data();
+  inputs_ = pin_->inputChanges.data();
+}
+
+// --- CheckpointRecorder ------------------------------------------------------
+
 void CheckpointRecorder::inputChange(NodeId n, State v) {
-  ck_.inputChanges_.push_back({n, v});
+  pendingInputs_.push_back({n, v});
+}
+
+void CheckpointRecorder::flushSettle() {
+  if (!settleOpen_) return;
+  settleOpen_ = false;
+  GoodMachineCheckpoint::SettleBlock& b = pending_;
+  if (ck_.spill_ != nullptr) {
+    ck_.spill_->appendBlock(encodeBlock(b));
+  } else {
+    // Append the block to the flat arenas, promoting its local offsets to
+    // global ones — byte-for-byte the layout a direct append would build.
+    const auto vicBase = static_cast<std::uint32_t>(ck_.vics_.size());
+    const auto memberBase = static_cast<std::uint32_t>(ck_.members_.size());
+    const auto changeBase = static_cast<std::uint32_t>(ck_.changes_.size());
+    for (GoodMachineCheckpoint::Phase p : b.phases) {
+      p.vicOff += vicBase;
+      p.changeOff += changeBase;
+      ck_.phases_.push_back(p);
+    }
+    for (GoodMachineCheckpoint::VicinitySpan v : b.vics) {
+      v.memberOff += memberBase;
+      ck_.vics_.push_back(v);
+    }
+    ck_.members_.insert(ck_.members_.end(), b.members.begin(), b.members.end());
+    ck_.changes_.insert(ck_.changes_.end(), b.changes.begin(), b.changes.end());
+    ck_.inputChanges_.insert(ck_.inputChanges_.end(), b.inputChanges.begin(),
+                             b.inputChanges.end());
+  }
+  b.phases.clear();
+  b.vics.clear();
+  b.members.clear();
+  b.changes.clear();
+  b.inputChanges.clear();
 }
 
 void CheckpointRecorder::beginSettle() {
-  const auto total = static_cast<std::uint32_t>(ck_.inputChanges_.size());
-  ck_.settles_.push_back({static_cast<std::uint32_t>(ck_.phases_.size()), 0,
-                          inputMark_, total - inputMark_});
-  inputMark_ = total;
+  flushSettle();
+  settleOpen_ = true;
+  pending_.inputChanges = std::move(pendingInputs_);
+  pendingInputs_ = {};
+  ck_.settles_.push_back(
+      {static_cast<std::uint32_t>(totalPhases_), 0,
+       static_cast<std::uint32_t>(totalInputs_),
+       static_cast<std::uint32_t>(pending_.inputChanges.size())});
+  totalInputs_ += pending_.inputChanges.size();
 }
 
 void CheckpointRecorder::beginPhase() {
-  FMOSSIM_ASSERT(!ck_.settles_.empty(), "phase recorded before any settle");
-  ck_.phases_.push_back({static_cast<std::uint32_t>(ck_.vics_.size()), 0,
-                         static_cast<std::uint32_t>(ck_.changes_.size()), 0});
+  FMOSSIM_ASSERT(settleOpen_, "phase recorded before any settle");
+  pending_.phases.push_back(
+      {static_cast<std::uint32_t>(pending_.vics.size()), 0,
+       static_cast<std::uint32_t>(pending_.changes.size()), 0});
   ++ck_.settles_.back().phaseCount;
+  ++totalPhases_;
 }
 
 void CheckpointRecorder::goodVicinity(const Vicinity& vic) {
-  ck_.vics_.push_back({static_cast<std::uint32_t>(ck_.members_.size()),
-                       static_cast<std::uint32_t>(vic.members.size())});
-  ck_.members_.insert(ck_.members_.end(), vic.members.begin(),
-                      vic.members.end());
-  ++ck_.phases_.back().vicCount;
+  pending_.vics.push_back({static_cast<std::uint32_t>(pending_.members.size()),
+                           static_cast<std::uint32_t>(vic.members.size())});
+  pending_.members.insert(pending_.members.end(), vic.members.begin(),
+                          vic.members.end());
+  ++pending_.phases.back().vicCount;
 }
 
 void CheckpointRecorder::goodCommit(NodeId n, State v) {
-  ck_.changes_.push_back({n, v});
-  ++ck_.phases_.back().changeCount;
+  pending_.changes.push_back({n, v});
+  ++pending_.phases.back().changeCount;
+}
+
+void CheckpointRecorder::finish() {
+  FMOSSIM_ASSERT(pendingInputs_.empty(),
+                 "input changes recorded after the last settle");
+  flushSettle();
 }
 
 }  // namespace fmossim

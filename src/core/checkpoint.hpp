@@ -6,7 +6,7 @@
 // circuits *within* one engine; a sharded run used to throw that away by
 // re-simulating the good circuit once per shard. A GoodMachineCheckpoint
 // captures one complete good-machine run of a test sequence as a compact
-// phase-by-phase trace:
+// settle-by-settle, phase-by-phase trace:
 //
 //   * per unit-delay phase: the member lists of every vicinity the good
 //     circuit evaluated (what faulty-circuit trigger collection scans), and
@@ -23,19 +23,35 @@
 // Per-pattern good states are not stored as full snapshots: the change trace
 // *is* the snapshot store, copy-on-write style — all patterns share the one
 // change arena and goodStateAfterPattern() materializes a snapshot by
-// folding the deltas up to that pattern's last settle. For the RAM256
-// workload the whole trace is a few MB; spill-to-disk for huge pattern sets
-// is a ROADMAP follow-on.
+// folding the deltas up to that pattern's last settle.
 //
-// A ConcurrentFaultSimulator constructed with a checkpoint replays the good
-// machine from the trace instead of simulating it: identical good states,
-// identical trigger stimuli, identical phase alignment, zero good-circuit
-// solver work. ShardedRunner records the checkpoint once per (network,
-// sequence) and hands it to every fault batch.
+// Storage has two modes, chosen at record() time by `budgetBytes`:
+//
+//   * **In-memory (budget 0).** The trace lives in flat arenas (one vector
+//     per kind, settle blocks concatenated in run order) — ~14 MB for
+//     RAM256's 1447 patterns.
+//   * **Spilled (budget > 0).** The trace grows linearly with good-machine
+//     activity, so million-pattern sequences cannot hold it in RAM. Each
+//     settle block is streamed to an unlinked temp file as it is recorded
+//     and replayed back through a sliding in-memory window (an LRU cache of
+//     decoded settle blocks) sized so that the checkpoint's resident
+//     footprint — reported by memoryBytes() — stays within the budget.
+//     Only the small per-settle index and the per-pattern arrays stay
+//     resident, so the budget must exceed that fixed floor (plus one settle
+//     block per concurrently replaying engine); within it, eviction and
+//     re-reads are invisible: replay is bit-identical to the in-memory mode.
+//
+// All replay access goes through a CheckpointReader cursor (one per
+// replaying engine); the trace itself is immutable after record() and safe
+// to share across concurrently replaying engines. CheckpointStore
+// (src/core/checkpoint_store.hpp) caches recorded checkpoints across
+// engines and rows, keyed on (network identity, sequence fingerprint).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "patterns/pattern.hpp"
@@ -45,10 +61,12 @@
 namespace fmossim {
 
 struct FsimOptions;
+class CheckpointReader;
 
 /// One recorded good-machine run of a test sequence (see file comment).
 /// Immutable after record(); safe to share across concurrently replaying
-/// engines (all accessors are const).
+/// engines (the spilled-mode window cache is internally synchronized).
+/// Move-only: a spilled checkpoint owns its backing file.
 class GoodMachineCheckpoint {
  public:
   /// One committed good-circuit state change (post-coercion; the new value
@@ -63,7 +81,9 @@ class GoodMachineCheckpoint {
     std::uint32_t memberOff;
     std::uint32_t memberCount;
   };
-  /// One unit-delay phase of good-circuit activity.
+  /// One unit-delay phase of good-circuit activity. Offsets index the
+  /// vicinity/change arenas: global in the in-memory mode, block-local in a
+  /// spilled settle block — CheckpointReader hides the difference.
   struct Phase {
     std::uint32_t vicOff, vicCount;        ///< span into the vicinity table
     std::uint32_t changeOff, changeCount;  ///< span into the change arena
@@ -78,21 +98,51 @@ class GoodMachineCheckpoint {
     std::uint32_t phaseOff, phaseCount;
     std::uint32_t inputOff, inputCount;  ///< span into the input-change arena
   };
+  /// One settle's trace data in decodable form: what the recorder buffers
+  /// while the settle runs, what a spilled file block deserializes into
+  /// (offsets local to the block).
+  struct SettleBlock {
+    std::vector<Phase> phases;
+    std::vector<VicinitySpan> vics;
+    std::vector<NodeId> members;
+    std::vector<Change> changes;
+    std::vector<Change> inputChanges;
+
+    /// Heap footprint of the block's payload (window accounting).
+    std::size_t bytes() const;
+  };
+
+  GoodMachineCheckpoint();
+  GoodMachineCheckpoint(GoodMachineCheckpoint&&) noexcept;
+  GoodMachineCheckpoint& operator=(GoodMachineCheckpoint&&) noexcept;
+  ~GoodMachineCheckpoint();
 
   /// Records the good machine of `net` over `seq`: runs a fault-free
   /// concurrent simulation with `options` (detection knobs are irrelevant;
   /// options.sim controls settle limits) and captures the trace.
-  /// Deterministic: identical inputs produce identical checkpoints.
+  /// Deterministic: identical inputs produce identical checkpoints (and
+  /// bit-identical replays regardless of `budgetBytes`).
+  ///
+  /// `budgetBytes` > 0 spills the settle-block trace to an unlinked temp
+  /// file in `spillDir` (empty = the system temp directory) as it records,
+  /// keeping memoryBytes() within the budget; 0 keeps the whole trace in
+  /// RAM. See the file comment for the budget's fixed floor.
   static GoodMachineCheckpoint record(const Network& net,
                                       const TestSequence& seq,
-                                      const FsimOptions& options);
+                                      const FsimOptions& options,
+                                      std::size_t budgetBytes = 0,
+                                      const std::string& spillDir = {});
 
   /// Content fingerprint of a test sequence (FNV-1a over patterns, settings
   /// and outputs). Replay asserts the sequence it runs matches the one
-  /// recorded; ShardedRunner keys its checkpoint cache on this.
+  /// recorded; CheckpointStore keys its cache on this.
   static std::uint64_t fingerprint(const TestSequence& seq);
 
-  // --- replay accessors ------------------------------------------------------
+  // --- trace accessors (in-memory mode only) ---------------------------------
+  //
+  // Replay must go through a CheckpointReader, which works in both storage
+  // modes; these direct accessors exist for tests and tools that inspect an
+  // in-memory trace and assert !spilled().
 
   /// Number of recorded settles (1 + total input settings of the sequence).
   std::uint32_t numSettles() const {
@@ -100,22 +150,25 @@ class GoodMachineCheckpoint {
   }
   /// The i-th settle's phase span.
   const Settle& settle(std::uint32_t i) const { return settles_[i]; }
-  /// Phase by global index (settle.phaseOff + k).
+  /// Phase by global index (settle.phaseOff + k). In-memory mode only.
   const Phase& phase(std::uint32_t i) const { return phases_[i]; }
   /// The vicinities the good circuit evaluated in a phase, in evaluation
-  /// order (replay must preserve it: faulty-circuit seed order depends on it).
+  /// order (replay must preserve it: faulty-circuit seed order depends on
+  /// it). In-memory mode only.
   std::span<const VicinitySpan> vicinities(const Phase& p) const {
     return {vics_.data() + p.vicOff, p.vicCount};
   }
-  /// Member nodes of one recorded vicinity.
+  /// Member nodes of one recorded vicinity. In-memory mode only.
   std::span<const NodeId> members(const VicinitySpan& v) const {
     return {members_.data() + v.memberOff, v.memberCount};
   }
-  /// The state changes the good circuit committed in a phase.
+  /// The state changes the good circuit committed in a phase. In-memory
+  /// mode only.
   std::span<const Change> changes(const Phase& p) const {
     return {changes_.data() + p.changeOff, p.changeCount};
   }
-  /// The input-node changes applied just before a settle.
+  /// The input-node changes applied just before a settle. In-memory mode
+  /// only.
   std::span<const Change> inputChanges(const Settle& s) const {
     return {inputChanges_.data() + s.inputOff, s.inputCount};
   }
@@ -144,22 +197,41 @@ class GoodMachineCheckpoint {
   /// Total good-machine node evaluations over the sequence (excluding the
   /// initial settle, matching FaultSimResult::totalNodeEvals semantics).
   std::uint64_t totalGoodEvals() const { return totalGoodEvals_; }
-  /// Wall-clock seconds the recording run took (diagnostics).
+  /// Wall-clock seconds the recording run took (merged into the recording
+  /// run's aggregate CPU time; diagnostics).
   double recordSeconds() const { return recordSeconds_; }
 
   /// Materializes the good state of every node after pattern `p` by folding
   /// the change trace up to that pattern's last settle (the copy-on-write
-  /// read path; O(nodes + changes up to p)).
+  /// read path; O(nodes + changes up to p)). Works in both storage modes.
   std::vector<State> goodStateAfterPattern(std::uint32_t p) const;
 
-  /// Approximate heap footprint of the trace in bytes (spill-to-disk
-  /// planning; see ROADMAP).
+  /// True when the settle-block trace lives in the temp-file backing store
+  /// and replays through the sliding window.
+  bool spilled() const { return spill_ != nullptr; }
+  /// The record-time memory budget (0 = unbounded).
+  std::size_t budgetBytes() const { return budgetBytes_; }
+
+  /// Resident heap footprint in bytes: the whole trace in in-memory mode;
+  /// the fixed per-settle/per-pattern index plus the current window of
+  /// decoded settle blocks in spilled mode. The budget enforcement hook —
+  /// stays <= budgetBytes() whenever the budget exceeds the fixed floor
+  /// plus one settle block per concurrently replaying engine.
   std::size_t memoryBytes() const;
 
  private:
   friend class CheckpointRecorder;
+  friend class CheckpointReader;
 
-  std::vector<Settle> settles_;
+  struct SpillState;
+
+  std::size_t fixedBytes() const;
+  /// Loads settle block `i` through the window cache (spilled mode).
+  std::shared_ptr<const SettleBlock> loadBlock(std::uint32_t i) const;
+
+  std::vector<Settle> settles_;  ///< resident in both modes (the index)
+  // In-memory mode: the flat trace arenas (settle blocks concatenated in
+  // run order; offsets global). Empty in spilled mode.
   std::vector<Phase> phases_;
   std::vector<VicinitySpan> vics_;
   std::vector<NodeId> members_;
@@ -174,21 +246,79 @@ class GoodMachineCheckpoint {
   std::uint64_t totalGoodEvals_ = 0;
   std::uint64_t seqFingerprint_ = 0;
   double recordSeconds_ = 0.0;
+
+  std::size_t budgetBytes_ = 0;
+  std::unique_ptr<SpillState> spill_;  ///< non-null in spilled mode
+};
+
+/// Forward-only replay cursor over a checkpoint's settle blocks — the one
+/// access path that works in both storage modes. Each replaying engine owns
+/// one; in spilled mode the cursor pins its current settle's decoded block
+/// (keeping returned spans valid until the next enterSettle) and the shared
+/// window cache behind it slides forward with the replay.
+class CheckpointReader {
+ public:
+  /// Binds to `ck` (must outlive the reader) without loading anything.
+  explicit CheckpointReader(const GoodMachineCheckpoint& ck);
+  ~CheckpointReader();
+
+  /// Positions the cursor on settle `i` (asserted in range). Sequential
+  /// forward access is the fast path; any order is correct.
+  void enterSettle(std::uint32_t i);
+
+  /// Number of phases of the current settle.
+  std::uint32_t phaseCount() const { return phaseCount_; }
+  /// The vicinities of phase `k` of the current settle, in evaluation order.
+  std::span<const GoodMachineCheckpoint::VicinitySpan> vicinities(
+      std::uint32_t k) const {
+    const GoodMachineCheckpoint::Phase& p = phases_[k];
+    return {vicBase_ + p.vicOff, p.vicCount};
+  }
+  /// Member nodes of one vicinity of the current settle.
+  std::span<const NodeId> members(
+      const GoodMachineCheckpoint::VicinitySpan& v) const {
+    return {memberBase_ + v.memberOff, v.memberCount};
+  }
+  /// The state changes committed in phase `k` of the current settle.
+  std::span<const GoodMachineCheckpoint::Change> changes(
+      std::uint32_t k) const {
+    const GoodMachineCheckpoint::Phase& p = phases_[k];
+    return {changeBase_ + p.changeOff, p.changeCount};
+  }
+  /// The input-node changes applied just before the current settle.
+  std::span<const GoodMachineCheckpoint::Change> inputChanges() const {
+    return {inputs_, inputCount_};
+  }
+
+ private:
+  const GoodMachineCheckpoint* ck_;
+  /// Pin on the current settle's decoded block (spilled mode only).
+  std::shared_ptr<const GoodMachineCheckpoint::SettleBlock> pin_;
+  const GoodMachineCheckpoint::Phase* phases_ = nullptr;
+  const GoodMachineCheckpoint::VicinitySpan* vicBase_ = nullptr;
+  const NodeId* memberBase_ = nullptr;
+  const GoodMachineCheckpoint::Change* changeBase_ = nullptr;
+  const GoodMachineCheckpoint::Change* inputs_ = nullptr;
+  std::uint32_t phaseCount_ = 0;
+  std::uint32_t inputCount_ = 0;
 };
 
 /// Recording sink the concurrent engine drives during a checkpoint-recording
-/// run. Appends to the checkpoint's flat arenas; one beginSettle() per
-/// settleAll(), one beginPhase() per unit-delay phase, then the phase's good
-/// vicinities and commits in engine order.
+/// run. Buffers the current settle's trace in a SettleBlock; a completed
+/// block is appended to the in-memory arenas or streamed to the spill file
+/// when the budget demands it. One beginSettle() per settleAll(), one
+/// beginPhase() per unit-delay phase, then the phase's good vicinities and
+/// commits in engine order; finish() flushes the last block.
 class CheckpointRecorder {
  public:
-  /// Records into `into` (must outlive the recorder).
+  /// Records into `into` (must outlive the recorder; its spill mode is
+  /// fixed before recording starts).
   explicit CheckpointRecorder(GoodMachineCheckpoint& into) : ck_(into) {}
 
   /// Records one input-node assignment (old != new); attached to the settle
   /// the engine runs next.
   void inputChange(NodeId n, State v);
-  /// Opens the next settle block.
+  /// Opens the next settle block (flushing the previous one).
   void beginSettle();
   /// Opens the next phase of the current settle.
   void beginPhase();
@@ -196,10 +326,22 @@ class CheckpointRecorder {
   void goodVicinity(const Vicinity& vic);
   /// Records one committed good-circuit change (post-coercion, old != new).
   void goodCommit(NodeId n, State v);
+  /// Flushes the final settle block; recording is complete.
+  void finish();
 
  private:
+  void flushSettle();
+
   GoodMachineCheckpoint& ck_;
-  std::uint32_t inputMark_ = 0;  ///< input changes already owned by a settle
+  GoodMachineCheckpoint::SettleBlock pending_;
+  /// Input changes seen since the last beginSettle (owned by the next one).
+  std::vector<GoodMachineCheckpoint::Change> pendingInputs_;
+  bool settleOpen_ = false;
+  // Running global totals (the flushed arenas' sizes in in-memory mode);
+  // the settle index's phase/input offsets are derived from these in both
+  // modes.
+  std::uint64_t totalPhases_ = 0;
+  std::uint64_t totalInputs_ = 0;
 };
 
 }  // namespace fmossim

@@ -92,6 +92,9 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
                  "checkpoint recording requires a fault-free engine");
   FMOSSIM_ASSERT(replay_ == nullptr || replay_->numNodes() == net_.numNodes(),
                  "checkpoint was recorded for a different network");
+  if (replay_ != nullptr) {
+    replayReader_ = std::make_unique<CheckpointReader>(*replay_);
+  }
   for (std::uint32_t t = 0; t < net_.numTransistors(); ++t) {
     const auto& tr = net_.transistor(TransId(t));
     cond0_[t] = tr.isFaultDevice()
@@ -108,6 +111,8 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
   inject();
   settleAll();
 }
+
+ConcurrentFaultSimulator::~ConcurrentFaultSimulator() = default;
 
 void ConcurrentFaultSimulator::inject() {
   for (std::uint32_t i = 0; i < faults_.size(); ++i) {
@@ -370,27 +375,30 @@ void ConcurrentFaultSimulator::collectTriggers(
 
 bool ConcurrentFaultSimulator::replayPhasesRemain() const {
   if (replay_ == nullptr) return false;
-  const auto& blk = replay_->settle(replaySettle_ - 1);
-  return replayPhase_ < blk.phaseCount;
+  return replayPhase_ < replayReader_->phaseCount();
 }
 
 void ConcurrentFaultSimulator::replayBeginSettle() {
   FMOSSIM_ASSERT(replaySettle_ < replay_->numSettles(),
                  "replay ran more settles than the checkpoint recorded");
+  // The cursor pins the settle's trace block — for a spilled checkpoint
+  // this is the point where the sliding window advances.
+  replayReader_->enterSettle(replaySettle_);
   ++replaySettle_;
   replayPhase_ = 0;
 }
 
 void ConcurrentFaultSimulator::replayGoodPhase() {
-  const auto& blk = replay_->settle(replaySettle_ - 1);
-  if (replayPhase_ >= blk.phaseCount) return;  // good machine already quiet
-  const auto& ph = replay_->phase(blk.phaseOff + replayPhase_++);
+  if (replayPhase_ >= replayReader_->phaseCount()) {
+    return;  // good machine already quiet
+  }
+  const std::uint32_t ph = replayPhase_++;
   // Trigger stimuli first, in recorded evaluation order: faulty-circuit seed
   // order (and therefore vicinity growth order) must match a
   // self-simulating engine's exactly.
   if (aliveCount_ != 0) {
-    for (const auto& vs : replay_->vicinities(ph)) {
-      collectTriggers(replay_->members(vs));
+    for (const auto& vs : replayReader_->vicinities(ph)) {
+      collectTriggers(replayReader_->members(vs));
     }
   }
   // Then the commits. Recorded changes are post-coercion and always differ
@@ -398,7 +406,7 @@ void ConcurrentFaultSimulator::replayGoodPhase() {
   // states are pure functions of the gate state and are recomputed rather
   // than stored. No good events are scheduled — the next recorded phase
   // already embodies them.
-  for (const auto& ch : replay_->changes(ph)) {
+  for (const auto& ch : replayReader_->changes(ph)) {
     const NodeId n = ch.node;
     if (goodOldStamp_[n.value] != phaseEpoch_) {
       goodOldStamp_[n.value] = phaseEpoch_;
@@ -783,6 +791,8 @@ FaultSimResult ConcurrentFaultSimulator::run(
   res.finalRecords = table_.totalRecords();
   res.potentialDetections = potentialDetections_;
   res.totalSeconds = total.seconds();
+  // One engine, one thread: aggregate engine time is the wall clock.
+  res.totalCpuSeconds = res.totalSeconds;
   res.totalNodeEvals = nodeEvals() - evalsAtStart;
   return res;
 }

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,7 @@
 
 namespace fmossim {
 
+class CheckpointReader;
 class CheckpointRecorder;
 class GoodMachineCheckpoint;
 
@@ -70,7 +72,12 @@ struct FsimOptions {
 /// Per-pattern measurement row (the raw data behind Figures 1 and 2).
 struct PatternStat {
   std::uint32_t index = 0;
-  double seconds = 0.0;           ///< wall-clock time for this pattern
+  /// Aggregate engine time spent on this pattern, summed across every
+  /// engine that simulated it. For unsharded runs this is the pattern's
+  /// wall-clock time; for sharded runs it is CPU-like time (concurrent
+  /// batches overlap on the wall clock) — see FaultSimResult::totalSeconds
+  /// vs. totalCpuSeconds for the run-level pair.
+  double seconds = 0.0;
   std::uint64_t nodeEvals = 0;    ///< solver work in this pattern (all circuits)
   std::uint32_t newlyDetected = 0;
   std::uint32_t cumulativeDetected = 0;
@@ -85,10 +92,21 @@ struct FaultSimResult {
   std::uint32_t numFaults = 0;
   std::uint32_t numDetected = 0;
   std::uint64_t potentialDetections = 0;  ///< X-involved mismatches observed
+  /// Wall-clock seconds for the whole run (sharded runs: the parallel run's
+  /// elapsed time, including checkpoint recording when this run recorded).
   double totalSeconds = 0.0;
+  /// Aggregate engine (CPU-like) seconds summed across every engine that
+  /// contributed to the run — all fault batches plus checkpoint recording.
+  /// Equals totalSeconds for unsharded backends; for sharded runs
+  /// totalCpuSeconds / totalSeconds approximates the effective parallelism.
+  double totalCpuSeconds = 0.0;
   std::uint64_t totalNodeEvals = 0;
-  /// Peak number of simultaneously live faulty circuits (sharded runs report
-  /// the sum of per-shard peaks, an upper bound on the true peak).
+  /// Peak number of simultaneously live faulty circuits of the modeled
+  /// (single-engine) simulation — the paper's Fig. statistic. Exact for
+  /// every backend and jobs count: alive counts never increase during a
+  /// run, so each engine peaks at sequence start and a merged sharded
+  /// result reports the same peak as a jobs=1 run (asserted by the
+  /// scheduler matrix test), not an upper bound.
   std::uint32_t maxAlive = 0;
   /// State-table divergence records at end of run (summed across shards;
   /// 0 for the serial backend, which keeps no difference state).
@@ -127,6 +145,7 @@ class ConcurrentFaultSimulator {
                            FsimOptions options = {},
                            CheckpointRecorder* record = nullptr,
                            const GoodMachineCheckpoint* replay = nullptr);
+  ~ConcurrentFaultSimulator();
 
   const Network& network() const { return net_; }
   const FaultList& faults() const { return faults_; }
@@ -201,7 +220,9 @@ class ConcurrentFaultSimulator {
   // Checkpoint replay (see checkpoint.hpp): one settle block per settleAll,
   // whose recorded phases are consumed one per runPhase — the good prefix of
   // the settle. replayGoodPhase applies a recorded phase's trigger stimuli
-  // and state commits in place of processGoodPhase.
+  // and state commits in place of processGoodPhase. All trace access goes
+  // through replayReader_, the forward cursor that works for in-memory and
+  // spilled (windowed temp-file) checkpoints alike.
   bool replayPhasesRemain() const;
   void replayBeginSettle();
   void replayGoodPhase();
@@ -241,6 +262,7 @@ class ConcurrentFaultSimulator {
   FsimOptions options_;
   CheckpointRecorder* record_ = nullptr;
   const GoodMachineCheckpoint* replay_ = nullptr;
+  std::unique_ptr<CheckpointReader> replayReader_;  // non-null iff replay_
   std::uint32_t replaySettle_ = 0;  // 1-based after replayBeginSettle
   std::uint32_t replayPhase_ = 0;   // next phase within the current settle
 

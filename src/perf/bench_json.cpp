@@ -173,6 +173,17 @@ std::string toJson(const ScenarioResult& r) {
       "  \"circuit\": {\"transistors\": %u, \"nodes\": %u, \"faults\": %u, "
       "\"patterns\": %u},\n",
       r.transistors, r.nodes, r.faults, r.patterns);
+  // Checkpoint-store accounting (PR 5): absent for scenarios that never
+  // touched the store, so their files — and older baselines — stay
+  // byte-compatible.
+  if (r.checkpointRecordings > 0 || r.checkpointBudget > 0) {
+    out += format(
+        "  \"checkpoint\": {\"budgetBytes\": %llu, \"recordings\": %u, "
+        "\"residentBytes\": %llu},\n",
+        static_cast<unsigned long long>(r.checkpointBudget),
+        r.checkpointRecordings,
+        static_cast<unsigned long long>(r.checkpointResidentBytes));
+  }
   out += "  \"rows\": [\n";
   for (std::size_t i = 0; i < r.rows.size(); ++i) {
     const BenchRow& row = r.rows[i];
@@ -215,6 +226,21 @@ ScenarioResult parseBenchJson(const std::string& text) {
         else if (ck == "faults") r.faults = static_cast<std::uint32_t>(v);
         else if (ck == "patterns") r.patterns = static_cast<std::uint32_t>(v);
         else throw Error("bench JSON: unknown circuit key '" + ck + "'");
+      });
+    } else if (key == "checkpoint") {
+      // Optional (schema 1 additive): absent in files written before the
+      // checkpoint store existed.
+      p.parseObject([&](const std::string& ck) {
+        const double v = p.parseNumber();
+        if (ck == "budgetBytes") {
+          r.checkpointBudget = static_cast<std::uint64_t>(v);
+        } else if (ck == "recordings") {
+          r.checkpointRecordings = static_cast<std::uint32_t>(v);
+        } else if (ck == "residentBytes") {
+          r.checkpointResidentBytes = static_cast<std::uint64_t>(v);
+        } else {
+          throw Error("bench JSON: unknown checkpoint key '" + ck + "'");
+        }
       });
     } else if (key == "rows") {
       p.parseArray([&] {

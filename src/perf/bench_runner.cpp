@@ -3,37 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/hash.hpp"
 #include "util/timer.hpp"
 
 namespace fmossim::perf {
 
-namespace {
-
-inline void fnv(std::uint64_t& h, std::uint64_t v) {
-  // FNV-1a over the 8 bytes of v, byte-order independent.
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
-}
-
-}  // namespace
-
 std::uint64_t resultChecksum(const FaultSimResult& res) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  fnv(h, res.numFaults);
-  fnv(h, res.numDetected);
-  fnv(h, res.potentialDetections);
+  std::uint64_t h = kFnvOffsetBasis;
+  fnvMix(h, res.numFaults);
+  fnvMix(h, res.numDetected);
+  fnvMix(h, res.potentialDetections);
   for (const std::int32_t at : res.detectedAtPattern) {
-    fnv(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(at)));
+    fnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(at)));
   }
   for (const PatternStat& st : res.perPattern) {
-    fnv(h, st.newlyDetected);
-    fnv(h, st.cumulativeDetected);
-    fnv(h, st.aliveAfter);
+    fnvMix(h, st.newlyDetected);
+    fnvMix(h, st.cumulativeDetected);
+    fnvMix(h, st.aliveAfter);
   }
   for (const State s : res.finalGoodStates) {
-    fnv(h, static_cast<std::uint64_t>(s));
+    fnvMix(h, static_cast<std::uint64_t>(s));
   }
   return h;
 }
@@ -80,8 +69,20 @@ ScenarioResult BenchRunner::runScenario(
   const unsigned warmup = config_.effectiveWarmup();
   const unsigned reps = std::max(1u, config_.effectiveReps());
 
+  // One checkpoint store per scenario, shared by every row: the good
+  // machine is recorded once and the sharded-2/sharded-4 rows (plus all
+  // their warmups and repetitions) replay the same trace. The store's
+  // recording counter lands in the JSON so the sharing is auditable.
+  CheckpointStore::Options storeOpts;
+  storeOpts.budgetBytes =
+      config_.checkpointBudget.value_or(w.checkpointBudgetBytes);
+  auto store = std::make_shared<CheckpointStore>(storeOpts);
+  sr.checkpointBudget = storeOpts.budgetBytes;
+
   for (const RowSpec& spec : w.rows) {
-    Engine engine(w.net, w.faults, spec.engineOptions());
+    EngineOptions engineOpts = spec.engineOptions();
+    engineOpts.checkpointStore = store;
+    Engine engine(w.net, w.faults, engineOpts);
 
     BenchRow row;
     row.backend = spec.label();
@@ -124,6 +125,9 @@ ScenarioResult BenchRunner::runScenario(
     sr.rows.push_back(std::move(row));
     if (onRow) onRow(sr, sr.rows.back());
   }
+  sr.checkpointRecordings =
+      static_cast<std::uint32_t>(store->recordings());
+  sr.checkpointResidentBytes = store->memoryBytes();
   return sr;
 }
 

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@ struct BenchConfig {
   /// Scenario-name filter; empty means every registered scenario, in
   /// scenarioNames() order. Unknown names throw Error.
   std::vector<std::string> only;
+  /// Overrides every scenario's checkpoint-store memory budget (bytes; 0 =
+  /// unbounded) when set — the CLI's `--checkpoint-budget`. Unset keeps each
+  /// scenario's own Workload::checkpointBudgetBytes.
+  std::optional<std::size_t> checkpointBudget;
 
   /// Warmup runs actually performed (0 in smoke mode).
   unsigned effectiveWarmup() const { return smoke ? 0 : warmup; }
@@ -69,6 +74,17 @@ struct ScenarioResult {
   std::uint32_t faults = 0;       ///< fault-universe size
   std::uint32_t patterns = 0;     ///< test-sequence length
   std::vector<BenchRow> rows;     ///< one row per measured configuration
+  /// Checkpoint-store memory budget the scenario ran under (bytes; 0 =
+  /// unbounded in-memory traces).
+  std::uint64_t checkpointBudget = 0;
+  /// Good-machine recordings the scenario's shared checkpoint store
+  /// performed across ALL its rows, warmups and repetitions — exactly 1 for
+  /// any scenario with sharded rows (the cross-row sharing guarantee), 0
+  /// for scenarios without them.
+  std::uint32_t checkpointRecordings = 0;
+  /// Resident footprint (memoryBytes()) of the store's checkpoints after
+  /// the measured runs — stays within checkpointBudget when one is set.
+  std::uint64_t checkpointResidentBytes = 0;
 };
 
 /// Checksum of the backend-invariant result fields (the same fields the

@@ -103,8 +103,9 @@ Workload fuzzScenario(const std::string& name, const GenOptions& gen,
 
 const std::vector<std::string>& scenarioNames() {
   static const std::vector<std::string> names = {
-      "ram64_seq1", "ram64_seq2",  "ram256_seq1",    "fuzz_small",
-      "fuzz_medium", "fuzz_large", "ram256_seq1_j4", "fuzz_large_j4",
+      "ram64_seq1",  "ram64_seq2",     "ram256_seq1",   "fuzz_small",
+      "fuzz_medium", "fuzz_large",     "ram256_seq1_j4", "fuzz_large_j4",
+      "fuzz_xlarge_seq",
   };
   return names;
 }
@@ -171,6 +172,26 @@ Workload buildScenarioWorkload(const std::string& name) {
                               "jobs=4");
     w.rows = {{Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly, true},
               {Backend::Concurrent, 4, DetectionPolicy::DefiniteOnly, true}};
+    return w;
+  }
+  // Huge-sequence scale tracker: the workload class the checkpoint spill
+  // store exists for. A small circuit driven by a 100k-pattern sequence
+  // makes the good-machine trace dwarf the circuit, so the scenario runs
+  // its sharded row against a deliberately small checkpoint budget — the
+  // recording streams to disk and the replay slides a window across it on
+  // every bench run (CI included). The jobs=1 row uses no checkpoint at
+  // all, so equal row checksums prove the spill path bit-exact on every
+  // measurement.
+  if (name == "fuzz_xlarge_seq") {
+    GenOptions gen = fuzzGen(17, 10, 4, 16, 100000);
+    gen.maxSettingsPerPattern = 1;  // bound the settle index, not the trace
+    Workload w = fuzzScenario(name, gen,
+                              "huge-sequence scale tracker: 100k generated "
+                              "patterns; sharded row replays a disk-spilled "
+                              "checkpoint under an 8 MiB budget");
+    w.rows = {{Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly, true},
+              {Backend::Concurrent, 2, DetectionPolicy::DefiniteOnly, true}};
+    w.checkpointBudgetBytes = std::size_t{8} << 20;
     return w;
   }
   throw Error("unknown benchmark scenario '" + name + "' (see scenarioNames())");

@@ -54,6 +54,12 @@ struct Workload {
   FaultList faults;         ///< fault universe, global index order
   TestSequence seq;         ///< test patterns + observed outputs
   std::vector<RowSpec> rows;  ///< configurations the harness measures
+  /// Memory budget for the scenario's shared checkpoint store: 0 keeps the
+  /// good-machine trace in RAM; > 0 spills it to disk and replays through a
+  /// sliding window (huge-sequence scenarios set this so the spill path is
+  /// measured — and exercised by CI — by default). The harness's
+  /// `--checkpoint-budget` flag overrides it.
+  std::size_t checkpointBudgetBytes = 0;
 };
 
 /// Deterministic, stable-order list of all scenario names. The order is the

@@ -1,0 +1,22 @@
+// Shared FNV-1a hashing used by the result checksums and the checkpoint /
+// network / sequence fingerprints. One definition so the scheme cannot
+// drift between the fingerprint producers (drift would silently break
+// checkpoint-cache keying and baseline checksum comparisons).
+#pragma once
+
+#include <cstdint>
+
+namespace fmossim {
+
+/// FNV-1a offset basis (the initial hash value).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Mixes the 8 bytes of `v` into `h`, FNV-1a, byte-order independent.
+inline void fnvMix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace fmossim

@@ -118,8 +118,12 @@ TEST(SchedulerMatrixTest, MergedResultsEqualSerialBackend) {
 
 // Sharded work counters must equal the unsharded concurrent engine's for
 // every jobs/batch combination: the checkpoint counts the good machine once,
-// the batches partition the faulty work.
-TEST(SchedulerMatrixTest, NodeEvalsInvariantAcrossJobsAndBatches) {
+// the batches partition the faulty work. The merged peak-concurrent-fault-
+// machine count (the paper's Fig. statistic) must also equal the jobs=1
+// peak exactly — per-batch peaks coincide at sequence start, so the merge's
+// summed peaks reconstruct the modeled single-engine peak, not an upper
+// bound (see FaultSimResult::maxAlive).
+TEST(SchedulerMatrixTest, NodeEvalsAndMaxAliveInvariantAcrossJobsAndBatches) {
   const MatrixWorkload w = matrixWorkloads()[0];
   EngineOptions base;
   base.policy = DetectionPolicy::AnyDifference;
@@ -135,6 +139,9 @@ TEST(SchedulerMatrixTest, NodeEvalsInvariantAcrossJobsAndBatches) {
       const FaultSimResult got = engine.run(w.seq);
       EXPECT_EQ(got.totalNodeEvals, ref.totalNodeEvals)
           << "jobs=" << jobs << " batch=" << batch;
+      EXPECT_EQ(got.maxAlive, ref.maxAlive)
+          << "merged peak-alive must equal the jobs=1 peak (jobs=" << jobs
+          << " batch=" << batch << ")";
       for (std::size_t pi = 0; pi < ref.perPattern.size(); ++pi) {
         ASSERT_EQ(got.perPattern[pi].nodeEvals, ref.perPattern[pi].nodeEvals)
             << "jobs=" << jobs << " batch=" << batch << " pattern=" << pi;

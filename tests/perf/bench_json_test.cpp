@@ -19,6 +19,9 @@ ScenarioResult sample() {
   r.nodes = 45;
   r.faults = 32;
   r.patterns = 16;
+  r.checkpointBudget = 8u << 20;
+  r.checkpointRecordings = 1;
+  r.checkpointResidentBytes = 1234567;
   BenchRow row;
   row.backend = "sharded-4";
   row.jobs = 4;
@@ -49,6 +52,9 @@ TEST(BenchJsonTest, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.nodes, r.nodes);
   EXPECT_EQ(back.faults, r.faults);
   EXPECT_EQ(back.patterns, r.patterns);
+  EXPECT_EQ(back.checkpointBudget, r.checkpointBudget);
+  EXPECT_EQ(back.checkpointRecordings, r.checkpointRecordings);
+  EXPECT_EQ(back.checkpointResidentBytes, r.checkpointResidentBytes);
   ASSERT_EQ(back.rows.size(), r.rows.size());
   for (std::size_t i = 0; i < r.rows.size(); ++i) {
     EXPECT_EQ(back.rows[i].backend, r.rows[i].backend);
@@ -69,6 +75,26 @@ TEST(BenchJsonTest, ChecksumSerializesAsHexString) {
   const std::string json = toJson(sample());
   EXPECT_NE(json.find("\"checksum\": \"0xdeadbeefcafef00d\""),
             std::string::npos);
+}
+
+// The checkpoint object is additive: untouched scenarios (and files written
+// before the store existed) omit it, and the parser defaults its fields.
+TEST(BenchJsonTest, CheckpointObjectIsOptional) {
+  ScenarioResult plain = sample();
+  plain.checkpointBudget = 0;
+  plain.checkpointRecordings = 0;
+  plain.checkpointResidentBytes = 0;
+  const std::string json = toJson(plain);
+  EXPECT_EQ(json.find("\"checkpoint\""), std::string::npos);
+  const ScenarioResult back = parseBenchJson(json);
+  EXPECT_EQ(back.checkpointBudget, 0u);
+  EXPECT_EQ(back.checkpointRecordings, 0u);
+
+  // Present when the store recorded, even without a budget.
+  ScenarioResult recorded = plain;
+  recorded.checkpointRecordings = 1;
+  EXPECT_NE(toJson(recorded).find("\"checkpoint\""), std::string::npos);
+  EXPECT_EQ(parseBenchJson(toJson(recorded)).checkpointRecordings, 1u);
 }
 
 TEST(BenchJsonTest, RejectsMalformedInput) {

@@ -14,8 +14,9 @@ TEST(BenchScenarioTest, RegistryIsStableAndComplete) {
   // The registry order is part of the harness contract (BENCH file ordering,
   // docs/BENCHMARKING.md); changing it is a schema-affecting decision.
   const std::vector<std::string> expected = {
-      "ram64_seq1", "ram64_seq2",  "ram256_seq1",    "fuzz_small",
-      "fuzz_medium", "fuzz_large", "ram256_seq1_j4", "fuzz_large_j4",
+      "ram64_seq1",  "ram64_seq2",     "ram256_seq1",   "fuzz_small",
+      "fuzz_medium", "fuzz_large",     "ram256_seq1_j4", "fuzz_large_j4",
+      "fuzz_xlarge_seq",
   };
   EXPECT_EQ(names, expected);
   EXPECT_EQ(scenarioNames(), names);  // deterministic across calls
@@ -103,6 +104,38 @@ TEST(BenchRunnerTest, SmokeRunAgreesAcrossBackends) {
   for (std::size_t i = 0; i < sr.rows.size(); ++i) {
     EXPECT_EQ(again.rows[i].checksum, sr.rows[i].checksum);
     EXPECT_EQ(again.rows[i].nodeEvals, sr.rows[i].nodeEvals);
+  }
+}
+
+// Cross-row checkpoint sharing: one scenario's sharded-2 and sharded-4 rows
+// (plus warmups and repetitions) must record the good machine exactly once
+// — the counter that lands in the BENCH JSON.
+TEST(BenchRunnerTest, ScenarioRecordsItsCheckpointExactlyOnce) {
+  BenchConfig config;
+  config.reps = 2;
+  config.warmup = 1;
+  config.only = {"fuzz_small"};
+  const ScenarioResult sr = BenchRunner(config).runScenario("fuzz_small");
+  bool hasSharded = false;
+  for (const BenchRow& row : sr.rows) hasSharded |= row.jobs > 1;
+  ASSERT_TRUE(hasSharded);
+  EXPECT_EQ(sr.checkpointRecordings, 1u);
+  EXPECT_GT(sr.checkpointResidentBytes, 0u);
+
+  // A forced budget routes the same scenario through the spill path with
+  // identical results and a bounded resident footprint.
+  BenchConfig budgeted = config;
+  budgeted.smoke = true;
+  budgeted.checkpointBudget = 64u << 10;
+  const ScenarioResult spilled =
+      BenchRunner(budgeted).runScenario("fuzz_small");
+  EXPECT_EQ(spilled.checkpointRecordings, 1u);
+  EXPECT_EQ(spilled.checkpointBudget, 64u << 10);
+  EXPECT_LE(spilled.checkpointResidentBytes, spilled.checkpointBudget);
+  ASSERT_EQ(spilled.rows.size(), sr.rows.size());
+  for (std::size_t i = 0; i < sr.rows.size(); ++i) {
+    EXPECT_EQ(spilled.rows[i].checksum, sr.rows[i].checksum) << i;
+    EXPECT_EQ(spilled.rows[i].nodeEvals, sr.rows[i].nodeEvals) << i;
   }
 }
 
