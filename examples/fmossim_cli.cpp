@@ -9,6 +9,8 @@
 //   fmossim_cli --demo                           (built-in demo run)
 //   fmossim_cli fuzz --seeds N [--seed S] ...    (differential fuzzing)
 //   fmossim_cli bench [--json] [--smoke] ...     (performance harness)
+//   fmossim_cli serve --socket PATH ...          (fault-simulation daemon)
+//   fmossim_cli loadgen (--socket PATH | --inproc) ...  (service load test)
 //   fmossim_cli --help                           (full subcommand summary)
 //
 // The fuzz subcommand generates seeded random switch-level workloads
@@ -23,6 +25,15 @@
 // with --json, and gating fresh results against checked-in baselines with
 // --check (the CI perf-regression gate; see docs/BENCHMARKING.md). Unknown
 // subcommands are an error (exit 2).
+//
+// The serve subcommand turns the simulator into a long-lived daemon: a
+// persistent engine pool over a shared good-machine checkpoint store, a
+// bounded request queue drained by worker threads, and newline-delimited
+// JSON over a Unix-domain socket (submit/status/result/cancel/stats/
+// shutdown; see docs/SERVICE.md). The loadgen subcommand is the matching
+// client harness: it replays a seeded zipf-skewed mixed-tenant workload,
+// verifies every response against a direct Engine run bit for bit, and
+// emits BENCH_serve_mixed.json with --json.
 //
 // Defaults: --backend concurrent, --jobs 1, --policy definite (a tester
 // cannot distinguish an X from a driven value; pass --policy any for the
@@ -52,6 +63,9 @@
 #include "perf/bench_check.hpp"
 #include "perf/bench_json.hpp"
 #include "perf/bench_runner.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "stats/recorder.hpp"
 #include "util/strings.hpp"
 
@@ -81,6 +95,12 @@ void printUsage(std::FILE* to, const char* argv0) {
                "       %s bench [--json]    performance harness over the "
                "scenario matrix\n"
                "                            (see %s bench --help)\n"
+               "       %s serve --socket PATH   long-lived fault-simulation "
+               "daemon\n"
+               "                            (see %s serve --help)\n"
+               "       %s loadgen (--socket PATH | --inproc)   service load "
+               "generator\n"
+               "                            (see %s loadgen --help)\n"
                "       %s --help            this summary\n"
                "\n"
                "subcommands:\n"
@@ -91,8 +111,17 @@ void printUsage(std::FILE* to, const char* argv0) {
                "  bench   reproducible benchmark runs (warmup + reps + "
                "median/stddev), writing\n"
                "          schema-versioned BENCH_<scenario>.json files with "
-               "--json\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "--json\n"
+               "  serve   engine-pool daemon speaking newline-delimited JSON "
+               "over a Unix\n"
+               "          socket (submit/status/result/cancel/stats/shutdown; "
+               "docs/SERVICE.md)\n"
+               "  loadgen zipf-skewed mixed-tenant replay against a daemon, "
+               "verifying every\n"
+               "          response against a direct engine run; --json writes "
+               "BENCH_serve_mixed.json\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
 }
 
 int usage(const char* argv0) {
@@ -372,6 +401,19 @@ int runBench(int argc, char** argv) {
     std::fprintf(stderr, "--reps must be >= 1\n");
     return 2;
   }
+  // A mistyped scenario name is a usage error (exit 2), and the message
+  // must carry the valid names so the fix is one copy-paste away.
+  for (const std::string& name : config.only) {
+    if (!perf::isScenario(name)) {
+      std::fprintf(stderr, "error: unknown scenario '%s'\nvalid scenarios:",
+                   name.c_str());
+      for (const std::string& s : perf::scenarioNames()) {
+        std::fprintf(stderr, " %s", s.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
 
   perf::BenchRunner runner(config);
   if (list) {
@@ -459,6 +501,214 @@ int runBench(int argc, char** argv) {
   return 0;
 }
 
+int serveUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s serve --socket PATH   Unix-domain socket to listen on\n"
+      "                [--pool N       persistent engine slots (default 4)]\n"
+      "                [--workers N    job worker threads (default 2,\n"
+      "                                clamped to --pool)]\n"
+      "                [--queue N      queued-job bound before backpressure\n"
+      "                                (default 64)]\n"
+      "                [--checkpoint-budget SIZE  shared checkpoint-store\n"
+      "                                memory budget (bytes, k/m/g suffix;\n"
+      "                                0 = unbounded)]\n"
+      "                [--store-entries N  max cached good-machine recordings\n"
+      "                                (default 64, LRU-evicted)]\n"
+      "                [--quiet]\n"
+      "Runs until a client sends {\"verb\":\"shutdown\"}. Protocol: one JSON\n"
+      "request per line, one JSON response per line (docs/SERVICE.md).\n",
+      argv0);
+  return to == stderr ? 2 : 0;
+}
+
+int runServe(int argc, char** argv) {
+  serve::ServerOptions opts;
+  std::string socketPath;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto nextUint = [&]() -> unsigned {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr, "invalid number '%s' for %s\n", text, arg.c_str());
+        std::exit(2);
+      }
+      return static_cast<unsigned>(v);
+    };
+    if (arg == "--socket") socketPath = next();
+    else if (arg == "--pool") opts.poolEngines = nextUint();
+    else if (arg == "--workers") opts.workers = nextUint();
+    else if (arg == "--queue") opts.queueBound = nextUint();
+    else if (arg == "--checkpoint-budget") {
+      opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
+    }
+    else if (arg == "--store-entries") opts.storeEntries = nextUint();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help") return serveUsage(stdout, argv[0]);
+    else return serveUsage(stderr, argv[0]);
+  }
+  if (socketPath.empty()) {
+    std::fprintf(stderr, "serve: --socket PATH is required\n");
+    return 2;
+  }
+  if (opts.poolEngines == 0 || opts.workers == 0 || opts.queueBound == 0) {
+    std::fprintf(stderr, "serve: --pool, --workers and --queue must be >= 1\n");
+    return 2;
+  }
+
+  serve::Server server(opts);
+  server.start();
+  serve::SocketServer socket(server, socketPath);
+  if (!quiet) {
+    std::printf("serving on %s (pool %u, workers %u, queue %zu, "
+                "checkpoint budget %zu bytes)\n",
+                socketPath.c_str(), opts.poolEngines, opts.workers,
+                opts.queueBound, opts.checkpointBudgetBytes);
+    std::fflush(stdout);
+  }
+  socket.waitShutdown();  // a client's shutdown verb ends the accept loop
+  server.stop();          // wakes blocked result waiters, joins workers
+  socket.stop();          // closes remaining connections, joins their threads
+  if (!quiet) {
+    const serve::ServerStats stats = server.stats();
+    std::printf("shutdown after %.1f s: %llu completed, %llu failed, %llu "
+                "cancelled; store hits %llu, recordings %llu\n",
+                stats.uptimeSeconds,
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.cancelled),
+                static_cast<unsigned long long>(stats.storeHits),
+                static_cast<unsigned long long>(stats.storeRecordings));
+  }
+  return 0;
+}
+
+int loadgenUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s loadgen (--socket PATH | --inproc)\n"
+      "                  [--seeds M       distinct circuits (default 5)]\n"
+      "                  [--sequences K   test sequences per circuit "
+      "(default 2)]\n"
+      "                  [--requests N    requests to replay (default 50)]\n"
+      "                  [--seed S        base workload seed (default 1)]\n"
+      "                  [--zipf E        repeat-skew exponent (default "
+      "1.1)]\n"
+      "                  [--concurrency T client connections (default 4)]\n"
+      "                  [--jobs J        per-request parallelism (default "
+      "2)]\n"
+      "                  [--no-verify     skip the direct-engine checksum "
+      "oracle]\n"
+      "                  [--expect-store-hits N  fail unless the daemon\n"
+      "                                   reports >= N checkpoint-store "
+      "hits]\n"
+      "                  [--json] [--out DIR]  write BENCH_serve_mixed.json\n"
+      "                  [--shutdown      send shutdown when done]\n"
+      "                  [--pool N] [--workers N] [--queue N]\n"
+      "                  [--checkpoint-budget SIZE]   (--inproc daemon "
+      "knobs)\n"
+      "                  [--quiet]\n"
+      "Replays M*K distinct workloads over N zipf-skewed requests and "
+      "verifies\nevery response checksum against a direct Engine run (exit 1 "
+      "on any\nmismatch).\n",
+      argv0);
+  return to == stderr ? 2 : 0;
+}
+
+int runLoadgen(int argc, char** argv) {
+  serve::LoadGenOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto nextUint = [&]() -> unsigned {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr, "invalid number '%s' for %s\n", text, arg.c_str());
+        std::exit(2);
+      }
+      return static_cast<unsigned>(v);
+    };
+    if (arg == "--socket") opts.socketPath = next();
+    else if (arg == "--inproc") opts.inproc = true;
+    else if (arg == "--seeds") opts.circuits = nextUint();
+    else if (arg == "--sequences") opts.sequencesPerCircuit = nextUint();
+    else if (arg == "--requests") opts.requests = nextUint();
+    else if (arg == "--seed") opts.baseSeed = nextUint();
+    else if (arg == "--zipf") {
+      const char* text = next();
+      char* end = nullptr;
+      const double v = std::strtod(text, &end);
+      if (end == text || *end != '\0' || v < 0.0) {
+        std::fprintf(stderr, "invalid zipf exponent '%s'\n", text);
+        return 2;
+      }
+      opts.zipfExponent = v;
+    }
+    else if (arg == "--concurrency") opts.concurrency = nextUint();
+    else if (arg == "--jobs") opts.jobs = nextUint();
+    else if (arg == "--no-verify") opts.verify = false;
+    else if (arg == "--expect-store-hits") opts.expectStoreHits = nextUint();
+    else if (arg == "--json") opts.emitJson = true;
+    else if (arg == "--out") opts.outDir = next();
+    else if (arg == "--shutdown") opts.shutdownAfter = true;
+    else if (arg == "--pool") opts.inprocServer.poolEngines = nextUint();
+    else if (arg == "--workers") opts.inprocServer.workers = nextUint();
+    else if (arg == "--queue") opts.inprocServer.queueBound = nextUint();
+    else if (arg == "--checkpoint-budget") {
+      opts.inprocServer.checkpointBudgetBytes =
+          parseByteSize(next(), "--checkpoint-budget");
+    }
+    else if (arg == "--quiet") opts.quiet = true;
+    else if (arg == "--help") return loadgenUsage(stdout, argv[0]);
+    else return loadgenUsage(stderr, argv[0]);
+  }
+  if (opts.socketPath.empty() && !opts.inproc) {
+    std::fprintf(stderr, "loadgen: --socket PATH or --inproc is required\n");
+    return 2;
+  }
+
+  const serve::LoadGenReport report = serve::runLoadGen(opts);
+  if (!opts.quiet) {
+    std::printf("loadgen: %u request(s) ok, %u failed over %u distinct "
+                "workload(s)\n",
+                report.requests, report.failures, report.distinctWorkloads);
+    std::printf("         %.1f req/s; latency p50/p95/p99 = "
+                "%.2f/%.2f/%.2f ms\n",
+                report.requestsPerSec, report.p50Ms, report.p95Ms,
+                report.p99Ms);
+    std::printf("         engine reuses %llu; store hits %llu, recordings "
+                "%llu; checksums %s\n",
+                static_cast<unsigned long long>(report.engineReuses),
+                static_cast<unsigned long long>(report.storeHits),
+                static_cast<unsigned long long>(report.storeRecordings),
+                opts.verify ? "verified bit-identical" : "not verified");
+    if (!report.benchPath.empty()) {
+      std::printf("wrote %s\n", report.benchPath.c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -477,6 +727,22 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "bench") == 0) {
     try {
       return runBench(argc, argv);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    try {
+      return runServe(argc, argv);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "loadgen") == 0) {
+    try {
+      return runLoadgen(argc, argv);
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

@@ -1,8 +1,21 @@
 #include "api/engine.hpp"
 
 #include "core/serial_sim.hpp"
+#include "util/hash.hpp"
 
 namespace fmossim {
+
+std::uint64_t faultListFingerprint(const FaultList& faults) {
+  std::uint64_t h = kFnvOffsetBasis;
+  fnvMix(h, faults.size());
+  for (const Fault& f : faults) {
+    fnvMix(h, static_cast<std::uint64_t>(f.kind));
+    fnvMix(h, f.node.value);
+    fnvMix(h, f.transistor.value);
+    fnvMix(h, static_cast<std::uint64_t>(f.value));
+  }
+  return h;
+}
 
 Engine::Engine(Network net, FaultList faults, EngineOptions options)
     : net_(std::move(net)),
@@ -43,6 +56,33 @@ FaultSimResult Engine::run(const TestSequence& seq,
 }
 
 void Engine::reset() { backend_ = makeBackend(); }
+
+void Engine::rebind(Network net, FaultList faults) {
+  net_ = std::move(net);
+  faults_ = std::move(faults);
+  netFp_.reset();
+  faultsFp_.reset();
+  backend_ = makeBackend();
+}
+
+void Engine::rebind(Network net, FaultList faults, EngineOptions options) {
+  options_ = std::move(options);
+  rebind(std::move(net), std::move(faults));
+}
+
+std::uint64_t Engine::netFingerprint() const {
+  if (!netFp_) netFp_ = networkFingerprint(net_);
+  return *netFp_;
+}
+
+std::uint64_t Engine::faultsFingerprint() const {
+  if (!faultsFp_) faultsFp_ = faultListFingerprint(faults_);
+  return *faultsFp_;
+}
+
+std::uint64_t Engine::sequenceFingerprint(const TestSequence& seq) {
+  return GoodMachineCheckpoint::fingerprint(seq);
+}
 
 GoodRunResult Engine::runGood(const TestSequence& seq) const {
   SerialOptions sopts;

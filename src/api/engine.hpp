@@ -19,12 +19,21 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "api/backends.hpp"
 #include "api/fault_simulator.hpp"
 #include "api/sharded_runner.hpp"
 
 namespace fmossim {
+
+/// Content fingerprint of a fault list (FNV-1a over each fault's kind,
+/// node/transistor index and stuck value — names are excluded, mirroring
+/// networkFingerprint()). Two fault lists that inject the same faults in the
+/// same order fingerprint equal; the service-mode EnginePool keys pooled
+/// engines on (networkFingerprint, faultListFingerprint, options) to decide
+/// whether a live engine can serve a request as-is.
+std::uint64_t faultListFingerprint(const FaultList& faults);
 
 /// Simulation strategy selector for EngineOptions::backend.
 enum class Backend : std::uint8_t {
@@ -101,6 +110,32 @@ class Engine : public FaultSimulator {
   /// Rebuilds the backend from scratch (fresh-session semantics).
   void reset() override;
 
+  /// Replaces the engine's workload in place and rebuilds the backend,
+  /// keeping the current options — the engines-as-reusable-resources hook
+  /// the service-mode EnginePool uses instead of destroying and
+  /// reconstructing Engine objects per request. A shared
+  /// EngineOptions::checkpointStore is carried over, so a rebound engine
+  /// still reuses every recording the store holds for its new workload.
+  void rebind(Network net, FaultList faults);
+
+  /// Like rebind(net, faults) but also replaces the options (e.g. a request
+  /// asking for a different jobs count or detection policy).
+  void rebind(Network net, FaultList faults, EngineOptions options);
+
+  /// Structural fingerprint of the owned network (networkFingerprint(),
+  /// cached until rebind()). Equal fingerprints mean a checkpoint or a
+  /// pooled engine recorded for one network is valid for the other.
+  std::uint64_t netFingerprint() const;
+
+  /// Fingerprint of the owned fault list (faultListFingerprint(), cached
+  /// until rebind()).
+  std::uint64_t faultsFingerprint() const;
+
+  /// Content fingerprint of a test sequence — the key the checkpoint store
+  /// pairs with netFingerprint(); re-exported from GoodMachineCheckpoint so
+  /// service-layer callers need only the Engine API.
+  static std::uint64_t sequenceFingerprint(const TestSequence& seq);
+
   /// Good-circuit-only reference run (output trace + timing), the baseline
   /// the paper reports every fault-simulation cost against.
   GoodRunResult runGood(const TestSequence& seq) const;
@@ -112,6 +147,10 @@ class Engine : public FaultSimulator {
   FaultList faults_;
   EngineOptions options_;
   std::unique_ptr<FaultSimulator> backend_;
+  /// Lazily computed, invalidated by rebind() (the workload is otherwise
+  /// immutable for the engine's lifetime).
+  mutable std::optional<std::uint64_t> netFp_;
+  mutable std::optional<std::uint64_t> faultsFp_;  ///< see netFp_
 };
 
 }  // namespace fmossim

@@ -54,6 +54,7 @@ std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquire(
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = cache_.find(key); it != cache_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    ++hits_;
     return it->second.checkpoint;
   }
   if (recordedNow != nullptr) *recordedNow = true;
@@ -79,6 +80,11 @@ void CheckpointStore::clear() {
 std::uint64_t CheckpointStore::recordings() const {
   std::lock_guard<std::mutex> lock(mu_);
   return recordings_;
+}
+
+std::uint64_t CheckpointStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
 }
 
 std::size_t CheckpointStore::entries() const {

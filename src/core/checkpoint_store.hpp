@@ -89,6 +89,13 @@ class CheckpointStore {
   /// hook.
   std::uint64_t recordings() const;
 
+  /// Total acquire() calls served from the cache (no recording needed) —
+  /// together with recordings() this gives the store's hit rate, the
+  /// service-mode `stats` verb's headline redundancy metric: hits are
+  /// exactly the good-machine simulations that repeat traffic did NOT pay
+  /// for.
+  std::uint64_t hits() const;
+
   /// Number of currently cached entries.
   std::size_t entries() const;
 
@@ -108,6 +115,7 @@ class CheckpointStore {
   std::list<Key> lru_;  ///< front = most recently used
   std::map<Key, Entry> cache_;
   std::uint64_t recordings_ = 0;
+  std::uint64_t hits_ = 0;
 };
 
 }  // namespace fmossim

@@ -103,6 +103,42 @@ void checkScenarioAgainstBaseline(const ScenarioResult& fresh,
   }
 }
 
+void checkServiceBaselineShape(const ScenarioResult& baseline,
+                               CheckReport& report) {
+  const auto issue = [&](std::string detail) {
+    report.issues.push_back({baseline.scenario, "", std::move(detail)});
+  };
+  if (!baseline.service.has_value()) {
+    issue("not a service benchmark (no \"service\" object)");
+    return;
+  }
+  const ServiceSummary& s = *baseline.service;
+  if (baseline.rows.empty()) issue("service benchmark has no rows");
+  if (s.requests == 0) issue("service benchmark replayed zero requests");
+  if (s.requestsPerSec <= 0.0) issue("requestsPerSec must be positive");
+  if (s.p99Ms <= 0.0) issue("p99 latency must be positive");
+  if (s.p50Ms > s.p95Ms || s.p95Ms > s.p99Ms) {
+    issue(format("latency percentiles out of order: p50 %.3f, p95 %.3f, "
+                 "p99 %.3f",
+                 s.p50Ms, s.p95Ms, s.p99Ms));
+  }
+  if (s.storeRecordings == 0) {
+    issue("service benchmark performed no good-machine recordings (the "
+          "shared checkpoint store was never engaged)");
+  }
+  if (s.distinctWorkloads > 0 && s.requests > s.distinctWorkloads &&
+      s.storeHits == 0) {
+    issue("repeat submissions but zero checkpoint-store hits — engine reuse "
+          "is broken");
+  }
+  for (const BenchRow& row : baseline.rows) {
+    ++report.rowsChecked;
+    if (row.checksum == 0) {
+      issue(rowKey(row) + ": zero result checksum");
+    }
+  }
+}
+
 CheckReport checkAgainstBaselines(const std::vector<ScenarioResult>& fresh,
                                   const CheckOptions& options) {
   CheckReport report;
@@ -141,11 +177,28 @@ CheckReport checkAgainstBaselines(const std::vector<ScenarioResult>& fresh,
         }
       }
       if (!live) {
-        report.issues.push_back(
-            {scenario, "",
-             "stale baseline file '" + name +
-                 "' has no matching scenario in the fresh run — remove it "
-                 "or restore the scenario"});
+        // A baseline with no live scenario is stale — unless it is a
+        // service benchmark (loadgen emits BENCH_serve_mixed.json outside
+        // the scenario registry); those are shape-validated instead of
+        // compared.
+        bool handled = false;
+        try {
+          const ScenarioResult baseline =
+              parseBenchJson(readFile(entry.path().string()));
+          if (baseline.service.has_value()) {
+            checkServiceBaselineShape(baseline, report);
+            handled = true;
+          }
+        } catch (const Error&) {
+          // Unparsable: fall through to the stale-baseline issue below.
+        }
+        if (!handled) {
+          report.issues.push_back(
+              {scenario, "",
+               "stale baseline file '" + name +
+                   "' has no matching scenario in the fresh run — remove it "
+                   "or restore the scenario"});
+        }
       }
     }
     if (ec) {

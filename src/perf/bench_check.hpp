@@ -66,6 +66,16 @@ void checkScenarioAgainstBaseline(const ScenarioResult& fresh,
                                   const ScenarioResult& baseline,
                                   double tolerancePct, CheckReport& report);
 
+/// Shape-validates a service benchmark file (a baseline carrying a
+/// `service` object, e.g. BENCH_serve_mixed.json). Service benchmarks have
+/// no registry scenario to re-run, so the gate cannot compare them against
+/// fresh numbers; instead it checks internal consistency — non-empty rows,
+/// positive request count and throughput, ordered latency percentiles
+/// (p50 <= p95 <= p99), at least one good-machine recording and a non-zero
+/// result checksum. Appends issues to `report`.
+void checkServiceBaselineShape(const ScenarioResult& baseline,
+                               CheckReport& report);
+
 /// Runs the gate: for every fresh scenario result, loads
 /// `<baselineDir>/BENCH_<scenario>.json` and compares. A missing or
 /// unparsable baseline file is itself a gate failure.

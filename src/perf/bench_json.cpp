@@ -184,6 +184,31 @@ std::string toJson(const ScenarioResult& r) {
         r.checkpointRecordings,
         static_cast<unsigned long long>(r.checkpointResidentBytes));
   }
+  // Host provenance (PR 6): additive like the checkpoint object, omitted
+  // when unset so synthetic results round-trip unchanged.
+  if (!r.hostTimestamp.empty() || r.hostHardwareConcurrency > 0 ||
+      !r.hostBuildType.empty()) {
+    out += format(
+        "  \"host\": {\"timestamp\": \"%s\", \"hardwareConcurrency\": %u, "
+        "\"buildType\": \"%s\"},\n",
+        escape(r.hostTimestamp).c_str(), r.hostHardwareConcurrency,
+        escape(r.hostBuildType).c_str());
+  }
+  // Service-mode summary (PR 6): only the loadgen harness sets it.
+  if (r.service.has_value()) {
+    const ServiceSummary& s = *r.service;
+    out += format(
+        "  \"service\": {\"requests\": %u, \"distinctWorkloads\": %u, "
+        "\"poolEngines\": %u, \"workers\": %u, \"requestsPerSec\": %s, "
+        "\"p50Ms\": %s, \"p95Ms\": %s, \"p99Ms\": %s, \"storeHits\": %llu, "
+        "\"storeRecordings\": %llu, \"engineReuses\": %llu},\n",
+        s.requests, s.distinctWorkloads, s.poolEngines, s.workers,
+        num(s.requestsPerSec).c_str(), num(s.p50Ms).c_str(),
+        num(s.p95Ms).c_str(), num(s.p99Ms).c_str(),
+        static_cast<unsigned long long>(s.storeHits),
+        static_cast<unsigned long long>(s.storeRecordings),
+        static_cast<unsigned long long>(s.engineReuses));
+  }
   out += "  \"rows\": [\n";
   for (std::size_t i = 0; i < r.rows.size(); ++i) {
     const BenchRow& row = r.rows[i];
@@ -242,6 +267,39 @@ ScenarioResult parseBenchJson(const std::string& text) {
           throw Error("bench JSON: unknown checkpoint key '" + ck + "'");
         }
       });
+    } else if (key == "host") {
+      // Optional (schema 1 additive): absent in files written before host
+      // provenance existed.
+      p.parseObject([&](const std::string& hk) {
+        if (hk == "timestamp") {
+          r.hostTimestamp = p.parseString();
+        } else if (hk == "hardwareConcurrency") {
+          r.hostHardwareConcurrency = static_cast<std::uint32_t>(p.parseNumber());
+        } else if (hk == "buildType") {
+          r.hostBuildType = p.parseString();
+        } else {
+          throw Error("bench JSON: unknown host key '" + hk + "'");
+        }
+      });
+    } else if (key == "service") {
+      // Optional: present only in loadgen-emitted service benchmarks.
+      ServiceSummary s;
+      p.parseObject([&](const std::string& sk) {
+        const double v = p.parseNumber();
+        if (sk == "requests") s.requests = static_cast<std::uint32_t>(v);
+        else if (sk == "distinctWorkloads") s.distinctWorkloads = static_cast<std::uint32_t>(v);
+        else if (sk == "poolEngines") s.poolEngines = static_cast<std::uint32_t>(v);
+        else if (sk == "workers") s.workers = static_cast<std::uint32_t>(v);
+        else if (sk == "requestsPerSec") s.requestsPerSec = v;
+        else if (sk == "p50Ms") s.p50Ms = v;
+        else if (sk == "p95Ms") s.p95Ms = v;
+        else if (sk == "p99Ms") s.p99Ms = v;
+        else if (sk == "storeHits") s.storeHits = static_cast<std::uint64_t>(v);
+        else if (sk == "storeRecordings") s.storeRecordings = static_cast<std::uint64_t>(v);
+        else if (sk == "engineReuses") s.engineReuses = static_cast<std::uint64_t>(v);
+        else throw Error("bench JSON: unknown service key '" + sk + "'");
+      });
+      r.service = s;
     } else if (key == "rows") {
       p.parseArray([&] {
         BenchRow row;

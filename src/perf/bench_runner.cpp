@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ctime>
+#include <thread>
 
 #include "util/hash.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace fmossim::perf {
+
+void fillHostInfo(ScenarioResult& r) {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    r.hostTimestamp = format("%04d-%02d-%02dT%02d:%02d:%02dZ",
+                             utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                             utc.tm_hour, utc.tm_min, utc.tm_sec);
+  }
+  r.hostHardwareConcurrency = std::thread::hardware_concurrency();
+#ifdef NDEBUG
+  r.hostBuildType = "release";
+#else
+  r.hostBuildType = "debug";
+#endif
+}
 
 std::uint64_t resultChecksum(const FaultSimResult& res) {
   std::uint64_t h = kFnvOffsetBasis;
@@ -128,6 +147,7 @@ ScenarioResult BenchRunner::runScenario(
   sr.checkpointRecordings =
       static_cast<std::uint32_t>(store->recordings());
   sr.checkpointResidentBytes = store->memoryBytes();
+  fillHostInfo(sr);
   return sr;
 }
 

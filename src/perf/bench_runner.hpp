@@ -64,6 +64,24 @@ struct BenchRow {
   std::uint32_t numFaults = 0;    ///< fault-universe size
 };
 
+/// Service-mode measurement summary (the `loadgen` harness's
+/// BENCH_serve_mixed.json): client-observed latency percentiles and the
+/// daemon-side reuse counters that make the numbers interpretable. Absent
+/// from ordinary bench files.
+struct ServiceSummary {
+  std::uint32_t requests = 0;           ///< requests replayed
+  std::uint32_t distinctWorkloads = 0;  ///< distinct (circuit, sequence) pairs
+  std::uint32_t poolEngines = 0;        ///< daemon engine slots
+  std::uint32_t workers = 0;            ///< daemon worker threads
+  double requestsPerSec = 0.0;          ///< completed / wall time
+  double p50Ms = 0.0;  ///< median client-observed latency, milliseconds
+  double p95Ms = 0.0;  ///< 95th-percentile latency
+  double p99Ms = 0.0;  ///< 99th-percentile latency
+  std::uint64_t storeHits = 0;        ///< checkpoint-store cache hits
+  std::uint64_t storeRecordings = 0;  ///< good-machine recordings performed
+  std::uint64_t engineReuses = 0;     ///< requests served by a live engine
+};
+
 /// One scenario's complete measurement (a BENCH_<scenario>.json file).
 struct ScenarioResult {
   int schemaVersion = 1;     ///< see docs/BENCHMARKING.md
@@ -85,7 +103,21 @@ struct ScenarioResult {
   /// Resident footprint (memoryBytes()) of the store's checkpoints after
   /// the measured runs — stays within checkpointBudget when one is set.
   std::uint64_t checkpointResidentBytes = 0;
+  /// Measurement host provenance (additive: absent fields parse as empty,
+  /// so older baselines stay readable). UTC timestamp, "YYYY-MM-DDTHH:MM:SSZ".
+  std::string hostTimestamp;
+  /// std::thread::hardware_concurrency() on the measuring host (0 = unknown).
+  std::uint32_t hostHardwareConcurrency = 0;
+  /// "release" or "debug" (from NDEBUG); empty = unknown (pre-host baseline).
+  std::string hostBuildType;
+  /// Service-mode summary; set only by the loadgen harness.
+  std::optional<ServiceSummary> service;
 };
+
+/// Stamps the host provenance fields (timestamp, hardware concurrency, build
+/// type) into a result; used by both the bench runner and the loadgen
+/// harness so every emitted BENCH file records where it was measured.
+void fillHostInfo(ScenarioResult& r);
 
 /// Checksum of the backend-invariant result fields (the same fields the
 /// differential oracle compares): per-fault detecting patterns, detection

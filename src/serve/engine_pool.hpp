@@ -1,0 +1,104 @@
+// EnginePool — persistent, resettable engines as a shared service resource.
+//
+// A per-run Engine object pays construction (network copy, backend build,
+// initial fault injection) on every request; a fault-grading service serving
+// repeat traffic should not. The pool owns N engine slots that outlive
+// requests:
+//
+//   * acquire() hands out a live engine whose (network fingerprint, fault
+//     list fingerprint, engine options) match the request — the engine is
+//     reused as-is, and because run() has fresh-session semantics the reuse
+//     is bit-identical to a fresh engine (tests/serve/engine_pool_test.cpp).
+//   * On a miss, the least recently used free slot is rebound
+//     (Engine::rebind) to the new workload — the slot is recycled, never
+//     the Engine semantics.
+//   * Every pooled engine shares one CheckpointStore, so even a freshly
+//     rebound engine replays a previously recorded good-machine trace when
+//     its (network, sequence) was seen before — ERASER's
+//     redundancy-trimming argument applied across tenants.
+//
+// Thread-safe; acquire() blocks while all slots are leased (the server
+// sizes workers <= slots so that never happens in the daemon, but the pool
+// does not rely on it).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "core/checkpoint_store.hpp"
+
+namespace fmossim::serve {
+
+/// Pool construction knobs.
+struct EnginePoolOptions {
+  /// Engine slots (= maximum concurrently leased engines).
+  unsigned engines = 4;
+  /// Shared good-machine checkpoint cache attached to every pooled engine.
+  /// Null constructs a default store (in-memory, its own entry bound).
+  std::shared_ptr<CheckpointStore> store;
+};
+
+/// The pool; see the file comment.
+class EnginePool {
+ public:
+  /// An exclusive lease on a pooled engine. Return it with release(); the
+  /// engine stays valid (and keyed for reuse) afterwards.
+  struct Lease {
+    Engine* engine = nullptr;
+    bool reused = false;   ///< matched a live engine (no rebind/build)
+    std::size_t slot = 0;  ///< pool-internal slot index
+  };
+
+  /// Cumulative pool counters (monotonic; snapshot under the pool lock).
+  struct Stats {
+    std::uint64_t acquires = 0;  ///< total acquire() calls
+    std::uint64_t reuses = 0;    ///< served by a matching live engine
+    std::uint64_t rebinds = 0;   ///< recycled a slot via Engine::rebind
+    std::uint64_t builds = 0;    ///< constructed a brand-new Engine
+    unsigned engines = 0;        ///< slot count
+  };
+
+  explicit EnginePool(EnginePoolOptions options = {});
+
+  /// The shared checkpoint store every pooled engine runs against.
+  const std::shared_ptr<CheckpointStore>& store() const { return store_; }
+
+  /// Leases an engine for (net, faults, options): a matching live engine if
+  /// one is free, otherwise the LRU free slot rebound to this workload.
+  /// `options.checkpointStore` is overwritten with the pool's shared store.
+  /// Blocks while every slot is leased.
+  Lease acquire(const Network& net, const FaultList& faults,
+                EngineOptions options);
+
+  /// Returns a leased engine to the pool (idempotent for a moved-from
+  /// lease). The slot keeps its engine and key for future reuse.
+  void release(Lease& lease);
+
+  /// Snapshot of the cumulative counters.
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<Engine> engine;
+    std::uint64_t key = 0;     ///< fingerprint of (net, faults, options)
+    bool leased = false;
+    std::uint64_t lastUse = 0; ///< LRU tick
+  };
+
+  static std::uint64_t keyFor(std::uint64_t netFp, std::uint64_t faultsFp,
+                              const EngineOptions& options);
+
+  EnginePoolOptions options_;
+  std::shared_ptr<CheckpointStore> store_;
+  mutable std::mutex mu_;
+  std::condition_variable freeCv_;
+  std::vector<Slot> slots_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fmossim::serve

@@ -1,0 +1,347 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "perf/bench_json.hpp"
+#include "perf/bench_runner.hpp"
+#include "serve/transport.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace fmossim::serve {
+
+namespace {
+
+/// Linear-interpolated percentile over an unsorted sample, in milliseconds.
+double percentileMs(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (sample[lo] * (1.0 - frac) + sample[hi] * frac) * 1000.0;
+}
+
+/// The M*K distinct workload specs of a run, in deterministic order.
+std::vector<WorkloadSpec> buildSpecs(const LoadGenOptions& o) {
+  std::vector<WorkloadSpec> specs;
+  specs.reserve(static_cast<std::size_t>(o.circuits) * o.sequencesPerCircuit);
+  for (std::uint32_t c = 0; c < o.circuits; ++c) {
+    for (std::uint32_t k = 0; k < o.sequencesPerCircuit; ++k) {
+      WorkloadSpec spec;
+      spec.circuitSeed = o.baseSeed + c;
+      if (k > 0) {
+        // Distinct, collision-resistant sequence seeds per (circuit, k).
+        std::uint64_t h = kFnvOffsetBasis;
+        fnvMix(h, o.baseSeed);
+        fnvMix(h, c);
+        fnvMix(h, k);
+        spec.seqSeed = h | 1;  // never 0 (0 = the generator's own sequence)
+      }
+      spec.numNodes = o.numNodes;
+      spec.numInputs = o.numInputs;
+      spec.numFaults = o.numFaults;
+      spec.numPatterns = o.numPatterns;
+      spec.jobs = std::max(1u, o.jobs);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+/// Zipf-skewed request schedule: rank r of the spec list gets weight
+/// 1/(r+1)^s, then N draws from the resulting CDF with a seeded Rng.
+std::vector<std::size_t> buildSchedule(const LoadGenOptions& o,
+                                       std::size_t items) {
+  std::vector<double> cdf(items);
+  double total = 0.0;
+  for (std::size_t r = 0; r < items; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -o.zipfExponent);
+    cdf[r] = total;
+  }
+  Rng rng(o.baseSeed ^ 0x5bf0363546069717ULL);
+  std::vector<std::size_t> schedule(o.requests);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53 * total;
+    schedule[i] = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (schedule[i] >= items) schedule[i] = items - 1;
+  }
+  return schedule;
+}
+
+/// One request's client-side record.
+struct RequestOutcome {
+  bool ok = false;
+  std::uint64_t checksum = 0;
+  std::uint64_t nodeEvals = 0;
+  std::uint32_t numFaults = 0;
+  std::uint32_t numDetected = 0;
+  bool engineReused = false;
+  double latencySeconds = 0.0;
+  std::string error;
+};
+
+/// submit + result round trip for one spec on one connection.
+RequestOutcome runOne(SocketClient& client, const WorkloadSpec& spec) {
+  RequestOutcome out;
+  Timer t;
+  JsonValue submit = JsonValue::makeObject();
+  submit.set("verb", JsonValue::makeString("submit"));
+  submit.set("workload", spec.toJson());
+  const JsonValue submitted = client.request(submit);
+  if (!submitted.boolOr("ok", false)) {
+    out.error = submitted.stringOr("error", "submit rejected");
+    return out;
+  }
+  JsonValue result = JsonValue::makeObject();
+  result.set("verb", JsonValue::makeString("result"));
+  result.set("id", JsonValue::makeU64(submitted.u64Or("id", 0)));
+  const JsonValue resolved = client.request(result);
+  out.latencySeconds = t.seconds();
+  if (!resolved.boolOr("ok", false)) {
+    out.error = resolved.stringOr("error", "result failed");
+    return out;
+  }
+  if (resolved.stringOr("status", "") != "done") {
+    out.error = "job finished '" + resolved.stringOr("status", "?") + "'";
+    const JsonValue* r = resolved.find("result");
+    if (r != nullptr) out.error += ": " + r->stringOr("error", "");
+    return out;
+  }
+  const JobResult jr = JobResult::fromJson(resolved.get("result"));
+  out.ok = true;
+  out.checksum = jr.checksum;
+  out.nodeEvals = jr.nodeEvals;
+  out.numFaults = jr.numFaults;
+  out.numDetected = jr.numDetected;
+  out.engineReused = jr.engineReused;
+  return out;
+}
+
+}  // namespace
+
+LoadGenReport runLoadGen(const LoadGenOptions& options) {
+  if (options.circuits == 0 || options.sequencesPerCircuit == 0 ||
+      options.requests == 0) {
+    throw Error("loadgen needs at least one circuit, sequence and request");
+  }
+
+  // Optional in-process daemon (full transport stack on a private socket).
+  std::unique_ptr<Server> inprocServer;
+  std::unique_ptr<SocketServer> inprocSocket;
+  std::string path = options.socketPath;
+  if (options.inproc) {
+    path = format("/tmp/fmossim-loadgen-%d.sock", static_cast<int>(getpid()));
+    inprocServer = std::make_unique<Server>(options.inprocServer);
+    inprocServer->start();
+    inprocSocket = std::make_unique<SocketServer>(*inprocServer, path);
+  }
+  if (path.empty()) {
+    throw Error("loadgen needs --socket PATH (or --inproc)");
+  }
+
+  const std::vector<WorkloadSpec> specs = buildSpecs(options);
+  const std::vector<std::size_t> schedule = buildSchedule(options, specs.size());
+
+  // Expected result per distinct workload: a direct, freshly constructed
+  // Engine run of the same spec. This is the bit-identity oracle the whole
+  // service contract is checked against.
+  std::vector<std::uint64_t> expected(specs.size(), 0);
+  if (options.verify) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const BuiltWorkload w = buildWorkload(specs[i]);
+      Engine engine(w.net, w.faults, specEngineOptions(specs[i]));
+      expected[i] = perf::resultChecksum(engine.run(w.seq));
+    }
+  }
+
+  // Replay: T client threads, each with its own connection, each running
+  // its slice of the schedule synchronously (submit, then block on result).
+  std::vector<RequestOutcome> outcomes(schedule.size());
+  const unsigned threads =
+      std::max(1u, std::min<unsigned>(options.concurrency,
+                                      static_cast<unsigned>(schedule.size())));
+  Timer wall;
+  {
+    std::vector<std::thread> pool;
+    std::mutex errMu;
+    std::string firstError;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        try {
+          SocketClient client(path);
+          for (std::size_t i = t; i < schedule.size(); i += threads) {
+            outcomes[i] = runOne(client, specs[schedule[i]]);
+          }
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(errMu);
+          if (firstError.empty()) firstError = e.what();
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (!firstError.empty()) {
+      throw Error(std::string("loadgen client failed: ") + firstError);
+    }
+  }
+  const double elapsed = wall.seconds();
+
+  LoadGenReport report;
+  report.distinctWorkloads = static_cast<std::uint32_t>(specs.size());
+  report.elapsedSeconds = elapsed;
+  std::vector<double> latencies;
+  latencies.reserve(outcomes.size());
+  std::string firstFailure;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RequestOutcome& out = outcomes[i];
+    if (!out.ok) {
+      ++report.failures;
+      if (firstFailure.empty()) {
+        firstFailure = format("request %zu: %s", i, out.error.c_str());
+      }
+      continue;
+    }
+    ++report.requests;
+    latencies.push_back(out.latencySeconds);
+    if (out.engineReused) ++report.engineReuses;
+    if (options.verify && out.checksum != expected[schedule[i]]) {
+      ++report.checksumMismatches;
+      if (firstFailure.empty()) {
+        firstFailure = format(
+            "request %zu (workload %zu): daemon checksum 0x%016llx != direct "
+            "engine 0x%016llx",
+            i, schedule[i], static_cast<unsigned long long>(out.checksum),
+            static_cast<unsigned long long>(expected[schedule[i]]));
+      }
+    }
+  }
+  report.p50Ms = percentileMs(latencies, 50.0);
+  report.p95Ms = percentileMs(latencies, 95.0);
+  report.p99Ms = percentileMs(latencies, 99.0);
+  if (elapsed > 0.0) {
+    report.requestsPerSec = static_cast<double>(report.requests) / elapsed;
+  }
+
+  // Daemon-side counters, then optional shutdown — one control connection.
+  std::size_t storeResidentBytes = 0;
+  std::size_t storeBudgetBytes = 0;
+  std::uint32_t poolEngines = 0;
+  std::uint32_t daemonWorkers = 0;
+  {
+    SocketClient control(path);
+    JsonValue statsReq = JsonValue::makeObject();
+    statsReq.set("verb", JsonValue::makeString("stats"));
+    const JsonValue statsResp = control.request(statsReq);
+    if (!statsResp.boolOr("ok", false)) {
+      throw Error("stats request failed: " +
+                  statsResp.stringOr("error", "?"));
+    }
+    const JsonValue& stats = statsResp.get("stats");
+    const JsonValue& store = stats.get("store");
+    report.storeHits = store.u64Or("hits", 0);
+    report.storeRecordings = store.u64Or("recordings", 0);
+    storeResidentBytes =
+        static_cast<std::size_t>(store.u64Or("residentBytes", 0));
+    storeBudgetBytes = static_cast<std::size_t>(store.u64Or("budgetBytes", 0));
+    poolEngines =
+        static_cast<std::uint32_t>(stats.get("pool").u64Or("engines", 0));
+    daemonWorkers = static_cast<std::uint32_t>(stats.u64Or("workers", 0));
+    if (options.shutdownAfter) {
+      JsonValue down = JsonValue::makeObject();
+      down.set("verb", JsonValue::makeString("shutdown"));
+      control.request(down);
+    }
+  }
+
+  if (inprocSocket != nullptr) {
+    inprocServer->stop();
+    inprocSocket->stop();
+  }
+
+  // Emit BENCH_serve_mixed.json before failing, so a broken run still
+  // leaves its numbers behind for debugging.
+  if (options.emitJson) {
+    perf::ScenarioResult sr;
+    sr.scenario = "serve_mixed";
+    sr.description = format(
+        "service daemon mixed-tenant replay: %u circuits x %u sequences, "
+        "%u zipf(%.2f)-skewed requests, %u client connections, jobs=%u per "
+        "request",
+        options.circuits, options.sequencesPerCircuit, options.requests,
+        options.zipfExponent, threads, std::max(1u, options.jobs));
+    {
+      const BuiltWorkload w0 = buildWorkload(specs.front());
+      sr.transistors = w0.net.numTransistors();
+      sr.nodes = w0.net.numNodes();
+      sr.faults = w0.faults.size();
+      sr.patterns = w0.seq.size();
+    }
+    perf::BenchRow row;
+    row.backend = "serve";
+    row.jobs = std::max(1u, options.jobs);
+    row.policy = "definite";
+    row.dropDetected = true;
+    row.medianMs = report.p50Ms;
+    row.stddevMs = 0.0;
+    row.reps = report.requests;
+    std::uint64_t h = kFnvOffsetBasis;
+    for (const RequestOutcome& out : outcomes) {
+      if (!out.ok) continue;
+      fnvMix(h, out.checksum);
+      row.nodeEvals += out.nodeEvals;
+      row.numFaults += out.numFaults;
+      row.numDetected += out.numDetected;
+    }
+    row.checksum = h;
+    sr.rows.push_back(std::move(row));
+    sr.checkpointBudget = storeBudgetBytes;
+    sr.checkpointRecordings =
+        static_cast<std::uint32_t>(report.storeRecordings);
+    sr.checkpointResidentBytes = storeResidentBytes;
+    perf::ServiceSummary svc;
+    svc.requests = report.requests;
+    svc.distinctWorkloads = report.distinctWorkloads;
+    svc.poolEngines = poolEngines;
+    svc.workers = daemonWorkers;
+    svc.requestsPerSec = report.requestsPerSec;
+    svc.p50Ms = report.p50Ms;
+    svc.p95Ms = report.p95Ms;
+    svc.p99Ms = report.p99Ms;
+    svc.storeHits = report.storeHits;
+    svc.storeRecordings = report.storeRecordings;
+    svc.engineReuses = report.engineReuses;
+    sr.service = svc;
+    perf::fillHostInfo(sr);
+    report.benchPath = perf::writeBenchFile(sr, options.outDir);
+  }
+
+  if (!firstFailure.empty()) {
+    throw Error("loadgen: " + std::to_string(report.failures) +
+                " failed, " + std::to_string(report.checksumMismatches) +
+                " checksum mismatches; first: " + firstFailure);
+  }
+  if (report.storeHits < options.expectStoreHits) {
+    throw Error(format(
+        "loadgen: expected >= %llu checkpoint-store hits, daemon reports "
+        "%llu — engine/checkpoint reuse is not happening",
+        static_cast<unsigned long long>(options.expectStoreHits),
+        static_cast<unsigned long long>(report.storeHits)));
+  }
+  return report;
+}
+
+}  // namespace fmossim::serve

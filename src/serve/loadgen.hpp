@@ -1,0 +1,81 @@
+// Load-generator harness for the service daemon (`fmossim_cli loadgen`).
+//
+// Replays a seeded mixed-tenant workload against a running daemon: M
+// generated circuits × K derived test sequences per circuit give M*K
+// distinct workloads, and N requests are drawn over them with zipf-skewed
+// repetition (rank r gets weight 1/(r+1)^s) — a few hot workloads dominate,
+// a long tail stays cold, which is exactly the traffic shape the engine
+// pool and the shared checkpoint store exist for. The schedule is
+// deterministic given the seed, so every run is reproducible.
+//
+// Every response is verified: the client rebuilds each workload from its
+// spec and runs it through a direct, freshly constructed Engine; the
+// daemon's checksum must match bit for bit (the service may reuse engines
+// and checkpoints, but never at the cost of result identity). The run
+// emits a schema-versioned BENCH_serve_mixed.json (--json) with
+// requests/sec, client-observed p50/p95/p99 latency and the daemon's reuse
+// counters; bench --check shape-validates it as a service baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace fmossim::serve {
+
+/// Harness knobs (defaults match the CI smoke invocation scale).
+struct LoadGenOptions {
+  /// Daemon socket to replay against; ignored when `inproc` is set.
+  std::string socketPath;
+  /// Run against an in-process daemon on a private temp socket instead of
+  /// an external one (ctest/ASan coverage of the full transport stack).
+  bool inproc = false;
+  ServerOptions inprocServer;  ///< daemon configuration for `inproc`
+
+  std::uint32_t circuits = 5;             ///< M distinct generated circuits
+  std::uint32_t sequencesPerCircuit = 2;  ///< K sequences per circuit
+  std::uint32_t requests = 50;            ///< N requests replayed
+  std::uint64_t baseSeed = 1;             ///< workload + schedule seed
+  double zipfExponent = 1.1;              ///< repeat skew (0 = uniform)
+  unsigned concurrency = 4;               ///< client threads
+  unsigned jobs = 2;  ///< per-request parallelism (>1 engages the store)
+  bool verify = true; ///< check every response against a direct Engine run
+  /// Fail the run unless the daemon reports at least this many
+  /// checkpoint-store hits afterwards (CI asserts reuse actually happened).
+  std::uint64_t expectStoreHits = 0;
+  bool emitJson = false;     ///< write BENCH_serve_mixed.json
+  std::string outDir = ".";  ///< where --json writes
+  bool shutdownAfter = false;  ///< send `shutdown` when done
+  bool quiet = false;          ///< suppress progress output
+
+  /// Generator pins for every spec (kept moderate so the smoke run is
+  /// fast even under ASan).
+  std::uint32_t numNodes = 24;
+  std::uint32_t numInputs = 6;
+  std::uint32_t numFaults = 32;
+  std::uint32_t numPatterns = 16;
+};
+
+/// What a load-generation run observed.
+struct LoadGenReport {
+  std::uint32_t requests = 0;           ///< requests completed Done
+  std::uint32_t failures = 0;           ///< Failed or transport errors
+  std::uint32_t distinctWorkloads = 0;  ///< M * K
+  double elapsedSeconds = 0.0;          ///< submit-all to last-result wall
+  double requestsPerSec = 0.0;
+  double p50Ms = 0.0;  ///< client-observed submit->result latency
+  double p95Ms = 0.0;
+  double p99Ms = 0.0;
+  std::uint32_t checksumMismatches = 0;  ///< verify failures (0 required)
+  std::uint64_t engineReuses = 0;   ///< responses flagged engineReused
+  std::uint64_t storeHits = 0;      ///< daemon stats after the run
+  std::uint64_t storeRecordings = 0;
+  std::string benchPath;  ///< emitted BENCH file ("" unless emitJson)
+};
+
+/// Runs the harness; see the file comment. Throws Error on transport
+/// failures, any checksum mismatch, or an unmet `expectStoreHits`.
+LoadGenReport runLoadGen(const LoadGenOptions& options);
+
+}  // namespace fmossim::serve

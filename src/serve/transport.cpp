@@ -1,0 +1,200 @@
+#include "serve/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace fmossim::serve {
+
+namespace {
+
+void writeAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("socket write failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads until `buffer` contains a '\n'; returns the line without it (the
+/// leftover stays in the buffer). False means orderly EOF before a line.
+bool readLine(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(buffer, 0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // connection torn down (e.g. stop() closed the fd)
+    }
+    if (n == 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+sockaddr_un socketAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw Error("socket path too long (max " +
+                std::to_string(sizeof addr.sun_path - 1) + " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(Server& server, std::string path)
+    : server_(server), path_(std::move(path)) {
+  const sockaddr_un addr = socketAddress(path_);
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  ::unlink(path_.c_str());  // stale socket file from a previous run
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listenFd_, 16) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw Error("cannot listen on '" + path_ + "': " + what);
+  }
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::acceptLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (server_.shutdownRequested()) return;
+    // Poll with a timeout so shutdown requests handled on connection
+    // threads are noticed without another connection arriving.
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connFds_.push_back(fd);
+    connThreads_.emplace_back([this, fd] { serveConnection(fd); });
+  }
+}
+
+void SocketServer::serveConnection(int fd) {
+  std::string buffer;
+  std::string line;
+  while (readLine(fd, buffer, line)) {
+    if (line.empty()) continue;  // tolerate blank keep-alive lines
+    std::string response;
+    try {
+      response = server_.handleLine(line);
+    } catch (...) {
+      break;  // handleLine never throws; belt and braces
+    }
+    try {
+      writeAll(fd, response + "\n");
+    } catch (const Error&) {
+      break;  // peer went away mid-response
+    }
+    if (server_.shutdownRequested()) break;
+  }
+  ::close(fd);
+}
+
+void SocketServer::waitShutdown() {
+  if (acceptThread_.joinable()) acceptThread_.join();
+}
+
+void SocketServer::stop() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && listenFd_ < 0) return;
+    stopping_ = true;
+    fds.swap(connFds_);
+  }
+  if (listenFd_ >= 0) {
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  // Unblock connection threads stuck in read(); result-waiters unblock via
+  // Server::stop() (queue stop wakes them), which the CLI calls first.
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  if (acceptThread_.joinable()) acceptThread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connThreads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(path_.c_str());
+}
+
+SocketClient::SocketClient(const std::string& path) {
+  const sockaddr_un addr = socketAddress(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("cannot connect to '" + path + "': " + what);
+  }
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string SocketClient::roundTrip(const std::string& line) {
+  writeAll(fd_, line + "\n");
+  std::string response;
+  if (!readLine(fd_, buffer_, response)) {
+    throw Error("server closed the connection");
+  }
+  return response;
+}
+
+JsonValue SocketClient::request(const JsonValue& req) {
+  return JsonValue::parse(roundTrip(req.dump()));
+}
+
+}  // namespace fmossim::serve

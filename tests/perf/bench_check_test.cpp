@@ -153,5 +153,86 @@ TEST(BenchCheckTest, UnfilteredRunFlagsStaleBaselines) {
   fs::remove_all(dir);
 }
 
+ScenarioResult makeServiceScenario() {
+  ScenarioResult sr = makeScenario();
+  sr.scenario = "serve_mixed";
+  ServiceSummary svc;
+  svc.requests = 50;
+  svc.distinctWorkloads = 10;
+  svc.requestsPerSec = 100.0;
+  svc.p50Ms = 10.0;
+  svc.p95Ms = 20.0;
+  svc.p99Ms = 30.0;
+  svc.storeHits = 19;
+  svc.storeRecordings = 7;
+  svc.engineReuses = 42;
+  sr.service = svc;
+  return sr;
+}
+
+// Service baselines (BENCH_serve_mixed.json) have no registry scenario to
+// re-run; an unfiltered gate shape-validates them instead of flagging them
+// stale.
+TEST(BenchCheckTest, ServiceBaselineIsShapeValidatedNotStale) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "fmossim_bench_svc_test";
+  fs::create_directories(dir);
+  const ScenarioResult sr = makeScenario();
+  writeBenchFile(sr, dir.string());
+  writeBenchFile(makeServiceScenario(), dir.string());
+
+  CheckOptions opts;
+  opts.baselineDir = dir.string();
+  opts.expectComplete = true;
+  EXPECT_TRUE(checkAgainstBaselines({sr}, opts).ok());
+  fs::remove_all(dir);
+}
+
+TEST(BenchCheckTest, ServiceShapeValidationCatchesInconsistencies) {
+  CheckReport ok;
+  checkServiceBaselineShape(makeServiceScenario(), ok);
+  EXPECT_TRUE(ok.ok());
+
+  // Out-of-order percentiles.
+  ScenarioResult bad = makeServiceScenario();
+  bad.service->p50Ms = 40.0;  // > p95
+  CheckReport r1;
+  checkServiceBaselineShape(bad, r1);
+  EXPECT_FALSE(r1.ok());
+
+  // Repeat traffic with zero store hits means reuse is broken.
+  bad = makeServiceScenario();
+  bad.service->storeHits = 0;
+  CheckReport r2;
+  checkServiceBaselineShape(bad, r2);
+  EXPECT_FALSE(r2.ok());
+
+  // No recordings at all: the store was never engaged.
+  bad = makeServiceScenario();
+  bad.service->storeRecordings = 0;
+  CheckReport r3;
+  checkServiceBaselineShape(bad, r3);
+  EXPECT_FALSE(r3.ok());
+
+  // Zero requests / zero throughput.
+  bad = makeServiceScenario();
+  bad.service->requests = 0;
+  CheckReport r4;
+  checkServiceBaselineShape(bad, r4);
+  EXPECT_FALSE(r4.ok());
+
+  // A zero row checksum means the replay recorded nothing meaningful.
+  bad = makeServiceScenario();
+  bad.rows[0].checksum = 0;
+  CheckReport r5;
+  checkServiceBaselineShape(bad, r5);
+  EXPECT_FALSE(r5.ok());
+
+  // A non-service file passed in by mistake is itself an issue.
+  CheckReport r6;
+  checkServiceBaselineShape(makeScenario(), r6);
+  EXPECT_FALSE(r6.ok());
+}
+
 }  // namespace
 }  // namespace fmossim::perf

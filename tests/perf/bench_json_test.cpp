@@ -97,6 +97,62 @@ TEST(BenchJsonTest, CheckpointObjectIsOptional) {
   EXPECT_EQ(parseBenchJson(toJson(recorded)).checkpointRecordings, 1u);
 }
 
+// The host object is additive like the checkpoint one: synthetic results
+// omit it, measured ones carry timestamp/concurrency/build type, and the
+// parser tolerates absence (pre-host baselines stay readable).
+TEST(BenchJsonTest, HostObjectIsOptionalAndRoundTrips) {
+  const ScenarioResult plain = sample();
+  EXPECT_EQ(toJson(plain).find("\"host\""), std::string::npos);
+  const ScenarioResult back = parseBenchJson(toJson(plain));
+  EXPECT_TRUE(back.hostTimestamp.empty());
+  EXPECT_EQ(back.hostHardwareConcurrency, 0u);
+
+  ScenarioResult hosted = plain;
+  fillHostInfo(hosted);
+  EXPECT_FALSE(hosted.hostTimestamp.empty());
+  EXPECT_FALSE(hosted.hostBuildType.empty());
+  const std::string json = toJson(hosted);
+  EXPECT_NE(json.find("\"host\""), std::string::npos);
+  const ScenarioResult hb = parseBenchJson(json);
+  EXPECT_EQ(hb.hostTimestamp, hosted.hostTimestamp);
+  EXPECT_EQ(hb.hostHardwareConcurrency, hosted.hostHardwareConcurrency);
+  EXPECT_EQ(hb.hostBuildType, hosted.hostBuildType);
+}
+
+TEST(BenchJsonTest, ServiceObjectIsOptionalAndRoundTrips) {
+  const ScenarioResult plain = sample();
+  EXPECT_EQ(toJson(plain).find("\"service\""), std::string::npos);
+  EXPECT_FALSE(parseBenchJson(toJson(plain)).service.has_value());
+
+  ScenarioResult served = plain;
+  ServiceSummary svc;
+  svc.requests = 50;
+  svc.distinctWorkloads = 10;
+  svc.poolEngines = 4;
+  svc.workers = 2;
+  svc.requestsPerSec = 123.456;
+  svc.p50Ms = 10.5;
+  svc.p95Ms = 20.25;
+  svc.p99Ms = 30.125;
+  svc.storeHits = 19;
+  svc.storeRecordings = 7;
+  svc.engineReuses = 42;
+  served.service = svc;
+  const ScenarioResult back2 = parseBenchJson(toJson(served));
+  ASSERT_TRUE(back2.service.has_value());
+  EXPECT_EQ(back2.service->requests, svc.requests);
+  EXPECT_EQ(back2.service->distinctWorkloads, svc.distinctWorkloads);
+  EXPECT_EQ(back2.service->poolEngines, svc.poolEngines);
+  EXPECT_EQ(back2.service->workers, svc.workers);
+  EXPECT_DOUBLE_EQ(back2.service->requestsPerSec, svc.requestsPerSec);
+  EXPECT_DOUBLE_EQ(back2.service->p50Ms, svc.p50Ms);
+  EXPECT_DOUBLE_EQ(back2.service->p95Ms, svc.p95Ms);
+  EXPECT_DOUBLE_EQ(back2.service->p99Ms, svc.p99Ms);
+  EXPECT_EQ(back2.service->storeHits, svc.storeHits);
+  EXPECT_EQ(back2.service->storeRecordings, svc.storeRecordings);
+  EXPECT_EQ(back2.service->engineReuses, svc.engineReuses);
+}
+
 TEST(BenchJsonTest, RejectsMalformedInput) {
   EXPECT_THROW(parseBenchJson(""), Error);
   EXPECT_THROW(parseBenchJson("{"), Error);

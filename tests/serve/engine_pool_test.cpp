@@ -1,0 +1,171 @@
+// Engine reuse correctness: a reset or rebound engine over a shared
+// CheckpointStore must record the good machine once per (network, sequence)
+// and stay bit-identical to a freshly constructed engine — the contract the
+// service daemon's pooled engines rest on.
+#include "serve/engine_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "perf/bench_runner.hpp"
+#include "serve/protocol.hpp"
+
+namespace fmossim::serve {
+namespace {
+
+GeneratedWorkload makeWorkload(std::uint64_t seed) {
+  GenOptions gen = GenOptions::randomized(seed);
+  gen.numNodes = 18;
+  gen.numInputs = 5;
+  gen.numFaults = 24;
+  gen.numPatterns = 12;
+  return generateWorkload(gen);
+}
+
+EngineOptions shardedOptions(std::shared_ptr<CheckpointStore> store = {}) {
+  EngineOptions opts;
+  opts.jobs = 2;  // engages the sharded runner and with it the store
+  opts.checkpointStore = std::move(store);
+  return opts;
+}
+
+void expectBitIdentical(const FaultSimResult& a, const FaultSimResult& b) {
+  EXPECT_EQ(a.numDetected, b.numDetected);
+  EXPECT_EQ(a.potentialDetections, b.potentialDetections);
+  EXPECT_EQ(a.detectedAtPattern, b.detectedAtPattern);
+  EXPECT_EQ(a.finalGoodStates, b.finalGoodStates);
+  EXPECT_EQ(a.totalNodeEvals, b.totalNodeEvals);
+  EXPECT_EQ(perf::resultChecksum(a), perf::resultChecksum(b));
+}
+
+TEST(EngineReuseTest, ResubmitThroughResetEngineRecordsOnceBitIdentical) {
+  const GeneratedWorkload w = makeWorkload(11);
+  auto store = std::make_shared<CheckpointStore>();
+
+  Engine engine(w.net, w.faults, shardedOptions(store));
+  const FaultSimResult first = engine.run(w.seq);
+  engine.reset();
+  const FaultSimResult again = engine.run(w.seq);
+  expectBitIdentical(first, again);
+  // The shared store survives reset(): one recording serves both sessions.
+  EXPECT_EQ(store->recordings(), 1u);
+  EXPECT_GE(store->hits(), 1u);
+
+  Engine fresh(w.net, w.faults, shardedOptions(store));
+  expectBitIdentical(first, fresh.run(w.seq));
+  EXPECT_EQ(store->recordings(), 1u);
+}
+
+TEST(EngineReuseTest, ReboundEngineMatchesFreshEngineAndReusesStore) {
+  const GeneratedWorkload a = makeWorkload(21);
+  const GeneratedWorkload b = makeWorkload(22);
+  auto store = std::make_shared<CheckpointStore>();
+
+  // Prime the store with workload B's recording via a fresh engine.
+  Engine reference(b.net, b.faults, shardedOptions(store));
+  const FaultSimResult expected = reference.run(b.seq);
+  EXPECT_EQ(store->recordings(), 1u);
+
+  // An engine bound to A, rebound to B, must replay B's recording (no new
+  // recording) and produce B's exact result.
+  Engine engine(a.net, a.faults, shardedOptions(store));
+  engine.run(a.seq);
+  EXPECT_EQ(store->recordings(), 2u);
+  engine.rebind(b.net, b.faults);
+  expectBitIdentical(expected, engine.run(b.seq));
+  EXPECT_EQ(store->recordings(), 2u);
+  EXPECT_GE(store->hits(), 1u);
+}
+
+TEST(EngineReuseTest, FingerprintsTrackRebind) {
+  const GeneratedWorkload a = makeWorkload(31);
+  const GeneratedWorkload b = makeWorkload(32);
+  Engine engine(a.net, a.faults, shardedOptions());
+  const std::uint64_t netA = engine.netFingerprint();
+  const std::uint64_t faultsA = engine.faultsFingerprint();
+  EXPECT_EQ(netA, networkFingerprint(a.net));
+  EXPECT_EQ(faultsA, faultListFingerprint(a.faults));
+
+  engine.rebind(b.net, b.faults);
+  EXPECT_NE(engine.netFingerprint(), netA);
+  EXPECT_NE(engine.faultsFingerprint(), faultsA);
+  EXPECT_EQ(engine.netFingerprint(), networkFingerprint(b.net));
+
+  // Equal content, equal fingerprint — the reuse key is structural.
+  EXPECT_EQ(Engine::sequenceFingerprint(a.seq),
+            Engine::sequenceFingerprint(a.seq));
+  EXPECT_NE(Engine::sequenceFingerprint(a.seq),
+            Engine::sequenceFingerprint(b.seq));
+}
+
+TEST(EnginePoolTest, ReusesLiveEngineForMatchingWorkload) {
+  const GeneratedWorkload w = makeWorkload(41);
+  EnginePool pool(EnginePoolOptions{2, nullptr});
+
+  EnginePool::Lease first = pool.acquire(w.net, w.faults, shardedOptions());
+  ASSERT_NE(first.engine, nullptr);
+  EXPECT_FALSE(first.reused);
+  const FaultSimResult r1 = first.engine->run(w.seq);
+  Engine* firstEngine = first.engine;
+  pool.release(first);
+
+  EnginePool::Lease second = pool.acquire(w.net, w.faults, shardedOptions());
+  EXPECT_TRUE(second.reused);
+  EXPECT_EQ(second.engine, firstEngine);  // same live engine, no rebuild
+  expectBitIdentical(r1, second.engine->run(w.seq));
+  pool.release(second);
+
+  const EnginePool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.builds, 1u);
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.rebinds, 0u);
+}
+
+TEST(EnginePoolTest, RebindsLruSlotOnMissAndStaysCorrect) {
+  const GeneratedWorkload a = makeWorkload(51);
+  const GeneratedWorkload b = makeWorkload(52);
+  const GeneratedWorkload c = makeWorkload(53);
+  EnginePool pool(EnginePoolOptions{2, nullptr});
+
+  Engine direct(c.net, c.faults, shardedOptions());
+  const FaultSimResult expected = direct.run(c.seq);
+
+  for (const GeneratedWorkload* w : {&a, &b}) {
+    EnginePool::Lease lease = pool.acquire(w->net, w->faults, shardedOptions());
+    lease.engine->run(w->seq);
+    pool.release(lease);
+  }
+  // Third distinct workload with both slots occupied: a slot is recycled via
+  // rebind, and the rebound engine's result matches a fresh engine's.
+  EnginePool::Lease lease = pool.acquire(c.net, c.faults, shardedOptions());
+  EXPECT_FALSE(lease.reused);
+  expectBitIdentical(expected, lease.engine->run(c.seq));
+  pool.release(lease);
+
+  const EnginePool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.rebinds, 1u);
+}
+
+TEST(EnginePoolTest, SharedStoreSpansPooledEngines) {
+  const GeneratedWorkload w = makeWorkload(61);
+  auto store = std::make_shared<CheckpointStore>();
+  EnginePool pool(EnginePoolOptions{2, store});
+
+  // Two concurrent leases of the same workload are two engines — but one
+  // good-machine recording, shared through the pool store.
+  EnginePool::Lease one = pool.acquire(w.net, w.faults, shardedOptions());
+  EnginePool::Lease two = pool.acquire(w.net, w.faults, shardedOptions());
+  EXPECT_NE(one.engine, two.engine);
+  const FaultSimResult r1 = one.engine->run(w.seq);
+  const FaultSimResult r2 = two.engine->run(w.seq);
+  expectBitIdentical(r1, r2);
+  EXPECT_EQ(store->recordings(), 1u);
+  EXPECT_GE(store->hits(), 1u);
+  pool.release(one);
+  pool.release(two);
+}
+
+}  // namespace
+}  // namespace fmossim::serve

@@ -1,0 +1,172 @@
+// Wire protocol pieces: JSON value round trips, WorkloadSpec serialization,
+// deterministic workload expansion, and the malformed-input error paths the
+// daemon turns into protocol error responses.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patterns/sequence_io.hpp"
+#include "serve/json.hpp"
+
+namespace fmossim::serve {
+namespace {
+
+TEST(JsonValueTest, RoundTripsScalarsArraysAndObjects) {
+  JsonValue obj = JsonValue::makeObject();
+  obj.set("b", JsonValue::makeBool(true));
+  obj.set("n", JsonValue::makeNumber(12.5));
+  obj.set("s", JsonValue::makeString("he said \"hi\"\n"));
+  obj.set("u", JsonValue::makeU64(1234567));
+  obj.set("hex", JsonValue::makeHexU64(0xdeadbeefcafef00dULL));
+  JsonValue arr = JsonValue::makeArray();
+  arr.push(JsonValue::makeNumber(1));
+  arr.push(JsonValue::makeNull());
+  obj.set("a", std::move(arr));
+
+  const JsonValue back = JsonValue::parse(obj.dump());
+  EXPECT_TRUE(back.boolOr("b", false));
+  EXPECT_DOUBLE_EQ(back.get("n").asNumber(), 12.5);
+  EXPECT_EQ(back.get("s").asString(), "he said \"hi\"\n");
+  EXPECT_EQ(back.get("u").asU64(), 1234567u);
+  EXPECT_EQ(back.get("hex").asHexU64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(back.get("a").items().size(), 2u);
+  EXPECT_TRUE(back.get("a").items()[1].isNull());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), Error);
+  EXPECT_THROW(JsonValue::parse("{'single':1}"), Error);
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  // Type-mismatch accessors throw instead of coercing.
+  const JsonValue v = JsonValue::parse("{\"x\": \"str\"}");
+  EXPECT_THROW(v.get("x").asNumber(), Error);
+  EXPECT_THROW(v.get("missing"), Error);
+  // Non-exact u64 conversions are refused (precision loss).
+  EXPECT_THROW(JsonValue::parse("{\"x\": 1.5}").get("x").asU64(), Error);
+  EXPECT_THROW(JsonValue::parse("{\"x\": -2}").get("x").asU64(), Error);
+  EXPECT_THROW(JsonValue::parse("{\"x\": 1e19}").get("x").asU64(), Error);
+}
+
+TEST(WorkloadSpecTest, GenSpecRoundTripsThroughJson) {
+  WorkloadSpec spec;
+  spec.circuitSeed = 0xfeedfacecafebeefULL;  // full 64-bit seed must survive
+  spec.seqSeed = 0x123456789abcdef1ULL;
+  spec.numNodes = 20;
+  spec.numFaults = 28;
+  spec.jobs = 3;
+  spec.policy = DetectionPolicy::AnyDifference;
+  spec.dropDetected = false;
+
+  const WorkloadSpec back = WorkloadSpec::fromJson(spec.toJson());
+  EXPECT_EQ(back.circuitSeed, spec.circuitSeed);
+  EXPECT_EQ(back.seqSeed, spec.seqSeed);
+  EXPECT_EQ(back.numNodes, spec.numNodes);
+  EXPECT_EQ(back.numInputs, 0u);
+  EXPECT_EQ(back.numFaults, spec.numFaults);
+  EXPECT_EQ(back.jobs, spec.jobs);
+  EXPECT_EQ(back.policy, spec.policy);
+  EXPECT_FALSE(back.dropDetected);
+  EXPECT_FALSE(back.isInline());
+}
+
+TEST(WorkloadSpecTest, InlineSpecRoundTripsAndBuilds) {
+  WorkloadSpec spec;
+  spec.netlist =
+      "input in\n"
+      "d out Vdd out\n"
+      "n in out Gnd\n";
+  spec.sequence =
+      "outputs out\n"
+      "pattern init\n"
+      "  set Vdd=1 Gnd=0 in=0\n"
+      "pattern p1\n"
+      "  set in=1\n";
+  spec.faults = "all-node-stuck\n";
+
+  const WorkloadSpec back = WorkloadSpec::fromJson(spec.toJson());
+  EXPECT_TRUE(back.isInline());
+  EXPECT_EQ(back.netlist, spec.netlist);
+
+  const BuiltWorkload w = buildWorkload(back);
+  EXPECT_GT(w.net.numNodes(), 0u);
+  EXPECT_FALSE(w.faults.empty());
+  EXPECT_EQ(w.seq.size(), 2u);
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(WorkloadSpec::fromJson(
+                   JsonValue::parse("{\"kind\": \"mystery\"}")),
+               Error);
+  EXPECT_THROW(WorkloadSpec::fromJson(
+                   JsonValue::parse("{\"policy\": \"maybe\"}")),
+               Error);
+  EXPECT_THROW(WorkloadSpec::fromJson(JsonValue::parse("{\"jobs\": 0}")),
+               Error);
+  WorkloadSpec inlineSpec;
+  inlineSpec.netlist = "this is not a netlist";
+  inlineSpec.sequence = "nor a sequence";
+  inlineSpec.faults = "all-node-stuck";
+  EXPECT_THROW(buildWorkload(inlineSpec), Error);
+}
+
+TEST(WorkloadSpecTest, ExpansionIsDeterministicAcrossEndpoints) {
+  WorkloadSpec spec;
+  spec.circuitSeed = 7;
+  spec.seqSeed = 0x9e3779b97f4a7c15ULL;
+  spec.numNodes = 16;
+  spec.numPatterns = 10;
+
+  const BuiltWorkload a = buildWorkload(spec);
+  const BuiltWorkload b = buildWorkload(WorkloadSpec::fromJson(spec.toJson()));
+  EXPECT_EQ(networkFingerprint(a.net), networkFingerprint(b.net));
+  EXPECT_EQ(faultListFingerprint(a.faults), faultListFingerprint(b.faults));
+  EXPECT_EQ(Engine::sequenceFingerprint(a.seq),
+            Engine::sequenceFingerprint(b.seq));
+  // writeSequence is content-complete, so equal text means equal sequences.
+  EXPECT_EQ(writeSequence(a.net, a.seq), writeSequence(b.net, b.seq));
+}
+
+TEST(WorkloadSpecTest, SeqSeedDerivesDistinctSequenceOverSameCircuit) {
+  WorkloadSpec base;
+  base.circuitSeed = 9;
+  base.numNodes = 16;
+  WorkloadSpec derived = base;
+  derived.seqSeed = 12345;
+
+  const BuiltWorkload a = buildWorkload(base);
+  const BuiltWorkload b = buildWorkload(derived);
+  EXPECT_EQ(networkFingerprint(a.net), networkFingerprint(b.net));
+  EXPECT_NE(Engine::sequenceFingerprint(a.seq),
+            Engine::sequenceFingerprint(b.seq));
+  EXPECT_EQ(a.seq.size(), b.seq.size());
+}
+
+TEST(JobResultTest, RoundTripsThroughJson) {
+  JobResult r;
+  r.checksum = 0xabcdef0123456789ULL;
+  r.numFaults = 32;
+  r.numDetected = 17;
+  r.nodeEvals = 987654321;
+  r.wallSeconds = 0.125;
+  r.cpuSeconds = 0.25;
+  r.queuedSeconds = 0.01;
+  r.latencySeconds = 0.135;
+  r.engineReused = true;
+  r.backend = "sharded";
+
+  const JobResult back = JobResult::fromJson(
+      JsonValue::parse(r.toJson().dump()));
+  EXPECT_EQ(back.checksum, r.checksum);
+  EXPECT_EQ(back.numFaults, r.numFaults);
+  EXPECT_EQ(back.numDetected, r.numDetected);
+  EXPECT_EQ(back.nodeEvals, r.nodeEvals);
+  EXPECT_DOUBLE_EQ(back.wallSeconds, r.wallSeconds);
+  EXPECT_DOUBLE_EQ(back.latencySeconds, r.latencySeconds);
+  EXPECT_TRUE(back.engineReused);
+  EXPECT_EQ(back.backend, "sharded");
+  EXPECT_TRUE(back.error.empty());
+}
+
+}  // namespace
+}  // namespace fmossim::serve
