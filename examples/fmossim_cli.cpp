@@ -82,6 +82,10 @@ void printUsage(std::FILE* to, const char* argv0) {
                "backend only)]\n"
                "          [--batch-faults N  sharded fault-batch size "
                "(default: auto)]\n"
+               "          [--lane-width N  word-lane fault batching width "
+               "(power of two\n"
+               "                           in [1, 32], default 1; "
+               "bit-identical results)]\n"
                "          [--checkpoint-budget SIZE  good-machine checkpoint "
                "memory budget\n"
                "                           (bytes, k/m/g suffix; 0 = "
@@ -159,6 +163,37 @@ std::size_t parseByteSize(const char* text, const char* flag) {
   return static_cast<std::size_t>(v) << shift;
 }
 
+// Strict positive-integer parse for counted flags (--jobs, --batch-faults,
+// --lane-width): trailing garbage, zero, negatives and overflow are all
+// errors with exit 2, never a silently clamped or truncated count.
+std::uint32_t parsePositiveCount(const char* text, const char* flag,
+                                 std::uint32_t maxValue) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-' ||
+      v == 0 || v > maxValue) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s (want an integer in [1, %u])\n",
+                 text, flag, maxValue);
+    std::exit(2);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+// --lane-width additionally requires a power of two: lane words pack 2-bit
+// states, so only power-of-two widths align fault windows.
+std::uint32_t parseLaneWidth(const char* text, const char* flag) {
+  const std::uint32_t v = parsePositiveCount(text, flag, 32);
+  if ((v & (v - 1)) != 0) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s (want a power of two in [1, 32])\n",
+                 text, flag);
+    std::exit(2);
+  }
+  return v;
+}
+
 const char* kDemoNetlist = R"(| demo: nMOS inverter chain with a pass gate
 input in clk
 d n1 Vdd n1
@@ -191,6 +226,9 @@ int fuzzUsage(std::FILE* to, const char* argv0) {
       "               [--seed S       first seed (default 1)]\n"
       "               [--nodes N] [--inputs N] [--faults N] [--patterns N]\n"
       "               [--policy any|definite] [--no-drop]\n"
+      "               [--lane-width N pin the lane-sharing comparands to\n"
+      "                               {1, N} (power of two in [1, 32];\n"
+      "                               default sweeps {1, 4, 32})]\n"
       "               [--chaos N      lose every Nth concurrent trigger\n"
       "                               (oracle self-test; must find bugs)]\n"
       "               [--quiet]\n",
@@ -204,6 +242,7 @@ int runFuzz(int argc, char** argv) {
   std::uint64_t firstSeed = 1;
   std::uint32_t numSeeds = 25;
   std::optional<std::uint32_t> nodes, inputs, faults, patterns, chaos;
+  std::optional<std::uint32_t> laneWidth;
   std::optional<DetectionPolicy> policy;
   bool noDrop = false, quiet = false;
 
@@ -245,6 +284,17 @@ int runFuzz(int argc, char** argv) {
     else if (arg == "--faults") faults = nextUint();
     else if (arg == "--patterns") patterns = nextUint();
     else if (arg == "--chaos") chaos = nextUint();
+    else if (arg == "--lane-width") {
+      const std::uint32_t v = nextUint();
+      if (v < 1 || v > 32 || (v & (v - 1)) != 0) {
+        std::fprintf(stderr,
+                     "invalid value '%u' for --lane-width (want a power of "
+                     "two in [1, 32])\n",
+                     v);
+        std::exit(2);
+      }
+      laneWidth = v;
+    }
     else if (arg == "--no-drop") noDrop = true;
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--policy") {
@@ -279,6 +329,7 @@ int runFuzz(int argc, char** argv) {
                                         ? DetectionPolicy::DefiniteOnly
                                         : DetectionPolicy::AnyDifference);
     oracle.dropDetected = noDrop ? false : vary.chance(0.75);
+    if (laneWidth) oracle.laneVariants = {1, *laneWidth};
     if (chaos) oracle.debugLoseTriggerEvery = *chaos;
 
     const GeneratedWorkload w = generateWorkload(gen);
@@ -301,6 +352,7 @@ int runFuzz(int argc, char** argv) {
                    ? " --policy any"
                    : " --policy definite";
       if (!oracle.dropDetected) repro += " --no-drop";
+      if (laneWidth) repro += format(" --lane-width %u", *laneWidth);
       if (chaos) repro += format(" --chaos %u", *chaos);
       std::printf("%s\n%s  reproduce: %s\n", describeWorkload(w).c_str(),
                   rep.summary().c_str(), repro.c_str());
@@ -783,13 +835,13 @@ int main(int argc, char** argv) {
       else if (b == "concurrent") opts.backend = Backend::Concurrent;
       else return usage(argv[0]);
     } else if (arg == "--jobs") {
-      const int n = std::atoi(next());
-      if (n < 1) return usage(argv[0]);
-      opts.jobs = static_cast<unsigned>(n);
+      opts.jobs = parsePositiveCount(next(), "--jobs", 1u << 16);
     } else if (arg == "--batch-faults") {
-      const int n = std::atoi(next());
-      if (n < 1) return usage(argv[0]);
-      opts.batchFaults = static_cast<std::uint32_t>(n);
+      opts.batchFaults =
+          parsePositiveCount(next(), "--batch-faults",
+                             std::numeric_limits<std::uint32_t>::max());
+    } else if (arg == "--lane-width") {
+      opts.laneWidth = parseLaneWidth(next(), "--lane-width");
     } else if (arg == "--checkpoint-budget") {
       opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
     } else if (arg == "--policy") {
@@ -809,9 +861,13 @@ int main(int argc, char** argv) {
   if (!demo && !simFile && !benchFile) return usage(argv[0]);
   if (!demo && (!seqFile || !faultFile)) return usage(argv[0]);
 
+  // Input loading gets its own catch: a malformed netlist, sequence or fault
+  // spec is an invalid-invocation error (exit 2, like bad flag values), not a
+  // simulation failure. The parsers report line-numbered messages.
+  Network net;
+  TestSequence seq;
+  FaultList faults;
   try {
-    // Load the network.
-    Network net;
     if (demo) {
       net = parseSimNetlist(kDemoNetlist);
     } else if (simFile) {
@@ -820,22 +876,24 @@ int main(int argc, char** argv) {
       const GateCircuit gates = loadBenchFile(*benchFile);
       net = expandToCmos(gates).net;
     }
-    if (!quiet) {
-      std::printf("network: %u transistors (%u fault devices), %u nodes "
-                  "(%u inputs)\n",
-                  net.numTransistors(), net.numFaultDevices(), net.numNodes(),
-                  net.numInputs());
-    }
+    seq = demo ? parseSequence(net, kDemoSequence)
+               : loadSequenceFile(net, *seqFile);
+    faults = demo ? parseFaultSpec(net, kDemoFaults)
+                  : loadFaultSpecFile(net, *faultFile);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (!quiet) {
+    std::printf("network: %u transistors (%u fault devices), %u nodes "
+                "(%u inputs)\n",
+                net.numTransistors(), net.numFaultDevices(), net.numNodes(),
+                net.numInputs());
+    std::printf("sequence: %u patterns, %zu output(s); faults: %u\n",
+                seq.size(), seq.outputs().size(), faults.size());
+  }
 
-    const TestSequence seq = demo ? parseSequence(net, kDemoSequence)
-                                  : loadSequenceFile(net, *seqFile);
-    const FaultList faults = demo ? parseFaultSpec(net, kDemoFaults)
-                                  : loadFaultSpecFile(net, *faultFile);
-    if (!quiet) {
-      std::printf("sequence: %u patterns, %zu output(s); faults: %u\n",
-                  seq.size(), seq.outputs().size(), faults.size());
-    }
-
+  try {
     opts.dropDetected = !noDrop;
     Engine engine(net, faults, opts);
     if (!quiet) {

@@ -29,10 +29,12 @@ ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
 }
 
 std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::makeBatches(
-    std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults) {
+    std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults,
+    std::uint32_t laneWidth) {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> batches;
   if (numFaults == 0) return batches;
   jobs = std::max(1u, jobs);
+  laneWidth = std::max(1u, laneWidth);
   // Auto schedule: ~4 batches per worker, floored at 32 faults so the
   // per-batch checkpoint-replay overhead stays amortized. Per-fault cost is
   // wildly non-uniform under dropping (a batch whose faults all drop early
@@ -41,11 +43,15 @@ std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::makeBatches(
   // workers for stealing to level the load — measured on RAM256, this
   // schedule more than halves the critical path vs. one-slice-per-worker at
   // a few percent of added total work.
-  const std::uint32_t size =
+  std::uint32_t size =
       batchFaults > 0
           ? batchFaults
           : std::max<std::uint32_t>(32,
                                     (numFaults + 4 * jobs - 1) / (4 * jobs));
+  // Feed whole lane windows per shard: each batch engine renumbers its
+  // faults from 1, so a batch size that is a laneWidth multiple keeps
+  // sharing windows from straddling shard boundaries.
+  size = (size + laneWidth - 1) / laneWidth * laneWidth;
   std::uint32_t begin = 0;
   while (begin < numFaults) {
     const std::uint32_t end = std::min(numFaults, begin + size);
@@ -149,7 +155,8 @@ FaultSimResult ShardedRunner::run(const TestSequence& seq,
   // identical for any worker and batch count.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned effective = std::min(jobs_, hw);
-  const auto batches = makeBatches(faults_.size(), effective, batchFaults_);
+  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
+                                   options_.laneWidth);
 
   std::vector<FaultSimResult> batchResults(batches.size());
   std::atomic<std::uint32_t> nextBatch{0};

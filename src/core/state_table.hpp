@@ -6,20 +6,26 @@
 //    s_i. Such records are maintained only for the good circuit, and for
 //    those circuits i such that s_i != s_0."
 //
-// The good circuit's state is a flat array; each node additionally carries a
-// block of divergence records sorted by circuit ID. All blocks live in one
-// shared arena (a single std::vector<StateRecord> pool) indexed by per-node
-// {offset, count, capacity} descriptors: scanning a node's records — the
-// inner loop of trigger collection — touches one contiguous region instead
-// of chasing a per-node heap vector, and inserting a record never allocates
-// unless its block outgrows a power-of-two capacity class (freed blocks are
-// recycled through per-class free lists).
+// The good circuit's state is a flat array; each node additionally carries
+// divergence records packed into *lane blocks*: ternary state fits 2 bits,
+// so one 64-bit word holds the states of 32 consecutive circuits (a lane
+// *group*), with a 32-bit divergence mask saying which lanes actually hold a
+// record. Scanning a node's records — the inner loop of trigger collection —
+// walks a handful of words instead of one entry per diverging circuit, and
+// the lane-batched faulty-circuit path (concurrent_sim) matches and commits
+// a whole group of fault machines with a few SWAR word operations
+// (matchLanes / commitLanes).
+//
+// Blocks live in one shared arena (a single std::vector<LaneBlock> pool)
+// indexed by per-node {offset, count, capacity} descriptors, sorted by
+// group; inserting a block never allocates unless a node's block list
+// outgrows a power-of-two capacity class (freed lists are recycled through
+// per-class free lists).
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "faults/fault.hpp"
@@ -27,18 +33,79 @@
 
 namespace fmossim {
 
-/// One divergence record: circuit `circuit` holds state `value` at this node
-/// (necessarily different from the good circuit's state there).
-struct StateRecord {
-  CircuitId circuit;
-  State value;
+/// Lane arithmetic shared by the state table and the lane-batched engine.
+/// Circuit IDs start at 1 (0 is the good circuit), so circuit c occupies
+/// lane (c-1)%32 of group (c-1)/32. States pack as their enum value (S0=0,
+/// S1=1, SX=2) in 2-bit fields at bit 2*lane.
+namespace lanes {
 
-  bool operator==(const StateRecord&) const = default;
+inline constexpr std::uint32_t kLaneCount = 32;
+/// 0101... — one bit per 2-bit lane field (the low bit of every lane).
+inline constexpr std::uint64_t kEvenBits = 0x5555555555555555ull;
+
+constexpr std::uint32_t groupOf(CircuitId c) { return (c - 1) / kLaneCount; }
+constexpr std::uint32_t laneOf(CircuitId c) { return (c - 1) % kLaneCount; }
+constexpr CircuitId circuitAt(std::uint32_t group, std::uint32_t lane) {
+  return group * kLaneCount + lane + 1;
+}
+
+/// Replicates a 2-bit state value into all 32 lanes of a word.
+constexpr std::uint64_t splat2(State v) {
+  return kEvenBits * static_cast<std::uint64_t>(v);
+}
+
+/// Compresses the even bits of x (bit 2l) down to a 32-bit mask (bit l) —
+/// the inverse Morton shuffle.
+constexpr std::uint32_t compressEven(std::uint64_t x) {
+  x &= 0x5555555555555555ull;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return static_cast<std::uint32_t>(x);
+}
+
+/// Spreads a 32-bit lane mask (bit l) to a full 2-bit field mask (bits 2l
+/// and 2l+1) — the Morton shuffle, then both bits of each selected lane.
+constexpr std::uint64_t spread2(std::uint32_t mask) {
+  std::uint64_t x = mask;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x * 3;  // even bits only: *3 == x | (x << 1), carry-free
+}
+
+/// Lanes whose 2-bit field in `bits` equals state v, over all 32 lanes
+/// (callers mask with the divergence mask — undiverged lanes hold stale
+/// bits).
+constexpr std::uint32_t eqLanes(std::uint64_t bits, State v) {
+  const std::uint64_t x = bits ^ splat2(v);
+  return ~compressEven((x | (x >> 1)) & kEvenBits);
+}
+
+/// Extracts the 2-bit state of one lane.
+constexpr State laneState(std::uint64_t bits, std::uint32_t lane) {
+  return static_cast<State>((bits >> (2 * lane)) & 3u);
+}
+
+}  // namespace lanes
+
+/// One group of 32 circuit lanes diverging at a node: circuit
+/// circuitAt(group, l) holds state laneState(bits, l) iff divMask bit l is
+/// set (lanes outside divMask agree with the good circuit; their bits are
+/// stale).
+struct LaneBlock {
+  std::uint32_t group = 0;
+  std::uint32_t divMask = 0;
+  std::uint64_t bits = 0;
 };
 
-/// Good-circuit state plus per-node divergence record lists in a shared
-/// arena. Record pointers/spans are invalidated by any mutating call
-/// (reconcile/erase); do not hold them across mutations.
+/// Good-circuit state plus per-node divergence lane blocks in a shared
+/// arena. Block pointers are invalidated by any mutating call
+/// (reconcile/commitLanes/erase); do not hold them across mutations.
 class StateTable {
  public:
   explicit StateTable(const Network& net)
@@ -53,34 +120,69 @@ class StateTable {
 
   // --- divergence records --------------------------------------------------
 
+  /// Divergence lookup result: whether circuit c holds a record at the node,
+  /// and the recorded state if so.
+  struct Lookup {
+    bool diverges = false;
+    State value = State::SX;
+  };
+
+  /// Circuit c's divergence at node n, if any. O(log blocks) + O(1) bit ops.
+  Lookup lookup(NodeId n, CircuitId c) const {
+    const LaneBlock* blk = findBlock(n, lanes::groupOf(c));
+    if (blk == nullptr) return {};
+    const std::uint32_t l = lanes::laneOf(c);
+    if (((blk->divMask >> l) & 1u) == 0) return {};
+    return {true, lanes::laneState(blk->bits, l)};
+  }
+
   /// State of node n in circuit c: its record if present, else the good
   /// state (the concurrent representation invariant).
   State stateOf(NodeId n, CircuitId c) const {
     if (c != kGoodCircuit) {
-      if (const StateRecord* r = findRecord(n, c)) return r->value;
+      const Lookup r = lookup(n, c);
+      if (r.diverges) return r.value;
     }
     return good_[n.value];
   }
 
   /// True if circuit c diverges from the good circuit at node n.
-  bool hasRecord(NodeId n, CircuitId c) const {
-    return findRecord(n, c) != nullptr;
+  bool hasRecord(NodeId n, CircuitId c) const { return lookup(n, c).diverges; }
+
+  /// Node n's lane block for a circuit group, or nullptr if no circuit of
+  /// that group diverges here. Invalidated by mutation.
+  const LaneBlock* findBlock(NodeId n, std::uint32_t group) const {
+    const Block& b = blocks_[n.value];
+    const LaneBlock* begin = pool_.data() + b.offset;
+    const LaneBlock* it = lowerBound(begin, begin + b.count, group);
+    return (it != begin + b.count && it->group == group) ? it : nullptr;
   }
 
-  /// Pointer to circuit c's record at node n, or nullptr if the circuit
-  /// agrees with the good circuit there. Invalidated by mutation.
-  const StateRecord* findRecord(NodeId n, CircuitId c) const {
+  /// Invokes fn(CircuitId, State) for every divergence record of node n, in
+  /// ascending circuit order (the iteration order the concurrent algorithm's
+  /// trigger and observation scans rely on).
+  template <typename Fn>
+  void forEachRecord(NodeId n, Fn&& fn) const {
     const Block& b = blocks_[n.value];
-    const StateRecord* begin = pool_.data() + b.offset;
-    const StateRecord* it = lowerBound(begin, begin + b.count, c);
-    return (it != begin + b.count && it->circuit == c) ? it : nullptr;
+    const LaneBlock* p = pool_.data() + b.offset;
+    for (std::uint32_t i = 0; i < b.count; ++i) {
+      const LaneBlock& blk = p[i];
+      std::uint32_t m = blk.divMask;
+      while (m != 0) {
+        const std::uint32_t l = std::countr_zero(m);
+        m &= m - 1;
+        fn(lanes::circuitAt(blk.group, l), lanes::laneState(blk.bits, l));
+      }
+    }
   }
 
-  /// All divergence records of a node, sorted by circuit ID. Invalidated by
-  /// mutation.
-  std::span<const StateRecord> records(NodeId n) const {
+  /// Number of divergence records at node n (all groups).
+  std::uint32_t recordCountAt(NodeId n) const {
     const Block& b = blocks_[n.value];
-    return {pool_.data() + b.offset, b.count};
+    const LaneBlock* p = pool_.data() + b.offset;
+    std::uint32_t total = 0;
+    for (std::uint32_t i = 0; i < b.count; ++i) total += std::popcount(p[i].divMask);
+    return total;
   }
 
   /// Outcome of a reconcile(): whether the circuit now diverges at the node,
@@ -96,48 +198,86 @@ class StateTable {
   /// value re-converges with the good circuit, else inserts/updates it.
   Reconciled reconcile(NodeId n, CircuitId c, State value) {
     FMOSSIM_ASSERT(c != kGoodCircuit, "reconcile is for faulty circuits");
+    const LaneCommit lc =
+        commitLanes(n, lanes::groupOf(c), 1u << lanes::laneOf(c), value);
+    if (value == good_[n.value]) return {false, false, lc.erasedMask != 0};
+    return {true, lc.insertedMask != 0, false};
+  }
+
+  /// Outcome of a lane-masked commit: lanes whose record this call created
+  /// or removed (callers update watch/divergence counts by popcount).
+  struct LaneCommit {
+    std::uint32_t insertedMask = 0;
+    std::uint32_t erasedMask = 0;
+  };
+
+  /// Reconciles every lane in `mask` of `group` to state `value` at node n
+  /// in one word operation: per lane exactly equivalent to reconcile() on
+  /// the corresponding circuit. Value == good erases the masked records;
+  /// anything else inserts/updates them.
+  LaneCommit commitLanes(NodeId n, std::uint32_t group, std::uint32_t mask,
+                         State value) {
     Block& b = blocks_[n.value];
-    StateRecord* begin = pool_.data() + b.offset;
-    StateRecord* it = lowerBound(begin, begin + b.count, c);
-    const bool present = it != begin + b.count && it->circuit == c;
+    LaneBlock* begin = pool_.data() + b.offset;
+    LaneBlock* it = lowerBound(begin, begin + b.count, group);
+    const bool present = it != begin + b.count && it->group == group;
     if (value == good_[n.value]) {
-      if (present) {
-        removeAt(b, static_cast<std::uint32_t>(it - begin));
-        --totalRecords_;
-      }
-      return {false, false, present};
+      if (!present) return {};
+      const std::uint32_t erased = it->divMask & mask;
+      it->divMask &= ~mask;
+      totalRecords_ -= std::popcount(erased);
+      if (it->divMask == 0) removeAt(b, static_cast<std::uint32_t>(it - begin));
+      return {0, erased};
     }
-    if (present) {
-      it->value = value;
-    } else {
-      insertAt(b, static_cast<std::uint32_t>(it - begin), {c, value});
-      ++totalRecords_;
+    if (!present) {
+      it = insertAt(b, static_cast<std::uint32_t>(it - begin), {group, 0, 0});
     }
-    return {true, !present, false};
+    const std::uint32_t inserted = mask & ~it->divMask;
+    const std::uint64_t field = lanes::spread2(mask);
+    it->bits = (it->bits & ~field) | (lanes::splat2(value) & field);
+    it->divMask |= mask;
+    totalRecords_ += std::popcount(inserted);
+    return {inserted, 0};
+  }
+
+  /// Lanes of `group` (restricted to candidateMask) whose state at node n
+  /// equals `value`, where lanes without a record read `background` — the
+  /// caller's circuit-independent fallback (the pre-phase good lens of the
+  /// concurrent engine, which this table cannot see).
+  std::uint32_t matchLanes(NodeId n, std::uint32_t group,
+                           std::uint32_t candidateMask, State value,
+                           State background) const {
+    const LaneBlock* blk = findBlock(n, group);
+    const std::uint32_t div = blk ? blk->divMask : 0;
+    std::uint32_t m = (background == value) ? ~div : 0u;
+    if (blk != nullptr) m |= div & lanes::eqLanes(blk->bits, value);
+    return candidateMask & m;
   }
 
   /// Removes circuit c's record at node n if present; returns true if a
   /// record was removed.
   bool erase(NodeId n, CircuitId c) {
     Block& b = blocks_[n.value];
-    StateRecord* begin = pool_.data() + b.offset;
-    StateRecord* it = lowerBound(begin, begin + b.count, c);
-    if (it != begin + b.count && it->circuit == c) {
-      removeAt(b, static_cast<std::uint32_t>(it - begin));
-      --totalRecords_;
-      return true;
-    }
-    return false;
+    LaneBlock* begin = pool_.data() + b.offset;
+    LaneBlock* it = lowerBound(begin, begin + b.count, lanes::groupOf(c));
+    if (it == begin + b.count || it->group != lanes::groupOf(c)) return false;
+    const std::uint32_t bit = 1u << lanes::laneOf(c);
+    if ((it->divMask & bit) == 0) return false;
+    it->divMask &= ~bit;
+    --totalRecords_;
+    if (it->divMask == 0) removeAt(b, static_cast<std::uint32_t>(it - begin));
+    return true;
   }
 
   /// Total number of divergence records (statistics).
   std::uint64_t totalRecords() const { return totalRecords_; }
 
-  /// Arena slots currently allocated (capacity diagnostics / tests).
+  /// Arena slots (lane blocks) currently allocated (capacity diagnostics /
+  /// tests).
   std::size_t arenaSize() const { return pool_.size(); }
 
  private:
-  /// One node's record block inside the arena. capacity is 0 or a power of
+  /// One node's block list inside the arena. capacity is 0 or a power of
   /// two >= kMinCapacity.
   struct Block {
     std::uint32_t offset = 0;
@@ -145,47 +285,51 @@ class StateTable {
     std::uint32_t capacity = 0;
   };
 
-  static constexpr std::uint32_t kMinCapacity = 4;
+  static constexpr std::uint32_t kMinCapacity = 2;
 
-  static const StateRecord* lowerBound(const StateRecord* first,
-                                       const StateRecord* last, CircuitId c) {
+  static const LaneBlock* lowerBound(const LaneBlock* first,
+                                     const LaneBlock* last,
+                                     std::uint32_t group) {
     return std::lower_bound(
-        first, last, c,
-        [](const StateRecord& r, CircuitId id) { return r.circuit < id; });
+        first, last, group,
+        [](const LaneBlock& b, std::uint32_t g) { return b.group < g; });
   }
-  static StateRecord* lowerBound(StateRecord* first, StateRecord* last,
-                                 CircuitId c) {
-    return const_cast<StateRecord*>(
-        lowerBound(static_cast<const StateRecord*>(first), last, c));
+  static LaneBlock* lowerBound(LaneBlock* first, LaneBlock* last,
+                               std::uint32_t group) {
+    return const_cast<LaneBlock*>(
+        lowerBound(static_cast<const LaneBlock*>(first), last, group));
   }
 
-  void insertAt(Block& b, std::uint32_t pos, StateRecord rec) {
+  /// Inserts `blk` at position pos of node block list b and returns its
+  /// (possibly relocated) address.
+  LaneBlock* insertAt(Block& b, std::uint32_t pos, LaneBlock blk) {
     if (b.count == b.capacity) growBlock(b);
-    StateRecord* begin = pool_.data() + b.offset;
+    LaneBlock* begin = pool_.data() + b.offset;
     for (std::uint32_t i = b.count; i > pos; --i) begin[i] = begin[i - 1];
-    begin[pos] = rec;
+    begin[pos] = blk;
     ++b.count;
+    return begin + pos;
   }
 
   void removeAt(Block& b, std::uint32_t pos) {
-    StateRecord* begin = pool_.data() + b.offset;
+    LaneBlock* begin = pool_.data() + b.offset;
     for (std::uint32_t i = pos + 1; i < b.count; ++i) begin[i - 1] = begin[i];
     --b.count;
   }
 
-  /// Moves the block to a capacity-doubled arena region (recycling freed
-  /// regions of the target class when available).
+  /// Moves the block list to a capacity-doubled arena region (recycling
+  /// freed regions of the target class when available).
   void growBlock(Block& b);
 
-  /// Free-list index of a capacity class (4 -> 0, 8 -> 1, ...).
+  /// Free-list index of a capacity class (2 -> 0, 4 -> 1, ...).
   static unsigned classOf(std::uint32_t capacity) {
-    return static_cast<unsigned>(std::countr_zero(capacity)) - 2;
+    return static_cast<unsigned>(std::countr_zero(capacity)) - 1;
   }
 
   std::vector<State> good_;
   std::vector<Block> blocks_;
-  std::vector<StateRecord> pool_;
-  /// freeLists_[k] holds arena offsets of recycled blocks with capacity
+  std::vector<LaneBlock> pool_;
+  /// freeLists_[k] holds arena offsets of recycled block lists with capacity
   /// kMinCapacity << k.
   std::vector<std::vector<std::uint32_t>> freeLists_;
   std::uint64_t totalRecords_ = 0;

@@ -1,7 +1,9 @@
 #include "faults/fault_spec.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "faults/sampling.hpp"
 #include "faults/universe.hpp"
@@ -14,6 +16,33 @@ namespace {
 
 [[noreturn]] void fail(std::size_t lineNo, const std::string& msg) {
   throw Error(format("fault spec line %zu: %s", lineNo, msg.c_str()));
+}
+
+/// Strict unsigned decimal parse: every character must be a digit and the
+/// value must fit the caller's range, so that "12abc", "-1" or an
+/// out-of-range id is a line-numbered error rather than a silent stoul
+/// truncation.
+std::uint64_t parseUint64(std::string_view tok, std::size_t lineNo,
+                          const char* what, std::uint64_t maxValue) {
+  if (tok.empty()) fail(lineNo, format("empty %s", what));
+  std::uint64_t value = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') {
+      fail(lineNo, format("invalid %s '%s'", what, std::string(tok).c_str()));
+    }
+    if (value > maxValue / 10 ||
+        value * 10 > maxValue - static_cast<std::uint64_t>(c - '0')) {
+      fail(lineNo, format("%s '%s' out of range", what, std::string(tok).c_str()));
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::uint32_t parseUint32(std::string_view tok, std::size_t lineNo,
+                          const char* what) {
+  return static_cast<std::uint32_t>(
+      parseUint64(tok, lineNo, what, std::numeric_limits<std::uint32_t>::max()));
 }
 
 }  // namespace
@@ -48,12 +77,7 @@ FaultList parseFaultSpec(const Network& net, const std::string& text) {
       }
     } else if (kind == "TRANSISTOR") {
       if (tok.size() != 3) fail(lineNo, "transistor requires <id> open|closed");
-      std::uint32_t id = 0;
-      try {
-        id = static_cast<std::uint32_t>(std::stoul(std::string(tok[1])));
-      } catch (...) {
-        fail(lineNo, "invalid transistor id '" + std::string(tok[1]) + "'");
-      }
+      const std::uint32_t id = parseUint32(tok[1], lineNo, "transistor id");
       if (id >= net.numTransistors()) fail(lineNo, "transistor id out of range");
       const std::string what = toUpper(tok[2]);
       try {
@@ -75,12 +99,9 @@ FaultList parseFaultSpec(const Network& net, const std::string& text) {
       faults.append(allFaultDeviceFaults(net));
     } else if (kind == "SAMPLE") {
       if (tok.size() != 3) fail(lineNo, "sample requires <count> <seed>");
-      try {
-        sampleCount = static_cast<std::uint32_t>(std::stoul(std::string(tok[1])));
-        sampleSeed = std::stoull(std::string(tok[2]));
-      } catch (...) {
-        fail(lineNo, "invalid sample parameters");
-      }
+      sampleCount = parseUint32(tok[1], lineNo, "sample count");
+      sampleSeed = parseUint64(tok[2], lineNo, "sample seed",
+                               std::numeric_limits<std::uint64_t>::max());
       doSample = true;
     } else {
       fail(lineNo, "unknown directive '" + std::string(tok[0]) + "'");

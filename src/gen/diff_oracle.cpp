@@ -101,12 +101,13 @@ FaultList subsetFaults(const FaultList& faults,
 
 DiffOracle::DiffOracle(OracleOptions options) : options_(std::move(options)) {
   if (options_.jobsVariants.empty()) options_.jobsVariants = {1};
+  if (options_.laneVariants.empty()) options_.laneVariants = {1};
 }
 
 FaultSimResult DiffOracle::runBackend(const Network& net,
                                       const FaultList& faults,
                                       const TestSequence& seq, Backend backend,
-                                      unsigned jobs,
+                                      unsigned jobs, std::uint32_t laneWidth,
                                       std::string* backendName) const {
   EngineOptions opts;
   opts.backend = backend;
@@ -115,6 +116,7 @@ FaultSimResult DiffOracle::runBackend(const Network& net,
   opts.dropDetected = options_.dropDetected;
   opts.jobs = jobs;
   if (backend == Backend::Concurrent) {
+    opts.laneWidth = laneWidth;
     opts.debugLoseTriggerEvery = options_.debugLoseTriggerEvery;
   }
   Engine engine(net, faults, opts);
@@ -123,6 +125,7 @@ FaultSimResult DiffOracle::runBackend(const Network& net,
     // backend when the (possibly shrunk) fault list is too small to shard.
     *backendName = engine.backendName();
     if (*backendName == "sharded") *backendName += format("-%u", jobs);
+    if (laneWidth > 1) *backendName += format("-lanes%u", laneWidth);
   }
   return engine.run(seq);
 }
@@ -133,12 +136,32 @@ std::optional<Divergence> DiffOracle::diverges(const Network& net,
                                                std::uint32_t& runs) const {
   ++runs;
   const FaultSimResult ref =
-      runBackend(net, faults, seq, Backend::Serial, 1, nullptr);
+      runBackend(net, faults, seq, Backend::Serial, 1, 1, nullptr);
+  // diffResults deliberately skips work counters (serial evaluates
+  // differently by construction), but within the concurrent family
+  // totalNodeEvals is deterministic and lane/shard invariant — compare every
+  // comparand against the first one.
+  bool haveEvals = false;
+  std::uint64_t refEvals = 0;
+  std::string refEvalsName;
   for (const unsigned jobs : options_.jobsVariants) {
-    std::string name;
-    const FaultSimResult got =
-        runBackend(net, faults, seq, Backend::Concurrent, jobs, &name);
-    if (auto d = diffResults(faults, ref, got, name)) return d;
+    for (const std::uint32_t lanes : options_.laneVariants) {
+      std::string name;
+      const FaultSimResult got =
+          runBackend(net, faults, seq, Backend::Concurrent, jobs, lanes, &name);
+      if (auto d = diffResults(faults, ref, got, name)) return d;
+      if (!haveEvals) {
+        haveEvals = true;
+        refEvals = got.totalNodeEvals;
+        refEvalsName = name;
+      } else if (got.totalNodeEvals != refEvals) {
+        return Divergence{
+            name, "totalNodeEvals",
+            format("%s=%llu, %s=%llu", refEvalsName.c_str(),
+                   static_cast<unsigned long long>(refEvals), name.c_str(),
+                   static_cast<unsigned long long>(got.totalNodeEvals))};
+      }
+    }
   }
   return std::nullopt;
 }

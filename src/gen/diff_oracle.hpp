@@ -29,9 +29,15 @@ namespace fmossim {
 struct OracleOptions {
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
   bool dropDetected = true;
-  /// Concurrent-side comparands: one engine per jobs value (1 = plain
-  /// concurrent, >1 = sharded). The serial backend is always ground truth.
+  /// Concurrent-side comparands: one engine per (jobs, laneWidth) pair —
+  /// the cross product of the two variant lists (jobs 1 = plain concurrent,
+  /// >1 = sharded). The serial backend is always ground truth.
   std::vector<unsigned> jobsVariants = {1, 2, 4};
+  /// Lane-sharing widths crossed with jobsVariants. Besides the full result
+  /// diff, all concurrent-family comparands must report the same
+  /// totalNodeEvals (lane batching credits shared work so the deterministic
+  /// work counter stays invariant).
+  std::vector<std::uint32_t> laneVariants = {1, 4, 32};
   SimOptions sim;
   /// Shrink failing workloads to a minimized reproducer.
   bool shrink = true;
@@ -83,10 +89,12 @@ class DiffOracle {
 
  private:
   /// `backendName` (optional out) receives the name of the backend that
-  /// actually ran, suffixed with the jobs count for sharded runs.
+  /// actually ran, suffixed with the jobs count for sharded runs and the
+  /// lane width for laneWidth > 1.
   FaultSimResult runBackend(const Network& net, const FaultList& faults,
                             const TestSequence& seq, Backend backend,
-                            unsigned jobs, std::string* backendName) const;
+                            unsigned jobs, std::uint32_t laneWidth,
+                            std::string* backendName) const;
   /// One full serial-vs-all-comparands comparison.
   std::optional<Divergence> diverges(const Network& net,
                                      const FaultList& faults,

@@ -12,14 +12,16 @@ namespace fmossim::perf {
 namespace {
 
 std::string rowKey(const BenchRow& row) {
-  return format("%s jobs=%u policy=%s drop=%s", row.backend.c_str(), row.jobs,
-                row.policy.c_str(), row.dropDetected ? "yes" : "no");
+  return format("%s jobs=%u policy=%s drop=%s lanes=%u", row.backend.c_str(),
+                row.jobs, row.policy.c_str(), row.dropDetected ? "yes" : "no",
+                row.laneWidth);
 }
 
 const BenchRow* findRow(const ScenarioResult& sr, const BenchRow& like) {
   for (const BenchRow& row : sr.rows) {
     if (row.backend == like.backend && row.jobs == like.jobs &&
-        row.policy == like.policy && row.dropDetected == like.dropDetected) {
+        row.policy == like.policy && row.dropDetected == like.dropDetected &&
+        row.laneWidth == like.laneWidth) {
       return &row;
     }
   }

@@ -217,6 +217,7 @@ std::string toJson(const ScenarioResult& r) {
     out += format("\"jobs\": %u, ", row.jobs);
     out += "\"policy\": \"" + escape(row.policy) + "\", ";
     out += format("\"dropDetected\": %s, ", row.dropDetected ? "true" : "false");
+    out += format("\"laneWidth\": %u, ", row.laneWidth);
     out += "\"medianMs\": " + num(row.medianMs) + ", ";
     out += "\"stddevMs\": " + num(row.stddevMs) + ", ";
     out += format("\"reps\": %u, ", row.reps);
@@ -308,6 +309,8 @@ ScenarioResult parseBenchJson(const std::string& text) {
           else if (rk == "jobs") row.jobs = static_cast<unsigned>(p.parseNumber());
           else if (rk == "policy") row.policy = p.parseString();
           else if (rk == "dropDetected") row.dropDetected = p.parseBool();
+          // Additive: absent in pre-lane baselines, which parse as scalar.
+          else if (rk == "laneWidth") row.laneWidth = static_cast<std::uint32_t>(p.parseNumber());
           else if (rk == "medianMs") row.medianMs = p.parseNumber();
           else if (rk == "stddevMs") row.stddevMs = p.parseNumber();
           else if (rk == "reps") row.reps = static_cast<unsigned>(p.parseNumber());

@@ -109,6 +109,7 @@ ScenarioResult BenchRunner::runScenario(
     row.policy =
         spec.policy == DetectionPolicy::AnyDifference ? "any" : "definite";
     row.dropDetected = spec.dropDetected;
+    row.laneWidth = spec.laneWidth;
     row.reps = reps;
 
     for (unsigned i = 0; i < warmup; ++i) engine.run(w.seq);

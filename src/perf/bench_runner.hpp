@@ -48,10 +48,12 @@ struct BenchConfig {
 
 /// One measured (scenario, configuration) cell.
 struct BenchRow {
-  std::string backend;  ///< "serial", "concurrent", "sharded-<jobs>"
+  std::string backend;  ///< "serial", "concurrent", "sharded-<jobs>" (plus a
+                        ///< "-lanes<w>" suffix for lane-batched rows)
   unsigned jobs = 1;    ///< shard count (1 for serial/plain concurrent)
   std::string policy;   ///< "any" or "definite"
   bool dropDetected = true;  ///< drop faulty circuits once detected
+  std::uint32_t laneWidth = 1;  ///< fault-lane sharing window (1 = scalar)
   double medianMs = 0.0;  ///< median wall-clock per full run, milliseconds
   double stddevMs = 0.0;  ///< sample stddev over the repetitions
   unsigned reps = 0;      ///< number of measured repetitions

@@ -29,13 +29,15 @@ EngineOptions RowSpec::engineOptions() const {
   opts.policy = policy;
   opts.dropDetected = dropDetected;
   opts.batchFaults = batchFaults;
+  opts.laneWidth = laneWidth;
   return opts;
 }
 
 std::string RowSpec::label() const {
   if (backend == Backend::Serial) return "serial";
-  if (jobs > 1) return "sharded-" + std::to_string(jobs);
-  return "concurrent";
+  std::string base = jobs > 1 ? "sharded-" + std::to_string(jobs) : "concurrent";
+  if (laneWidth > 1) base += "-lanes" + std::to_string(laneWidth);
+  return base;
 }
 
 namespace {
@@ -132,10 +134,21 @@ Workload buildScenarioWorkload(const std::string& name) {
     // The serial replay of the full RAM256 universe costs tens of concurrent
     // runs (the paper itself only *estimated* it, footnote p. 717); the
     // serial point is covered by the fuzz scenarios and RAM64.
-    return ramScenario(name, ram256Config(), /*seq2=*/false,
-                       /*withSerial=*/false,
-                       "RAM256, test sequence 1 (paper Fig. 3 / scaling "
-                       "study: 1398 faults, 1447 patterns)");
+    Workload w = ramScenario(name, ram256Config(), /*seq2=*/false,
+                             /*withSerial=*/false,
+                             "RAM256, test sequence 1 (paper Fig. 3 / scaling "
+                             "study: 1398 faults, 1447 patterns)");
+    // Lane-batched rows: the RAM fault universe enumerates both stuck-at
+    // polarities per storage node back to back, so adjacent circuit ids
+    // share vicinities often. Gated for bit-identity (equal checksums and
+    // nodeEvals vs the scalar rows) and for the share-backoff keeping the
+    // matching overhead bounded; see docs/BENCHMARKING.md for the measured
+    // lane-row record.
+    w.rows.push_back({Backend::Concurrent, 1, DetectionPolicy::AnyDifference,
+                      true, 0, 32});
+    w.rows.push_back({Backend::Concurrent, 4, DetectionPolicy::AnyDifference,
+                      true, 0, 32});
+    return w;
   }
   if (name == "fuzz_small") {
     return fuzzScenario(name, fuzzGen(11, 16, 5, 32, 16),
@@ -148,9 +161,14 @@ Workload buildScenarioWorkload(const std::string& name) {
                         "nodes, 96 faults)");
   }
   if (name == "fuzz_large") {
-    return fuzzScenario(name, fuzzGen(13, 120, 8, 240, 32),
-                        "generated switch-level workload, large (120 storage "
-                        "nodes, 240 faults)");
+    Workload w = fuzzScenario(name, fuzzGen(13, 120, 8, 240, 32),
+                              "generated switch-level workload, large (120 "
+                              "storage nodes, 240 faults)");
+    // Lane-sharing coverage on an irregular generated circuit (equal row
+    // checksums and nodeEvals vs the scalar rows gate bit-identity in CI).
+    w.rows.push_back({Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly,
+                      true, 0, 32});
+    return w;
   }
   // Parallel speedup trackers: exactly two rows — the jobs=1 concurrent
   // headline and the checkpointed work-stealing jobs=4 runner — so the

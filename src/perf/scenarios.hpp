@@ -39,10 +39,12 @@ struct RowSpec {
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;  ///< detection criterion
   bool dropDetected = true;  ///< drop faulty circuits once detected
   std::uint32_t batchFaults = 0;  ///< sharded fault-batch size (0 = auto)
+  std::uint32_t laneWidth = 1;    ///< fault-lane sharing window (1 = scalar)
 
   /// EngineOptions equivalent of this row.
   EngineOptions engineOptions() const;
-  /// Stable row label ("concurrent", "sharded-4", "serial").
+  /// Stable row label ("concurrent", "sharded-4", "concurrent-lanes32",
+  /// "serial").
   std::string label() const;
 };
 

@@ -72,6 +72,7 @@ JsonValue WorkloadSpec::toJson() const {
     if (numPatterns != 0) v.set("patterns", JsonValue::makeU64(numPatterns));
   }
   v.set("jobs", JsonValue::makeU64(jobs));
+  if (laneWidth != 1) v.set("laneWidth", JsonValue::makeU64(laneWidth));
   v.set("policy", JsonValue::makeString(
                       policy == DetectionPolicy::AnyDifference ? "any"
                                                                : "definite"));
@@ -99,6 +100,11 @@ WorkloadSpec WorkloadSpec::fromJson(const JsonValue& v) {
   }
   spec.jobs = static_cast<unsigned>(v.u64Or("jobs", 2));
   if (spec.jobs == 0) throw Error("workload: jobs must be >= 1");
+  spec.laneWidth = static_cast<std::uint32_t>(v.u64Or("laneWidth", 1));
+  if (spec.laneWidth < 1 || spec.laneWidth > 32 ||
+      (spec.laneWidth & (spec.laneWidth - 1)) != 0) {
+    throw Error("workload: laneWidth must be a power of two in [1, 32]");
+  }
   const std::string policy = v.stringOr("policy", "definite");
   if (policy == "any") spec.policy = DetectionPolicy::AnyDifference;
   else if (policy == "definite") spec.policy = DetectionPolicy::DefiniteOnly;
@@ -133,6 +139,7 @@ EngineOptions specEngineOptions(const WorkloadSpec& spec) {
   EngineOptions opts;
   opts.backend = Backend::Concurrent;
   opts.jobs = spec.jobs;
+  opts.laneWidth = spec.laneWidth;
   opts.policy = spec.policy;
   opts.dropDetected = spec.dropDetected;
   return opts;

@@ -56,6 +56,9 @@ struct WorkloadSpec {
 
   unsigned jobs = 2;  ///< per-request parallelism (>1 engages the sharded
                       ///< runner and with it the shared checkpoint store)
+  /// Fault-lane sharing window (EngineOptions::laneWidth): power of two in
+  /// [1, 32]; results are bit-identical for every width.
+  std::uint32_t laneWidth = 1;
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
   bool dropDetected = true;
 

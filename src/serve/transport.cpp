@@ -171,8 +171,17 @@ SocketClient::SocketClient(const std::string& path) {
   if (fd_ < 0) {
     throw Error(std::string("socket() failed: ") + std::strerror(errno));
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  // connect() interrupted by a signal must be retried like the read/write
+  // loops below; without this a harmless SIGCHLD during connection setup
+  // surfaces as a spurious "Interrupted system call" failure.
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  // An interrupted connect may have completed in the background; the retry
+  // then fails with EISCONN, which is success.
+  if (rc != 0 && errno == EISCONN) rc = 0;
+  if (rc != 0) {
     const std::string what = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;

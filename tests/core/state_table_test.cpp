@@ -58,10 +58,14 @@ TEST(StateTableTest, RecordsStaySortedByCircuit) {
   for (const CircuitId c : {7u, 2u, 9u, 4u, 1u}) {
     t.reconcile(NodeId(0), c, State::S1);
   }
-  const auto& recs = t.records(NodeId(0));
-  ASSERT_EQ(recs.size(), 5u);
-  for (std::size_t i = 1; i < recs.size(); ++i) {
-    EXPECT_LT(recs[i - 1].circuit, recs[i].circuit);
+  std::vector<CircuitId> circuits;
+  t.forEachRecord(NodeId(0), [&](CircuitId c, State v) {
+    circuits.push_back(c);
+    EXPECT_EQ(v, State::S1);
+  });
+  ASSERT_EQ(circuits.size(), 5u);
+  for (std::size_t i = 1; i < circuits.size(); ++i) {
+    EXPECT_LT(circuits[i - 1], circuits[i]);
   }
 }
 
@@ -106,14 +110,161 @@ TEST(StateTableTest, EraseIsIdempotent) {
   EXPECT_EQ(t.stateOf(NodeId(0), 1), State::S0);
 }
 
-TEST(StateTableTest, FindRecordReturnsNullWhenAbsent) {
+TEST(StateTableTest, LookupReportsDivergenceOnlyWhenRecorded) {
   const Network net = twoNodeNet();
   StateTable t(net);
   t.reconcile(NodeId(0), 2, State::S1);
-  EXPECT_NE(t.findRecord(NodeId(0), 2), nullptr);
-  EXPECT_EQ(t.findRecord(NodeId(0), 1), nullptr);
-  EXPECT_EQ(t.findRecord(NodeId(0), 3), nullptr);
-  EXPECT_EQ(t.findRecord(NodeId(1), 2), nullptr);
+  EXPECT_TRUE(t.lookup(NodeId(0), 2).diverges);
+  EXPECT_EQ(t.lookup(NodeId(0), 2).value, State::S1);
+  EXPECT_FALSE(t.lookup(NodeId(0), 1).diverges);
+  EXPECT_FALSE(t.lookup(NodeId(0), 3).diverges);
+  EXPECT_FALSE(t.lookup(NodeId(1), 2).diverges);
+}
+
+// --- lane encoding ---------------------------------------------------------
+//
+// The table packs 32 circuits' ternary states into one 64-bit word (2 bits
+// per lane). These tests pin the SWAR helpers and the word-wide operations
+// (commitLanes / matchLanes) to a straightforward per-circuit reference.
+
+TEST(StateTableLanesTest, SwarHelpersRoundTrip) {
+  // spread2/compressEven are inverse Morton shuffles.
+  for (const std::uint32_t mask :
+       {0u, 1u, 0x80000000u, 0xAAAAAAAAu, 0x12345678u, 0xFFFFFFFFu}) {
+    const std::uint64_t field = lanes::spread2(mask);
+    EXPECT_EQ(lanes::compressEven(field), mask);
+    // Both bits of every selected lane are set, no others.
+    EXPECT_EQ(field & ~(lanes::spread2(mask)), 0u);
+    for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+      const std::uint64_t lane = (field >> (2 * l)) & 3u;
+      EXPECT_EQ(lane, ((mask >> l) & 1u) ? 3u : 0u);
+    }
+  }
+  // splat2 puts the state value in every lane; laneState reads it back.
+  for (const State v : {State::S0, State::S1, State::SX}) {
+    const std::uint64_t bits = lanes::splat2(v);
+    for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+      EXPECT_EQ(lanes::laneState(bits, l), v);
+    }
+  }
+}
+
+TEST(StateTableLanesTest, EqLanesMatchesPerLaneComparison) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t bits = 0;
+    for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+      bits |= static_cast<std::uint64_t>(rng.below(3)) << (2 * l);
+    }
+    for (const State v : {State::S0, State::S1, State::SX}) {
+      const std::uint32_t got = lanes::eqLanes(bits, v);
+      for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+        const bool expect = lanes::laneState(bits, l) == v;
+        EXPECT_EQ(((got >> l) & 1u) != 0, expect) << "lane " << l;
+      }
+    }
+  }
+}
+
+TEST(StateTableLanesTest, LaneIndexingCrossesGroupBoundaries) {
+  EXPECT_EQ(lanes::groupOf(1), 0u);
+  EXPECT_EQ(lanes::laneOf(1), 0u);
+  EXPECT_EQ(lanes::groupOf(32), 0u);
+  EXPECT_EQ(lanes::laneOf(32), 31u);
+  EXPECT_EQ(lanes::groupOf(33), 1u);
+  EXPECT_EQ(lanes::laneOf(33), 0u);
+  for (CircuitId c = 1; c <= 100; ++c) {
+    EXPECT_EQ(lanes::circuitAt(lanes::groupOf(c), lanes::laneOf(c)), c);
+  }
+  // Records for lane-boundary circuits stay independent.
+  const Network net = twoNodeNet();
+  StateTable t(net);
+  t.setGood(NodeId(0), State::S0);
+  for (const CircuitId c : {1u, 32u, 33u, 64u, 65u}) {
+    t.reconcile(NodeId(0), c, c % 2 ? State::S1 : State::SX);
+  }
+  EXPECT_EQ(t.totalRecords(), 5u);
+  for (const CircuitId c : {1u, 32u, 33u, 64u, 65u}) {
+    EXPECT_EQ(t.stateOf(NodeId(0), c), c % 2 ? State::S1 : State::SX);
+  }
+  EXPECT_FALSE(t.hasRecord(NodeId(0), 2));
+  EXPECT_FALSE(t.hasRecord(NodeId(0), 31));
+  EXPECT_FALSE(t.hasRecord(NodeId(0), 34));
+}
+
+TEST(StateTableLanesTest, CommitLanesEqualsPerCircuitReconcile) {
+  const Network net = twoNodeNet();
+  Rng rng(456);
+  const auto randomState = [&] {
+    const std::uint32_t r = rng.below(3);
+    return r == 0 ? State::S0 : r == 1 ? State::S1 : State::SX;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    StateTable word(net);
+    StateTable scalar(net);
+    const State g = randomState();
+    word.setGood(NodeId(0), g);
+    scalar.setGood(NodeId(0), g);
+    // Seed both tables identically with per-circuit reconciles.
+    for (int k = 0; k < 8; ++k) {
+      const CircuitId c = 1 + rng.below(64);
+      const State v = randomState();
+      word.reconcile(NodeId(0), c, v);
+      scalar.reconcile(NodeId(0), c, v);
+    }
+    // One word-wide commit vs the per-circuit loop.
+    const std::uint32_t group = rng.below(2);
+    const std::uint32_t mask = rng.next() & 0xFFFFFFFFu;
+    const State v = randomState();
+    const StateTable::LaneCommit lc =
+        word.commitLanes(NodeId(0), group, mask, v);
+    std::uint32_t insertedRef = 0;
+    std::uint32_t erasedRef = 0;
+    for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+      if (((mask >> l) & 1u) == 0) continue;
+      const StateTable::Reconciled r =
+          scalar.reconcile(NodeId(0), lanes::circuitAt(group, l), v);
+      if (r.inserted) insertedRef |= 1u << l;
+      if (r.erased) erasedRef |= 1u << l;
+    }
+    EXPECT_EQ(lc.insertedMask, insertedRef);
+    EXPECT_EQ(lc.erasedMask, erasedRef);
+    EXPECT_EQ(word.totalRecords(), scalar.totalRecords());
+    for (CircuitId c = 1; c <= 64; ++c) {
+      EXPECT_EQ(word.stateOf(NodeId(0), c), scalar.stateOf(NodeId(0), c));
+      EXPECT_EQ(word.hasRecord(NodeId(0), c), scalar.hasRecord(NodeId(0), c));
+    }
+  }
+}
+
+TEST(StateTableLanesTest, MatchLanesEqualsPerCircuitComparison) {
+  const Network net = twoNodeNet();
+  Rng rng(789);
+  const auto randomState = [&] {
+    const std::uint32_t r = rng.below(3);
+    return r == 0 ? State::S0 : r == 1 ? State::S1 : State::SX;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    StateTable t(net);
+    t.setGood(NodeId(0), randomState());
+    for (int k = 0; k < 10; ++k) {
+      t.reconcile(NodeId(0), 1 + rng.below(64), randomState());
+    }
+    const std::uint32_t group = rng.below(2);
+    const std::uint32_t cand = rng.next() & 0xFFFFFFFFu;
+    const State v = randomState();
+    // Background is the caller's fallback for recordless lanes and may
+    // differ from the table's current good state (pre-phase lens).
+    const State bg = randomState();
+    const std::uint32_t got = t.matchLanes(NodeId(0), group, cand, v, bg);
+    for (std::uint32_t l = 0; l < lanes::kLaneCount; ++l) {
+      const CircuitId c = lanes::circuitAt(group, l);
+      const StateTable::Lookup r = t.lookup(NodeId(0), c);
+      const State observed = r.diverges ? r.value : bg;
+      const bool expect = ((cand >> l) & 1u) != 0 && observed == v;
+      EXPECT_EQ(((got >> l) & 1u) != 0, expect) << "lane " << l;
+    }
+  }
 }
 
 // --- arena parity ----------------------------------------------------------
@@ -181,12 +332,15 @@ TEST(StateTableArenaTest, RandomOpsMatchReferenceModel) {
         const NodeId node(ni);
         const auto& m = model[ni];
         total += m.size();
-        const std::span<const StateRecord> recs = t.records(node);
+        std::vector<std::pair<CircuitId, State>> recs;
+        t.forEachRecord(node,
+                        [&](CircuitId c, State v) { recs.emplace_back(c, v); });
         ASSERT_EQ(recs.size(), m.size());
+        ASSERT_EQ(t.recordCountAt(node), m.size());
         std::size_t k = 0;
         for (const auto& [circuit, value] : m) {  // map iterates sorted
-          EXPECT_EQ(recs[k].circuit, circuit);
-          EXPECT_EQ(recs[k].value, value);
+          EXPECT_EQ(recs[k].first, circuit);
+          EXPECT_EQ(recs[k].second, value);
           EXPECT_TRUE(t.hasRecord(node, circuit));
           EXPECT_EQ(t.stateOf(node, circuit), value);
           ++k;

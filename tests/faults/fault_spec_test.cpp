@@ -76,6 +76,34 @@ TEST(FaultSpecTest, RejectsMalformedInput) {
   EXPECT_THROW(parseFaultSpec(net, "node mid sa0\nsample x 1\n"), Error);
 }
 
+TEST(FaultSpecTest, StrictNumericParseRejectsGarbageAndOverflow) {
+  const Network net = makeNet();
+  // stoul would silently truncate these; the strict parser must reject them
+  // with a line-numbered error instead.
+  EXPECT_THROW(parseFaultSpec(net, "transistor 12abc open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor -1 open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor +0 open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor 0x1 open\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "transistor 99999999999999999999 open\n"),
+               Error);
+  EXPECT_THROW(parseFaultSpec(net, "all-node-stuck\nsample 3.5 1\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "all-node-stuck\nsample -3 1\n"), Error);
+  EXPECT_THROW(parseFaultSpec(net, "all-node-stuck\nsample 3 12abc\n"), Error);
+  EXPECT_THROW(
+      parseFaultSpec(net, "all-node-stuck\nsample 3 99999999999999999999999\n"),
+      Error);
+  // Errors carry the offending line number.
+  try {
+    parseFaultSpec(net, "# comment\ntransistor 12abc open\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  // The boundary values still parse.
+  EXPECT_NO_THROW(parseFaultSpec(
+      net, "all-node-stuck\nsample 1 18446744073709551615\n"));
+}
+
 TEST(FaultSpecTest, FaultDeviceIdsRejectStuckDirectives) {
   const Network net = makeNet();
   // The fault device is the last transistor; 'transistor N open' on it must
