@@ -1,5 +1,7 @@
 #include "api/backends.hpp"
 
+#include "patterns/pattern_source.hpp"
+
 namespace fmossim {
 
 ConcurrentBackend::ConcurrentBackend(const Network& net, FaultList faults,
@@ -14,6 +16,14 @@ FaultSimResult ConcurrentBackend::run(const TestSequence& seq,
   return onPattern ? sim.run(seq, onPattern) : sim.run(seq);
 }
 
+FaultSimResult ConcurrentBackend::runStream(PatternSource& source,
+                                            RowSink* sink,
+                                            const PatternCallback& onPattern) {
+  source.rewind();
+  ConcurrentFaultSimulator sim(net_, faults_, options_);
+  return sim.run(source, sink, onPattern);
+}
+
 SerialBackend::SerialBackend(const Network& net, FaultList faults,
                              SerialOptions options, bool dropDetected)
     : net_(net),
@@ -26,6 +36,8 @@ FaultSimResult toFaultSimResult(const SerialRunResult& serial,
                                 bool dropDetected) {
   FaultSimResult res;
   res.numFaults = static_cast<std::uint32_t>(serial.detectedAtPattern.size());
+  res.numPatterns = numPatterns;
+  res.droppedDetected = dropDetected;
   res.detectedAtPattern = serial.detectedAtPattern;
   res.numDetected = serial.numDetected;
   res.potentialDetections = serial.potentialDetections;

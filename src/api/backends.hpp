@@ -38,6 +38,11 @@ class ConcurrentBackend : public FaultSimulator {
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
 
+  /// Native streaming run over the core engine's PatternSource entry —
+  /// rowless result, flat resident memory (see FaultSimulator::runStream).
+  FaultSimResult runStream(PatternSource& source, RowSink* sink = nullptr,
+                           const PatternCallback& onPattern = {}) override;
+
  private:
   const Network& net_;
   FaultList faults_;

@@ -56,6 +56,11 @@ FaultSimResult Engine::run(const TestSequence& seq,
   return backend_->run(seq, onPattern);
 }
 
+FaultSimResult Engine::runStream(PatternSource& source, RowSink* sink,
+                                 const PatternCallback& onPattern) {
+  return backend_->runStream(source, sink, onPattern);
+}
+
 void Engine::reset() { backend_ = makeBackend(); }
 
 void Engine::rebind(Network net, FaultList faults) {

@@ -117,6 +117,13 @@ class Engine : public FaultSimulator {
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
 
+  /// Streaming run on the selected backend (see FaultSimulator::runStream):
+  /// the concurrent and sharded backends pull patterns from the source
+  /// directly with flat resident memory; the serial backend falls back to
+  /// materializing the source.
+  FaultSimResult runStream(PatternSource& source, RowSink* sink = nullptr,
+                           const PatternCallback& onPattern = {}) override;
+
   /// Rebuilds the backend from scratch (fresh-session semantics).
   void reset() override;
 

@@ -1,0 +1,29 @@
+#include "api/fault_simulator.hpp"
+
+#include "core/row_sink.hpp"
+#include "patterns/pattern_source.hpp"
+#include "util/error.hpp"
+
+namespace fmossim {
+
+FaultSimResult FaultSimulator::runStream(PatternSource& source, RowSink* sink,
+                                         const PatternCallback& onPattern) {
+  // Materializing fallback: backends without a native streaming path (the
+  // serial baseline) expand the source into a TestSequence and run that.
+  // Correct for any source, but resident memory is O(sequence length) — the
+  // overriding backends are the ones the million-pattern path uses.
+  FMOSSIM_ASSERT(source.numPatterns() <= 0xffffffffull,
+                 "source exceeds a materializable sequence's 2^32 patterns");
+  source.rewind();
+  TestSequence seq;
+  for (const NodeId n : source.outputs()) seq.addOutput(n);
+  Pattern p;
+  while (source.next(p)) seq.addPattern(Pattern(p));
+  const FaultSimResult res = run(seq, onPattern);
+  if (sink != nullptr) {
+    for (const PatternStat& st : res.perPattern) sink->row(st);
+  }
+  return res;
+}
+
+}  // namespace fmossim

@@ -56,6 +56,19 @@ class FaultSimulator {
   /// Convenience overload of run() without a per-pattern callback.
   FaultSimResult run(const TestSequence& seq) { return run(seq, nullptr); }
 
+  /// Streaming run: pulls patterns from `source` (rewinding it first, so
+  /// the call is repeatable like run()) and delivers per-pattern rows to
+  /// `sink` and `onPattern` in pattern order. Backends with a true
+  /// streaming path (concurrent, sharded) keep resident memory flat in the
+  /// sequence length and return a rowless result (perPattern empty,
+  /// numPatterns/droppedDetected set — see core/row_sink.hpp); the base
+  /// implementation is a materializing fallback that builds a TestSequence
+  /// from the source and forwards to run(), so every backend accepts a
+  /// PatternSource even without a native streaming path.
+  virtual FaultSimResult runStream(PatternSource& source,
+                                   RowSink* sink = nullptr,
+                                   const PatternCallback& onPattern = {});
+
   /// Discards cached session state (fresh-session semantics).
   virtual void reset() {}
 };

@@ -5,6 +5,8 @@
 #include <exception>
 #include <thread>
 
+#include "core/row_sink.hpp"
+#include "patterns/pattern_source.hpp"
 #include "util/timer.hpp"
 
 namespace fmossim {
@@ -69,6 +71,11 @@ FaultSimResult mergeShardResults(
   std::uint32_t numFaults = 0;
   for (const auto& [begin, end] : slices) numFaults += end - begin;
   merged.numFaults = numFaults;
+  merged.numPatterns = numPatterns;
+  if (!shardResults.empty()) {
+    // Every shard ran under the same options; the drop mode is uniform.
+    merged.droppedDetected = shardResults.front().droppedDetected;
+  }
   merged.detectedAtPattern.assign(numFaults, -1);
 
   merged.perPattern.resize(numPatterns);
@@ -143,21 +150,9 @@ double ShardedRunner::ensureCheckpoint(const TestSequence& seq) {
   return recordedNow ? checkpoint_->recordSeconds() : 0.0;
 }
 
-FaultSimResult ShardedRunner::run(const TestSequence& seq,
-                                  const PatternCallback& onPattern) {
-  Timer total;
-  const double recordSeconds = ensureCheckpoint(seq);
-  // More threads than cores only adds contention (the batch queue already
-  // decouples batch count from worker count), so the effective worker count
-  // is capped at the hardware's concurrency — and the batch schedule is
-  // sized for the workers that will actually run, so a 1-core machine does
-  // not pay 4 cores' worth of per-batch replay overhead. Results are
-  // identical for any worker and batch count.
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const unsigned effective = std::min(jobs_, hw);
-  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
-                                   options_.laneWidth);
-
+std::vector<FaultSimResult> ShardedRunner::runReplayBatches(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& batches,
+    const std::function<FaultSimResult(ConcurrentFaultSimulator&)>& runOne) {
   std::vector<FaultSimResult> batchResults(batches.size());
   std::atomic<std::uint32_t> nextBatch{0};
   const auto worker = [&]() {
@@ -170,12 +165,17 @@ FaultSimResult ShardedRunner::run(const TestSequence& seq,
                                          faults_.all().begin() + end));
       ConcurrentFaultSimulator sim(net_, batch, options_, nullptr,
                                    checkpoint_.get());
-      batchResults[b] = sim.run(seq);
+      batchResults[b] = runOne(sim);
     }
   };
 
+  // More threads than cores only adds contention (the batch queue already
+  // decouples batch count from worker count), so the effective worker count
+  // is capped at the hardware's concurrency. Results are identical for any
+  // worker and batch count.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned workers = std::min<std::size_t>(
-      effective, std::max<std::size_t>(1, batches.size()));
+      std::min(jobs_, hw), std::max<std::size_t>(1, batches.size()));
   if (workers <= 1) {
     worker();
   } else {
@@ -196,13 +196,99 @@ FaultSimResult ShardedRunner::run(const TestSequence& seq,
       if (e) std::rethrow_exception(e);
     }
   }
+  return batchResults;
+}
+
+FaultSimResult ShardedRunner::run(const TestSequence& seq,
+                                  const PatternCallback& onPattern) {
+  Timer total;
+  const double recordSeconds = ensureCheckpoint(seq);
+  // The batch schedule is sized for the workers that will actually run (see
+  // runReplayBatches' hardware cap), so a 1-core machine does not pay 4
+  // cores' worth of per-batch replay overhead.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned effective = std::min(jobs_, hw);
+  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
+                                   options_.laneWidth);
+
+  const std::vector<FaultSimResult> batchResults = runReplayBatches(
+      batches, [&seq](ConcurrentFaultSimulator& sim) { return sim.run(seq); });
 
   FaultSimResult merged =
       mergeShardResults(batchResults, batches, seq.size(), checkpoint_.get());
+  merged.droppedDetected = options_.dropDetected;
   merged.totalSeconds = total.seconds();
   merged.totalCpuSeconds += recordSeconds;
   if (onPattern) {
     for (const PatternStat& st : merged.perPattern) onPattern(st);
+  }
+  return merged;
+}
+
+double ShardedRunner::ensureCheckpointStream(PatternSource& source) {
+  const std::uint64_t fp = source.fingerprint();
+  if (checkpoint_ != nullptr && checkpoint_->streamed() &&
+      checkpoint_->seqFingerprint() == fp) {
+    return 0.0;
+  }
+  bool recordedNow = false;
+  checkpoint_ = store_->acquireStream(net_, source, options_, &recordedNow);
+  return recordedNow ? checkpoint_->recordSeconds() : 0.0;
+}
+
+FaultSimResult ShardedRunner::runStream(PatternSource& source, RowSink* sink,
+                                        const PatternCallback& onPattern) {
+  Timer total;
+  const double recordSeconds = ensureCheckpointStream(source);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned effective = std::min(jobs_, hw);
+  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
+                                   options_.laneWidth);
+
+  // Workers replay entirely from the trace — the source was consumed once by
+  // the recording and is never touched again.
+  const std::vector<FaultSimResult> batchResults = runReplayBatches(
+      batches, [](ConcurrentFaultSimulator& sim) { return sim.runReplay(); });
+
+  // Rowless merge: the materialized merge's per-pattern row summing (and its
+  // perPatternGoodEvals add-back, which streamed recordings do not carry) is
+  // skipped; everything else matches mergeShardResults.
+  FaultSimResult merged;
+  merged.numFaults = faults_.size();
+  merged.numPatterns = checkpoint_->numPatterns();
+  merged.droppedDetected = options_.dropDetected;
+  merged.detectedAtPattern.assign(merged.numFaults, -1);
+  for (std::size_t b = 0; b < batchResults.size(); ++b) {
+    const FaultSimResult& r = batchResults[b];
+    const auto [begin, end] = batches[b];
+    for (std::uint32_t i = 0; i < end - begin; ++i) {
+      merged.detectedAtPattern[begin + i] = r.detectedAtPattern[i];
+    }
+    merged.numDetected += r.numDetected;
+    merged.potentialDetections += r.potentialDetections;
+    merged.totalNodeEvals += r.totalNodeEvals;
+    merged.totalCpuSeconds += r.totalCpuSeconds;
+    merged.maxAlive += r.maxAlive;
+    merged.finalRecords += r.finalRecords;
+  }
+  merged.finalGoodStates = checkpoint_->finalGoodStates();
+  merged.totalNodeEvals += checkpoint_->totalGoodEvals();
+  merged.totalSeconds = total.seconds();
+  merged.totalCpuSeconds += recordSeconds;
+  if (sink != nullptr || onPattern) {
+    // Derived rows: triples exact, per-row timing/work zero (see
+    // core/row_sink.hpp).
+    forEachDerivedRow(merged, [&](std::uint64_t pi, std::uint32_t newly,
+                                  std::uint32_t cumulative,
+                                  std::uint32_t alive) {
+      PatternStat st;
+      st.index = static_cast<std::uint32_t>(pi);
+      st.newlyDetected = newly;
+      st.cumulativeDetected = cumulative;
+      st.aliveAfter = alive;
+      if (sink != nullptr) sink->row(st);
+      if (onPattern) onPattern(st);
+    });
   }
   return merged;
 }

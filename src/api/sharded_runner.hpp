@@ -109,6 +109,20 @@ class ShardedRunner : public FaultSimulator {
                      const PatternCallback& onPattern) override;
   using FaultSimulator::run;
 
+  /// Native streaming run: acquires a *streamed* checkpoint for the source
+  /// (recorded by consuming it once, never materialized — distinct store
+  /// key, since streamed recordings omit the per-pattern good-eval array the
+  /// materialized merge needs), then replays every fault batch entirely from
+  /// the trace (ConcurrentFaultSimulator::runReplay — workers never touch
+  /// the source). The merged result is rowless; rows are derived from the
+  /// merged detection record and delivered to `sink`/`onPattern` in pattern
+  /// order (row triples exact, per-row timing/work fields zero — only the
+  /// run-level totals are meaningful, as documented in core/row_sink.hpp).
+  /// Resident memory is flat in the sequence length when the checkpoint
+  /// store carries a spill budget.
+  FaultSimResult runStream(PatternSource& source, RowSink* sink = nullptr,
+                           const PatternCallback& onPattern = {}) override;
+
   /// Drops the runner's reference to the last checkpoint and, for a private
   /// store, clears the cache (fresh-session semantics). A shared store is
   /// left untouched — its whole point is outliving individual runners.
@@ -136,6 +150,13 @@ class ShardedRunner : public FaultSimulator {
   /// miss). Returns the recording seconds this call newly spent (0 on a
   /// cache hit) for the totalCpuSeconds accounting.
   double ensureCheckpoint(const TestSequence& seq);
+  /// Streaming twin of ensureCheckpoint: keyed on the source fingerprint,
+  /// recording through the store's streaming path on a miss.
+  double ensureCheckpointStream(PatternSource& source);
+  /// Replays every batch against checkpoint_ across the worker pool.
+  std::vector<FaultSimResult> runReplayBatches(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& batches,
+      const std::function<FaultSimResult(ConcurrentFaultSimulator&)>& runOne);
 
   const Network& net_;
   FaultList faults_;

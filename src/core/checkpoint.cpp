@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <filesystem>
 #include <list>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 
 #include "core/concurrent_sim.hpp"
+#include "patterns/pattern_source.hpp"
 #include "util/hash.hpp"
 
 namespace fmossim {
@@ -22,14 +24,14 @@ std::size_t vecBytes(const std::vector<T>& v) {
   return v.capacity() * sizeof(T);
 }
 
-// --- settle-block (de)serialization ----------------------------------------
+// --- chunk (de)serialization -------------------------------------------------
 //
-// A spilled settle block is five raw POD arrays behind a count header. The
-// file is private to the process (created unlinked, read back by the same
-// build), so native layout is fine — no endianness or padding concerns.
+// A spilled chunk is six raw POD arrays behind a count header. The file is
+// private to the process (created unlinked, read back by the same build), so
+// native layout is fine — no endianness or padding concerns.
 
 struct BlockHeader {
-  std::uint32_t phases, vics, members, changes, inputs;
+  std::uint32_t settles, phases, vics, members, changes, inputs;
 };
 
 template <typename T>
@@ -48,19 +50,21 @@ const char* readRaw(const char* p, const char* end, std::vector<T>& v,
   v.resize(count);
   if (count == 0) return p;
   const std::size_t bytes = std::size_t(count) * sizeof(T);
-  FMOSSIM_ASSERT(p + bytes <= end, "checkpoint spill block truncated");
+  FMOSSIM_ASSERT(p + bytes <= end, "checkpoint spill chunk truncated");
   std::memcpy(v.data(), p, bytes);
   return p + bytes;
 }
 
 std::string encodeBlock(const GoodMachineCheckpoint::SettleBlock& b) {
   std::string out;
-  const BlockHeader h{static_cast<std::uint32_t>(b.phases.size()),
+  const BlockHeader h{static_cast<std::uint32_t>(b.settles.size()),
+                      static_cast<std::uint32_t>(b.phases.size()),
                       static_cast<std::uint32_t>(b.vics.size()),
                       static_cast<std::uint32_t>(b.members.size()),
                       static_cast<std::uint32_t>(b.changes.size()),
                       static_cast<std::uint32_t>(b.inputChanges.size())};
   out.append(reinterpret_cast<const char*>(&h), sizeof h);
+  appendRaw(out, b.settles);
   appendRaw(out, b.phases);
   appendRaw(out, b.vics);
   appendRaw(out, b.members);
@@ -72,37 +76,46 @@ std::string encodeBlock(const GoodMachineCheckpoint::SettleBlock& b) {
 void decodeBlock(const char* p, std::size_t size,
                  GoodMachineCheckpoint::SettleBlock& b) {
   const char* end = p + size;
-  FMOSSIM_ASSERT(size >= sizeof(BlockHeader), "checkpoint spill block truncated");
+  FMOSSIM_ASSERT(size >= sizeof(BlockHeader), "checkpoint spill chunk truncated");
   BlockHeader h;
   std::memcpy(&h, p, sizeof h);
   p += sizeof h;
+  p = readRaw(p, end, b.settles, h.settles);
   p = readRaw(p, end, b.phases, h.phases);
   p = readRaw(p, end, b.vics, h.vics);
   p = readRaw(p, end, b.members, h.members);
   p = readRaw(p, end, b.changes, h.changes);
   p = readRaw(p, end, b.inputChanges, h.inputs);
-  FMOSSIM_ASSERT(p == end, "checkpoint spill block has trailing bytes");
+  FMOSSIM_ASSERT(p == end, "checkpoint spill chunk has trailing bytes");
 }
 
 }  // namespace
 
 std::size_t GoodMachineCheckpoint::SettleBlock::bytes() const {
-  return vecBytes(phases) + vecBytes(vics) + vecBytes(members) +
-         vecBytes(changes) + vecBytes(inputChanges);
+  return vecBytes(settles) + vecBytes(phases) + vecBytes(vics) +
+         vecBytes(members) + vecBytes(changes) + vecBytes(inputChanges);
+}
+
+std::size_t GoodMachineCheckpoint::SettleBlock::contentBytes() const {
+  return settles.size() * sizeof(Settle) + phases.size() * sizeof(Phase) +
+         vics.size() * sizeof(VicinitySpan) + members.size() * sizeof(NodeId) +
+         changes.size() * sizeof(Change) + inputChanges.size() * sizeof(Change);
 }
 
 // --- spill state ------------------------------------------------------------
 
 /// The temp-file backing store plus the sliding replay window: an LRU cache
-/// of decoded settle blocks, internally synchronized so concurrently
-/// replaying engines (one CheckpointReader each) share it. A reader pins its
-/// current block via shared_ptr; pinned blocks are never evicted, so spans
-/// handed out by a reader stay valid until its next enterSettle().
+/// of decoded chunks, internally synchronized so concurrently replaying
+/// engines (one CheckpointReader each) share it. A reader pins its current
+/// chunk via shared_ptr; pinned chunks are never evicted, so spans handed
+/// out by a reader stay valid until its next enterSettle().
 struct GoodMachineCheckpoint::SpillState {
   int fd = -1;
-  std::vector<std::uint64_t> blockOff;  ///< numSettles + 1 file offsets
-  std::size_t windowBudget = 0;         ///< bytes of decoded blocks to keep
-  std::size_t maxBlockBytes = 0;        ///< largest encoded block seen
+  std::vector<std::uint64_t> blockOff;     ///< numChunks + 1 file offsets
+  std::vector<std::uint32_t> firstSettle;  ///< per chunk: first settle index
+  std::uint32_t settleTotal = 0;           ///< settles across flushed chunks
+  std::size_t windowBudget = 0;            ///< bytes of decoded chunks to keep
+  std::size_t maxBlockBytes = 0;           ///< largest encoded chunk seen
 
   mutable std::mutex mu;
   struct Entry {
@@ -138,7 +151,7 @@ struct GoodMachineCheckpoint::SpillState {
     blockOff.push_back(0);
   }
 
-  void appendBlock(const std::string& encoded) {
+  void appendBlock(const std::string& encoded, std::uint32_t settleCount) {
     const std::uint64_t off = blockOff.back();
     std::size_t done = 0;
     while (done < encoded.size()) {
@@ -149,6 +162,8 @@ struct GoodMachineCheckpoint::SpillState {
       done += static_cast<std::size_t>(n);
     }
     blockOff.push_back(off + encoded.size());
+    firstSettle.push_back(settleTotal);
+    settleTotal += settleCount;
     maxBlockBytes = std::max(maxBlockBytes, encoded.size());
   }
 
@@ -197,12 +212,36 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
                                                     const FsimOptions& options,
                                                     std::size_t budgetBytes,
                                                     const std::string& spillDir) {
+  MaterializedPatternSource source(seq);
+  return recordImpl(net, source, options, budgetBytes, spillDir,
+                    /*keepPerPatternEvals=*/true);
+}
+
+GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
+                                                    PatternSource& source,
+                                                    const FsimOptions& options,
+                                                    std::size_t budgetBytes,
+                                                    const std::string& spillDir) {
+  return recordImpl(net, source, options, budgetBytes, spillDir,
+                    /*keepPerPatternEvals=*/false);
+}
+
+GoodMachineCheckpoint GoodMachineCheckpoint::recordImpl(
+    const Network& net, PatternSource& source, const FsimOptions& options,
+    std::size_t budgetBytes, const std::string& spillDir,
+    bool keepPerPatternEvals) {
   GoodMachineCheckpoint ck;
   ck.budgetBytes_ = budgetBytes;
+  ck.streamed_ = !keepPerPatternEvals;
   if (budgetBytes > 0) {
     ck.spill_ = std::make_unique<SpillState>();
     ck.spill_->open(spillDir);
   }
+  // One fingerprint pass first (the source rewinds around it) — the
+  // identical fold to fingerprint(seq), so a streamed recording of a
+  // generator-backed sequence keys the same as its materialized twin.
+  ck.seqFingerprint_ = source.fingerprint();
+  ck.outputs_ = source.outputs();
   CheckpointRecorder rec(ck);
   // A fault-free concurrent run *is* the good machine: every phase it
   // executes is a good phase, in exactly the order and with exactly the
@@ -212,26 +251,24 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
   for (std::uint32_t n = 0; n < net.numNodes(); ++n) {
     ck.initialGoodStates_.push_back(sim.goodState(NodeId(n)));
   }
-  const FaultSimResult res = sim.run(seq);
+  std::function<void(const PatternStat&)> onPattern;
+  if (keepPerPatternEvals) {
+    ck.perPatternGoodEvals_.reserve(
+        static_cast<std::size_t>(source.numPatterns()));
+    onPattern = [&ck](const PatternStat& st) {
+      ck.perPatternGoodEvals_.push_back(st.nodeEvals);
+    };
+  }
+  const FaultSimResult res = sim.run(source, nullptr, onPattern);
   rec.finish();
   ck.finalGoodStates_ = res.finalGoodStates;
-  ck.perPatternGoodEvals_.reserve(res.perPattern.size());
-  for (const PatternStat& st : res.perPattern) {
-    ck.perPatternGoodEvals_.push_back(st.nodeEvals);
-  }
   ck.totalGoodEvals_ = res.totalNodeEvals;
   ck.recordSeconds_ = res.totalSeconds;
-  // Settle k >= 1 is the k-th input setting in run order; each pattern owns
-  // a contiguous run of settles.
-  ck.patternSettleEnd_.reserve(seq.size());
-  std::uint32_t settle = 1;
-  for (const Pattern& p : seq.patterns()) {
-    settle += static_cast<std::uint32_t>(p.settings.size());
-    ck.patternSettleEnd_.push_back(settle);
-  }
-  FMOSSIM_ASSERT(settle == ck.numSettles(),
-                 "checkpoint recording lost a settle block");
-  ck.seqFingerprint_ = fingerprint(seq);
+  FMOSSIM_ASSERT(ck.numPatterns_ == source.numPatterns(),
+                 "checkpoint recording lost a pattern boundary");
+  FMOSSIM_ASSERT(
+      ck.settleCount_ > 0 && ck.patternEndsAtSettle(ck.settleCount_ - 1),
+      "checkpoint recording lost a settle");
   // Push-back growth leaves up to 2x slack in the resident vectors; return
   // it so memoryBytes() reports (and the budget governs) real content.
   ck.settles_.shrink_to_fit();
@@ -241,11 +278,14 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
   ck.changes_.shrink_to_fit();
   ck.inputChanges_.shrink_to_fit();
   ck.initialGoodStates_.shrink_to_fit();
-  ck.patternSettleEnd_.shrink_to_fit();
+  ck.perPatternGoodEvals_.shrink_to_fit();
+  ck.patternEndBits_.shrink_to_fit();
+  ck.outputs_.shrink_to_fit();
   if (ck.spill_ != nullptr) {
     ck.spill_->blockOff.shrink_to_fit();
+    ck.spill_->firstSettle.shrink_to_fit();
     // The replay window gets whatever the budget leaves above the fixed
-    // resident floor, but always at least the largest block: one settle
+    // resident floor, but always at least the largest chunk: one chunk
     // must be decodable or replay cannot proceed at all.
     const std::size_t fixed = ck.fixedBytes();
     ck.spill_->windowBudget =
@@ -256,11 +296,29 @@ GoodMachineCheckpoint GoodMachineCheckpoint::record(const Network& net,
 }
 
 std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
-    std::uint32_t p) const {
-  FMOSSIM_ASSERT(p < patternSettleEnd_.size(),
+    std::uint64_t p) const {
+  FMOSSIM_ASSERT(p < numPatterns_,
                  "goodStateAfterPattern: pattern index out of range");
+  // One past the pattern's last settle = 1 + index of the (p+1)-th set
+  // pattern-end bit (word-skipping popcount scan).
+  std::uint64_t need = p + 1;
+  std::uint32_t settleEnd = 0;
+  for (std::size_t w = 0; w < patternEndBits_.size(); ++w) {
+    std::uint64_t word = patternEndBits_[w];
+    const auto count = static_cast<std::uint64_t>(std::popcount(word));
+    if (count < need) {
+      need -= count;
+      continue;
+    }
+    std::uint32_t b = 0;
+    for (;; ++b, word >>= 1) {
+      if ((word & 1) != 0 && --need == 0) break;
+    }
+    settleEnd = static_cast<std::uint32_t>(w * 64 + b + 1);
+    break;
+  }
+  FMOSSIM_ASSERT(settleEnd != 0, "pattern-end bits inconsistent");
   std::vector<State> state = initialGoodStates_;
-  const std::uint32_t settleEnd = patternSettleEnd_[p];
   CheckpointReader reader(*this);
   for (std::uint32_t s = 1; s < settleEnd; ++s) {
     reader.enterSettle(s);
@@ -279,8 +337,10 @@ std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
 std::size_t GoodMachineCheckpoint::fixedBytes() const {
   std::size_t n = vecBytes(settles_) + vecBytes(initialGoodStates_) +
                   vecBytes(finalGoodStates_) + vecBytes(perPatternGoodEvals_) +
-                  vecBytes(patternSettleEnd_);
-  if (spill_ != nullptr) n += vecBytes(spill_->blockOff);
+                  vecBytes(patternEndBits_) + vecBytes(outputs_);
+  if (spill_ != nullptr) {
+    n += vecBytes(spill_->blockOff) + vecBytes(spill_->firstSettle);
+  }
   return n;
 }
 
@@ -295,12 +355,26 @@ std::size_t GoodMachineCheckpoint::memoryBytes() const {
   return n;
 }
 
+std::uint32_t GoodMachineCheckpoint::spillChunkCount() const {
+  return spill_ == nullptr
+             ? 0
+             : static_cast<std::uint32_t>(spill_->firstSettle.size());
+}
+
+std::size_t GoodMachineCheckpoint::maxChunkBytes() const {
+  return spill_ == nullptr ? 0 : spill_->maxBlockBytes;
+}
+
+std::size_t GoodMachineCheckpoint::windowBudgetBytes() const {
+  return spill_ == nullptr ? 0 : spill_->windowBudget;
+}
+
 std::shared_ptr<const GoodMachineCheckpoint::SettleBlock>
-GoodMachineCheckpoint::loadBlock(std::uint32_t i) const {
+GoodMachineCheckpoint::loadBlock(std::uint32_t c) const {
   SpillState& sp = *spill_;
   {
     std::lock_guard<std::mutex> lock(sp.mu);
-    if (auto it = sp.cache.find(i); it != sp.cache.end()) {
+    if (auto it = sp.cache.find(c); it != sp.cache.end()) {
       sp.lru.splice(sp.lru.begin(), sp.lru, it->second.lruIt);
       return it->second.block;
     }
@@ -308,26 +382,26 @@ GoodMachineCheckpoint::loadBlock(std::uint32_t i) const {
   // Miss: read and decode OUTSIDE the window lock — pread is thread-safe
   // and this is the expensive part, so concurrently replaying engines must
   // not serialize on each other's file I/O. Two threads missing the same
-  // block both decode it; the loser's copy is dropped below (wasted work is
-  // bounded by one block and is far cheaper than holding the lock across
+  // chunk both decode it; the loser's copy is dropped below (wasted work is
+  // bounded by one chunk and is far cheaper than holding the lock across
   // disk reads).
   std::string buf;
-  sp.readBlock(i, buf);
+  sp.readBlock(c, buf);
   auto block = std::make_shared<SettleBlock>();
   decodeBlock(buf.data(), buf.size(), *block);
   const std::size_t bytes = block->bytes();
 
   std::lock_guard<std::mutex> lock(sp.mu);
-  if (auto it = sp.cache.find(i); it != sp.cache.end()) {
+  if (auto it = sp.cache.find(c); it != sp.cache.end()) {
     sp.lru.splice(sp.lru.begin(), sp.lru, it->second.lruIt);
     return it->second.block;  // another reader inserted it meanwhile
   }
-  sp.lru.push_front(i);
-  sp.cache.emplace(i, SpillState::Entry{block, sp.lru.begin(), bytes});
+  sp.lru.push_front(c);
+  sp.cache.emplace(c, SpillState::Entry{block, sp.lru.begin(), bytes});
   sp.cachedBytes += bytes;
-  // Slide the window: drop least-recently-used blocks past the budget,
+  // Slide the window: drop least-recently-used chunks past the budget,
   // never a pinned one (a reader still hands out spans into it) and never
-  // the block just loaded.
+  // the chunk just loaded.
   for (auto it = std::prev(sp.lru.end());
        sp.cachedBytes > sp.windowBudget && it != sp.lru.begin();) {
     const auto cur = it--;
@@ -349,13 +423,13 @@ CheckpointReader::~CheckpointReader() = default;
 
 void CheckpointReader::enterSettle(std::uint32_t i) {
   FMOSSIM_ASSERT(i < ck_->numSettles(), "reader settle index out of range");
-  const GoodMachineCheckpoint::Settle& s = ck_->settles_[i];
-  phaseCount_ = s.phaseCount;
-  inputCount_ = s.inputCount;
   if (ck_->spill_ == nullptr) {
     // In-memory mode: point straight into the flat arenas (offsets inside
     // Phase/VicinitySpan entries are global, so the bases are the arena
     // starts).
+    const GoodMachineCheckpoint::Settle& s = ck_->settles_[i];
+    phaseCount_ = s.phaseCount;
+    inputCount_ = s.inputCount;
     phases_ = ck_->phases_.data() + s.phaseOff;
     vicBase_ = ck_->vics_.data();
     memberBase_ = ck_->members_.data();
@@ -363,40 +437,71 @@ void CheckpointReader::enterSettle(std::uint32_t i) {
     inputs_ = ck_->inputChanges_.data() + s.inputOff;
     return;
   }
-  // Spilled mode: pin the decoded block (offsets are block-local). Release
-  // the previous pin BEFORE loading — spans into it are invalidated by this
-  // call anyway, and holding it across the load would make the window need
-  // two blocks per reader (old + new), overshooting the budget exactly when
-  // it is tightest. With the pin dropped first, the eviction pass inside
-  // loadBlock can reclaim the previous block, so one block per reader is
+  // Spilled mode: find the chunk holding settle i, pin its decoded block
+  // (offsets are chunk-local). Consecutive settles of one chunk — the
+  // sequential replay fast path — reuse the pin without touching the
+  // window cache. On a chunk switch, release the previous pin BEFORE
+  // loading: spans into it are invalidated by this call anyway, and
+  // holding it across the load would make the window need two chunks per
+  // reader (old + new), overshooting the budget exactly when it is
+  // tightest. With the pin dropped first, the eviction pass inside
+  // loadBlock can reclaim the previous chunk, so one chunk per reader is
   // the true floor (as documented on memoryBytes()).
-  pin_.reset();
-  pin_ = ck_->loadBlock(i);
-  phases_ = pin_->phases.data();
+  const std::vector<std::uint32_t>& fs = ck_->spill_->firstSettle;
+  const auto c = static_cast<std::uint32_t>(
+      std::upper_bound(fs.begin(), fs.end(), i) - fs.begin() - 1);
+  if (pin_ == nullptr || chunk_ != c) {
+    pin_.reset();
+    pin_ = ck_->loadBlock(c);
+    chunk_ = c;
+  }
+  const GoodMachineCheckpoint::Settle& s = pin_->settles[i - fs[c]];
+  phaseCount_ = s.phaseCount;
+  inputCount_ = s.inputCount;
+  phases_ = pin_->phases.data() + s.phaseOff;
   vicBase_ = pin_->vics.data();
   memberBase_ = pin_->members.data();
   changeBase_ = pin_->changes.data();
-  inputs_ = pin_->inputChanges.data();
+  inputs_ = pin_->inputChanges.data() + s.inputOff;
 }
 
 // --- CheckpointRecorder ------------------------------------------------------
+
+CheckpointRecorder::CheckpointRecorder(GoodMachineCheckpoint& into)
+    : ck_(into) {
+  if (ck_.spill_ != nullptr) {
+    // /16: several chunks fit the window even when the budget is mostly
+    // consumed by the fixed floor; clamped so tiny budgets still amortize
+    // encode/decode and huge ones keep eviction granular.
+    chunkTarget_ = std::clamp<std::size_t>(ck_.budgetBytes_ / 16,
+                                           std::size_t{2} << 10,
+                                           std::size_t{64} << 10);
+  }
+}
 
 void CheckpointRecorder::inputChange(NodeId n, State v) {
   pendingInputs_.push_back({n, v});
 }
 
-void CheckpointRecorder::flushSettle() {
-  if (!settleOpen_) return;
-  settleOpen_ = false;
+void CheckpointRecorder::flushChunk() {
+  if (pending_.settles.empty()) return;
   GoodMachineCheckpoint::SettleBlock& b = pending_;
   if (ck_.spill_ != nullptr) {
-    ck_.spill_->appendBlock(encodeBlock(b));
+    ck_.spill_->appendBlock(encodeBlock(b),
+                            static_cast<std::uint32_t>(b.settles.size()));
   } else {
-    // Append the block to the flat arenas, promoting its local offsets to
+    // Append the chunk to the flat arenas, promoting its local offsets to
     // global ones — byte-for-byte the layout a direct append would build.
+    const auto phaseBase = static_cast<std::uint32_t>(ck_.phases_.size());
     const auto vicBase = static_cast<std::uint32_t>(ck_.vics_.size());
     const auto memberBase = static_cast<std::uint32_t>(ck_.members_.size());
     const auto changeBase = static_cast<std::uint32_t>(ck_.changes_.size());
+    const auto inputBase = static_cast<std::uint32_t>(ck_.inputChanges_.size());
+    for (GoodMachineCheckpoint::Settle s : b.settles) {
+      s.phaseOff += phaseBase;
+      s.inputOff += inputBase;
+      ck_.settles_.push_back(s);
+    }
     for (GoodMachineCheckpoint::Phase p : b.phases) {
       p.vicOff += vicBase;
       p.changeOff += changeBase;
@@ -411,6 +516,7 @@ void CheckpointRecorder::flushSettle() {
     ck_.inputChanges_.insert(ck_.inputChanges_.end(), b.inputChanges.begin(),
                              b.inputChanges.end());
   }
+  b.settles.clear();
   b.phases.clear();
   b.vics.clear();
   b.members.clear();
@@ -419,24 +525,29 @@ void CheckpointRecorder::flushSettle() {
 }
 
 void CheckpointRecorder::beginSettle() {
-  flushSettle();
-  settleOpen_ = true;
-  pending_.inputChanges = std::move(pendingInputs_);
-  pendingInputs_ = {};
-  ck_.settles_.push_back(
-      {static_cast<std::uint32_t>(totalPhases_), 0,
-       static_cast<std::uint32_t>(totalInputs_),
-       static_cast<std::uint32_t>(pending_.inputChanges.size())});
-  totalInputs_ += pending_.inputChanges.size();
+  // In-memory mode flushes every settle (the arenas are the destination
+  // anyway); spilled mode batches settles up to the chunk byte target.
+  if (!pending_.settles.empty() &&
+      (ck_.spill_ == nullptr || pending_.contentBytes() >= chunkTarget_)) {
+    flushChunk();
+  }
+  const auto inputOff = static_cast<std::uint32_t>(pending_.inputChanges.size());
+  const auto inputCount = static_cast<std::uint32_t>(pendingInputs_.size());
+  pending_.inputChanges.insert(pending_.inputChanges.end(),
+                               pendingInputs_.begin(), pendingInputs_.end());
+  pendingInputs_.clear();
+  pending_.settles.push_back(
+      {static_cast<std::uint32_t>(pending_.phases.size()), 0, inputOff,
+       inputCount});
+  ++ck_.settleCount_;
 }
 
 void CheckpointRecorder::beginPhase() {
-  FMOSSIM_ASSERT(settleOpen_, "phase recorded before any settle");
+  FMOSSIM_ASSERT(!pending_.settles.empty(), "phase recorded before any settle");
   pending_.phases.push_back(
       {static_cast<std::uint32_t>(pending_.vics.size()), 0,
        static_cast<std::uint32_t>(pending_.changes.size()), 0});
-  ++ck_.settles_.back().phaseCount;
-  ++totalPhases_;
+  ++pending_.settles.back().phaseCount;
 }
 
 void CheckpointRecorder::goodVicinity(const Vicinity& vic) {
@@ -452,10 +563,22 @@ void CheckpointRecorder::goodCommit(NodeId n, State v) {
   ++pending_.phases.back().changeCount;
 }
 
+void CheckpointRecorder::endPattern() {
+  FMOSSIM_ASSERT(ck_.settleCount_ > 0, "pattern end recorded before any settle");
+  const std::uint32_t i = ck_.settleCount_ - 1;
+  auto& bits = ck_.patternEndBits_;
+  if ((i >> 6) >= bits.size()) bits.resize((i >> 6) + 1, 0);
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  FMOSSIM_ASSERT((bits[i >> 6] & mask) == 0,
+                 "two pattern boundaries on one settle");
+  bits[i >> 6] |= mask;
+  ++ck_.numPatterns_;
+}
+
 void CheckpointRecorder::finish() {
   FMOSSIM_ASSERT(pendingInputs_.empty(),
                  "input changes recorded after the last settle");
-  flushSettle();
+  flushChunk();
 }
 
 }  // namespace fmossim

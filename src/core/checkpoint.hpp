@@ -15,10 +15,15 @@
 //   * per settle (one per input setting, plus the initial all-X settle):
 //     the span of phases it ran, so replay keeps the global phase counter —
 //     and therefore oscillation-coercion timing — bit-aligned with an
-//     unsharded run;
-//   * per pattern: the good machine's logical node-evaluation count (so a
-//     merged sharded result can report exactly the same deterministic work
-//     counter as a jobs=1 run) and the good state of every node.
+//     unsharded run, plus the input-node changes applied just before it —
+//     so replay can drive the whole sequence from the trace alone
+//     (ConcurrentFaultSimulator::runReplay), without a materialized
+//     TestSequence;
+//   * per pattern: which settle ends it (one bit per settle) and the
+//     observed outputs, so replay knows when to observe; for materialized
+//     recordings additionally the good machine's logical node-evaluation
+//     count per pattern (so a merged sharded result can report exactly the
+//     same deterministic work counter as a jobs=1 run).
 //
 // Per-pattern good states are not stored as full snapshots: the change trace
 // *is* the snapshot store, copy-on-write style — all patterns share the one
@@ -28,18 +33,19 @@
 // Storage has two modes, chosen at record() time by `budgetBytes`:
 //
 //   * **In-memory (budget 0).** The trace lives in flat arenas (one vector
-//     per kind, settle blocks concatenated in run order) — ~14 MB for
-//     RAM256's 1447 patterns.
+//     per kind, settles concatenated in run order, offsets global) — ~14 MB
+//     for RAM256's 1447 patterns.
 //   * **Spilled (budget > 0).** The trace grows linearly with good-machine
-//     activity, so million-pattern sequences cannot hold it in RAM. Each
-//     settle block is streamed to an unlinked temp file as it is recorded
-//     and replayed back through a sliding in-memory window (an LRU cache of
-//     decoded settle blocks) sized so that the checkpoint's resident
-//     footprint — reported by memoryBytes() — stays within the budget.
-//     Only the small per-settle index and the per-pattern arrays stay
-//     resident, so the budget must exceed that fixed floor (plus one settle
-//     block per concurrently replaying engine); within it, eviction and
-//     re-reads are invisible: replay is bit-identical to the in-memory mode.
+//     activity, so million-pattern sequences cannot hold it in RAM. Settles
+//     are batched into fixed-target *chunks* (a few KiB to 64 KiB of trace
+//     each) that are streamed to an unlinked temp file as they fill and
+//     replayed back through a sliding in-memory window (an LRU cache of
+//     decoded chunks) sized so that the checkpoint's resident footprint —
+//     reported by memoryBytes() — stays within the budget. Chunking keeps
+//     the resident per-settle index tiny (two words per *chunk*, one bit
+//     per settle), so a million-settle recording fits comfortably under a
+//     single-digit-MiB budget; within it, eviction and re-reads are
+//     invisible: replay is bit-identical to the in-memory mode.
 //
 // All replay access goes through a CheckpointReader cursor (one per
 // replaying engine); the trace itself is immutable after record() and safe
@@ -62,6 +68,7 @@ namespace fmossim {
 
 struct FsimOptions;
 class CheckpointReader;
+class PatternSource;
 
 /// One recorded good-machine run of a test sequence (see file comment).
 /// Immutable after record(); safe to share across concurrently replaying
@@ -82,8 +89,8 @@ class GoodMachineCheckpoint {
     std::uint32_t memberCount;
   };
   /// One unit-delay phase of good-circuit activity. Offsets index the
-  /// vicinity/change arenas: global in the in-memory mode, block-local in a
-  /// spilled settle block — CheckpointReader hides the difference.
+  /// vicinity/change arenas: global in the in-memory mode, chunk-local in a
+  /// spilled chunk — CheckpointReader hides the difference.
   struct Phase {
     std::uint32_t vicOff, vicCount;        ///< span into the vicinity table
     std::uint32_t changeOff, changeCount;  ///< span into the change arena
@@ -92,24 +99,31 @@ class GoodMachineCheckpoint {
   /// input-node changes applied immediately before it (empty for settle 0).
   /// Settle 0 is the initial all-X network evaluation; settle k >= 1 is the
   /// k-th input setting of the sequence, in run order. Input changes bypass
-  /// the phase commit path in the engine, so snapshot folding needs them
-  /// recorded separately.
+  /// the phase commit path in the engine, so snapshot folding and
+  /// trace-driven replay need them recorded separately.
   struct Settle {
     std::uint32_t phaseOff, phaseCount;
     std::uint32_t inputOff, inputCount;  ///< span into the input-change arena
   };
-  /// One settle's trace data in decodable form: what the recorder buffers
-  /// while the settle runs, what a spilled file block deserializes into
-  /// (offsets local to the block).
+  /// One chunk of consecutive settles' trace data in decodable form: what
+  /// the recorder buffers while settles run, what a spilled file block
+  /// deserializes into (offsets local to the chunk). The in-memory mode
+  /// flushes one settle per chunk into the flat arenas; the spilled mode
+  /// batches settles up to the chunk byte target before writing.
   struct SettleBlock {
+    std::vector<Settle> settles;
     std::vector<Phase> phases;
     std::vector<VicinitySpan> vics;
     std::vector<NodeId> members;
     std::vector<Change> changes;
     std::vector<Change> inputChanges;
 
-    /// Heap footprint of the block's payload (window accounting).
+    /// Heap footprint of the chunk's payload (window accounting; decoded
+    /// chunks are exact-sized so capacity == size).
     std::size_t bytes() const;
+    /// Content bytes regardless of vector slack (the recorder's flush
+    /// threshold — pending buffers keep their capacity across chunks).
+    std::size_t contentBytes() const;
   };
 
   GoodMachineCheckpoint();
@@ -123,19 +137,32 @@ class GoodMachineCheckpoint {
   /// Deterministic: identical inputs produce identical checkpoints (and
   /// bit-identical replays regardless of `budgetBytes`).
   ///
-  /// `budgetBytes` > 0 spills the settle-block trace to an unlinked temp
-  /// file in `spillDir` (empty = the system temp directory) as it records,
-  /// keeping memoryBytes() within the budget; 0 keeps the whole trace in
-  /// RAM. See the file comment for the budget's fixed floor.
+  /// `budgetBytes` > 0 spills the chunked trace to an unlinked temp file in
+  /// `spillDir` (empty = the system temp directory) as it records, keeping
+  /// memoryBytes() within the budget; 0 keeps the whole trace in RAM. See
+  /// the file comment for the budget's fixed floor.
   static GoodMachineCheckpoint record(const Network& net,
                                       const TestSequence& seq,
                                       const FsimOptions& options,
                                       std::size_t budgetBytes = 0,
                                       const std::string& spillDir = {});
 
+  /// Streaming overload: records the good machine over a PatternSource,
+  /// consuming it exactly once (after one fingerprint pass) and never
+  /// materializing the sequence — resident memory is flat in the sequence
+  /// length when a spill budget is given. The resulting checkpoint is
+  /// `streamed()`: it omits the per-pattern good-eval array (a per-pattern
+  /// resident cost), so it serves streaming replays (runReplay) but not the
+  /// materialized sharded merge, which needs that array.
+  static GoodMachineCheckpoint record(const Network& net, PatternSource& source,
+                                      const FsimOptions& options,
+                                      std::size_t budgetBytes = 0,
+                                      const std::string& spillDir = {});
+
   /// Content fingerprint of a test sequence (FNV-1a over patterns, settings
-  /// and outputs). Replay asserts the sequence it runs matches the one
-  /// recorded; CheckpointStore keys its cache on this.
+  /// and outputs; PatternSource::fingerprint computes the identical fold
+  /// without materializing). Replay asserts the sequence it runs matches the
+  /// one recorded; CheckpointStore keys its cache on this.
   static std::uint64_t fingerprint(const TestSequence& seq);
 
   // --- trace accessors (in-memory mode only) ---------------------------------
@@ -145,10 +172,8 @@ class GoodMachineCheckpoint {
   // in-memory trace and assert !spilled().
 
   /// Number of recorded settles (1 + total input settings of the sequence).
-  std::uint32_t numSettles() const {
-    return static_cast<std::uint32_t>(settles_.size());
-  }
-  /// The i-th settle's phase span.
+  std::uint32_t numSettles() const { return settleCount_; }
+  /// The i-th settle's phase span. In-memory mode only.
   const Settle& settle(std::uint32_t i) const { return settles_[i]; }
   /// Phase by global index (settle.phaseOff + k). In-memory mode only.
   const Phase& phase(std::uint32_t i) const { return phases_[i]; }
@@ -181,16 +206,24 @@ class GoodMachineCheckpoint {
   std::uint32_t numNodes() const {
     return static_cast<std::uint32_t>(finalGoodStates_.size());
   }
-  /// Number of patterns of the recorded sequence.
-  std::uint32_t numPatterns() const {
-    return static_cast<std::uint32_t>(perPatternGoodEvals_.size());
+  /// Number of patterns of the recorded sequence (64-bit: streamed
+  /// recordings are not bounded by a materialized sequence's 2^32 size).
+  std::uint64_t numPatterns() const { return numPatterns_; }
+  /// The observed output nodes of the recorded sequence — what a
+  /// trace-driven replay observes at each pattern end.
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  /// True when settle `i` is the last settle of a pattern (the engine
+  /// observed outputs right after it).
+  bool patternEndsAtSettle(std::uint32_t i) const {
+    return ((patternEndBits_[i >> 6] >> (i & 63)) & 1) != 0;
   }
   /// Good state of every node after the last pattern (what an early-exiting
   /// replay reports as finalGoodStates).
   const std::vector<State>& finalGoodStates() const { return finalGoodStates_; }
   /// Good-machine logical node evaluations per pattern — the work a replay
   /// avoids; merged into sharded results so their deterministic work counter
-  /// equals a jobs=1 run's exactly.
+  /// equals a jobs=1 run's exactly. Empty for streamed() recordings (it is
+  /// a per-pattern resident cost; use totalGoodEvals() instead).
   const std::vector<std::uint64_t>& perPatternGoodEvals() const {
     return perPatternGoodEvals_;
   }
@@ -200,23 +233,36 @@ class GoodMachineCheckpoint {
   /// Wall-clock seconds the recording run took (merged into the recording
   /// run's aggregate CPU time; diagnostics).
   double recordSeconds() const { return recordSeconds_; }
+  /// True when this checkpoint was recorded from a PatternSource without
+  /// per-pattern resident arrays (see the streaming record() overload).
+  bool streamed() const { return streamed_; }
 
   /// Materializes the good state of every node after pattern `p` by folding
   /// the change trace up to that pattern's last settle (the copy-on-write
   /// read path; O(nodes + changes up to p)). Works in both storage modes.
-  std::vector<State> goodStateAfterPattern(std::uint32_t p) const;
+  std::vector<State> goodStateAfterPattern(std::uint64_t p) const;
 
-  /// True when the settle-block trace lives in the temp-file backing store
-  /// and replays through the sliding window.
+  /// True when the chunked trace lives in the temp-file backing store and
+  /// replays through the sliding window.
   bool spilled() const { return spill_ != nullptr; }
   /// The record-time memory budget (0 = unbounded).
   std::size_t budgetBytes() const { return budgetBytes_; }
 
+  // --- spill diagnostics (0 when not spilled) --------------------------------
+
+  /// Number of chunks in the backing file.
+  std::uint32_t spillChunkCount() const;
+  /// Largest encoded chunk (the window's hard floor: one chunk must always
+  /// be decodable).
+  std::size_t maxChunkBytes() const;
+  /// Bytes of decoded chunks the sliding window may keep resident.
+  std::size_t windowBudgetBytes() const;
+
   /// Resident heap footprint in bytes: the whole trace in in-memory mode;
-  /// the fixed per-settle/per-pattern index plus the current window of
-  /// decoded settle blocks in spilled mode. The budget enforcement hook —
-  /// stays <= budgetBytes() whenever the budget exceeds the fixed floor
-  /// plus one settle block per concurrently replaying engine.
+  /// the fixed per-chunk/per-pattern index plus the current window of
+  /// decoded chunks in spilled mode. The budget enforcement hook — stays
+  /// <= budgetBytes() whenever the budget exceeds the fixed floor plus one
+  /// chunk per concurrently replaying engine.
   std::size_t memoryBytes() const;
 
  private:
@@ -225,13 +271,22 @@ class GoodMachineCheckpoint {
 
   struct SpillState;
 
-  std::size_t fixedBytes() const;
-  /// Loads settle block `i` through the window cache (spilled mode).
-  std::shared_ptr<const SettleBlock> loadBlock(std::uint32_t i) const;
+  static GoodMachineCheckpoint recordImpl(const Network& net,
+                                          PatternSource& source,
+                                          const FsimOptions& options,
+                                          std::size_t budgetBytes,
+                                          const std::string& spillDir,
+                                          bool keepPerPatternEvals);
 
-  std::vector<Settle> settles_;  ///< resident in both modes (the index)
-  // In-memory mode: the flat trace arenas (settle blocks concatenated in
-  // run order; offsets global). Empty in spilled mode.
+  std::size_t fixedBytes() const;
+  /// Loads chunk `c` through the window cache (spilled mode).
+  std::shared_ptr<const SettleBlock> loadBlock(std::uint32_t c) const;
+
+  std::uint32_t settleCount_ = 0;  ///< total settles, both modes
+  // In-memory mode: the flat trace arenas (settles concatenated in run
+  // order; offsets global). Empty in spilled mode — there the trace lives
+  // in the backing file, indexed per chunk by SpillState.
+  std::vector<Settle> settles_;
   std::vector<Phase> phases_;
   std::vector<VicinitySpan> vics_;
   std::vector<NodeId> members_;
@@ -240,22 +295,27 @@ class GoodMachineCheckpoint {
 
   std::vector<State> initialGoodStates_;  ///< after the initial all-X settle
   std::vector<State> finalGoodStates_;
-  std::vector<std::uint64_t> perPatternGoodEvals_;
-  /// One past the last settle index of each pattern (snapshot folding).
-  std::vector<std::uint32_t> patternSettleEnd_;
+  std::vector<std::uint64_t> perPatternGoodEvals_;  ///< empty when streamed_
+  /// Bit i set iff settle i ends a pattern (one bit per settle — the only
+  /// per-settle resident cost in spilled mode besides the chunk index).
+  std::vector<std::uint64_t> patternEndBits_;
+  std::vector<NodeId> outputs_;
+  std::uint64_t numPatterns_ = 0;
   std::uint64_t totalGoodEvals_ = 0;
   std::uint64_t seqFingerprint_ = 0;
   double recordSeconds_ = 0.0;
+  bool streamed_ = false;
 
   std::size_t budgetBytes_ = 0;
   std::unique_ptr<SpillState> spill_;  ///< non-null in spilled mode
 };
 
-/// Forward-only replay cursor over a checkpoint's settle blocks — the one
-/// access path that works in both storage modes. Each replaying engine owns
-/// one; in spilled mode the cursor pins its current settle's decoded block
+/// Forward-only replay cursor over a checkpoint's trace — the one access
+/// path that works in both storage modes. Each replaying engine owns one;
+/// in spilled mode the cursor pins its current settle's decoded chunk
 /// (keeping returned spans valid until the next enterSettle) and the shared
-/// window cache behind it slides forward with the replay.
+/// window cache behind it slides forward with the replay. Consecutive
+/// settles of one chunk reuse the pin without touching the cache.
 class CheckpointReader {
  public:
   /// Binds to `ck` (must outlive the reader) without loading anything.
@@ -292,8 +352,9 @@ class CheckpointReader {
 
  private:
   const GoodMachineCheckpoint* ck_;
-  /// Pin on the current settle's decoded block (spilled mode only).
+  /// Pin on the current chunk (spilled mode only) and its index.
   std::shared_ptr<const GoodMachineCheckpoint::SettleBlock> pin_;
+  std::uint32_t chunk_ = 0;
   const GoodMachineCheckpoint::Phase* phases_ = nullptr;
   const GoodMachineCheckpoint::VicinitySpan* vicBase_ = nullptr;
   const NodeId* memberBase_ = nullptr;
@@ -304,21 +365,22 @@ class CheckpointReader {
 };
 
 /// Recording sink the concurrent engine drives during a checkpoint-recording
-/// run. Buffers the current settle's trace in a SettleBlock; a completed
-/// block is appended to the in-memory arenas or streamed to the spill file
-/// when the budget demands it. One beginSettle() per settleAll(), one
-/// beginPhase() per unit-delay phase, then the phase's good vicinities and
-/// commits in engine order; finish() flushes the last block.
+/// run. Buffers settles into the pending chunk; a filled chunk is appended
+/// to the in-memory arenas (every settle) or streamed to the spill file
+/// (when the chunk byte target is reached). One beginSettle() per
+/// settleAll(), one beginPhase() per unit-delay phase, then the phase's good
+/// vicinities and commits in engine order; endPattern() after each observed
+/// pattern; finish() flushes the last chunk.
 class CheckpointRecorder {
  public:
   /// Records into `into` (must outlive the recorder; its spill mode is
   /// fixed before recording starts).
-  explicit CheckpointRecorder(GoodMachineCheckpoint& into) : ck_(into) {}
+  explicit CheckpointRecorder(GoodMachineCheckpoint& into);
 
   /// Records one input-node assignment (old != new); attached to the settle
   /// the engine runs next.
   void inputChange(NodeId n, State v);
-  /// Opens the next settle block (flushing the previous one).
+  /// Opens the next settle (flushing the pending chunk when due).
   void beginSettle();
   /// Opens the next phase of the current settle.
   void beginPhase();
@@ -326,22 +388,23 @@ class CheckpointRecorder {
   void goodVicinity(const Vicinity& vic);
   /// Records one committed good-circuit change (post-coercion, old != new).
   void goodCommit(NodeId n, State v);
-  /// Flushes the final settle block; recording is complete.
+  /// Marks the current settle as a pattern boundary (the engine observed
+  /// outputs right after it).
+  void endPattern();
+  /// Flushes the final chunk; recording is complete.
   void finish();
 
  private:
-  void flushSettle();
+  void flushChunk();
 
   GoodMachineCheckpoint& ck_;
   GoodMachineCheckpoint::SettleBlock pending_;
   /// Input changes seen since the last beginSettle (owned by the next one).
   std::vector<GoodMachineCheckpoint::Change> pendingInputs_;
-  bool settleOpen_ = false;
-  // Running global totals (the flushed arenas' sizes in in-memory mode);
-  // the settle index's phase/input offsets are derived from these in both
-  // modes.
-  std::uint64_t totalPhases_ = 0;
-  std::uint64_t totalInputs_ = 0;
+  /// Spilled mode: flush the pending chunk once it holds this many content
+  /// bytes (small enough that the sliding window can hold several chunks
+  /// under tight budgets, large enough to amortize encode/decode).
+  std::size_t chunkTarget_ = 0;
 };
 
 }  // namespace fmossim

@@ -1,5 +1,6 @@
 #include "core/checkpoint_store.hpp"
 
+#include "patterns/pattern_source.hpp"
 #include "util/hash.hpp"
 
 namespace fmossim {
@@ -45,11 +46,9 @@ CheckpointStore::CheckpointStore() : CheckpointStore(Options{}) {}
 CheckpointStore::CheckpointStore(Options options)
     : options_(std::move(options)) {}
 
-std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquire(
-    const Network& net, const TestSequence& seq, const FsimOptions& options,
-    bool* recordedNow) {
-  const Key key{networkFingerprint(net), GoodMachineCheckpoint::fingerprint(seq),
-                simOptionsFingerprint(options)};
+template <typename RecordFn>
+std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquireImpl(
+    const Key& key, bool* recordedNow, RecordFn&& recordFn) {
   if (recordedNow != nullptr) *recordedNow = false;
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = cache_.find(key); it != cache_.end()) {
@@ -58,9 +57,8 @@ std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquire(
     return it->second.checkpoint;
   }
   if (recordedNow != nullptr) *recordedNow = true;
-  auto checkpoint = std::make_shared<const GoodMachineCheckpoint>(
-      GoodMachineCheckpoint::record(net, seq, options, options_.budgetBytes,
-                                    options_.spillDir));
+  auto checkpoint =
+      std::make_shared<const GoodMachineCheckpoint>(recordFn());
   ++recordings_;
   lru_.push_front(key);
   cache_.emplace(key, Entry{checkpoint, lru_.begin()});
@@ -69,6 +67,30 @@ std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquire(
     lru_.pop_back();
   }
   return checkpoint;
+}
+
+std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquire(
+    const Network& net, const TestSequence& seq, const FsimOptions& options,
+    bool* recordedNow) {
+  const Key key{networkFingerprint(net), GoodMachineCheckpoint::fingerprint(seq),
+                simOptionsFingerprint(options), false};
+  return acquireImpl(key, recordedNow, [&] {
+    return GoodMachineCheckpoint::record(net, seq, options,
+                                         options_.budgetBytes,
+                                         options_.spillDir);
+  });
+}
+
+std::shared_ptr<const GoodMachineCheckpoint> CheckpointStore::acquireStream(
+    const Network& net, PatternSource& source, const FsimOptions& options,
+    bool* recordedNow) {
+  const Key key{networkFingerprint(net), source.fingerprint(),
+                simOptionsFingerprint(options), true};
+  return acquireImpl(key, recordedNow, [&] {
+    return GoodMachineCheckpoint::record(net, source, options,
+                                         options_.budgetBytes,
+                                         options_.spillDir);
+  });
 }
 
 void CheckpointStore::clear() {

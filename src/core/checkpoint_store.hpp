@@ -81,6 +81,17 @@ class CheckpointStore {
       const Network& net, const TestSequence& seq, const FsimOptions& options,
       bool* recordedNow = nullptr);
 
+  /// Streaming variant: keyed on the source's fingerprint (the same fold as
+  /// a materialized sequence's), recording through the streaming
+  /// GoodMachineCheckpoint::record overload on a miss — the source is
+  /// consumed, never materialized. Streamed checkpoints omit the
+  /// per-pattern good-eval array, so they live under a distinct key and are
+  /// never handed to the materialized acquire() above (whose callers rely
+  /// on that array), even for bit-identical sequences.
+  std::shared_ptr<const GoodMachineCheckpoint> acquireStream(
+      const Network& net, PatternSource& source, const FsimOptions& options,
+      bool* recordedNow = nullptr);
+
   /// Drops every cached entry (outstanding shared_ptrs stay valid).
   void clear();
 
@@ -103,12 +114,19 @@ class CheckpointStore {
   std::size_t memoryBytes() const;
 
  private:
-  using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+  /// (network, sequence, sim options, streamed) — the last component keeps
+  /// streamed (no per-pattern evals) and materialized recordings of one
+  /// sequence apart.
+  using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, bool>;
 
   struct Entry {
     std::shared_ptr<const GoodMachineCheckpoint> checkpoint;
     std::list<Key>::iterator lruIt;
   };
+
+  template <typename RecordFn>
+  std::shared_ptr<const GoodMachineCheckpoint> acquireImpl(
+      const Key& key, bool* recordedNow, RecordFn&& recordFn);
 
   Options options_;
   mutable std::mutex mu_;

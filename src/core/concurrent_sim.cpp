@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/checkpoint.hpp"
+#include "core/row_sink.hpp"
+#include "patterns/pattern_source.hpp"
 
 namespace fmossim {
 
@@ -75,6 +77,7 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
       alive_(faults.size() + 1, 0),
       detectedAt_(faults.size(), -1),
       touched_(faults.size() + 1),
+      touchedCap_(faults.size() + 1, 16),
       watchCount_(net.numNodes(), 0),
       divCount_(net.numNodes(), 0),
       goodSeedStamp_(net.numNodes(), 0),
@@ -244,7 +247,13 @@ void ConcurrentFaultSimulator::scheduleSettingSeeds(NodeId n, State /*oldGood*/)
 
 SettleResult ConcurrentFaultSimulator::settleAll() {
   if (record_ != nullptr) record_->beginSettle();
-  if (replay_ != nullptr) replayBeginSettle();
+  if (replay_ != nullptr) {
+    // runReplay() enters the settle itself (it needs the reader positioned
+    // before settleAll, to apply the recorded input changes); consume that
+    // entry instead of advancing past it.
+    if (!replayEntered_) replayBeginSettle();
+    replayEntered_ = false;
+  }
   SettleResult res;
   bool coerce = false;
   const std::uint32_t hardLimit =
@@ -466,7 +475,7 @@ void ConcurrentFaultSimulator::processFaultyCircuit(CircuitId c, bool coerce) {
   for (const auto& [n, v] : faultyResults_) {
     const StateTable::Reconciled rec = table_.reconcile(n, c, v);
     if (rec.inserted) {
-      touched_[c].push_back(n);
+      touchedInsert(c, n);
       addRecordWatch(n, +1);
       ++divCount_[n.value];
     } else if (rec.erased) {
@@ -765,7 +774,7 @@ std::uint32_t ConcurrentFaultSimulator::processLaneLeader(
       while (m != 0) {
         const std::uint32_t l = static_cast<std::uint32_t>(std::countr_zero(m));
         m &= m - 1;
-        touched_[lanes::circuitAt(group, l)].push_back(n);
+        touchedInsert(lanes::circuitAt(group, l), n);
       }
       const auto delta = static_cast<std::int32_t>(std::popcount(lc.insertedMask));
       addRecordWatch(n, delta);
@@ -844,6 +853,21 @@ std::uint32_t ConcurrentFaultSimulator::observe(
     for (const CircuitId c : dropQueue_) dropCircuit(c);
   }
   return newly;
+}
+
+void ConcurrentFaultSimulator::touchedInsert(CircuitId c, NodeId n) {
+  touched_[c].push_back(n);
+  if (touched_[c].size() >= touchedCap_[c]) compactTouched(c);
+}
+
+void ConcurrentFaultSimulator::compactTouched(CircuitId c) {
+  auto& v = touched_[c];
+  std::sort(v.begin(), v.end(),
+            [](NodeId a, NodeId b) { return a.value < b.value; });
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  std::erase_if(v, [&](NodeId n) { return !table_.hasRecord(n, c); });
+  touchedCap_[c] =
+      std::max<std::uint32_t>(16, 2 * static_cast<std::uint32_t>(v.size()));
 }
 
 void ConcurrentFaultSimulator::dropCircuit(CircuitId c) {
@@ -1082,6 +1106,8 @@ FaultSimResult ConcurrentFaultSimulator::run(
   }
   FaultSimResult res;
   res.numFaults = faults_.size();
+  res.numPatterns = seq.size();
+  res.droppedDetected = options_.dropDetected;
   res.perPattern.reserve(seq.size());
 
   Timer total;
@@ -1096,6 +1122,7 @@ FaultSimResult ConcurrentFaultSimulator::run(
       applySetting(setting.span());
     }
     const std::uint32_t newly = observe(seq.outputs(), pi);
+    if (record_ != nullptr) record_->endPattern();
     cumulative += newly;
 
     PatternStat st;
@@ -1144,6 +1171,152 @@ FaultSimResult ConcurrentFaultSimulator::run(
   res.potentialDetections = potentialDetections_;
   res.totalSeconds = total.seconds();
   // One engine, one thread: aggregate engine time is the wall clock.
+  res.totalCpuSeconds = res.totalSeconds;
+  res.totalNodeEvals = nodeEvals() - evalsAtStart;
+  return res;
+}
+
+FaultSimResult ConcurrentFaultSimulator::run(
+    PatternSource& source, RowSink* sink,
+    const std::function<void(const PatternStat&)>& onPattern) {
+  FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  ran_ = true;
+  FMOSSIM_ASSERT(replay_ == nullptr,
+                 "streaming run does not take a replay checkpoint "
+                 "(runReplay drives the sequence from the trace itself)");
+  FaultSimResult res;
+  res.numFaults = faults_.size();
+  res.droppedDetected = options_.dropDetected;
+
+  Timer total;
+  const std::uint64_t evalsAtStart = nodeEvals();
+  std::uint32_t cumulative = 0;
+  std::uint64_t pi = 0;
+  Pattern p;
+  while (source.next(p)) {
+    Timer patternTimer;
+    const std::uint64_t evalsBefore = nodeEvals();
+    for (const InputSetting& setting : p.settings) {
+      applySetting(setting.span());
+    }
+    const std::uint32_t newly =
+        observe(source.outputs(), static_cast<std::uint32_t>(pi));
+    if (record_ != nullptr) record_->endPattern();
+    cumulative += newly;
+
+    PatternStat st;
+    st.index = static_cast<std::uint32_t>(pi);
+    st.seconds = patternTimer.seconds();
+    st.nodeEvals = nodeEvals() - evalsBefore;
+    st.newlyDetected = newly;
+    st.cumulativeDetected = cumulative;
+    st.aliveAfter = aliveCount_;
+    if (sink != nullptr) sink->row(st);
+    if (onPattern) onPattern(st);
+    ++pi;
+  }
+  res.numPatterns = pi;
+
+  res.detectedAtPattern = detectedAt_;
+  res.numDetected = cumulative;
+  res.maxAlive = maxAliveObserved_;
+  res.finalGoodStates.reserve(net_.numNodes());
+  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+    res.finalGoodStates.push_back(table_.good(NodeId(n)));
+  }
+  res.finalRecords = table_.totalRecords();
+  res.potentialDetections = potentialDetections_;
+  res.totalSeconds = total.seconds();
+  res.totalCpuSeconds = res.totalSeconds;
+  res.totalNodeEvals = nodeEvals() - evalsAtStart;
+  return res;
+}
+
+FaultSimResult ConcurrentFaultSimulator::runReplay(
+    RowSink* sink, const std::function<void(const PatternStat&)>& onPattern) {
+  FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  ran_ = true;
+  FMOSSIM_ASSERT(replay_ != nullptr,
+                 "runReplay requires a replay-mode engine (checkpoint given)");
+  FaultSimResult res;
+  res.numFaults = faults_.size();
+  res.numPatterns = replay_->numPatterns();
+  res.droppedDetected = options_.dropDetected;
+
+  Timer total;
+  const std::uint64_t evalsAtStart = nodeEvals();
+  std::uint32_t cumulative = 0;
+  bool earlyExit = false;
+  std::uint64_t patternIndex = 0;
+  const std::uint32_t numSettles = replay_->numSettles();
+
+  // Settle 0 (the initial all-X evaluation) already ran in the constructor.
+  // Each further settle is driven entirely from the trace: position the
+  // reader, apply the settle's recorded input changes exactly as
+  // applySetting would have, then settle (the guard in settleAll skips its
+  // own replayBeginSettle). Pattern boundaries come from the recorded
+  // end-of-pattern bits, so no TestSequence or PatternSource is needed.
+  Timer patternTimer;
+  std::uint64_t evalsBefore = nodeEvals();
+  for (std::uint32_t si = 1; si < numSettles; ++si) {
+    replayBeginSettle();
+    replayEntered_ = true;
+    for (const auto& ch : replayReader_->inputChanges()) {
+      const State old = table_.good(ch.node);
+      table_.setGood(ch.node, ch.value);
+      scheduleSettingSeeds(ch.node, old);
+    }
+    settleAll();
+    if (!replay_->patternEndsAtSettle(si)) continue;
+
+    const std::uint32_t newly = observe(
+        replay_->outputs(), static_cast<std::uint32_t>(patternIndex));
+    cumulative += newly;
+
+    PatternStat st;
+    st.index = static_cast<std::uint32_t>(patternIndex);
+    st.seconds = patternTimer.seconds();
+    st.nodeEvals = nodeEvals() - evalsBefore;
+    st.newlyDetected = newly;
+    st.cumulativeDetected = cumulative;
+    st.aliveAfter = aliveCount_;
+    if (sink != nullptr) sink->row(st);
+    if (onPattern) onPattern(st);
+    ++patternIndex;
+
+    // Same early exit as the materialized replay run: with every circuit
+    // detected and dropped the tail rows are fully determined, so they are
+    // synthesized instead of simulated.
+    if (options_.dropDetected && aliveCount_ == 0 &&
+        patternIndex < res.numPatterns) {
+      for (std::uint64_t rest = patternIndex; rest < res.numPatterns; ++rest) {
+        PatternStat tail;
+        tail.index = static_cast<std::uint32_t>(rest);
+        tail.cumulativeDetected = cumulative;
+        if (sink != nullptr) sink->row(tail);
+        if (onPattern) onPattern(tail);
+      }
+      earlyExit = true;
+      break;
+    }
+    patternTimer.reset();
+    evalsBefore = nodeEvals();
+  }
+
+  res.detectedAtPattern = detectedAt_;
+  res.numDetected = cumulative;
+  res.maxAlive = maxAliveObserved_;
+  if (earlyExit) {
+    res.finalGoodStates = replay_->finalGoodStates();
+  } else {
+    res.finalGoodStates.reserve(net_.numNodes());
+    for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+      res.finalGoodStates.push_back(table_.good(NodeId(n)));
+    }
+  }
+  res.finalRecords = table_.totalRecords();
+  res.potentialDetections = potentialDetections_;
+  res.totalSeconds = total.seconds();
   res.totalCpuSeconds = res.totalSeconds;
   res.totalNodeEvals = nodeEvals() - evalsAtStart;
   return res;

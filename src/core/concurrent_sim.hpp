@@ -44,6 +44,8 @@ namespace fmossim {
 class CheckpointReader;
 class CheckpointRecorder;
 class GoodMachineCheckpoint;
+class PatternSource;
+class RowSink;
 
 /// How output mismatches count as detections.
 enum class DetectionPolicy : std::uint8_t {
@@ -125,6 +127,15 @@ struct FaultSimResult {
   /// run, sharded runs from their first shard), so the differential oracle
   /// can cross-check final states and not just detections.
   std::vector<State> finalGoodStates;
+  /// Number of patterns the run covered. 64-bit: streaming runs leave
+  /// perPattern empty and may exceed the materialized 2^32 row bound; every
+  /// backend fills this (for materialized runs it equals perPattern.size()).
+  std::uint64_t numPatterns = 0;
+  /// Whether the run dropped detected circuits (FsimOptions::dropDetected).
+  /// Together with detectedAtPattern/numFaults/numPatterns this makes the
+  /// per-pattern row triples of a rowless result fully derivable — see
+  /// core/row_sink.hpp (forEachDerivedRow).
+  bool droppedDetected = false;
 
   double coverage() const {
     return numFaults == 0 ? 0.0 : double(numDetected) / double(numFaults);
@@ -167,6 +178,27 @@ class ConcurrentFaultSimulator {
   /// reporting in the benchmark harnesses).
   FaultSimResult run(const TestSequence& seq,
                      const std::function<void(const PatternStat&)>& onPattern);
+
+  /// Streaming run: pulls patterns from `source` one at a time and never
+  /// materializes per-pattern rows — each row goes to `sink` (and
+  /// `onPattern`) as it completes and the result's perPattern stays empty
+  /// (numPatterns/droppedDetected are set instead; see core/row_sink.hpp).
+  /// Resident memory is flat in the sequence length. Not valid in replay
+  /// mode (use runReplay, which needs no sequence at all). When recording a
+  /// checkpoint, the source is consumed exactly once and its fingerprint is
+  /// captured via PatternSource::fingerprint() before the run.
+  FaultSimResult run(PatternSource& source, RowSink* sink = nullptr,
+                     const std::function<void(const PatternStat&)>& onPattern = {});
+
+  /// Replay-mode streaming run: drives the whole sequence from the
+  /// checkpoint's recorded trace (input changes + pattern boundaries), so
+  /// workers need neither a materialized TestSequence nor the PatternSource.
+  /// Requires replay mode. Rows stream to `sink`/`onPattern`; the result is
+  /// rowless like the streaming run() above. Early exit applies as in
+  /// run(): once every circuit is detected and dropped, the remaining rows
+  /// are synthesized.
+  FaultSimResult runReplay(RowSink* sink = nullptr,
+                           const std::function<void(const PatternStat&)>& onPattern = {});
 
   // --- fine-grained control (equivalence tests, examples) -----------------
 
@@ -306,6 +338,10 @@ class ConcurrentFaultSimulator {
   std::unique_ptr<CheckpointReader> replayReader_;  // non-null iff replay_
   std::uint32_t replaySettle_ = 0;  // 1-based after replayBeginSettle
   std::uint32_t replayPhase_ = 0;   // next phase within the current settle
+  // Set when runReplay() already entered the settle (to apply the recorded
+  // input changes it needed the reader positioned first); tells the next
+  // settleAll() to skip its own replayBeginSettle.
+  bool replayEntered_ = false;
 
   StateTable table_;
   std::vector<State> cond0_;  // good-circuit conduction states
@@ -317,6 +353,16 @@ class ConcurrentFaultSimulator {
   std::vector<std::uint8_t> alive_;        // [0..F], alive_[0] unused
   std::vector<std::int32_t> detectedAt_;   // per fault index
   std::vector<std::vector<NodeId>> touched_;  // per circuit: nodes with records
+  // Compaction threshold per circuit: touched_ is append-only on record
+  // insert (erases leave stale entries behind), so a long-lived circuit that
+  // keeps diverging and reconverging would grow it without bound — linear in
+  // the sequence length for never-definitely-detected faults. When the list
+  // reaches the threshold it is deduplicated and filtered to nodes that
+  // still hold a record, and the threshold doubles from the live size:
+  // amortized O(1) per insert, size bounded by the circuit's live records.
+  std::vector<std::uint32_t> touchedCap_;
+  void touchedInsert(CircuitId c, NodeId n);
+  void compactTouched(CircuitId c);
   std::vector<std::uint32_t> watchCount_;  // per node: trigger sources landing here
   // Per node: #divergence records + #stuck overlays. Zero means every faulty
   // circuit agrees with the (pre-phase) good circuit here, which lets the

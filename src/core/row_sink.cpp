@@ -1,0 +1,86 @@
+#include "core/row_sink.hpp"
+
+#include <algorithm>
+
+#include "core/concurrent_sim.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace fmossim {
+
+void MaterializingRowSink::row(const PatternStat& st) { out_->push_back(st); }
+
+AggregatingRowSink::AggregatingRowSink(std::size_t aliveCurveCapacity)
+    : rowChecksum_(kFnvOffsetBasis),
+      capacity_(std::max<std::size_t>(2, aliveCurveCapacity)) {
+  curve_.reserve(capacity_);
+}
+
+void AggregatingRowSink::row(const PatternStat& st) {
+  // The row ordinal, not st.index: PatternStat carries a 32-bit index, and
+  // the sink must stay exact past 2^32 patterns.
+  const std::uint64_t index = patterns_++;
+  totalNewly_ += st.newlyDetected;
+  finalCumulative_ = st.cumulativeDetected;
+  finalAlive_ = st.aliveAfter;
+  fnvMix(rowChecksum_, st.newlyDetected);
+  fnvMix(rowChecksum_, st.cumulativeDetected);
+  fnvMix(rowChecksum_, st.aliveAfter);
+  if (index % stride_ != 0) return;
+  if (curve_.size() == capacity_) {
+    // Reservoir full: double the stride and re-decimate in place.
+    stride_ *= 2;
+    std::size_t w = 0;
+    for (const AlivePoint& pt : curve_) {
+      if (pt.index % stride_ == 0) curve_[w++] = pt;
+    }
+    curve_.resize(w);
+    if (index % stride_ != 0) return;
+  }
+  curve_.push_back({index, st.aliveAfter});
+}
+
+void forEachDerivedRow(
+    const FaultSimResult& res,
+    const std::function<void(std::uint64_t, std::uint32_t, std::uint32_t,
+                             std::uint32_t)>& fn) {
+  // Sorted detection pattern indices; at most numFaults entries, so this is
+  // O(F log F + N) with O(F) memory — never O(N) rows.
+  std::vector<std::uint64_t> at;
+  at.reserve(res.detectedAtPattern.size());
+  for (const std::int32_t a : res.detectedAtPattern) {
+    if (a >= 0) at.push_back(static_cast<std::uint64_t>(a));
+  }
+  std::sort(at.begin(), at.end());
+  std::size_t k = 0;
+  std::uint32_t cumulative = 0;
+  for (std::uint64_t pi = 0; pi < res.numPatterns; ++pi) {
+    std::uint32_t newly = 0;
+    while (k < at.size() && at[k] == pi) {
+      ++k;
+      ++newly;
+    }
+    cumulative += newly;
+    const std::uint32_t alive =
+        res.droppedDetected ? res.numFaults - cumulative : res.numFaults;
+    fn(pi, newly, cumulative, alive);
+  }
+}
+
+void derivePerPattern(FaultSimResult& res) {
+  if (!res.perPattern.empty() || res.numPatterns == 0) return;
+  FMOSSIM_ASSERT(res.numPatterns <= 0xffffffffull,
+                 "derivePerPattern: pattern count exceeds materializable rows");
+  res.perPattern.reserve(static_cast<std::size_t>(res.numPatterns));
+  forEachDerivedRow(res, [&res](std::uint64_t pi, std::uint32_t newly,
+                                std::uint32_t cumulative, std::uint32_t alive) {
+    PatternStat st;
+    st.index = static_cast<std::uint32_t>(pi);
+    st.newlyDetected = newly;
+    st.cumulativeDetected = cumulative;
+    st.aliveAfter = alive;
+    res.perPattern.push_back(st);
+  });
+}
+
+}  // namespace fmossim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/row_sink.hpp"
+#include "patterns/pattern_source.hpp"
 #include "util/strings.hpp"
 
 namespace fmossim {
@@ -108,7 +110,8 @@ FaultSimResult DiffOracle::runBackend(const Network& net,
                                       const FaultList& faults,
                                       const TestSequence& seq, Backend backend,
                                       unsigned jobs, std::uint32_t laneWidth,
-                                      std::string* backendName) const {
+                                      std::string* backendName,
+                                      bool stream) const {
   EngineOptions opts;
   opts.backend = backend;
   opts.sim = options_.sim;
@@ -126,8 +129,15 @@ FaultSimResult DiffOracle::runBackend(const Network& net,
     *backendName = engine.backendName();
     if (*backendName == "sharded") *backendName += format("-%u", jobs);
     if (laneWidth > 1) *backendName += format("-lanes%u", laneWidth);
+    if (stream) *backendName += "-stream";
   }
-  return engine.run(seq);
+  if (!stream) return engine.run(seq);
+  MaterializedPatternSource source(seq);
+  FaultSimResult res = engine.runStream(source);
+  // Native streaming backends return rowless results; materialize the
+  // derived triples so diffResults can compare them row by row.
+  derivePerPattern(res);
+  return res;
 }
 
 std::optional<Divergence> DiffOracle::diverges(const Network& net,
@@ -150,16 +160,34 @@ std::optional<Divergence> DiffOracle::diverges(const Network& net,
       const FaultSimResult got =
           runBackend(net, faults, seq, Backend::Concurrent, jobs, lanes, &name);
       if (auto d = diffResults(faults, ref, got, name)) return d;
-      if (!haveEvals) {
-        haveEvals = true;
-        refEvals = got.totalNodeEvals;
-        refEvalsName = name;
-      } else if (got.totalNodeEvals != refEvals) {
+      const auto checkEvals =
+          [&](const FaultSimResult& r,
+              const std::string& n) -> std::optional<Divergence> {
+        if (!haveEvals) {
+          haveEvals = true;
+          refEvals = r.totalNodeEvals;
+          refEvalsName = n;
+          return std::nullopt;
+        }
+        if (r.totalNodeEvals == refEvals) return std::nullopt;
         return Divergence{
-            name, "totalNodeEvals",
+            n, "totalNodeEvals",
             format("%s=%llu, %s=%llu", refEvalsName.c_str(),
-                   static_cast<unsigned long long>(refEvals), name.c_str(),
-                   static_cast<unsigned long long>(got.totalNodeEvals))};
+                   static_cast<unsigned long long>(refEvals), n.c_str(),
+                   static_cast<unsigned long long>(r.totalNodeEvals))};
+      };
+      if (auto d = checkEvals(got, name)) return d;
+      if (options_.checkStreaming) {
+        // The pull-based pattern path must be bit-identical to the
+        // materialized one — same full diff, same deterministic work
+        // counter (the streamed sharded run's recording + replay evals sum
+        // to an unsharded run's).
+        std::string sname;
+        const FaultSimResult sgot =
+            runBackend(net, faults, seq, Backend::Concurrent, jobs, lanes,
+                       &sname, /*stream=*/true);
+        if (auto d = diffResults(faults, ref, sgot, sname)) return d;
+        if (auto d = checkEvals(sgot, sname)) return d;
       }
     }
   }

@@ -46,6 +46,12 @@ struct OracleOptions {
   /// Bug injector forwarded to the concurrent comparands (never the serial
   /// reference) — the oracle's own mutation test. 0 = off.
   std::uint32_t debugLoseTriggerEvery = 0;
+  /// Also run every concurrent-family comparand through the streaming entry
+  /// (Engine::runStream over a MaterializedPatternSource), derive its rows
+  /// (core/row_sink.hpp) and hold it to the same full diff + totalNodeEvals
+  /// invariant — the property that the pull-based pattern path is
+  /// bit-identical to the materialized one.
+  bool checkStreaming = true;
 };
 
 /// First observed cross-backend mismatch.
@@ -89,12 +95,16 @@ class DiffOracle {
 
  private:
   /// `backendName` (optional out) receives the name of the backend that
-  /// actually ran, suffixed with the jobs count for sharded runs and the
-  /// lane width for laneWidth > 1.
+  /// actually ran, suffixed with the jobs count for sharded runs, the lane
+  /// width for laneWidth > 1 and "-stream" for streaming runs. `stream`
+  /// drives the sequence through Engine::runStream (a
+  /// MaterializedPatternSource over `seq`) and derives the rowless result's
+  /// per-pattern rows so the caller can diff it like a materialized one.
   FaultSimResult runBackend(const Network& net, const FaultList& faults,
                             const TestSequence& seq, Backend backend,
                             unsigned jobs, std::uint32_t laneWidth,
-                            std::string* backendName) const;
+                            std::string* backendName,
+                            bool stream = false) const;
   /// One full serial-vs-all-comparands comparison.
   std::optional<Divergence> diverges(const Network& net,
                                      const FaultList& faults,

@@ -5,21 +5,10 @@
 #include "circuits/cells.hpp"
 #include "faults/universe.hpp"
 #include "switch/builder.hpp"
+#include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace fmossim {
-
-namespace {
-
-State randomDefinite(Rng& rng) {
-  return rng.below(2) == 0 ? State::S0 : State::S1;
-}
-
-State randomInputValue(Rng& rng, double xProbability) {
-  return rng.chance(xProbability) ? State::SX : randomDefinite(rng);
-}
-
-}  // namespace
 
 GenOptions GenOptions::randomized(std::uint64_t seed) {
   // A distinct stream from the structural rng, so option variation and
@@ -45,8 +34,8 @@ GenOptions GenOptions::randomized(std::uint64_t seed) {
   return o;
 }
 
-GeneratedWorkload generateWorkload(const GenOptions& options) {
-  GeneratedWorkload w;
+GeneratedStreamWorkload generateWorkloadStream(const GenOptions& options) {
+  GeneratedStreamWorkload w;
   w.options = options;
   Rng rng(options.seed);
 
@@ -184,40 +173,37 @@ GeneratedWorkload generateWorkload(const GenOptions& options) {
       std::max(1u, std::min(options.numOutputs, numNodes));
   auto outIdx = rng.sampleIndices(numNodes, numOutputs);
   std::sort(outIdx.begin(), outIdx.end());
-  for (const std::uint32_t i : outIdx) w.seq.addOutput(nodes[i]);
+  w.seqConfig.outputs.reserve(numOutputs);
+  for (const std::uint32_t i : outIdx) w.seqConfig.outputs.push_back(nodes[i]);
 
-  // Test sequence. The first setting powers the rails and drives every data
-  // input to a definite value; later settings flip random input subsets.
-  const std::uint32_t numPatterns = std::max(1u, options.numPatterns);
-  for (std::uint32_t p = 0; p < numPatterns; ++p) {
-    Pattern pat;
-    pat.label = "p" + std::to_string(p);
-    const std::uint32_t numSettings =
-        1 + static_cast<std::uint32_t>(
-                rng.below(std::max(1u, options.maxSettingsPerPattern)));
-    for (std::uint32_t s = 0; s < numSettings; ++s) {
-      InputSetting st;
-      if (p == 0 && s == 0) {
-        st.set(rails.vdd, State::S1);
-        st.set(rails.gnd, State::S0);
-        for (const NodeId in : inputs) st.set(in, randomDefinite(rng));
-      } else {
-        for (const NodeId in : inputs) {
-          if (rng.chance(0.4)) {
-            st.set(in, randomInputValue(rng, options.xProbability));
-          }
-        }
-        if (st.assignments.empty()) {
-          // Two sequenced draws: argument evaluation order is unspecified,
-          // and seed reproducibility must not depend on the compiler.
-          const NodeId in = rng.pick(inputs);
-          st.set(in, randomInputValue(rng, options.xProbability));
-        }
-      }
-      pat.settings.push_back(std::move(st));
-    }
-    w.seq.addPattern(std::move(pat));
-  }
+  // Sequence config: the Rng snapshot sits right after the last structural
+  // draw, so GeneratedPatternSource resumes the seed's stream exactly where
+  // the old inline sequence loop did (its rule lives in
+  // patterns/pattern_source.cpp now).
+  w.seqConfig.vdd = rails.vdd;
+  w.seqConfig.gnd = rails.gnd;
+  w.seqConfig.inputs = inputs;
+  w.seqConfig.numPatterns = std::max<std::uint64_t>(1, options.numPatterns);
+  w.seqConfig.maxSettingsPerPattern = options.maxSettingsPerPattern;
+  w.seqConfig.xProbability = options.xProbability;
+  w.seqConfig.rng = rng;
+  return w;
+}
+
+GeneratedWorkload generateWorkload(const GenOptions& options) {
+  GeneratedStreamWorkload s = generateWorkloadStream(options);
+  FMOSSIM_ASSERT(s.seqConfig.numPatterns <= 0xffffffffull,
+                 "numPatterns exceeds a materializable TestSequence; use "
+                 "generateWorkloadStream");
+  GeneratedWorkload w;
+  w.options = s.options;
+  w.net = std::move(s.net);
+  w.faults = std::move(s.faults);
+  w.dataInputs = std::move(s.dataInputs);
+  for (const NodeId out : s.seqConfig.outputs) w.seq.addOutput(out);
+  GeneratedPatternSource source(std::move(s.seqConfig));
+  Pattern p;
+  while (source.next(p)) w.seq.addPattern(Pattern(p));
   return w;
 }
 

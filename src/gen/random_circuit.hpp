@@ -20,6 +20,7 @@
 
 #include "faults/fault.hpp"
 #include "patterns/pattern.hpp"
+#include "patterns/pattern_source.hpp"  // GeneratedSequenceConfig
 #include "switch/network.hpp"
 #include "util/rng.hpp"
 
@@ -59,9 +60,12 @@ struct GenOptions {
   std::uint32_t numShortDevices = 2;  ///< short-circuit fault devices
   std::uint32_t numOpenDevices = 1;   ///< open-circuit fault devices
 
-  std::uint32_t numFaults = 24;    ///< sampled fault-universe size (0 = all)
-  std::uint32_t numOutputs = 3;    ///< observed output nodes
-  std::uint32_t numPatterns = 10;  ///< test patterns
+  std::uint32_t numFaults = 24;  ///< sampled fault-universe size (0 = all)
+  std::uint32_t numOutputs = 3;  ///< observed output nodes
+  /// Test patterns. 64-bit so streamed workloads (generateWorkloadStream)
+  /// can exceed a materializable TestSequence's 2^32 patterns;
+  /// generateWorkload() itself asserts the count fits.
+  std::uint64_t numPatterns = 10;
   std::uint32_t maxSettingsPerPattern = 3;
   double xProbability = 0.05;  ///< chance an assigned input gets X
 
@@ -80,9 +84,32 @@ struct GeneratedWorkload {
   std::vector<NodeId> dataInputs;
 };
 
+/// A generated workload whose test sequence is NOT materialized: instead of
+/// a TestSequence it carries the GeneratedSequenceConfig (Rng snapshot +
+/// sequence knobs) from which a GeneratedPatternSource streams the exact
+/// pattern stream generateWorkload() would have materialized — for any
+/// numPatterns, including counts past 2^32, in O(1) memory.
+struct GeneratedStreamWorkload {
+  GenOptions options;
+  Network net;
+  FaultList faults;
+  /// Feed to GeneratedPatternSource (patterns/pattern_source.hpp).
+  GeneratedSequenceConfig seqConfig;
+  /// Data/clock input nodes the sequence drives (excludes Vdd/Gnd).
+  std::vector<NodeId> dataInputs;
+};
+
 /// Generates the workload for the given options. Deterministic: equal
-/// options (in particular equal seeds) give identical workloads.
+/// options (in particular equal seeds) give identical workloads. The
+/// sequence is materialized through GeneratedPatternSource, so it is
+/// bit-identical to generateWorkloadStream()'s stream by construction;
+/// asserts numPatterns fits a TestSequence (<= 2^32).
 GeneratedWorkload generateWorkload(const GenOptions& options);
+
+/// Streaming twin of generateWorkload(): identical network, fault sample and
+/// output choice (the structural Rng draws are shared), but the sequence is
+/// returned as a config + Rng snapshot instead of being expanded.
+GeneratedStreamWorkload generateWorkloadStream(const GenOptions& options);
 
 /// One-line human description ("seed 17: 14 nodes, 31 transistors, ...").
 std::string describeWorkload(const GeneratedWorkload& w);

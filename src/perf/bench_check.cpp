@@ -12,16 +12,16 @@ namespace fmossim::perf {
 namespace {
 
 std::string rowKey(const BenchRow& row) {
-  return format("%s jobs=%u policy=%s drop=%s lanes=%u", row.backend.c_str(),
+  return format("%s jobs=%u policy=%s drop=%s lanes=%u%s", row.backend.c_str(),
                 row.jobs, row.policy.c_str(), row.dropDetected ? "yes" : "no",
-                row.laneWidth);
+                row.laneWidth, row.streamed ? " streamed" : "");
 }
 
 const BenchRow* findRow(const ScenarioResult& sr, const BenchRow& like) {
   for (const BenchRow& row : sr.rows) {
     if (row.backend == like.backend && row.jobs == like.jobs &&
         row.policy == like.policy && row.dropDetected == like.dropDetected &&
-        row.laneWidth == like.laneWidth) {
+        row.laneWidth == like.laneWidth && row.streamed == like.streamed) {
       return &row;
     }
   }

@@ -218,6 +218,9 @@ std::string toJson(const ScenarioResult& r) {
     out += "\"policy\": \"" + escape(row.policy) + "\", ";
     out += format("\"dropDetected\": %s, ", row.dropDetected ? "true" : "false");
     out += format("\"laneWidth\": %u, ", row.laneWidth);
+    // Additive like laneWidth: emitted only for streaming rows, so
+    // materialized rows — and older baselines — stay byte-compatible.
+    if (row.streamed) out += "\"streamed\": true, ";
     out += "\"medianMs\": " + num(row.medianMs) + ", ";
     out += "\"stddevMs\": " + num(row.stddevMs) + ", ";
     out += format("\"reps\": %u, ", row.reps);
@@ -311,6 +314,8 @@ ScenarioResult parseBenchJson(const std::string& text) {
           else if (rk == "dropDetected") row.dropDetected = p.parseBool();
           // Additive: absent in pre-lane baselines, which parse as scalar.
           else if (rk == "laneWidth") row.laneWidth = static_cast<std::uint32_t>(p.parseNumber());
+          // Additive: absent in pre-streaming baselines (materialized rows).
+          else if (rk == "streamed") row.streamed = p.parseBool();
           else if (rk == "medianMs") row.medianMs = p.parseNumber();
           else if (rk == "stddevMs") row.stddevMs = p.parseNumber();
           else if (rk == "reps") row.reps = static_cast<unsigned>(p.parseNumber());

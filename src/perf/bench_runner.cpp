@@ -5,6 +5,7 @@
 #include <ctime>
 #include <thread>
 
+#include "core/row_sink.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -35,10 +36,22 @@ std::uint64_t resultChecksum(const FaultSimResult& res) {
   for (const std::int32_t at : res.detectedAtPattern) {
     fnvMix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(at)));
   }
-  for (const PatternStat& st : res.perPattern) {
-    fnvMix(h, st.newlyDetected);
-    fnvMix(h, st.cumulativeDetected);
-    fnvMix(h, st.aliveAfter);
+  if (res.perPattern.empty() && res.numPatterns > 0) {
+    // Rowless streaming result: fold the derived triples, which are exactly
+    // what a materialized run would have recorded (see core/row_sink.hpp) —
+    // streamed and materialized checksums therefore compare equal.
+    forEachDerivedRow(res, [&](std::uint64_t, std::uint32_t newly,
+                               std::uint32_t cumulative, std::uint32_t alive) {
+      fnvMix(h, newly);
+      fnvMix(h, cumulative);
+      fnvMix(h, alive);
+    });
+  } else {
+    for (const PatternStat& st : res.perPattern) {
+      fnvMix(h, st.newlyDetected);
+      fnvMix(h, st.cumulativeDetected);
+      fnvMix(h, st.aliveAfter);
+    }
   }
   for (const State s : res.finalGoodStates) {
     fnvMix(h, static_cast<std::uint64_t>(s));
@@ -83,7 +96,9 @@ ScenarioResult BenchRunner::runScenario(
   sr.transistors = w.net.numTransistors();
   sr.nodes = w.net.numNodes();
   sr.faults = w.faults.size();
-  sr.patterns = w.seq.size();
+  sr.patterns = w.streamConfig
+                    ? static_cast<std::uint32_t>(w.streamConfig->numPatterns)
+                    : w.seq.size();
 
   const unsigned warmup = config_.effectiveWarmup();
   const unsigned reps = std::max(1u, config_.effectiveReps());
@@ -110,9 +125,19 @@ ScenarioResult BenchRunner::runScenario(
         spec.policy == DetectionPolicy::AnyDifference ? "any" : "definite";
     row.dropDetected = spec.dropDetected;
     row.laneWidth = spec.laneWidth;
+    row.streamed = w.streamConfig.has_value();
     row.reps = reps;
 
-    for (unsigned i = 0; i < warmup; ++i) engine.run(w.seq);
+    // Streaming scenarios pull every run from one rewindable source (the
+    // engine rewinds it per call); the source's fingerprint cache also keeps
+    // the store-key pass from re-streaming per repetition.
+    std::optional<GeneratedPatternSource> source;
+    if (w.streamConfig) source.emplace(*w.streamConfig);
+    const auto runOnce = [&]() {
+      return source ? engine.runStream(*source) : engine.run(w.seq);
+    };
+
+    for (unsigned i = 0; i < warmup; ++i) runOnce();
 
     std::vector<double> ms;
     ms.reserve(reps);
@@ -120,7 +145,7 @@ ScenarioResult BenchRunner::runScenario(
       // Time the complete repeatable run (fresh session per call), including
       // engine construction and the initial settle — the cost a user pays.
       Timer t;
-      const FaultSimResult res = engine.run(w.seq);
+      const FaultSimResult res = runOnce();
       ms.push_back(t.seconds() * 1e3);
       if (i == 0) {
         row.checksum = resultChecksum(res);

@@ -54,6 +54,11 @@ struct BenchRow {
   std::string policy;   ///< "any" or "definite"
   bool dropDetected = true;  ///< drop faulty circuits once detected
   std::uint32_t laneWidth = 1;  ///< fault-lane sharing window (1 = scalar)
+  /// True when the row ran through Engine::runStream over a pattern source
+  /// (Workload::streamConfig) instead of a materialized sequence. The
+  /// checksum stays comparable either way: resultChecksum folds the derived
+  /// row triples for rowless streaming results.
+  bool streamed = false;
   double medianMs = 0.0;  ///< median wall-clock per full run, milliseconds
   double stddevMs = 0.0;  ///< sample stddev over the repetitions
   unsigned reps = 0;      ///< number of measured repetitions
@@ -124,7 +129,10 @@ void fillHostInfo(ScenarioResult& r);
 /// Checksum of the backend-invariant result fields (the same fields the
 /// differential oracle compares): per-fault detecting patterns, detection
 /// counts, potential detections, per-pattern detection rows, final
-/// good-circuit states. FNV-1a, stable across platforms.
+/// good-circuit states. FNV-1a, stable across platforms. For a rowless
+/// streaming result (perPattern empty, numPatterns > 0) the per-pattern
+/// triples are folded from the derived rows (core/row_sink.hpp), so a
+/// streamed run's checksum equals the materialized run's exactly.
 std::uint64_t resultChecksum(const FaultSimResult& res);
 
 /// Runs the scenario matrix; see the file comment.

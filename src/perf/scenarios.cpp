@@ -192,21 +192,28 @@ Workload buildScenarioWorkload(const std::string& name) {
               {Backend::Concurrent, 4, DetectionPolicy::DefiniteOnly, true}};
     return w;
   }
-  // Huge-sequence scale tracker: the workload class the checkpoint spill
-  // store exists for. A small circuit driven by a 100k-pattern sequence
-  // makes the good-machine trace dwarf the circuit, so the scenario runs
-  // its sharded row against a deliberately small checkpoint budget — the
-  // recording streams to disk and the replay slides a window across it on
-  // every bench run (CI included). The jobs=1 row uses no checkpoint at
-  // all, so equal row checksums prove the spill path bit-exact on every
-  // measurement.
+  // Huge-sequence scale tracker: the workload class the streaming pattern
+  // path and the checkpoint spill store exist for. A small circuit driven by
+  // a million-pattern sequence makes the good-machine trace dwarf the
+  // circuit by orders of magnitude, so the sequence is never materialized —
+  // every row pulls patterns from a GeneratedPatternSource — and the
+  // sharded row records/replays a disk-spilled streamed checkpoint under a
+  // deliberately small budget on every bench run (CI included). The jobs=1
+  // row streams with no checkpoint at all, so equal row checksums prove the
+  // spill + streamed-replay path bit-exact on every measurement.
   if (name == "fuzz_xlarge_seq") {
-    GenOptions gen = fuzzGen(17, 10, 4, 16, 100000);
+    GenOptions gen = fuzzGen(17, 10, 4, 16, 1000000);
     gen.maxSettingsPerPattern = 1;  // bound the settle index, not the trace
-    Workload w = fuzzScenario(name, gen,
-                              "huge-sequence scale tracker: 100k generated "
-                              "patterns; sharded row replays a disk-spilled "
-                              "checkpoint under an 8 MiB budget");
+    GeneratedStreamWorkload g = generateWorkloadStream(gen);
+    Workload w;
+    w.scenario = name;
+    w.description =
+        "huge-sequence scale tracker: 1M generated patterns streamed (never "
+        "materialized); sharded row replays a disk-spilled checkpoint under "
+        "an 8 MiB budget";
+    w.net = std::move(g.net);
+    w.faults = std::move(g.faults);
+    w.streamConfig = std::move(g.seqConfig);
     w.rows = {{Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly, true},
               {Backend::Concurrent, 2, DetectionPolicy::DefiniteOnly, true}};
     w.checkpointBudgetBytes = std::size_t{8} << 20;

@@ -11,6 +11,7 @@
 /// file all refer to the same bytes.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "circuits/ram.hpp"
 #include "faults/fault.hpp"
 #include "patterns/pattern.hpp"
+#include "patterns/pattern_source.hpp"  // GeneratedSequenceConfig
 #include "switch/network.hpp"
 
 /// Reproducible performance harness over the Engine API: scenario registry,
@@ -55,6 +57,11 @@ struct Workload {
   Network net;              ///< the circuit under test
   FaultList faults;         ///< fault universe, global index order
   TestSequence seq;         ///< test patterns + observed outputs
+  /// When set, the scenario's sequence is never materialized: every row runs
+  /// through Engine::runStream over a GeneratedPatternSource built from this
+  /// config (`seq` stays empty), so resident memory is flat in the pattern
+  /// count — the configuration the million-pattern scale tracker uses.
+  std::optional<GeneratedSequenceConfig> streamConfig;
   std::vector<RowSpec> rows;  ///< configurations the harness measures
   /// Memory budget for the scenario's shared checkpoint store: 0 keeps the
   /// good-machine trace in RAM; > 0 spills it to disk and replays through a

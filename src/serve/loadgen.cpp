@@ -164,7 +164,14 @@ LoadGenReport runLoadGen(const LoadGenOptions& options) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       const BuiltWorkload w = buildWorkload(specs[i]);
       Engine engine(w.net, w.faults, specEngineOptions(specs[i]));
-      expected[i] = perf::resultChecksum(engine.run(w.seq));
+      if (w.streamConfig.has_value()) {
+        // Streamed specs never materialize; resultChecksum folds the derived
+        // rows, so this compares equal to the daemon's streamed run.
+        GeneratedPatternSource source(*w.streamConfig);
+        expected[i] = perf::resultChecksum(engine.runStream(source));
+      } else {
+        expected[i] = perf::resultChecksum(engine.run(w.seq));
+      }
     }
   }
 
@@ -288,7 +295,9 @@ LoadGenReport runLoadGen(const LoadGenOptions& options) {
       sr.transistors = w0.net.numTransistors();
       sr.nodes = w0.net.numNodes();
       sr.faults = w0.faults.size();
-      sr.patterns = w0.seq.size();
+      sr.patterns = w0.streamConfig.has_value()
+                        ? static_cast<std::uint32_t>(w0.streamConfig->numPatterns)
+                        : w0.seq.size();
     }
     perf::BenchRow row;
     row.backend = "serve";

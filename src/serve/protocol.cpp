@@ -70,6 +70,7 @@ JsonValue WorkloadSpec::toJson() const {
     if (numInputs != 0) v.set("inputs", JsonValue::makeU64(numInputs));
     if (numFaults != 0) v.set("faults", JsonValue::makeU64(numFaults));
     if (numPatterns != 0) v.set("patterns", JsonValue::makeU64(numPatterns));
+    if (stream) v.set("stream", JsonValue::makeBool(true));
   }
   v.set("jobs", JsonValue::makeU64(jobs));
   if (laneWidth != 1) v.set("laneWidth", JsonValue::makeU64(laneWidth));
@@ -94,7 +95,15 @@ WorkloadSpec WorkloadSpec::fromJson(const JsonValue& v) {
     spec.numNodes = static_cast<std::uint32_t>(v.u64Or("nodes", 0));
     spec.numInputs = static_cast<std::uint32_t>(v.u64Or("inputs", 0));
     spec.numFaults = static_cast<std::uint32_t>(v.u64Or("faults", 0));
-    spec.numPatterns = static_cast<std::uint32_t>(v.u64Or("patterns", 0));
+    spec.numPatterns = v.u64Or("patterns", 0);
+    spec.stream = v.boolOr("stream", false);
+    if (spec.stream && spec.seqSeed != 0) {
+      throw Error("workload: stream is incompatible with seqSeed (derived "
+                  "sequences are materialized)");
+    }
+    if (!spec.stream && spec.numPatterns > 0xffffffffull) {
+      throw Error("workload: more than 2^32 patterns requires stream=true");
+    }
   } else {
     throw Error("workload: unknown kind '" + kind + "' (want gen or inline)");
   }
@@ -125,13 +134,29 @@ BuiltWorkload buildWorkload(const WorkloadSpec& spec) {
     if (spec.numInputs != 0) gen.numInputs = spec.numInputs;
     if (spec.numFaults != 0) gen.numFaults = spec.numFaults;
     if (spec.numPatterns != 0) gen.numPatterns = spec.numPatterns;
-    GeneratedWorkload w = generateWorkload(gen);
-    out.seq = spec.seqSeed == 0 ? w.seq : deriveSequence(w, spec.seqSeed);
-    out.net = std::move(w.net);
-    out.faults = std::move(w.faults);
+    if (spec.stream) {
+      if (spec.seqSeed != 0) {
+        throw Error("workload: stream is incompatible with seqSeed (derived "
+                    "sequences are materialized)");
+      }
+      GeneratedStreamWorkload w = generateWorkloadStream(gen);
+      out.streamConfig = std::move(w.seqConfig);
+      out.net = std::move(w.net);
+      out.faults = std::move(w.faults);
+    } else {
+      if (gen.numPatterns > 0xffffffffull) {
+        throw Error("workload: more than 2^32 patterns requires stream=true");
+      }
+      GeneratedWorkload w = generateWorkload(gen);
+      out.seq = spec.seqSeed == 0 ? w.seq : deriveSequence(w, spec.seqSeed);
+      out.net = std::move(w.net);
+      out.faults = std::move(w.faults);
+    }
   }
   if (out.faults.empty()) throw Error("workload: empty fault list");
-  if (out.seq.empty()) throw Error("workload: empty test sequence");
+  if (out.seq.empty() && !out.streamConfig.has_value()) {
+    throw Error("workload: empty test sequence");
+  }
   return out;
 }
 

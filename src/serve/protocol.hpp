@@ -25,9 +25,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "api/engine.hpp"
+#include "patterns/pattern_source.hpp"  // GeneratedSequenceConfig
 #include "serve/json.hpp"
 
 namespace fmossim::serve {
@@ -43,10 +45,19 @@ struct WorkloadSpec {
   /// random sequence over the same circuit's inputs (the "K sequences per
   /// circuit" axis of mixed-tenant traffic).
   std::uint64_t seqSeed = 0;
-  std::uint32_t numNodes = 0;     ///< 0 = generator default
-  std::uint32_t numInputs = 0;    ///< 0 = generator default
-  std::uint32_t numFaults = 0;    ///< 0 = generator default
-  std::uint32_t numPatterns = 0;  ///< 0 = generator default
+  std::uint32_t numNodes = 0;   ///< 0 = generator default
+  std::uint32_t numInputs = 0;  ///< 0 = generator default
+  std::uint32_t numFaults = 0;  ///< 0 = generator default
+  /// 0 = generator default. 64-bit: streamed gen workloads (stream=true)
+  /// accept counts past a materializable sequence's 2^32 patterns.
+  std::uint64_t numPatterns = 0;
+  /// Gen kind only: expand the workload's sequence as a pattern *source*
+  /// (GeneratedSequenceConfig) instead of materializing it — the server runs
+  /// the job through Engine::runStream with flat resident memory, so
+  /// unbounded numPatterns stays serviceable. Incompatible with seqSeed
+  /// (derived sequences are materialized by construction) and with the
+  /// inline kind.
+  bool stream = false;
 
   /// Inline kind: non-empty netlist selects it; the three texts are the
   /// formats of sim_format.hpp, sequence_io.hpp and fault_spec.hpp.
@@ -69,11 +80,15 @@ struct WorkloadSpec {
   static WorkloadSpec fromJson(const JsonValue& v);
 };
 
-/// A fully expanded workload, ready for Engine construction.
+/// A fully expanded workload, ready for Engine construction. For streamed
+/// specs (WorkloadSpec::stream) `seq` stays empty and `streamConfig` carries
+/// the pattern source; run it via Engine::runStream over a
+/// GeneratedPatternSource.
 struct BuiltWorkload {
   Network net;
   FaultList faults;
   TestSequence seq;
+  std::optional<GeneratedSequenceConfig> streamConfig;
 };
 
 /// Expands a spec deterministically: equal specs produce bit-identical

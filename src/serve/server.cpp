@@ -118,12 +118,21 @@ void Server::execute(const std::shared_ptr<Job>& job) {
     // The engine's per-pattern callback is the cancellation point. For the
     // sharded backend it fires after the merge (per merged pattern), which
     // is still bounded; a cancel observed mid-run abandons the job.
-    const FaultSimResult res = lease.engine->run(
-        w.seq, [&job](const PatternStat&) {
-          if (job->cancelRequested.load(std::memory_order_relaxed)) {
-            throw CancelledRun{};
-          }
-        });
+    const auto cancelPoint = [&job](const PatternStat&) {
+      if (job->cancelRequested.load(std::memory_order_relaxed)) {
+        throw CancelledRun{};
+      }
+    };
+    FaultSimResult res;
+    if (w.streamConfig.has_value()) {
+      // Streamed spec: pull patterns from the generator source; the result
+      // is rowless and resultChecksum folds its derived rows, so the
+      // reported checksum equals a materialized run's.
+      GeneratedPatternSource source(*w.streamConfig);
+      res = lease.engine->runStream(source, nullptr, cancelPoint);
+    } else {
+      res = lease.engine->run(w.seq, cancelPoint);
+    }
     result.wallSeconds = timer.seconds();
     result.checksum = perf::resultChecksum(res);
     result.numFaults = static_cast<std::uint32_t>(res.numFaults);

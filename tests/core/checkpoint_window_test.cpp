@@ -1,0 +1,163 @@
+// Sliding-window eviction boundaries of the spilled checkpoint store:
+// a window budget exactly at a chunk edge, the single-chunk floor, and
+// re-pinning a chunk after the window evicted it. Each case must replay
+// content-identically to an unbounded in-memory recording — eviction is
+// purely a residency concern, never a correctness one.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "core/concurrent_sim.hpp"
+#include "gen/random_circuit.hpp"
+
+namespace fmossim {
+namespace {
+
+GeneratedWorkload windowWorkload() {
+  GenOptions gen;
+  gen.seed = 31;
+  gen.numNodes = 24;
+  gen.numInputs = 6;
+  gen.numFaults = 36;
+  gen.numPatterns = 300;
+  return generateWorkload(gen);
+}
+
+/// Compares every settle a reader over `spilled` yields against the direct
+/// in-memory accessors of `mem` — the full trace content, not just results.
+void expectSameSettle(const GoodMachineCheckpoint& mem, CheckpointReader& rd,
+                      std::uint32_t si) {
+  const GoodMachineCheckpoint::Settle& s = mem.settle(si);
+  rd.enterSettle(si);
+  ASSERT_EQ(rd.phaseCount(), s.phaseCount) << "settle " << si;
+
+  const auto inputs = rd.inputChanges();
+  const auto wantInputs = mem.inputChanges(s);
+  ASSERT_EQ(inputs.size(), wantInputs.size()) << "settle " << si;
+  for (std::size_t i = 0; i < wantInputs.size(); ++i) {
+    EXPECT_EQ(inputs[i].node, wantInputs[i].node);
+    EXPECT_EQ(inputs[i].value, wantInputs[i].value);
+  }
+
+  for (std::uint32_t k = 0; k < s.phaseCount; ++k) {
+    const GoodMachineCheckpoint::Phase& p = mem.phase(s.phaseOff + k);
+    const auto vics = rd.vicinities(k);
+    const auto wantVics = mem.vicinities(p);
+    ASSERT_EQ(vics.size(), wantVics.size())
+        << "settle " << si << " phase " << k;
+    for (std::size_t v = 0; v < wantVics.size(); ++v) {
+      const auto members = rd.members(vics[v]);
+      const auto wantMembers = mem.members(wantVics[v]);
+      ASSERT_EQ(std::vector<NodeId>(members.begin(), members.end()),
+                std::vector<NodeId>(wantMembers.begin(), wantMembers.end()))
+          << "settle " << si << " phase " << k << " vicinity " << v;
+    }
+    const auto changes = rd.changes(k);
+    const auto wantChanges = mem.changes(p);
+    ASSERT_EQ(changes.size(), wantChanges.size())
+        << "settle " << si << " phase " << k;
+    for (std::size_t c = 0; c < wantChanges.size(); ++c) {
+      EXPECT_EQ(changes[c].node, wantChanges[c].node);
+      EXPECT_EQ(changes[c].value, wantChanges[c].value);
+    }
+  }
+}
+
+struct WindowFixture : ::testing::Test {
+  void SetUp() override {
+    w = windowWorkload();
+    mem = GoodMachineCheckpoint::record(w.net, w.seq, opts);
+    ASSERT_FALSE(mem.spilled());
+  }
+
+  /// Records with `budget` and asserts the spill path engaged with the same
+  /// deterministic chunking as any other sub-32-KiB budget (the chunk
+  /// target clamps to its floor there, so chunk layout is budget-invariant).
+  GoodMachineCheckpoint spill(std::size_t budget) {
+    GoodMachineCheckpoint ck =
+        GoodMachineCheckpoint::record(w.net, w.seq, opts, budget);
+    EXPECT_TRUE(ck.spilled());
+    EXPECT_GT(ck.spillChunkCount(), 2u)
+        << "workload too small to exercise eviction";
+    EXPECT_EQ(ck.seqFingerprint(), mem.seqFingerprint());
+    EXPECT_EQ(ck.numSettles(), mem.numSettles());
+    EXPECT_EQ(ck.finalGoodStates(), mem.finalGoodStates());
+    return ck;
+  }
+
+  GeneratedWorkload w;
+  FsimOptions opts;
+  GoodMachineCheckpoint mem;
+};
+
+// Budget below the window floor: the window is clamped to exactly one
+// decodable chunk (maxChunkBytes), so every cross-chunk step evicts — and
+// the full trace content must still come back bit-identically.
+TEST_F(WindowFixture, SingleChunkWindowYieldsFullTrace) {
+  GoodMachineCheckpoint ck = spill(1);
+  EXPECT_EQ(ck.windowBudgetBytes(), ck.maxChunkBytes());
+  CheckpointReader rd(ck);
+  for (std::uint32_t si = 0; si < mem.numSettles(); ++si) {
+    expectSameSettle(mem, rd, si);
+  }
+}
+
+// Budget exactly at a chunk edge: fixed footprint + exactly one max-sized
+// chunk. The window budget lands exactly on maxChunkBytes (no slack for a
+// second chunk), the boundary where an off-by-one in eviction accounting
+// would either thrash or overrun the budget.
+TEST_F(WindowFixture, BudgetExactlyAtChunkEdge) {
+  // Self-calibrating: right after recording no decoded chunks are resident,
+  // so memoryBytes() is exactly the fixed (non-window) footprint. Iterate
+  // budget -> fixed(budget) + maxChunk(budget) to the fixed point where the
+  // budget sits exactly one max-sized chunk above the fixed footprint — the
+  // boundary where an off-by-one in window accounting would either evict
+  // the only decodable chunk or overrun the budget.
+  std::size_t budget = std::size_t{48} << 10;
+  GoodMachineCheckpoint ck = spill(budget);
+  bool converged = false;
+  for (int i = 0; i < 10 && !converged; ++i) {
+    const std::size_t edge = ck.memoryBytes() + ck.maxChunkBytes();
+    converged = edge == budget;
+    if (!converged) {
+      budget = edge;
+      ck = spill(budget);
+    }
+  }
+  ASSERT_TRUE(converged) << "fixed footprint did not stabilize";
+  EXPECT_EQ(ck.windowBudgetBytes(), ck.maxChunkBytes());
+
+  ConcurrentFaultSimulator plain(w.net, w.faults, opts);
+  const FaultSimResult ref = plain.run(w.seq);
+  ConcurrentFaultSimulator replaying(w.net, w.faults, opts, nullptr, &ck);
+  const FaultSimResult got = replaying.run(w.seq);
+  EXPECT_EQ(got.detectedAtPattern, ref.detectedAtPattern);
+  EXPECT_EQ(got.finalGoodStates, ref.finalGoodStates);
+  EXPECT_EQ(ck.totalGoodEvals() + got.totalNodeEvals, ref.totalNodeEvals);
+  EXPECT_LE(ck.memoryBytes(), budget) << "resident after a full replay";
+}
+
+// Re-pin after eviction: walk the whole trace forward (sliding the
+// single-chunk window off chunk 0), then seek back to settle 0 — the
+// evicted chunk must reload with identical content, repeatedly.
+TEST_F(WindowFixture, RePinAfterEvictionReloadsIdenticalContent) {
+  GoodMachineCheckpoint ck = spill(1);
+  CheckpointReader rd(ck);
+  const std::uint32_t last = mem.numSettles() - 1;
+  for (int round = 0; round < 2; ++round) {
+    expectSameSettle(mem, rd, 0);
+    expectSameSettle(mem, rd, mem.numSettles() / 2);
+    expectSameSettle(mem, rd, last);
+  }
+  // Two concurrent readers at opposite ends of the file keep forcing each
+  // other's chunks out of a one-chunk window; both must stay correct.
+  CheckpointReader a(ck), b(ck);
+  for (int round = 0; round < 2; ++round) {
+    expectSameSettle(mem, a, 0);
+    expectSameSettle(mem, b, last);
+    expectSameSettle(mem, a, 1);
+    expectSameSettle(mem, b, last - 1);
+  }
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "circuits/cells.hpp"
 #include "switch/builder.hpp"
 
@@ -215,6 +217,149 @@ TEST(SequenceIoTest, ParseRejectsMultiTokenPatternLabels) {
   // rejecting what the writer may not emit.
   EXPECT_THROW(parseSequence(net, "outputs out\npattern a b\nset in=1\n"),
                Error);
+}
+
+// --- 64-bit `patterns N` declared counts ------------------------------------
+//
+// The count directive is 64-bit end to end: a sequence file can declare more
+// than 2^32 patterns (only the streaming reader can actually consume such a
+// file; parseSequence would fail its count check long before materializing).
+// Strict parse: digits only, 64-bit overflow rejected, no stoul truncation.
+
+TEST(SequenceIoTest, DeclaredCountIsCheckedAgainstContents) {
+  const Network net = makeNet();
+  const TestSequence seq = parseSequence(net,
+                                         "outputs out\n"
+                                         "patterns 2\n"
+                                         "pattern\n  set in=1\n"
+                                         "pattern\n  set in=0\n");
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_THROW(parseSequence(net,
+                             "outputs out\npatterns 3\n"
+                             "pattern\n  set in=1\n"),
+               Error);
+  // duplicate directive
+  EXPECT_THROW(parseSequence(net,
+                             "outputs out\npatterns 1\npatterns 1\n"
+                             "pattern\n  set in=1\n"),
+               Error);
+}
+
+TEST(SequenceIoTest, CountPast32BitsIsCarriedNotTruncated) {
+  const Network net = makeNet();
+  // 2^32 + 2 would silently truncate to 2 under a 32-bit count — the
+  // declared/actual mismatch must report the full 64-bit value instead of
+  // accepting the file.
+  try {
+    parseSequence(net,
+                  "outputs out\npatterns 4294967298\n"
+                  "pattern\n  set in=1\npattern\n  set in=0\n");
+    FAIL() << "expected a declared-count mismatch";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("4294967298"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SequenceIoTest, CountParseIsStrict) {
+  const Network net = makeNet();
+  const char* tail = "pattern\n  set in=1\n";
+  for (const char* bad :
+       {"patterns 12abc\n", "patterns -1\n", "patterns\n",
+        "patterns 1 2\n",
+        // one past 2^64 - 1, and a wildly longer digit string
+        "patterns 18446744073709551616\n",
+        "patterns 99999999999999999999999\n"}) {
+    EXPECT_THROW(
+        parseSequence(net, std::string("outputs out\n") + bad + tail), Error)
+        << bad;
+  }
+  // The exact 64-bit maximum itself parses (and then mismatches the actual
+  // pattern count, proving it survived undamaged).
+  try {
+    parseSequence(net,
+                  "outputs out\npatterns 18446744073709551615\n"
+                  "pattern\n  set in=1\n");
+    FAIL() << "expected a declared-count mismatch";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("18446744073709551615"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --- streaming reader/writer -------------------------------------------------
+
+TEST(SequenceIoTest, StreamReaderYieldsWhatParseSequenceBuilds) {
+  const Network net = makeNet();
+  const std::string text =
+      "outputs out inv\n"
+      "patterns 3\n"
+      "pattern p0\n  set Vdd=1 Gnd=0 in=0 clk=1\n  set clk=0\n"
+      "pattern\n  set in=X\n"
+      "pattern p2\n  set in=1 clk=1\n";
+  const TestSequence want = parseSequence(net, text);
+
+  std::istringstream in(text);
+  SequenceStreamReader reader(net, in);
+  EXPECT_EQ(reader.outputs(), want.outputs());
+  ASSERT_TRUE(reader.declaredPatterns().has_value());
+  EXPECT_EQ(*reader.declaredPatterns(), 3u);
+  TestSequence got;
+  got.setOutputs(reader.outputs());
+  Pattern p;
+  while (reader.next(p)) got.addPattern(Pattern(p));
+  EXPECT_TRUE(equivalent(want, got));
+}
+
+TEST(SequenceIoTest, StreamReaderEnforcesDeclaredCount) {
+  const Network net = makeNet();
+  // Fewer patterns than declared: the shortfall surfaces at end of stream.
+  {
+    std::istringstream in("outputs out\npatterns 2\npattern\n  set in=1\n");
+    SequenceStreamReader reader(net, in);
+    Pattern p;
+    ASSERT_TRUE(reader.next(p));
+    EXPECT_THROW(reader.next(p), Error);
+  }
+  // More patterns than declared: rejected at the excess pattern, so a
+  // streaming consumer never reads past the contract.
+  {
+    std::istringstream in(
+        "outputs out\npatterns 1\n"
+        "pattern\n  set in=1\npattern\n  set in=0\n");
+    SequenceStreamReader reader(net, in);
+    Pattern p;
+    ASSERT_TRUE(reader.next(p));
+    EXPECT_THROW(reader.next(p), Error);
+  }
+}
+
+TEST(SequenceIoTest, StreamWriterEnforcesDeclaredCount) {
+  const Network net = makeNet();
+  const NodeId in = net.nodeByName("in");
+  const NodeId out = net.nodeByName("out");
+  Pattern p;
+  InputSetting s;
+  s.set(in, State::S1);
+  p.settings.push_back(s);
+
+  // The header carries the full 64-bit declared count.
+  {
+    std::ostringstream text;
+    SequenceStreamWriter writer(net, text, {out}, 4294967298ull);
+    writer.write(p);
+    EXPECT_NE(text.str().find("patterns 4294967298"), std::string::npos);
+    EXPECT_THROW(writer.finish(), Error);  // wrote 1 of 4294967298
+  }
+  // Writing past the declared count is rejected at the excess write.
+  {
+    std::ostringstream text;
+    SequenceStreamWriter writer(net, text, {out}, 1);
+    writer.write(p);
+    EXPECT_THROW(writer.write(p), Error);
+    writer.finish();
+  }
 }
 
 }  // namespace

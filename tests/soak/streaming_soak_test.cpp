@@ -1,0 +1,97 @@
+// Million-pattern streaming soak (nightly tier; ctest label "soak").
+//
+// Gated on FMOSSIM_SOAK=1 — without it the test skips immediately, so tier-1
+// runs stay fast. The nightly CI job runs `FMOSSIM_SOAK=1 ctest -L soak`.
+//
+// What it proves, in order:
+//   1. A 1,000,000-pattern generator-backed campaign runs end to end through
+//      Engine::runStream — single-engine and sharded under an 8 MiB
+//      checkpoint budget — with resident memory flat in the sequence length
+//      (getrusage maxrss delta bounded, measured BEFORE anything
+//      materializes; maxrss is monotonic, so the order is load-bearing).
+//   2. The streamed results are bit-identical (resultChecksum) to each other
+//      and to a fully materialized run of the same 1M-pattern sequence.
+#include <gtest/gtest.h>
+#include <sys/resource.h>
+
+#include <cstdlib>
+
+#include "api/engine.hpp"
+#include "core/row_sink.hpp"
+#include "gen/random_circuit.hpp"
+#include "patterns/pattern_source.hpp"
+#include "perf/bench_runner.hpp"
+
+namespace fmossim {
+namespace {
+
+long maxRssKb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+TEST(StreamingSoakTest, MillionPatternsFlatMemoryBitIdentical) {
+  if (std::getenv("FMOSSIM_SOAK") == nullptr) {
+    GTEST_SKIP() << "set FMOSSIM_SOAK=1 to run the 1M-pattern soak";
+  }
+
+  GenOptions gen;
+  gen.seed = 101;
+  gen.numNodes = 20;
+  gen.numInputs = 5;
+  gen.numFaults = 24;
+  gen.numPatterns = 1000000;
+  gen.maxSettingsPerPattern = 1;
+  GeneratedStreamWorkload w = generateWorkloadStream(gen);
+
+  const long baseKb = maxRssKb();
+
+  // Single-engine streamed run, rows aggregated on the fly.
+  std::uint64_t streamedChecksum = 0;
+  std::uint64_t streamedDetected = 0;
+  {
+    Engine engine(w.net, w.faults, EngineOptions{});
+    GeneratedPatternSource source(w.seqConfig);
+    AggregatingRowSink sink;
+    const FaultSimResult res = engine.runStream(source, &sink);
+    streamedChecksum = perf::resultChecksum(res);
+    streamedDetected = res.numDetected;
+    EXPECT_TRUE(res.perPattern.empty()) << "streamed run materialized rows";
+    EXPECT_EQ(res.numPatterns, gen.numPatterns);
+    EXPECT_EQ(sink.patterns(), gen.numPatterns);
+    EXPECT_EQ(sink.finalCumulativeDetected(), res.numDetected);
+  }
+
+  // Sharded streamed run: trace-driven replay from a disk-spilled
+  // checkpoint under the 8 MiB budget.
+  std::uint64_t shardedChecksum = 0;
+  {
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.checkpointBudgetBytes = std::size_t{8} << 20;
+    Engine engine(w.net, w.faults, opts);
+    GeneratedPatternSource source(w.seqConfig);
+    shardedChecksum = perf::resultChecksum(engine.runStream(source));
+  }
+
+  // The memory assertion comes before anything materializes: past this
+  // point maxrss can only grow, so the streamed paths are what it measured.
+  const long streamedDeltaKb = maxRssKb() - baseKb;
+  EXPECT_LT(streamedDeltaKb, 64L * 1024)
+      << "streaming resident memory grew with the sequence length";
+  EXPECT_EQ(shardedChecksum, streamedChecksum)
+      << "sharded streamed run diverged from the single-engine streamed run";
+
+  // Materialized reference over the identical sequence (memory-heavy by
+  // design — it exists to prove the streamed results bit-exact).
+  const GeneratedWorkload m = generateWorkload(gen);
+  Engine engine(m.net, m.faults, EngineOptions{});
+  const FaultSimResult ref = engine.run(m.seq);
+  EXPECT_EQ(perf::resultChecksum(ref), streamedChecksum)
+      << "streamed run diverged from the materialized run";
+  EXPECT_EQ(ref.numDetected, streamedDetected);
+}
+
+}  // namespace
+}  // namespace fmossim
