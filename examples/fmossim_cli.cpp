@@ -54,8 +54,10 @@
 #include "api/engine.hpp"
 #include "core/estimator.hpp"
 #include "faults/fault_spec.hpp"
+#include "faults/transient.hpp"
 #include "gen/diff_oracle.hpp"
 #include "gen/random_circuit.hpp"
+#include "gen/transient_gen.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/gate_expand.hpp"
 #include "netlist/sim_format.hpp"
@@ -63,6 +65,7 @@
 #include "perf/bench_check.hpp"
 #include "perf/bench_json.hpp"
 #include "perf/bench_runner.hpp"
+#include "seu/seu_campaign.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "serve/transport.hpp"
@@ -105,6 +108,9 @@ void printUsage(std::FILE* to, const char* argv0) {
                "       %s loadgen (--socket PATH | --inproc)   service load "
                "generator\n"
                "                            (see %s loadgen --help)\n"
+               "       %s seu ...           transient-fault (SEU) grading "
+               "campaign\n"
+               "                            (see %s seu --help)\n"
                "       %s --help            this summary\n"
                "\n"
                "subcommands:\n"
@@ -123,9 +129,13 @@ void printUsage(std::FILE* to, const char* argv0) {
                "  loadgen zipf-skewed mixed-tenant replay against a daemon, "
                "verifying every\n"
                "          response against a direct engine run; --json writes "
-               "BENCH_serve_mixed.json\n",
+               "BENCH_serve_mixed.json\n"
+               "  seu     transient-fault grading: bit-flips at chosen "
+               "instants, classified\n"
+               "          detected/silent/latent by replaying checkpointed "
+               "good-machine tails\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-               argv0);
+               argv0, argv0, argv0);
 }
 
 int usage(const char* argv0) {
@@ -761,6 +771,194 @@ int runLoadgen(int argc, char** argv) {
   return 0;
 }
 
+int seuUsage(std::FILE* to, const char* argv0) {
+  std::fprintf(
+      to,
+      "usage: %s seu (--sim FILE | --bench FILE | --demo) --seq FILE\n"
+      "              (--inject FILE     transient campaign spec\n"
+      "                                 (flip <node> @ <pattern> [pulse <d>])\n"
+      "               | --gen N         generate N seeded injections)\n"
+      "              [--seed S          generation seed (default 1)]\n"
+      "              [--instants K      cluster generated injections onto at\n"
+      "                                 most K distinct instants (default 0 =\n"
+      "                                 unclustered; clustering shares replay\n"
+      "                                 tails between same-instant strikes)]\n"
+      "              [--jobs N          worker threads over injection groups]\n"
+      "              [--lane-width N    word-lane batching within a group\n"
+      "                                 (power of two in [1, 32])]\n"
+      "              [--policy any|definite (default: definite)]\n"
+      "              [--naive           from-scratch baseline: one full\n"
+      "                                 sequence simulation per injection,\n"
+      "                                 no checkpoint]\n"
+      "              [--verify          run BOTH modes and fail (exit 1)\n"
+      "                                 unless results are bit-identical]\n"
+      "              [--checkpoint-budget SIZE  good-machine trace budget\n"
+      "                                 (bytes, k/m/g; 0 = unbounded)]\n"
+      "              [--quiet]\n"
+      "Grades each transient as detected (output mismatch), latent (state\n"
+      "still differs at end of sequence) or silent (reconverged). The good\n"
+      "machine is recorded once; injections grouped by instant replay only\n"
+      "the tail after their strike. Deterministic for fixed inputs across\n"
+      "--jobs and --lane-width.\n",
+      argv0);
+  return to == stderr ? 2 : 0;
+}
+
+int runSeu(int argc, char** argv) {
+  std::optional<std::string> simFile, benchFile, seqFile, injectFile;
+  std::optional<std::uint32_t> genCount;
+  std::uint64_t seed = 1;
+  std::uint32_t instants = 0;
+  bool demo = false, naive = false, verify = false, quiet = false;
+  seu::CampaignOptions opts;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") return seuUsage(stdout, argv[0]);
+    else if (arg == "--sim") simFile = next();
+    else if (arg == "--bench") benchFile = next();
+    else if (arg == "--seq") seqFile = next();
+    else if (arg == "--demo") demo = true;
+    else if (arg == "--inject") injectFile = next();
+    else if (arg == "--gen") {
+      genCount = parsePositiveCount(next(), "--gen",
+                                    std::numeric_limits<std::uint32_t>::max());
+    } else if (arg == "--seed") {
+      const char* text = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long v = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+        std::fprintf(stderr, "invalid number '%s' for --seed\n", text);
+        return 2;
+      }
+      seed = v;
+    } else if (arg == "--instants") {
+      instants = parsePositiveCount(next(), "--instants",
+                                    std::numeric_limits<std::uint32_t>::max());
+    } else if (arg == "--jobs") {
+      opts.jobs = parsePositiveCount(next(), "--jobs", 1u << 16);
+    } else if (arg == "--lane-width") {
+      opts.laneWidth = parseLaneWidth(next(), "--lane-width");
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "any") opts.policy = DetectionPolicy::AnyDifference;
+      else if (p == "definite") opts.policy = DetectionPolicy::DefiniteOnly;
+      else return seuUsage(stderr, argv[0]);
+    } else if (arg == "--naive") naive = true;
+    else if (arg == "--verify") verify = true;
+    else if (arg == "--checkpoint-budget") {
+      opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
+    } else if (arg == "--quiet") quiet = true;
+    else return seuUsage(stderr, argv[0]);
+  }
+  if (!demo && !simFile && !benchFile) return seuUsage(stderr, argv[0]);
+  if (!demo && !seqFile) return seuUsage(stderr, argv[0]);
+  if (injectFile.has_value() == genCount.has_value()) {
+    std::fprintf(stderr,
+                 "seu: exactly one of --inject FILE or --gen N is required\n");
+    return 2;
+  }
+
+  // Malformed inputs (netlist, sequence, campaign spec) are invalid
+  // invocations: exit 2, mirroring the main driver.
+  Network net;
+  TestSequence seq;
+  TransientList campaign;
+  try {
+    if (demo) {
+      net = parseSimNetlist(kDemoNetlist);
+      seq = parseSequence(net, kDemoSequence);
+    } else {
+      if (simFile) net = loadSimFile(*simFile);
+      else net = expandToCmos(loadBenchFile(*benchFile)).net;
+      seq = loadSequenceFile(net, *seqFile);
+    }
+    if (injectFile) {
+      campaign = loadTransientSpecFile(net, *injectFile);
+    } else {
+      SeuGenOptions g;
+      g.seed = seed;
+      g.numInjections = *genCount;
+      g.numPatterns = seq.size();
+      g.maxInstants = instants;
+      campaign = generateSeuCampaign(net, g);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  if (!quiet) {
+    std::printf("network: %u transistors, %u nodes (%u inputs); sequence: %u "
+                "patterns\n",
+                net.numTransistors(), net.numNodes(), net.numInputs(),
+                seq.size());
+    std::printf("campaign: %zu injection(s)%s\n", campaign.size(),
+                genCount ? format(" (generated, seed %llu)",
+                                  static_cast<unsigned long long>(seed))
+                               .c_str()
+                         : "");
+  }
+
+  try {
+    opts.naive = naive;
+    const seu::CampaignResult res = runSeuCampaign(net, seq, campaign, opts);
+
+    if (verify) {
+      seu::CampaignOptions other = opts;
+      other.naive = !naive;
+      const seu::CampaignResult ref = runSeuCampaign(net, seq, campaign, other);
+      if (ref.checksum() != res.checksum()) {
+        std::fprintf(stderr,
+                     "seu --verify: MISMATCH — %s=0x%016llx vs %s=0x%016llx\n",
+                     naive ? "naive" : "replay",
+                     static_cast<unsigned long long>(res.checksum()),
+                     naive ? "replay" : "naive",
+                     static_cast<unsigned long long>(ref.checksum()));
+        return 1;
+      }
+      if (!quiet) {
+        std::printf("verify: replay and naive campaigns bit-identical\n");
+      }
+    }
+
+    if (!quiet) {
+      std::printf("\n%-28s %-9s %s\n", "injection", "outcome", "detected at");
+      for (const seu::InjectionResult& r : res.injections) {
+        if (r.detectedAtPattern >= 0) {
+          std::printf("%-28s %-9s pattern %d\n", r.fault.name.c_str(),
+                      seu::outcomeName(r.outcome), r.detectedAtPattern);
+        } else {
+          std::printf("%-28s %-9s -\n", r.fault.name.c_str(),
+                      seu::outcomeName(r.outcome));
+        }
+      }
+    }
+    std::printf("\nseu: %zu injection(s): %u detected, %u silent, %u latent "
+                "(%u group(s), %s)\n",
+                res.injections.size(), res.numDetected, res.numSilent,
+                res.numLatent, res.numGroups,
+                naive ? "naive" : "checkpoint replay");
+    std::printf("time: %.4f s, work: %llu faulty node evaluations, checksum "
+                "0x%016llx\n",
+                res.totalSeconds,
+                static_cast<unsigned long long>(res.totalNodeEvals),
+                static_cast<unsigned long long>(res.checksum()));
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -795,6 +993,14 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "loadgen") == 0) {
     try {
       return runLoadgen(argc, argv);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc > 1 && std::strcmp(argv[1], "seu") == 0) {
+    try {
+      return runSeu(argc, argv);
     } catch (const Error& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;

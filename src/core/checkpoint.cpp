@@ -295,14 +295,12 @@ GoodMachineCheckpoint GoodMachineCheckpoint::recordImpl(
   return ck;
 }
 
-std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
+std::uint32_t GoodMachineCheckpoint::settleEndingPattern(
     std::uint64_t p) const {
   FMOSSIM_ASSERT(p < numPatterns_,
-                 "goodStateAfterPattern: pattern index out of range");
-  // One past the pattern's last settle = 1 + index of the (p+1)-th set
-  // pattern-end bit (word-skipping popcount scan).
+                 "settleEndingPattern: pattern index out of range");
+  // The (p+1)-th set pattern-end bit (word-skipping popcount scan).
   std::uint64_t need = p + 1;
-  std::uint32_t settleEnd = 0;
   for (std::size_t w = 0; w < patternEndBits_.size(); ++w) {
     std::uint64_t word = patternEndBits_[w];
     const auto count = static_cast<std::uint64_t>(std::popcount(word));
@@ -314,10 +312,15 @@ std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
     for (;; ++b, word >>= 1) {
       if ((word & 1) != 0 && --need == 0) break;
     }
-    settleEnd = static_cast<std::uint32_t>(w * 64 + b + 1);
-    break;
+    return static_cast<std::uint32_t>(w * 64 + b);
   }
-  FMOSSIM_ASSERT(settleEnd != 0, "pattern-end bits inconsistent");
+  FMOSSIM_ASSERT(false, "pattern-end bits inconsistent");
+  return 0;
+}
+
+std::vector<State> GoodMachineCheckpoint::goodStateAfterPattern(
+    std::uint64_t p) const {
+  const std::uint32_t settleEnd = settleEndingPattern(p) + 1;
   std::vector<State> state = initialGoodStates_;
   CheckpointReader reader(*this);
   for (std::uint32_t s = 1; s < settleEnd; ++s) {

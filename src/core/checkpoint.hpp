@@ -242,6 +242,13 @@ class GoodMachineCheckpoint {
   /// read path; O(nodes + changes up to p)). Works in both storage modes.
   std::vector<State> goodStateAfterPattern(std::uint64_t p) const;
 
+  /// Index of the settle that ends pattern `p` — the settle right after
+  /// which the recording engine observed that pattern's outputs
+  /// (word-skipping popcount scan over the pattern-end bits; O(settles/64)).
+  /// A replay resuming "just after pattern p" (SEU tail simulation) starts
+  /// at settle settleEndingPattern(p) + 1. Works in both storage modes.
+  std::uint32_t settleEndingPattern(std::uint64_t p) const;
+
   /// True when the chunked trace lives in the temp-file backing store and
   /// replays through the sliding window.
   bool spilled() const { return spill_ != nullptr; }

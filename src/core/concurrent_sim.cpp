@@ -65,39 +65,59 @@ State ConcurrentFaultSimulator::conductionIn(TransId t, CircuitId c) const {
 ConcurrentFaultSimulator::ConcurrentFaultSimulator(
     const Network& net, const FaultList& faults, FsimOptions options,
     CheckpointRecorder* record, const GoodMachineCheckpoint* replay)
+    : ConcurrentFaultSimulator(net, faults, faults.size(), options, record,
+                               replay, /*transientMode=*/false,
+                               /*resumeAfterPattern=*/0) {}
+
+ConcurrentFaultSimulator::ConcurrentFaultSimulator(
+    const Network& net, std::uint32_t numTransientMachines, FsimOptions options,
+    const GoodMachineCheckpoint* replay, std::uint64_t resumeAfterPattern)
+    : ConcurrentFaultSimulator(net, FaultList{}, numTransientMachines, options,
+                               /*record=*/nullptr, replay,
+                               /*transientMode=*/true, resumeAfterPattern) {}
+
+ConcurrentFaultSimulator::ConcurrentFaultSimulator(
+    const Network& net, const FaultList& faults, std::uint32_t numMachines,
+    FsimOptions options, CheckpointRecorder* record,
+    const GoodMachineCheckpoint* replay, bool transientMode,
+    std::uint64_t resumeAfterPattern)
     : net_(net),
       faults_(faults),
       options_(options),
+      numMachines_(numMachines),
+      transientMode_(transientMode),
+      resumeAfterPattern_(resumeAfterPattern),
+      transient_(transientMode ? numMachines : 0),
       record_(record),
       replay_(replay),
       table_(net),
       cond0_(net.numTransistors(), State::SX),
       nodeStuck_(net.numNodes()),
       transOverride_(net.numTransistors()),
-      alive_(faults.size() + 1, 0),
-      detectedAt_(faults.size(), -1),
-      touched_(faults.size() + 1),
-      touchedCap_(faults.size() + 1, 16),
+      alive_(numMachines + 1, 0),
+      detectedAt_(numMachines, -1),
+      touched_(numMachines + 1),
+      touchedCap_(numMachines + 1, 16),
       watchCount_(net.numNodes(), 0),
       divCount_(net.numNodes(), 0),
       goodSeedStamp_(net.numNodes(), 0),
-      faultySeeds_(faults.size() + 1),
-      circuitStamp_(faults.size() + 1, 0),
-      curFaultySeeds_(faults.size() + 1),
+      faultySeeds_(numMachines + 1),
+      circuitStamp_(numMachines + 1, 0),
+      curFaultySeeds_(numMachines + 1),
       goodOldValue_(net.numNodes(), State::SX),
       goodOldStamp_(net.numNodes(), 0),
-      phaseCircuitStamp_(faults.size() + 1, 0),
+      phaseCircuitStamp_(numMachines + 1, 0),
       vicBuilder_(net),
       solver_(net.domain()),
-      triggerStamp_(faults.size() + 1, 0),
-      laneDoneStamp_(faults.size() + 1, 0),
+      triggerStamp_(numMachines + 1, 0),
+      laneDoneStamp_(numMachines + 1, 0),
       readNodeStamp_(net.numNodes(), 0),
       readNodeValue_(net.numNodes(), State::SX),
       readTransStamp_(net.numTransistors(), 0),
-      seedSig_(faults.size() + 1, 0),
-      seedSigStamp_(faults.size() + 1, 0),
+      seedSig_(numMachines + 1, 0),
+      seedSigStamp_(numMachines + 1, 0),
       windowSkipUntil_(options.laneWidth > 1
-                           ? faults.size() / options.laneWidth + 1
+                           ? numMachines / options.laneWidth + 1
                            : 0,
                        0),
       windowFailStreak_(windowSkipUntil_.size(), 0) {
@@ -112,14 +132,35 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
                  "checkpoint recording requires a fault-free engine");
   FMOSSIM_ASSERT(replay_ == nullptr || replay_->numNodes() == net_.numNodes(),
                  "checkpoint was recorded for a different network");
+  FMOSSIM_ASSERT(transientMode_ || numMachines_ == faults_.size(),
+                 "machine count must match the fault list");
   if (replay_ != nullptr) {
     replayReader_ = std::make_unique<CheckpointReader>(*replay_);
+  }
+  if (transientMode_ && replay_ != nullptr) {
+    // Tail resume: materialize the good machine right after the injection
+    // boundary — the entire prefix is skipped, which is sound because a
+    // transient machine cannot diverge before its injection.
+    FMOSSIM_ASSERT(resumeAfterPattern_ < replay_->numPatterns(),
+                   "transient resume instant past the recorded sequence");
+    const std::vector<State> good =
+        replay_->goodStateAfterPattern(resumeAfterPattern_);
+    for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+      table_.setGood(NodeId(n), good[n]);
+    }
   }
   for (std::uint32_t t = 0; t < net_.numTransistors(); ++t) {
     const auto& tr = net_.transistor(TransId(t));
     cond0_[t] = tr.isFaultDevice()
                     ? *tr.goodConduction
                     : conductionState(tr.type, table_.good(tr.gate));
+  }
+  if (transientMode_ && replay_ != nullptr) {
+    // The materialized state is already settled at a pattern boundary; the
+    // replay cursor resumes at the following settle.
+    replaySettle_ = replay_->settleEndingPattern(resumeAfterPattern_) + 1;
+    inject();
+    return;
   }
   // Initial good-circuit evaluation of the whole (all-X) network. In replay
   // mode the checkpoint's settle block 0 stands in for it.
@@ -135,6 +176,14 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
 ConcurrentFaultSimulator::~ConcurrentFaultSimulator() = default;
 
 void ConcurrentFaultSimulator::inject() {
+  if (transientMode_) {
+    // Transient machines carry no divergence until their injection instant:
+    // they are alive from the start but schedule nothing.
+    for (CircuitId c = 1; c <= numMachines_; ++c) alive_[c] = 1;
+    aliveCount_ = numMachines_;
+    maxAliveObserved_ = aliveCount_;
+    return;
+  }
   for (std::uint32_t i = 0; i < faults_.size(); ++i) {
     const CircuitId c = i + 1;
     const Fault& f = faults_[i];
@@ -625,8 +674,8 @@ void ConcurrentFaultSimulator::processFaultyGroup(CircuitId c, bool coerce) {
     return;
   }
   const CircuitId windowBase = widx * w + 1;
-  const CircuitId windowEnd = std::min<CircuitId>(
-      windowBase + w, static_cast<CircuitId>(faults_.size()) + 1);
+  const CircuitId windowEnd =
+      std::min<CircuitId>(windowBase + w, numMachines_ + 1);
   const std::uint32_t group = lanes::groupOf(c);
 
   laneGroups_.clear();
@@ -893,6 +942,23 @@ void ConcurrentFaultSimulator::removeOverlay(CircuitId c) {
   // future trigger collection and faulty-view lookup; removing them is what
   // makes the paper's falling per-pattern cost curve steep. The fault tells
   // us exactly where the overlays live.
+  if (transientMode_) {
+    // The only overlay a transient machine can hold is its active pulse.
+    TransientMachine& m = transient_[c - 1];
+    if (m.pulseActive) {
+      m.pulseActive = false;
+      auto& v = nodeStuck_[m.node.value];
+      for (auto it = v.begin(); it != v.end(); ++it) {
+        if (it->circuit == c) {
+          v.erase(it);
+          break;
+        }
+      }
+      addStuckWatch(m.node, -1);
+      --divCount_[m.node.value];
+    }
+    return;
+  }
   const Fault& f = faults_[c - 1];
   const auto removeFrom = [c](std::vector<Override>& v) {
     for (auto it = v.begin(); it != v.end(); ++it) {
@@ -1086,7 +1152,7 @@ void ConcurrentFaultSimulator::solveMemoized(const Vicinity& vic,
 }
 
 State ConcurrentFaultSimulator::faultyState(NodeId n, CircuitId c) const {
-  FMOSSIM_ASSERT(c >= 1 && c <= faults_.size(), "faultyState: bad circuit id");
+  FMOSSIM_ASSERT(c >= 1 && c <= numMachines_, "faultyState: bad circuit id");
   return stateIn(n, c);
 }
 
@@ -1098,6 +1164,8 @@ FaultSimResult ConcurrentFaultSimulator::run(
     const TestSequence& seq,
     const std::function<void(const PatternStat&)>& onPattern) {
   FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  FMOSSIM_ASSERT(!transientMode_,
+                 "transient-mode engines run via runTransient/runTransientTail");
   ran_ = true;
   if (replay_ != nullptr) {
     FMOSSIM_ASSERT(
@@ -1105,7 +1173,7 @@ FaultSimResult ConcurrentFaultSimulator::run(
         "checkpoint was recorded for a different test sequence");
   }
   FaultSimResult res;
-  res.numFaults = faults_.size();
+  res.numFaults = numMachines_;
   res.numPatterns = seq.size();
   res.droppedDetected = options_.dropDetected;
   res.perPattern.reserve(seq.size());
@@ -1184,8 +1252,10 @@ FaultSimResult ConcurrentFaultSimulator::run(
   FMOSSIM_ASSERT(replay_ == nullptr,
                  "streaming run does not take a replay checkpoint "
                  "(runReplay drives the sequence from the trace itself)");
+  FMOSSIM_ASSERT(!transientMode_,
+                 "transient-mode engines run via runTransient/runTransientTail");
   FaultSimResult res;
-  res.numFaults = faults_.size();
+  res.numFaults = numMachines_;
   res.droppedDetected = options_.dropDetected;
 
   Timer total;
@@ -1238,8 +1308,10 @@ FaultSimResult ConcurrentFaultSimulator::runReplay(
   ran_ = true;
   FMOSSIM_ASSERT(replay_ != nullptr,
                  "runReplay requires a replay-mode engine (checkpoint given)");
+  FMOSSIM_ASSERT(!transientMode_,
+                 "transient-mode engines run via runTransient/runTransientTail");
   FaultSimResult res;
-  res.numFaults = faults_.size();
+  res.numFaults = numMachines_;
   res.numPatterns = replay_->numPatterns();
   res.droppedDetected = options_.dropDetected;
 
@@ -1307,6 +1379,281 @@ FaultSimResult ConcurrentFaultSimulator::runReplay(
   res.numDetected = cumulative;
   res.maxAlive = maxAliveObserved_;
   if (earlyExit) {
+    res.finalGoodStates = replay_->finalGoodStates();
+  } else {
+    res.finalGoodStates.reserve(net_.numNodes());
+    for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+      res.finalGoodStates.push_back(table_.good(NodeId(n)));
+    }
+  }
+  res.finalRecords = table_.totalRecords();
+  res.potentialDetections = potentialDetections_;
+  res.totalSeconds = total.seconds();
+  res.totalCpuSeconds = res.totalSeconds;
+  res.totalNodeEvals = nodeEvals() - evalsAtStart;
+  return res;
+}
+
+// --- transient (SEU) runs (see header and faults/transient.hpp) ------------
+
+void ConcurrentFaultSimulator::loadTransientSpecs(
+    std::span<const TransientFault> specs, std::uint64_t numPatterns) {
+  if (specs.size() != numMachines_) {
+    throw Error(
+        "transient run: spec count does not match the engine's machine count");
+  }
+  for (std::uint32_t i = 0; i < numMachines_; ++i) {
+    const TransientFault& f = specs[i];
+    if (!f.node.valid() || f.node.value >= net_.numNodes()) {
+      throw Error("transient fault references an unknown node");
+    }
+    if (net_.isInput(f.node)) {
+      throw Error("transient fault on input node '" + net_.node(f.node).name +
+                  "'");
+    }
+    if (f.atPattern >= numPatterns) {
+      throw Error("transient fault '" + f.name +
+                  "' injects past the end of the sequence");
+    }
+    TransientMachine& m = transient_[i];
+    m.node = f.node;
+    m.atPattern = f.atPattern;
+    m.pulsePatterns = f.pulsePatterns;
+  }
+}
+
+void ConcurrentFaultSimulator::scheduleTransientSite(CircuitId c, NodeId n) {
+  // Exactly a node-stuck injection's event seeds: the node's own vicinity
+  // must re-settle under the perturbed charge, and every transistor it
+  // gates may now conduct differently in circuit c.
+  scheduleFaulty(c, n);
+  for (const TransId t : net_.node(n).gateOf) {
+    const auto& tr = net_.transistor(t);
+    scheduleFaulty(c, tr.source);
+    scheduleFaulty(c, tr.drain);
+  }
+}
+
+void ConcurrentFaultSimulator::injectTransientFlip(CircuitId c) {
+  TransientMachine& m = transient_[c - 1];
+  m.injected = true;
+  const State good = table_.good(m.node);
+  const State flipped = good == State::S0   ? State::S1
+                        : good == State::S1 ? State::S0
+                                            : State::SX;
+  if (m.pulsePatterns == 0) {
+    // Instantaneous flip: a plain divergence record (flipping an X is a
+    // ternary no-op — the machine trivially stays silent).
+    if (flipped == good) return;
+    const StateTable::Reconciled rec = table_.reconcile(m.node, c, flipped);
+    if (rec.inserted) {
+      touchedInsert(c, m.node);
+      addRecordWatch(m.node, +1);
+      ++divCount_[m.node.value];
+    }
+    scheduleTransientSite(c, m.node);
+    return;
+  }
+  // Pulse: hold the node at the flipped value (a temporary stuck-at — the
+  // node becomes input-like in circuit c until release). Held even when
+  // flipped == good == X: the good circuit may move on while the struck
+  // node stays pinned.
+  m.pulseActive = true;
+  m.forcedValue = flipped;
+  auto& v = nodeStuck_[m.node.value];
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), c,
+      [](const Override& o, CircuitId cc) { return o.circuit < cc; });
+  v.insert(it, Override{c, flipped});
+  addStuckWatch(m.node, +1);
+  ++divCount_[m.node.value];
+  scheduleTransientSite(c, m.node);
+}
+
+void ConcurrentFaultSimulator::releaseTransientPulse(CircuitId c) {
+  TransientMachine& m = transient_[c - 1];
+  FMOSSIM_ASSERT(m.pulseActive, "releaseTransientPulse without active pulse");
+  m.pulseActive = false;
+  auto& v = nodeStuck_[m.node.value];
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->circuit == c) {
+      v.erase(it);
+      break;
+    }
+  }
+  addStuckWatch(m.node, -1);
+  --divCount_[m.node.value];
+  // The held value stays behind as charge. A stuck node never carries a
+  // record in its own circuit (it is input-like there), so reconciliation
+  // inserts at most.
+  if (m.forcedValue != table_.good(m.node)) {
+    const StateTable::Reconciled rec =
+        table_.reconcile(m.node, c, m.forcedValue);
+    if (rec.inserted) {
+      touchedInsert(c, m.node);
+      addRecordWatch(m.node, +1);
+      ++divCount_[m.node.value];
+    }
+  }
+  scheduleTransientSite(c, m.node);
+}
+
+SettleResult ConcurrentFaultSimulator::settleInPlace() {
+  // An injection or release perturbs circuits *between* patterns, where the
+  // good machine is quiet: in replay mode the cursor must not advance (there
+  // is no recorded settle for this perturbation), and the current settle's
+  // phases are already consumed, so only faulty activity runs — exactly what
+  // a self-simulating engine does with an empty good queue.
+  if (replay_ != nullptr) replayEntered_ = true;
+  return settleAll();
+}
+
+bool ConcurrentFaultSimulator::hasDivergence(CircuitId c) const {
+  FMOSSIM_ASSERT(transientMode_, "hasDivergence is a transient-mode query");
+  FMOSSIM_ASSERT(c >= 1 && c <= numMachines_, "hasDivergence: bad circuit id");
+  const TransientMachine& m = transient_[c - 1];
+  if (m.pulseActive && m.forcedValue != table_.good(m.node)) return true;
+  for (const NodeId n : touched_[c]) {
+    const StateTable::Lookup r = table_.lookup(n, c);
+    if (r.diverges && r.value != table_.good(n)) return true;
+  }
+  return false;
+}
+
+FaultSimResult ConcurrentFaultSimulator::runTransient(
+    const TestSequence& seq, std::span<const TransientFault> specs) {
+  FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  FMOSSIM_ASSERT(transientMode_ && replay_ == nullptr,
+                 "runTransient is the naive (self-simulating) transient run");
+  ran_ = true;
+  loadTransientSpecs(specs, seq.size());
+
+  FaultSimResult res;
+  res.numFaults = numMachines_;
+  res.numPatterns = seq.size();
+  res.droppedDetected = options_.dropDetected;
+
+  Timer total;
+  const std::uint64_t evalsAtStart = nodeEvals();
+  std::uint32_t cumulative = 0;
+
+  for (std::uint32_t pi = 0; pi < seq.size(); ++pi) {
+    for (const InputSetting& setting : seq[pi].settings) {
+      applySetting(setting.span());
+    }
+    cumulative += observe(seq.outputs(), pi);
+
+    // Injections and pulse releases at this pattern boundary, then settle
+    // the perturbation in place.
+    bool perturbed = false;
+    for (std::uint32_t i = 0; i < numMachines_; ++i) {
+      TransientMachine& m = transient_[i];
+      const CircuitId c = i + 1;
+      if (!m.injected && m.atPattern == pi) {
+        m.injected = true;
+        if (alive_[c]) {
+          injectTransientFlip(c);
+          perturbed = true;
+        }
+      } else if (m.pulseActive && alive_[c] &&
+                 pi == m.atPattern + m.pulsePatterns) {
+        releaseTransientPulse(c);
+        perturbed = true;
+      }
+    }
+    if (perturbed) settleInPlace();
+  }
+
+  res.detectedAtPattern = detectedAt_;
+  res.numDetected = cumulative;
+  res.maxAlive = maxAliveObserved_;
+  res.finalGoodStates.reserve(net_.numNodes());
+  for (std::uint32_t n = 0; n < net_.numNodes(); ++n) {
+    res.finalGoodStates.push_back(table_.good(NodeId(n)));
+  }
+  res.finalRecords = table_.totalRecords();
+  res.potentialDetections = potentialDetections_;
+  res.totalSeconds = total.seconds();
+  res.totalCpuSeconds = res.totalSeconds;
+  res.totalNodeEvals = nodeEvals() - evalsAtStart;
+  return res;
+}
+
+FaultSimResult ConcurrentFaultSimulator::runTransientTail(
+    std::span<const TransientFault> specs) {
+  FMOSSIM_ASSERT(!ran_, "ConcurrentFaultSimulator::run may only be called once");
+  FMOSSIM_ASSERT(transientMode_ && replay_ != nullptr,
+                 "runTransientTail requires a checkpoint-resumed engine");
+  ran_ = true;
+  loadTransientSpecs(specs, replay_->numPatterns());
+  for (const TransientFault& f : specs) {
+    if (f.atPattern != resumeAfterPattern_) {
+      throw Error("runTransientTail: injection '" + f.name +
+                  "' is not at the engine's resume instant");
+    }
+  }
+
+  FaultSimResult res;
+  res.numFaults = numMachines_;
+  res.numPatterns = replay_->numPatterns();
+  res.droppedDetected = options_.dropDetected;
+
+  Timer total;
+  const std::uint64_t evalsAtStart = nodeEvals();
+
+  // Flip every machine at the resumed boundary and settle in place — the
+  // same perturbation the naive run applies after observing this pattern.
+  for (CircuitId c = 1; c <= numMachines_; ++c) {
+    transient_[c - 1].injected = true;
+    injectTransientFlip(c);
+  }
+  settleInPlace();
+
+  std::uint32_t cumulative = 0;
+  std::uint64_t patternIndex = resumeAfterPattern_ + 1;
+  const std::uint32_t numSettles = replay_->numSettles();
+  bool tailExited = false;
+
+  for (std::uint32_t si = replaySettle_; si < numSettles; ++si) {
+    replayBeginSettle();
+    replayEntered_ = true;
+    for (const auto& ch : replayReader_->inputChanges()) {
+      const State old = table_.good(ch.node);
+      table_.setGood(ch.node, ch.value);
+      scheduleSettingSeeds(ch.node, old);
+    }
+    settleAll();
+    if (!replay_->patternEndsAtSettle(si)) continue;
+
+    cumulative += observe(replay_->outputs(),
+                          static_cast<std::uint32_t>(patternIndex));
+
+    // Pulse releases at this boundary (all injections share the resume
+    // instant, so releases are the only mid-tail perturbations).
+    bool perturbed = false;
+    for (std::uint32_t i = 0; i < numMachines_; ++i) {
+      TransientMachine& m = transient_[i];
+      if (m.pulseActive && alive_[i + 1] &&
+          patternIndex == m.atPattern + m.pulsePatterns) {
+        releaseTransientPulse(i + 1);
+        perturbed = true;
+      }
+    }
+    if (perturbed) settleInPlace();
+    ++patternIndex;
+
+    // Every machine detected and dropped: the rest of the tail is pure
+    // good-machine replay with nothing to observe — skip it.
+    if (options_.dropDetected && aliveCount_ == 0) {
+      tailExited = true;
+      break;
+    }
+  }
+
+  res.detectedAtPattern = detectedAt_;
+  res.numDetected = cumulative;
+  res.maxAlive = maxAliveObserved_;
+  if (tailExited) {
     res.finalGoodStates = replay_->finalGoodStates();
   } else {
     res.finalGoodStates.reserve(net_.numNodes());

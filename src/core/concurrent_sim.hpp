@@ -33,6 +33,7 @@
 
 #include "core/state_table.hpp"
 #include "faults/fault.hpp"
+#include "faults/transient.hpp"
 #include "patterns/pattern.hpp"
 #include "switch/logic_sim.hpp"
 #include "switch/solver.hpp"
@@ -165,6 +166,26 @@ class ConcurrentFaultSimulator {
                            FsimOptions options = {},
                            CheckpointRecorder* record = nullptr,
                            const GoodMachineCheckpoint* replay = nullptr);
+
+  /// Transient (SEU) mode: `numTransientMachines` faulty circuits with no
+  /// permanent fault — each stays bit-identical to the good circuit until
+  /// its TransientFault (given to runTransient / runTransientTail) flips
+  /// one storage node's settled state.
+  ///
+  /// With `replay` null the engine self-simulates the good circuit and
+  /// runTransient drives a full sequence (the naive from-scratch baseline).
+  /// With `replay` given the engine *resumes at a pattern boundary*: the
+  /// good state after `resumeAfterPattern` is materialized straight from
+  /// the checkpoint (goodStateAfterPattern — zero solver work for the
+  /// prefix, in which no transient machine can diverge) and
+  /// runTransientTail simulates only the remaining patterns, bit-identical
+  /// to the naive run (SEU oracle test).
+  ConcurrentFaultSimulator(const Network& net,
+                           std::uint32_t numTransientMachines,
+                           FsimOptions options = {},
+                           const GoodMachineCheckpoint* replay = nullptr,
+                           std::uint64_t resumeAfterPattern = 0);
+
   ~ConcurrentFaultSimulator();
 
   const Network& network() const { return net_; }
@@ -199,6 +220,29 @@ class ConcurrentFaultSimulator {
   /// are synthesized.
   FaultSimResult runReplay(RowSink* sink = nullptr,
                            const std::function<void(const PatternStat&)>& onPattern = {});
+
+  // --- transient (SEU) runs (transient-mode engines only; see src/seu/) ----
+
+  /// Naive full-sequence transient run: simulates the whole sequence from
+  /// scratch, flipping machine i+1 per specs[i] at its injection instant
+  /// (specs.size() must equal the machine count; instants may differ).
+  /// Rowless result. Classification per machine: detectedAtPattern(i) >= 0
+  /// is detected; else hasDivergence(i+1) is latent; else silent.
+  FaultSimResult runTransient(const TestSequence& seq,
+                              std::span<const TransientFault> specs);
+
+  /// Checkpoint-tail transient run: every spec must share the engine's
+  /// resume instant (a same-instant injection group). All machines are
+  /// flipped at the resumed pattern boundary, then only the remaining
+  /// patterns are replayed from the trace. Early-exits once every machine
+  /// is detected and dropped. Bit-identical to runTransient of the same
+  /// specs over the recorded sequence.
+  FaultSimResult runTransientTail(std::span<const TransientFault> specs);
+
+  /// True when circuit c's state currently differs from the good circuit
+  /// anywhere — records or an active pulse holding a value the good circuit
+  /// does not (end-of-run latent classification; transient mode only).
+  bool hasDivergence(CircuitId c) const;
 
   // --- fine-grained control (equivalence tests, examples) -----------------
 
@@ -250,6 +294,17 @@ class ConcurrentFaultSimulator {
     State value;
   };
 
+  /// Master constructor both public constructors delegate to: permanent
+  /// faults size the machine count themselves; transient mode passes an
+  /// empty fault list and an explicit count (plus the resume instant when a
+  /// checkpoint tail is being simulated).
+  ConcurrentFaultSimulator(const Network& net, const FaultList& faults,
+                           std::uint32_t numMachines, FsimOptions options,
+                           CheckpointRecorder* record,
+                           const GoodMachineCheckpoint* replay,
+                           bool transientMode,
+                           std::uint64_t resumeAfterPattern);
+
   void inject();
   SettleResult settleAll();
   void runPhase(bool coerce);
@@ -258,6 +313,32 @@ class ConcurrentFaultSimulator {
   void collectTriggers(std::span<const NodeId> members);
   void dropCircuit(CircuitId c);
   void removeOverlay(CircuitId c);
+
+  // --- transient (SEU) machinery (transientMode_ only) ---------------------
+  //
+  // A transient machine carries no static overlay until injection. An
+  // instantaneous flip becomes an ordinary divergence record (reconciled
+  // like a faulty-circuit commit); a pulse becomes a temporary node-stuck
+  // overlay at the flipped value, released at its boundary with the held
+  // value left behind as charge (a record, unless it agrees with the good
+  // circuit). Both schedule the node and its gated transistors' channel
+  // ends, exactly like a node-stuck injection, and the perturbation is
+  // settled in place (settleInPlace: the replay cursor, when present, must
+  // not advance — the good machine is quiet between patterns).
+  struct TransientMachine {
+    NodeId node;
+    std::uint64_t atPattern = 0;
+    std::uint32_t pulsePatterns = 0;
+    State forcedValue = State::SX;  ///< pulse hold value (flip of good)
+    bool pulseActive = false;
+    bool injected = false;
+  };
+  void loadTransientSpecs(std::span<const TransientFault> specs,
+                          std::uint64_t numPatterns);
+  void injectTransientFlip(CircuitId c);
+  void releaseTransientPulse(CircuitId c);
+  void scheduleTransientSite(CircuitId c, NodeId n);
+  SettleResult settleInPlace();
 
   // --- lane-batched faulty processing (laneWidth > 1) ----------------------
   //
@@ -331,8 +412,15 @@ class ConcurrentFaultSimulator {
   void scheduleSettingSeeds(NodeId input, State oldGood);
 
   const Network& net_;
-  FaultList faults_;
+  FaultList faults_;  ///< empty in transient mode
   FsimOptions options_;
+  /// Number of faulty machines (circuits 1..numMachines_). Equals
+  /// faults_.size() for permanent faults; in transient mode the machine
+  /// count is independent of the (empty) fault list.
+  std::uint32_t numMachines_ = 0;
+  bool transientMode_ = false;
+  std::uint64_t resumeAfterPattern_ = 0;  ///< tail-resume boundary (replay)
+  std::vector<TransientMachine> transient_;  ///< per machine, transient mode
   CheckpointRecorder* record_ = nullptr;
   const GoodMachineCheckpoint* replay_ = nullptr;
   std::unique_ptr<CheckpointReader> replayReader_;  // non-null iff replay_

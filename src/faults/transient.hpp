@@ -1,0 +1,61 @@
+// Transient (single-event-upset) faults.
+//
+// A TransientFault is not a permanent topology overlay like Fault: the
+// circuit is fault-free until an *injection instant*, at which point the
+// state of one storage node is flipped (0<->1; an X stays X — a ternary
+// flip of an unknown is unobservable). An optional pulse duration models a
+// particle strike that overdrives the node for a while: the node is held at
+// the flipped value (input-like, exactly a temporary stuck-at) for `pulse`
+// further patterns, then released — the held value stays behind as charge.
+//
+// Injection timing is defined against the pattern stream: the flip is
+// applied to the settled circuit right after pattern `atPattern`'s outputs
+// were observed, so detection can first occur at pattern atPattern + 1.
+// This boundary is exactly what GoodMachineCheckpoint::goodStateAfterPattern
+// materializes, which is what makes checkpoint-replay SEU campaigns cheap
+// (see src/seu/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+/// One transient bit-flip injection (see file comment for timing).
+struct TransientFault {
+  NodeId node;
+  /// Pattern index after whose observation the flip is applied.
+  std::uint64_t atPattern = 0;
+  /// 0: instantaneous flip (state perturbation only). d > 0: the node is
+  /// held at the flipped value while patterns atPattern+1 .. atPattern+d
+  /// are simulated and observed, then released.
+  std::uint32_t pulsePatterns = 0;
+  std::string name;
+
+  /// Validating factory: `n` must be a non-input storage node (inputs are
+  /// driven by the tester every pattern; a strike on one is not a stored
+  /// upset). Generates the canonical name.
+  static TransientFault flipAt(const Network& net, NodeId n,
+                               std::uint64_t atPattern,
+                               std::uint32_t pulsePatterns = 0);
+};
+
+using TransientList = std::vector<TransientFault>;
+
+/// Parses a transient-fault campaign spec. Line oriented; '#' comments and
+/// blank lines ignored. Directives:
+///
+///   flip <node> @ <pattern> [pulse <d>]
+///
+/// Strict: unknown nodes, input nodes, malformed numbers and trailing junk
+/// are line-numbered errors, and an empty campaign is an error.
+TransientList parseTransientSpec(const Network& net, const std::string& text);
+
+/// Loads and parses a transient-fault spec file.
+TransientList loadTransientSpecFile(const Network& net,
+                                    const std::string& path);
+
+}  // namespace fmossim

@@ -1,0 +1,59 @@
+#include "gen/transient_gen.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace fmossim {
+
+TransientList generateSeuCampaign(const Network& net,
+                                  const SeuGenOptions& options) {
+  if (options.numInjections == 0) {
+    throw Error("SEU campaign generation requires at least one injection");
+  }
+  if (options.numPatterns == 0) {
+    throw Error("SEU campaign generation requires a non-empty sequence");
+  }
+  std::vector<NodeId> storage;
+  for (std::uint32_t n = 0; n < net.numNodes(); ++n) {
+    if (!net.isInput(NodeId(n))) storage.push_back(NodeId(n));
+  }
+  if (storage.empty()) {
+    throw Error("SEU campaign generation: network has no storage nodes");
+  }
+
+  Rng rng(options.seed);
+
+  // Instant pool: either one fresh draw per injection, or a clustered pool
+  // of distinct instants the injections are spread across round-robin (so
+  // every instant gets a similar group size).
+  std::vector<std::uint64_t> instants;
+  if (options.maxInstants > 0) {
+    const std::uint64_t distinct =
+        std::min<std::uint64_t>(options.maxInstants, options.numPatterns);
+    while (instants.size() < distinct) {
+      const std::uint64_t at = rng.below(options.numPatterns);
+      if (std::find(instants.begin(), instants.end(), at) == instants.end()) {
+        instants.push_back(at);
+      }
+    }
+  }
+
+  TransientList campaign;
+  campaign.reserve(options.numInjections);
+  for (std::uint32_t i = 0; i < options.numInjections; ++i) {
+    const NodeId n = rng.pick(storage);
+    const std::uint64_t at = instants.empty()
+                                 ? rng.below(options.numPatterns)
+                                 : instants[i % instants.size()];
+    std::uint32_t pulse = 0;
+    if (options.maxPulse > 0 && rng.chance(options.pulseProbability)) {
+      pulse = static_cast<std::uint32_t>(
+          1 + rng.below(options.maxPulse));
+    }
+    campaign.push_back(TransientFault::flipAt(net, n, at, pulse));
+  }
+  return campaign;
+}
+
+}  // namespace fmossim

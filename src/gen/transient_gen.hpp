@@ -1,0 +1,41 @@
+// Seeded SEU campaign generation — the transient-fault counterpart of the
+// random circuit/fault generator: deterministic, reproducible campaigns for
+// the `fmossim_cli seu --gen` path, the seu perf scenarios and the serve
+// protocol's "seu" workload kind.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/transient.hpp"
+#include "switch/network.hpp"
+
+namespace fmossim {
+
+struct SeuGenOptions {
+  std::uint64_t seed = 1;
+  /// Number of injections to generate.
+  std::uint32_t numInjections = 32;
+  /// Sequence length; injection instants are drawn from [0, numPatterns).
+  std::uint64_t numPatterns = 0;
+  /// Cluster the injections onto at most this many distinct instants
+  /// (0 = every injection draws its own instant). Same-instant injections
+  /// share a checkpoint-replay tail engine, so clustering is what makes a
+  /// campaign share-rich — real radiation testing grades many candidate
+  /// strike sites against the same cycle of interest.
+  std::uint32_t maxInstants = 0;
+  /// Probability that an injection is a pulse (held flip) instead of an
+  /// instantaneous one.
+  double pulseProbability = 0.25;
+  /// Pulse durations are drawn uniformly from [1, maxPulse].
+  std::uint32_t maxPulse = 4;
+};
+
+/// Generates a deterministic SEU campaign: strike nodes are drawn uniformly
+/// from the network's non-input storage nodes, instants from
+/// [0, numPatterns) (clustered per maxInstants). Throws Error when the
+/// network has no storage nodes, numPatterns is 0, or numInjections is 0.
+TransientList generateSeuCampaign(const Network& net,
+                                  const SeuGenOptions& options);
+
+}  // namespace fmossim

@@ -60,6 +60,28 @@ void checkScenarioAgainstBaseline(const ScenarioResult& fresh,
                      fresh.faults, fresh.patterns, fresh.transistors));
     return;  // row comparisons would only repeat the message
   }
+  // SEU grading scenarios: the campaign outcome tally is deterministic, so
+  // it is gated exactly like checksums — any drift means the grading
+  // semantics changed.
+  if (fresh.seu.has_value() != baseline.seu.has_value()) {
+    issue("", fresh.seu.has_value()
+                  ? "fresh results carry an seu summary the baseline lacks — "
+                    "refresh the baseline"
+                  : "baseline carries an seu summary the fresh results lack");
+  } else if (fresh.seu.has_value()) {
+    const SeuSummary& f = *fresh.seu;
+    const SeuSummary& b = *baseline.seu;
+    if (f.injections != b.injections || f.instants != b.instants ||
+        f.detected != b.detected || f.silent != b.silent ||
+        f.latent != b.latent) {
+      issue("", format("seu grading drift: baseline %u injections/%u instants "
+                       "-> %u detected/%u silent/%u latent, fresh %u/%u -> "
+                       "%u/%u/%u — the campaign result changed",
+                       b.injections, b.instants, b.detected, b.silent,
+                       b.latent, f.injections, f.instants, f.detected,
+                       f.silent, f.latent));
+    }
+  }
   for (const BenchRow& base : baseline.rows) {
     if (findRow(fresh, base) == nullptr) {
       issue(rowKey(base), "row missing from fresh results (matrix changed "

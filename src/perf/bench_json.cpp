@@ -209,6 +209,15 @@ std::string toJson(const ScenarioResult& r) {
         static_cast<unsigned long long>(s.storeRecordings),
         static_cast<unsigned long long>(s.engineReuses));
   }
+  // SEU campaign summary (PR 9): additive like the service object, present
+  // only for transient-fault grading scenarios.
+  if (r.seu.has_value()) {
+    const SeuSummary& s = *r.seu;
+    out += format(
+        "  \"seu\": {\"injections\": %u, \"instants\": %u, \"detected\": %u, "
+        "\"silent\": %u, \"latent\": %u},\n",
+        s.injections, s.instants, s.detected, s.silent, s.latent);
+  }
   out += "  \"rows\": [\n";
   for (std::size_t i = 0; i < r.rows.size(); ++i) {
     const BenchRow& row = r.rows[i];
@@ -304,6 +313,19 @@ ScenarioResult parseBenchJson(const std::string& text) {
         else throw Error("bench JSON: unknown service key '" + sk + "'");
       });
       r.service = s;
+    } else if (key == "seu") {
+      // Optional: present only in SEU grading scenario benchmarks.
+      SeuSummary s;
+      p.parseObject([&](const std::string& sk) {
+        const double v = p.parseNumber();
+        if (sk == "injections") s.injections = static_cast<std::uint32_t>(v);
+        else if (sk == "instants") s.instants = static_cast<std::uint32_t>(v);
+        else if (sk == "detected") s.detected = static_cast<std::uint32_t>(v);
+        else if (sk == "silent") s.silent = static_cast<std::uint32_t>(v);
+        else if (sk == "latent") s.latent = static_cast<std::uint32_t>(v);
+        else throw Error("bench JSON: unknown seu key '" + sk + "'");
+      });
+      r.seu = s;
     } else if (key == "rows") {
       p.parseArray([&] {
         BenchRow row;

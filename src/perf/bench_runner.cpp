@@ -6,11 +6,32 @@
 #include <thread>
 
 #include "core/row_sink.hpp"
+#include "seu/seu_campaign.hpp"
 #include "util/hash.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace fmossim::perf {
+
+namespace {
+
+/// Median + sample stddev of the measured repetitions, into the row.
+void fillTiming(BenchRow& row, const std::vector<double>& ms) {
+  std::vector<double> sorted = ms;
+  std::sort(sorted.begin(), sorted.end());
+  row.medianMs = sorted[sorted.size() / 2];
+  if (sorted.size() % 2 == 0) {
+    row.medianMs = 0.5 * (row.medianMs + sorted[sorted.size() / 2 - 1]);
+  }
+  double mean = 0.0;
+  for (const double v : ms) mean += v;
+  mean /= double(ms.size());
+  double var = 0.0;
+  for (const double v : ms) var += (v - mean) * (v - mean);
+  row.stddevMs = ms.size() > 1 ? std::sqrt(var / double(ms.size() - 1)) : 0.0;
+}
+
+}  // namespace
 
 void fillHostInfo(ScenarioResult& r) {
   const std::time_t now = std::time(nullptr);
@@ -113,6 +134,69 @@ ScenarioResult BenchRunner::runScenario(
   auto store = std::make_shared<CheckpointStore>(storeOpts);
   sr.checkpointBudget = storeOpts.budgetBytes;
 
+  // SEU grading scenarios measure runSeuCampaign per row instead of
+  // Engine::run: the replay rows share this scenario store's single
+  // good-machine recording, the naive row ignores the store entirely, and
+  // every row's checksum is the campaign checksum — so the CLI's
+  // cross-backend bit-identity pass gates replay == naive on every run.
+  if (!w.seuCampaign.empty()) {
+    for (const RowSpec& spec : w.rows) {
+      seu::CampaignOptions campaignOpts;
+      campaignOpts.jobs = spec.jobs;
+      campaignOpts.laneWidth = spec.laneWidth;
+      campaignOpts.policy = spec.policy;
+      campaignOpts.naive = spec.seuNaive;
+      campaignOpts.store = store;
+
+      BenchRow row;
+      row.backend = spec.seuLabel();
+      row.jobs = spec.jobs;
+      row.policy =
+          spec.policy == DetectionPolicy::AnyDifference ? "any" : "definite";
+      row.dropDetected = spec.dropDetected;
+      row.laneWidth = spec.laneWidth;
+      row.reps = reps;
+
+      const auto runOnce = [&]() {
+        return runSeuCampaign(w.net, w.seq, w.seuCampaign, campaignOpts);
+      };
+      for (unsigned i = 0; i < warmup; ++i) runOnce();
+
+      std::vector<double> ms;
+      ms.reserve(reps);
+      for (unsigned i = 0; i < reps; ++i) {
+        Timer t;
+        const seu::CampaignResult res = runOnce();
+        ms.push_back(t.seconds() * 1e3);
+        if (i == 0) {
+          row.checksum = res.checksum();
+          row.nodeEvals = res.totalNodeEvals;
+          row.numDetected = res.numDetected;
+          row.numFaults =
+              static_cast<std::uint32_t>(res.injections.size());
+          if (!sr.seu.has_value()) {
+            SeuSummary summary;
+            summary.injections =
+                static_cast<std::uint32_t>(res.injections.size());
+            summary.instants = res.numGroups;
+            summary.detected = res.numDetected;
+            summary.silent = res.numSilent;
+            summary.latent = res.numLatent;
+            sr.seu = summary;
+          }
+        }
+      }
+      fillTiming(row, ms);
+      sr.rows.push_back(std::move(row));
+      if (onRow) onRow(sr, sr.rows.back());
+    }
+    sr.checkpointRecordings =
+        static_cast<std::uint32_t>(store->recordings());
+    sr.checkpointResidentBytes = store->memoryBytes();
+    fillHostInfo(sr);
+    return sr;
+  }
+
   for (const RowSpec& spec : w.rows) {
     EngineOptions engineOpts = spec.engineOptions();
     engineOpts.checkpointStore = store;
@@ -154,19 +238,7 @@ ScenarioResult BenchRunner::runScenario(
         row.numFaults = res.numFaults;
       }
     }
-    std::vector<double> sorted = ms;
-    std::sort(sorted.begin(), sorted.end());
-    row.medianMs = sorted[sorted.size() / 2];
-    if (sorted.size() % 2 == 0) {
-      row.medianMs = 0.5 * (row.medianMs + sorted[sorted.size() / 2 - 1]);
-    }
-    double mean = 0.0;
-    for (const double v : ms) mean += v;
-    mean /= double(ms.size());
-    double var = 0.0;
-    for (const double v : ms) var += (v - mean) * (v - mean);
-    row.stddevMs = ms.size() > 1 ? std::sqrt(var / double(ms.size() - 1)) : 0.0;
-
+    fillTiming(row, ms);
     sr.rows.push_back(std::move(row));
     if (onRow) onRow(sr, sr.rows.back());
   }

@@ -89,6 +89,18 @@ struct ServiceSummary {
   std::uint64_t engineReuses = 0;     ///< requests served by a live engine
 };
 
+/// SEU campaign measurement summary (scenarios with Workload::seuCampaign):
+/// the campaign shape and its outcome tally. Identical across the
+/// scenario's rows (the rows are bit-identical gradings of one campaign),
+/// so it is recorded once per scenario. Absent from ordinary bench files.
+struct SeuSummary {
+  std::uint32_t injections = 0;  ///< transient faults graded
+  std::uint32_t instants = 0;    ///< distinct injection instants (= groups)
+  std::uint32_t detected = 0;    ///< output mismatch at some pattern
+  std::uint32_t silent = 0;      ///< reconverged, no divergence left
+  std::uint32_t latent = 0;      ///< undetected but state differs at end
+};
+
 /// One scenario's complete measurement (a BENCH_<scenario>.json file).
 struct ScenarioResult {
   int schemaVersion = 1;     ///< see docs/BENCHMARKING.md
@@ -119,6 +131,8 @@ struct ScenarioResult {
   std::string hostBuildType;
   /// Service-mode summary; set only by the loadgen harness.
   std::optional<ServiceSummary> service;
+  /// SEU campaign summary; set only for SEU grading scenarios.
+  std::optional<SeuSummary> seu;
 };
 
 /// Stamps the host provenance fields (timestamp, hardware concurrency, build

@@ -2,6 +2,7 @@
 
 #include "faults/universe.hpp"
 #include "gen/random_circuit.hpp"
+#include "gen/transient_gen.hpp"
 #include "patterns/marching.hpp"
 #include "util/error.hpp"
 
@@ -36,6 +37,15 @@ EngineOptions RowSpec::engineOptions() const {
 std::string RowSpec::label() const {
   if (backend == Backend::Serial) return "serial";
   std::string base = jobs > 1 ? "sharded-" + std::to_string(jobs) : "concurrent";
+  if (laneWidth > 1) base += "-lanes" + std::to_string(laneWidth);
+  return base;
+}
+
+std::string RowSpec::seuLabel() const {
+  std::string base = seuNaive
+                         ? "seu-naive"
+                         : (jobs > 1 ? "seu-replay-" + std::to_string(jobs)
+                                     : "seu-replay");
   if (laneWidth > 1) base += "-lanes" + std::to_string(laneWidth);
   return base;
 }
@@ -107,7 +117,7 @@ const std::vector<std::string>& scenarioNames() {
   static const std::vector<std::string> names = {
       "ram64_seq1",  "ram64_seq2",     "ram256_seq1",   "fuzz_small",
       "fuzz_medium", "fuzz_large",     "ram256_seq1_j4", "fuzz_large_j4",
-      "fuzz_xlarge_seq",
+      "fuzz_xlarge_seq", "seu_ram256",
   };
   return names;
 }
@@ -217,6 +227,38 @@ Workload buildScenarioWorkload(const std::string& name) {
     w.rows = {{Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly, true},
               {Backend::Concurrent, 2, DetectionPolicy::DefiniteOnly, true}};
     w.checkpointBudgetBytes = std::size_t{8} << 20;
+    return w;
+  }
+  // Transient-fault (SEU) grading campaign on the big RAM: 32 bit-flips
+  // clustered onto 4 distinct instants of test sequence 1. Every row grades
+  // the same campaign; the replay rows share one good-machine recording and
+  // simulate only post-injection tails, the naive row simulates the full
+  // sequence from scratch once per injection — the replay/naive wall-clock
+  // ratio is the campaign speedup number docs/BENCHMARKING.md records, and
+  // equal row checksums gate the SEU oracle on every bench run.
+  if (name == "seu_ram256") {
+    Workload w;
+    w.scenario = name;
+    w.description =
+        "RAM256 SEU grading campaign: 32 transient bit-flips on 4 instants; "
+        "checkpoint-replay tails (jobs/lane variants) vs naive from-scratch "
+        "baseline";
+    RamCircuit ram = buildRam(ram256Config());
+    w.seq = ramTestSequence1(ram);
+    w.net = std::move(ram.net);
+    SeuGenOptions g;
+    g.seed = 2026;
+    g.numInjections = 32;
+    g.numPatterns = w.seq.size();
+    g.maxInstants = 4;
+    g.pulseProbability = 0.25;
+    g.maxPulse = 3;
+    w.seuCampaign = generateSeuCampaign(w.net, g);
+    const DetectionPolicy policy = DetectionPolicy::AnyDifference;
+    w.rows = {{Backend::Concurrent, 1, policy, true},
+              {Backend::Concurrent, 4, policy, true},
+              {Backend::Concurrent, 1, policy, true, 0, 32},
+              {Backend::Concurrent, 1, policy, true, 0, 1, /*seuNaive=*/true}};
     return w;
   }
   throw Error("unknown benchmark scenario '" + name + "' (see scenarioNames())");

@@ -18,6 +18,7 @@
 #include "api/engine.hpp"
 #include "circuits/ram.hpp"
 #include "faults/fault.hpp"
+#include "faults/transient.hpp"
 #include "patterns/pattern.hpp"
 #include "patterns/pattern_source.hpp"  // GeneratedSequenceConfig
 #include "switch/network.hpp"
@@ -42,12 +43,20 @@ struct RowSpec {
   bool dropDetected = true;  ///< drop faulty circuits once detected
   std::uint32_t batchFaults = 0;  ///< sharded fault-batch size (0 = auto)
   std::uint32_t laneWidth = 1;    ///< fault-lane sharing window (1 = scalar)
+  /// SEU campaign scenarios only (Workload::seuCampaign non-empty): run the
+  /// naive from-scratch baseline (one full-sequence engine per injection)
+  /// instead of checkpoint-replay tails. The replay rows' checksums must
+  /// equal this row's — the harness-level restatement of the SEU oracle.
+  bool seuNaive = false;
 
   /// EngineOptions equivalent of this row.
   EngineOptions engineOptions() const;
   /// Stable row label ("concurrent", "sharded-4", "concurrent-lanes32",
   /// "serial").
   std::string label() const;
+  /// Stable row label for SEU campaign scenarios ("seu-replay",
+  /// "seu-replay-4", "seu-replay-lanes32", "seu-naive").
+  std::string seuLabel() const;
 };
 
 /// A fully built benchmark workload.
@@ -62,6 +71,11 @@ struct Workload {
   /// config (`seq` stays empty), so resident memory is flat in the pattern
   /// count — the configuration the million-pattern scale tracker uses.
   std::optional<GeneratedSequenceConfig> streamConfig;
+  /// When non-empty, the scenario is a transient-fault (SEU) grading
+  /// campaign: every row runs src/seu/ runSeuCampaign over this campaign
+  /// (instead of Engine::run over `faults`), with RowSpec::seuNaive
+  /// selecting the from-scratch baseline row. `faults` stays empty.
+  TransientList seuCampaign;
   std::vector<RowSpec> rows;  ///< configurations the harness measures
   /// Memory budget for the scenario's shared checkpoint store: 0 keeps the
   /// good-machine trace in RAM; > 0 spills it to disk and replays through a

@@ -2,6 +2,7 @@
 
 #include "faults/fault_spec.hpp"
 #include "gen/random_circuit.hpp"
+#include "gen/transient_gen.hpp"
 #include "netlist/sim_format.hpp"
 #include "patterns/sequence_io.hpp"
 #include "util/rng.hpp"
@@ -63,7 +64,7 @@ JsonValue WorkloadSpec::toJson() const {
     v.set("sequence", JsonValue::makeString(sequence));
     v.set("faults", JsonValue::makeString(faults));
   } else {
-    v.set("kind", JsonValue::makeString("gen"));
+    v.set("kind", JsonValue::makeString(isSeu() ? "seu" : "gen"));
     v.set("circuitSeed", JsonValue::makeHexU64(circuitSeed));
     if (seqSeed != 0) v.set("seqSeed", JsonValue::makeHexU64(seqSeed));
     if (numNodes != 0) v.set("nodes", JsonValue::makeU64(numNodes));
@@ -71,6 +72,13 @@ JsonValue WorkloadSpec::toJson() const {
     if (numFaults != 0) v.set("faults", JsonValue::makeU64(numFaults));
     if (numPatterns != 0) v.set("patterns", JsonValue::makeU64(numPatterns));
     if (stream) v.set("stream", JsonValue::makeBool(true));
+    if (isSeu()) {
+      v.set("seuInjections", JsonValue::makeU64(seuInjections));
+      v.set("seuSeed", JsonValue::makeHexU64(seuSeed));
+      if (seuInstants != 0) {
+        v.set("seuInstants", JsonValue::makeU64(seuInstants));
+      }
+    }
   }
   v.set("jobs", JsonValue::makeU64(jobs));
   if (laneWidth != 1) v.set("laneWidth", JsonValue::makeU64(laneWidth));
@@ -89,7 +97,7 @@ WorkloadSpec WorkloadSpec::fromJson(const JsonValue& v) {
     spec.sequence = v.get("sequence").asString();
     spec.faults = v.get("faults").asString();
     if (spec.netlist.empty()) throw Error("workload: empty inline netlist");
-  } else if (kind == "gen") {
+  } else if (kind == "gen" || kind == "seu") {
     spec.circuitSeed = seedFrom(v, "circuitSeed", 1);
     spec.seqSeed = seedFrom(v, "seqSeed", 0);
     spec.numNodes = static_cast<std::uint32_t>(v.u64Or("nodes", 0));
@@ -104,8 +112,26 @@ WorkloadSpec WorkloadSpec::fromJson(const JsonValue& v) {
     if (!spec.stream && spec.numPatterns > 0xffffffffull) {
       throw Error("workload: more than 2^32 patterns requires stream=true");
     }
+    if (kind == "seu") {
+      spec.seuInjections =
+          static_cast<std::uint32_t>(v.u64Or("seuInjections", 0));
+      if (spec.seuInjections == 0) {
+        throw Error("workload: seu kind requires seuInjections >= 1");
+      }
+      spec.seuSeed = seedFrom(v, "seuSeed", 1);
+      spec.seuInstants = static_cast<std::uint32_t>(v.u64Or("seuInstants", 0));
+      if (spec.stream) {
+        throw Error("workload: seu is incompatible with stream (campaign "
+                    "grading needs a materialized sequence)");
+      }
+    } else if (v.find("seuInjections") != nullptr ||
+               v.find("seuSeed") != nullptr ||
+               v.find("seuInstants") != nullptr) {
+      throw Error("workload: seu fields require kind \"seu\"");
+    }
   } else {
-    throw Error("workload: unknown kind '" + kind + "' (want gen or inline)");
+    throw Error("workload: unknown kind '" + kind +
+                "' (want gen, seu or inline)");
   }
   spec.jobs = static_cast<unsigned>(v.u64Or("jobs", 2));
   if (spec.jobs == 0) throw Error("workload: jobs must be >= 1");
@@ -152,8 +178,23 @@ BuiltWorkload buildWorkload(const WorkloadSpec& spec) {
       out.net = std::move(w.net);
       out.faults = std::move(w.faults);
     }
+    if (spec.isSeu()) {
+      // SEU kind grades a transient campaign, not the permanent universe:
+      // the generated FaultList is discarded and the campaign takes its
+      // place. Generation is deterministic in (circuit, seed, knobs), so the
+      // verifying client can rebuild the exact campaign.
+      out.faults = FaultList{};
+      SeuGenOptions g;
+      g.seed = spec.seuSeed;
+      g.numInjections = spec.seuInjections;
+      g.numPatterns = out.seq.size();
+      g.maxInstants = spec.seuInstants;
+      out.seuCampaign = generateSeuCampaign(out.net, g);
+    }
   }
-  if (out.faults.empty()) throw Error("workload: empty fault list");
+  if (out.faults.empty() && out.seuCampaign.empty()) {
+    throw Error("workload: empty fault list");
+  }
   if (out.seq.empty() && !out.streamConfig.has_value()) {
     throw Error("workload: empty test sequence");
   }

@@ -3,13 +3,15 @@
 // The daemon (src/serve/server.hpp) speaks newline-delimited JSON over a
 // Unix-domain socket. This header defines the pieces both endpoints share:
 //
-//   * WorkloadSpec — what a `submit` request asks to simulate. Two kinds:
+//   * WorkloadSpec — what a `submit` request asks to simulate. Three kinds:
 //     "gen" (the seeded random workload space of src/gen/random_circuit.hpp,
 //     so a spec is a few integers on the wire and both endpoints can rebuild
 //     the workload bit-identically — the loadgen harness verifies every
-//     service response against a direct Engine run this way) and "inline"
+//     service response against a direct Engine run this way), "inline"
 //     (netlist/sequence/faults as the text formats the CLI already reads,
-//     the shape a real remote tenant submits).
+//     the shape a real remote tenant submits), and "seu" (a seeded
+//     transient-fault grading campaign over a gen circuit, executed through
+//     src/seu/ checkpoint-replay against the daemon's shared store).
 //   * buildWorkload() — the deterministic spec -> (Network, FaultList,
 //     TestSequence) expansion both the server and the verifying client use.
 //   * JobStatus / JobResult — the lifecycle and payload a job publishes.
@@ -29,6 +31,7 @@
 #include <string>
 
 #include "api/engine.hpp"
+#include "faults/transient.hpp"
 #include "patterns/pattern_source.hpp"  // GeneratedSequenceConfig
 #include "serve/json.hpp"
 
@@ -65,6 +68,19 @@ struct WorkloadSpec {
   std::string sequence;
   std::string faults;
 
+  /// SEU kind (> 0 selects it, with the gen circuit knobs above): grade a
+  /// generated transient campaign of this many injections instead of a
+  /// permanent fault universe. Executed via src/seu/ runSeuCampaign on the
+  /// daemon — replay tails against the shared checkpoint store, never naive.
+  /// Incompatible with stream (campaign grading needs a materialized
+  /// sequence) and with the inline kind. `dropDetected` is ignored
+  /// (campaigns always drop detected machines).
+  std::uint32_t seuInjections = 0;
+  std::uint64_t seuSeed = 1;  ///< campaign generation seed
+  /// Cluster the campaign onto at most this many distinct instants
+  /// (0 = unclustered); see gen/transient_gen.hpp.
+  std::uint32_t seuInstants = 0;
+
   unsigned jobs = 2;  ///< per-request parallelism (>1 engages the sharded
                       ///< runner and with it the shared checkpoint store)
   /// Fault-lane sharing window (EngineOptions::laneWidth): power of two in
@@ -74,6 +90,7 @@ struct WorkloadSpec {
   bool dropDetected = true;
 
   bool isInline() const { return !netlist.empty(); }
+  bool isSeu() const { return !isInline() && seuInjections > 0; }
 
   JsonValue toJson() const;
   /// Throws Error on malformed specs (unknown kind, bad policy string).
@@ -89,6 +106,9 @@ struct BuiltWorkload {
   FaultList faults;
   TestSequence seq;
   std::optional<GeneratedSequenceConfig> streamConfig;
+  /// SEU kind only: the generated transient campaign (`faults` stays
+  /// empty); run it via seu::runSeuCampaign.
+  TransientList seuCampaign;
 };
 
 /// Expands a spec deterministically: equal specs produce bit-identical

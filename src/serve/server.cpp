@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "perf/bench_runner.hpp"
+#include "seu/seu_campaign.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -111,6 +112,39 @@ void Server::execute(const std::shared_ptr<Job>& job) {
   EnginePool::Lease lease;
   try {
     BuiltWorkload w = buildWorkload(job->spec);
+    if (!w.seuCampaign.empty()) {
+      // SEU grading jobs bypass the engine pool: the campaign runner builds
+      // its own per-group tail engines and only needs the daemon's shared
+      // store (the good-machine recording is cached across campaigns against
+      // the same circuit + sequence). The between-groups hook is the
+      // cancellation point.
+      seu::CampaignOptions opts;
+      opts.jobs = job->spec.jobs;
+      opts.laneWidth = job->spec.laneWidth;
+      opts.policy = job->spec.policy;
+      opts.store = store_;
+      opts.checkPoint = [&job] {
+        if (job->cancelRequested.load(std::memory_order_relaxed)) {
+          throw CancelledRun{};
+        }
+      };
+      Timer timer;
+      const seu::CampaignResult res =
+          seu::runSeuCampaign(w.net, w.seq, w.seuCampaign, opts);
+      result.wallSeconds = timer.seconds();
+      result.backend = "seu-replay";
+      result.checksum = res.checksum();
+      result.numFaults = static_cast<std::uint32_t>(res.injections.size());
+      result.numDetected = res.numDetected;
+      result.nodeEvals = res.totalNodeEvals;
+      result.cpuSeconds = res.totalSeconds;
+      recordLatency(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - job->submitTime)
+                        .count(),
+                    outcome);
+      queue_.finish(job, outcome, std::move(result));
+      return;
+    }
     lease = pool_.acquire(w.net, w.faults, specEngineOptions(job->spec));
     result.engineReused = lease.reused;
     result.backend = lease.engine->backendName();

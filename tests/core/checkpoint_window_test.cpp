@@ -136,6 +136,32 @@ TEST_F(WindowFixture, BudgetExactlyAtChunkEdge) {
   EXPECT_LE(ck.memoryBytes(), budget) << "resident after a full replay";
 }
 
+// goodStateAfterPattern at arbitrary mid-sequence instants: the fold that
+// SEU campaigns use to materialize an injection instant must yield the same
+// snapshot from a spilled single-chunk window as from the unbounded
+// recording — including out-of-order access, which forces the reader to
+// seek backwards across evicted chunks.
+TEST_F(WindowFixture, GoodStateAfterPatternMatchesUnbounded) {
+  GoodMachineCheckpoint ck = spill(1);
+  const std::uint64_t numPatterns = mem.numPatterns();
+  ASSERT_GT(numPatterns, 8u);
+  const std::uint64_t probes[] = {0,
+                                  1,
+                                  numPatterns / 3,
+                                  numPatterns / 2,
+                                  numPatterns - 2,
+                                  numPatterns - 1,
+                                  2,  // backwards after reaching the end
+                                  numPatterns / 2};
+  for (const std::uint64_t p : probes) {
+    EXPECT_EQ(ck.goodStateAfterPattern(p), mem.goodStateAfterPattern(p))
+        << "pattern " << p;
+    EXPECT_EQ(ck.settleEndingPattern(p), mem.settleEndingPattern(p))
+        << "pattern " << p;
+  }
+  EXPECT_EQ(ck.goodStateAfterPattern(numPatterns - 1), ck.finalGoodStates());
+}
+
 // Re-pin after eviction: walk the whole trace forward (sliding the
 // single-chunk window off chunk 0), then seek back to settle 0 — the
 // evicted chunk must reload with identical content, repeatedly.

@@ -1,0 +1,75 @@
+// Transient (SEU) campaign specification text format.
+#include "faults/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/cells.hpp"
+#include "switch/builder.hpp"
+
+namespace fmossim {
+namespace {
+
+Network makeNet() {
+  NetworkBuilder b;
+  NmosCells cells(b);
+  const NodeId in = b.addInput("in");
+  const NodeId mid = cells.inverter(in, "mid");
+  cells.inverter(mid, "out");
+  return b.build();
+}
+
+TEST(TransientSpecTest, ParsesFlipsAndPulses) {
+  const Network net = makeNet();
+  const TransientList c = parseTransientSpec(net,
+                                             "# strike campaign\n"
+                                             "flip mid @ 3\n"
+                                             "\n"
+                                             "flip out @ 0 pulse 2\n");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].name, "mid/flip@3");
+  EXPECT_EQ(c[0].atPattern, 3u);
+  EXPECT_EQ(c[0].pulsePatterns, 0u);
+  EXPECT_EQ(c[1].name, "out/flip@0+p2");
+  EXPECT_EQ(c[1].atPattern, 0u);
+  EXPECT_EQ(c[1].pulsePatterns, 2u);
+}
+
+TEST(TransientSpecTest, FlipAtValidates) {
+  const Network net = makeNet();
+  // Input nodes are rejected (they are re-driven every pattern).
+  EXPECT_THROW(TransientFault::flipAt(net, net.findNode("in"), 0), Error);
+  EXPECT_THROW(TransientFault::flipAt(net, NodeId(net.numNodes()), 0), Error);
+  EXPECT_THROW(TransientFault::flipAt(net, NodeId(), 0), Error);
+}
+
+TEST(TransientSpecTest, RejectsMalformedLines) {
+  const Network net = makeNet();
+  // Unknown node.
+  EXPECT_THROW(parseTransientSpec(net, "flip nope @ 1\n"), Error);
+  // Input node.
+  EXPECT_THROW(parseTransientSpec(net, "flip in @ 1\n"), Error);
+  // Missing '@'.
+  EXPECT_THROW(parseTransientSpec(net, "flip mid at 1\n"), Error);
+  // Non-numeric pattern.
+  EXPECT_THROW(parseTransientSpec(net, "flip mid @ x\n"), Error);
+  // Trailing junk (wrong token count).
+  EXPECT_THROW(parseTransientSpec(net, "flip mid @ 1 extra\n"), Error);
+  // Bad pulse keyword and zero pulse.
+  EXPECT_THROW(parseTransientSpec(net, "flip mid @ 1 hold 2\n"), Error);
+  EXPECT_THROW(parseTransientSpec(net, "flip mid @ 1 pulse 0\n"), Error);
+  // Unknown directive.
+  EXPECT_THROW(parseTransientSpec(net, "strike mid @ 1\n"), Error);
+  // Empty campaign.
+  EXPECT_THROW(parseTransientSpec(net, "# only a comment\n"), Error);
+  // Out-of-range pulse (does not fit uint32).
+  EXPECT_THROW(parseTransientSpec(net, "flip mid @ 1 pulse 4294967296\n"),
+               Error);
+}
+
+TEST(TransientSpecTest, LoadFileReportsMissingPath) {
+  const Network net = makeNet();
+  EXPECT_THROW(loadTransientSpecFile(net, "/nonexistent/campaign.seu"), Error);
+}
+
+}  // namespace
+}  // namespace fmossim

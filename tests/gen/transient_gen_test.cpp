@@ -1,0 +1,96 @@
+// Seeded SEU campaign generation: determinism, clustering, validation.
+#include "gen/transient_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/random_circuit.hpp"
+
+namespace fmossim {
+namespace {
+
+GeneratedWorkload genWorkload() {
+  GenOptions gen;
+  gen.seed = 12;
+  gen.numNodes = 16;
+  gen.numInputs = 4;
+  gen.numFaults = 0;
+  gen.numPatterns = 40;
+  return generateWorkload(gen);
+}
+
+TEST(TransientGenTest, DeterministicForEqualSeeds) {
+  const GeneratedWorkload w = genWorkload();
+  SeuGenOptions o;
+  o.seed = 77;
+  o.numInjections = 20;
+  o.numPatterns = w.seq.size();
+  o.maxInstants = 4;
+  const TransientList a = generateSeuCampaign(w.net, o);
+  const TransientList b = generateSeuCampaign(w.net, o);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].atPattern, b[i].atPattern);
+    EXPECT_EQ(a[i].pulsePatterns, b[i].pulsePatterns);
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+  o.seed = 78;
+  const TransientList c = generateSeuCampaign(w.net, o);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs = differs || a[i].node != c[i].node ||
+              a[i].atPattern != c[i].atPattern;
+  }
+  EXPECT_TRUE(differs) << "different seeds should give different campaigns";
+}
+
+TEST(TransientGenTest, CampaignsAreValid) {
+  const GeneratedWorkload w = genWorkload();
+  SeuGenOptions o;
+  o.seed = 5;
+  o.numInjections = 50;
+  o.numPatterns = w.seq.size();
+  o.pulseProbability = 0.5;
+  o.maxPulse = 3;
+  const TransientList c = generateSeuCampaign(w.net, o);
+  ASSERT_EQ(c.size(), o.numInjections);
+  bool sawPulse = false;
+  for (const TransientFault& f : c) {
+    EXPECT_FALSE(w.net.isInput(f.node));
+    EXPECT_LT(f.node.value, w.net.numNodes());
+    EXPECT_LT(f.atPattern, w.seq.size());
+    EXPECT_LE(f.pulsePatterns, o.maxPulse);
+    sawPulse = sawPulse || f.pulsePatterns > 0;
+  }
+  EXPECT_TRUE(sawPulse) << "p=0.5 over 50 draws should yield a pulse";
+}
+
+TEST(TransientGenTest, ClusteringBoundsDistinctInstants) {
+  const GeneratedWorkload w = genWorkload();
+  SeuGenOptions o;
+  o.seed = 9;
+  o.numInjections = 32;
+  o.numPatterns = w.seq.size();
+  o.maxInstants = 4;
+  const TransientList c = generateSeuCampaign(w.net, o);
+  std::set<std::uint64_t> instants;
+  for (const TransientFault& f : c) instants.insert(f.atPattern);
+  EXPECT_LE(instants.size(), 4u);
+  EXPECT_GE(instants.size(), 2u) << "clustered pool should still vary";
+}
+
+TEST(TransientGenTest, RejectsDegenerateRequests) {
+  const GeneratedWorkload w = genWorkload();
+  SeuGenOptions o;
+  o.numPatterns = w.seq.size();
+  o.numInjections = 0;
+  EXPECT_THROW(generateSeuCampaign(w.net, o), Error);
+  o.numInjections = 4;
+  o.numPatterns = 0;
+  EXPECT_THROW(generateSeuCampaign(w.net, o), Error);
+}
+
+}  // namespace
+}  // namespace fmossim

@@ -153,6 +153,43 @@ TEST(BenchCheckTest, UnfilteredRunFlagsStaleBaselines) {
   fs::remove_all(dir);
 }
 
+// SEU campaign tallies are deterministic, so any drift is an exact-check
+// failure regardless of tolerance — same contract as checksums.
+TEST(BenchCheckTest, SeuSummaryDriftAlwaysFails) {
+  ScenarioResult base = makeScenario();
+  SeuSummary seu;
+  seu.injections = 32;
+  seu.instants = 4;
+  seu.detected = 20;
+  seu.silent = 9;
+  seu.latent = 3;
+  base.seu = seu;
+
+  // Identical summaries pass.
+  CheckReport same;
+  checkScenarioAgainstBaseline(base, base, 15.0, same);
+  EXPECT_TRUE(same.ok());
+
+  // Outcome drift fails even under an absurd tolerance.
+  ScenarioResult fresh = base;
+  fresh.seu->detected = 21;
+  fresh.seu->silent = 8;
+  CheckReport drift;
+  checkScenarioAgainstBaseline(fresh, base, 1e9, drift);
+  ASSERT_EQ(drift.issues.size(), 1u);
+  EXPECT_NE(drift.issues[0].detail.find("seu grading drift"),
+            std::string::npos);
+
+  // Presence mismatch fails in both directions.
+  ScenarioResult none = makeScenario();
+  CheckReport missing;
+  checkScenarioAgainstBaseline(none, base, 15.0, missing);
+  EXPECT_FALSE(missing.ok());
+  CheckReport extra;
+  checkScenarioAgainstBaseline(base, none, 15.0, extra);
+  EXPECT_FALSE(extra.ok());
+}
+
 ScenarioResult makeServiceScenario() {
   ScenarioResult sr = makeScenario();
   sr.scenario = "serve_mixed";

@@ -153,6 +153,32 @@ TEST(BenchJsonTest, ServiceObjectIsOptionalAndRoundTrips) {
   EXPECT_EQ(back2.service->engineReuses, svc.engineReuses);
 }
 
+// The seu object is additive like the others: non-campaign scenarios omit
+// it, SEU grading scenarios carry the deterministic outcome tally.
+TEST(BenchJsonTest, SeuObjectIsOptionalAndRoundTrips) {
+  const ScenarioResult plain = sample();
+  EXPECT_EQ(toJson(plain).find("\"seu\""), std::string::npos);
+  EXPECT_FALSE(parseBenchJson(toJson(plain)).seu.has_value());
+
+  ScenarioResult graded = plain;
+  SeuSummary seu;
+  seu.injections = 32;
+  seu.instants = 4;
+  seu.detected = 20;
+  seu.silent = 9;
+  seu.latent = 3;
+  graded.seu = seu;
+  const std::string json = toJson(graded);
+  EXPECT_NE(json.find("\"seu\""), std::string::npos);
+  const ScenarioResult back = parseBenchJson(json);
+  ASSERT_TRUE(back.seu.has_value());
+  EXPECT_EQ(back.seu->injections, seu.injections);
+  EXPECT_EQ(back.seu->instants, seu.instants);
+  EXPECT_EQ(back.seu->detected, seu.detected);
+  EXPECT_EQ(back.seu->silent, seu.silent);
+  EXPECT_EQ(back.seu->latent, seu.latent);
+}
+
 TEST(BenchJsonTest, RejectsMalformedInput) {
   EXPECT_THROW(parseBenchJson(""), Error);
   EXPECT_THROW(parseBenchJson("{"), Error);

@@ -16,7 +16,7 @@ TEST(BenchScenarioTest, RegistryIsStableAndComplete) {
   const std::vector<std::string> expected = {
       "ram64_seq1",  "ram64_seq2",     "ram256_seq1",   "fuzz_small",
       "fuzz_medium", "fuzz_large",     "ram256_seq1_j4", "fuzz_large_j4",
-      "fuzz_xlarge_seq",
+      "fuzz_xlarge_seq", "seu_ram256",
   };
   EXPECT_EQ(names, expected);
   EXPECT_EQ(scenarioNames(), names);  // deterministic across calls

@@ -142,6 +142,64 @@ TEST(WorkloadSpecTest, SeqSeedDerivesDistinctSequenceOverSameCircuit) {
   EXPECT_EQ(a.seq.size(), b.seq.size());
 }
 
+TEST(WorkloadSpecTest, SeuSpecRoundTripsThroughJson) {
+  WorkloadSpec spec;
+  spec.circuitSeed = 11;
+  spec.numNodes = 18;
+  spec.numPatterns = 24;
+  spec.seuInjections = 12;
+  spec.seuSeed = 0xfeedfacecafebeefULL;  // full 64-bit seed must survive
+  spec.seuInstants = 3;
+  spec.policy = DetectionPolicy::AnyDifference;
+  ASSERT_TRUE(spec.isSeu());
+
+  const JsonValue wire = spec.toJson();
+  EXPECT_EQ(wire.stringOr("kind", ""), "seu");
+  const WorkloadSpec back = WorkloadSpec::fromJson(wire);
+  EXPECT_TRUE(back.isSeu());
+  EXPECT_EQ(back.circuitSeed, spec.circuitSeed);
+  EXPECT_EQ(back.seuInjections, spec.seuInjections);
+  EXPECT_EQ(back.seuSeed, spec.seuSeed);
+  EXPECT_EQ(back.seuInstants, spec.seuInstants);
+  EXPECT_EQ(back.policy, spec.policy);
+}
+
+TEST(WorkloadSpecTest, SeuSpecBuildsDeterministicCampaign) {
+  WorkloadSpec spec;
+  spec.circuitSeed = 11;
+  spec.numNodes = 18;
+  spec.numPatterns = 24;
+  spec.seuInjections = 12;
+  spec.seuSeed = 99;
+  spec.seuInstants = 3;
+
+  const BuiltWorkload a = buildWorkload(spec);
+  EXPECT_TRUE(a.faults.empty());  // campaign replaces the permanent universe
+  ASSERT_EQ(a.seuCampaign.size(), 12u);
+  const BuiltWorkload b = buildWorkload(WorkloadSpec::fromJson(spec.toJson()));
+  ASSERT_EQ(b.seuCampaign.size(), a.seuCampaign.size());
+  for (std::size_t i = 0; i < a.seuCampaign.size(); ++i) {
+    EXPECT_EQ(a.seuCampaign[i].node, b.seuCampaign[i].node);
+    EXPECT_EQ(a.seuCampaign[i].atPattern, b.seuCampaign[i].atPattern);
+    EXPECT_EQ(a.seuCampaign[i].pulsePatterns, b.seuCampaign[i].pulsePatterns);
+  }
+}
+
+TEST(WorkloadSpecTest, RejectsMalformedSeuSpecs) {
+  // seu fields without the seu kind.
+  EXPECT_THROW(WorkloadSpec::fromJson(JsonValue::parse(
+                   "{\"kind\": \"gen\", \"seuInjections\": 4}")),
+               Error);
+  // seu kind without an injection count.
+  EXPECT_THROW(
+      WorkloadSpec::fromJson(JsonValue::parse("{\"kind\": \"seu\"}")), Error);
+  // stream is incompatible with campaign grading.
+  EXPECT_THROW(WorkloadSpec::fromJson(JsonValue::parse(
+                   "{\"kind\": \"seu\", \"seuInjections\": 4, "
+                   "\"stream\": true}")),
+               Error);
+}
+
 TEST(JobResultTest, RoundTripsThroughJson) {
   JobResult r;
   r.checksum = 0xabcdef0123456789ULL;

@@ -15,6 +15,7 @@
 #include "perf/bench_runner.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/transport.hpp"
+#include "seu/seu_campaign.hpp"
 
 namespace fmossim::serve {
 namespace {
@@ -101,6 +102,81 @@ TEST(ServerTest, RepeatSubmissionsReuseEngineAndStore) {
   EXPECT_EQ(stats.completed, 3u);
   EXPECT_GE(stats.pool.reuses, 1u);
   EXPECT_EQ(stats.storeRecordings, 1u);  // recorded once across all three
+  server.stop();
+}
+
+WorkloadSpec seuSpec() {
+  WorkloadSpec spec;
+  spec.circuitSeed = 11;
+  spec.numNodes = 18;
+  spec.numPatterns = 24;
+  spec.seuInjections = 12;
+  spec.seuSeed = 99;
+  spec.seuInstants = 3;
+  spec.policy = DetectionPolicy::AnyDifference;
+  return spec;
+}
+
+TEST(ServerTest, SeuJobGradesCampaignAgainstNaiveOracle) {
+  Server server{ServerOptions{}};
+  server.start();
+
+  JsonValue req = JsonValue::makeObject();
+  req.set("verb", JsonValue::makeString("submit"));
+  req.set("workload", seuSpec().toJson());
+  const JsonValue submitted = JsonValue::parse(server.handleLine(req.dump()));
+  ASSERT_TRUE(submitted.boolOr("ok", false));
+
+  JsonValue resultReq = JsonValue::makeObject();
+  resultReq.set("verb", JsonValue::makeString("result"));
+  resultReq.set("id", JsonValue::makeU64(submitted.u64Or("id", 0)));
+  const JsonValue resolved =
+      JsonValue::parse(server.handleLine(resultReq.dump()));
+  ASSERT_EQ(resolved.stringOr("status", ""), "done");
+  const JobResult jr = JobResult::fromJson(resolved.get("result"));
+  EXPECT_EQ(jr.backend, "seu-replay");
+  EXPECT_EQ(jr.numFaults, 12u);
+
+  // Oracle: a naive from-scratch grading of the same campaign, no daemon,
+  // no checkpoint store, must checksum bit-identically.
+  const BuiltWorkload w = buildWorkload(seuSpec());
+  seu::CampaignOptions naive;
+  naive.policy = DetectionPolicy::AnyDifference;
+  naive.naive = true;
+  const seu::CampaignResult oracle =
+      seu::runSeuCampaign(w.net, w.seq, w.seuCampaign, naive);
+  EXPECT_EQ(jr.checksum, oracle.checksum());
+  EXPECT_EQ(jr.numDetected, oracle.numDetected);
+
+  // The campaign engaged the daemon's shared store.
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.storeRecordings, 1u);
+  server.stop();
+}
+
+TEST(ServerTest, SeuJobsShareTheStoreRecording) {
+  Server server{ServerOptions{}};
+  server.start();
+  std::uint64_t lastChecksum = 0;
+  for (int i = 0; i < 3; ++i) {
+    JsonValue req = JsonValue::makeObject();
+    req.set("verb", JsonValue::makeString("submit"));
+    req.set("workload", seuSpec().toJson());
+    const JsonValue submitted =
+        JsonValue::parse(server.handleLine(req.dump()));
+    ASSERT_TRUE(submitted.boolOr("ok", false));
+    JsonValue resultReq = JsonValue::makeObject();
+    resultReq.set("verb", JsonValue::makeString("result"));
+    resultReq.set("id", JsonValue::makeU64(submitted.u64Or("id", 0)));
+    const JsonValue resolved =
+        JsonValue::parse(server.handleLine(resultReq.dump()));
+    ASSERT_EQ(resolved.stringOr("status", ""), "done");
+    const JobResult jr = JobResult::fromJson(resolved.get("result"));
+    if (i > 0) EXPECT_EQ(jr.checksum, lastChecksum);
+    lastChecksum = jr.checksum;
+  }
+  // One good-machine recording serves all three campaigns.
+  EXPECT_EQ(server.stats().storeRecordings, 1u);
   server.stop();
 }
 
