@@ -95,6 +95,16 @@ void printUsage(std::FILE* to, const char* argv0) {
                "unbounded; jobs > 1 only —\n"
                "                           spills the trace to disk and "
                "replays a sliding window)]\n"
+               "          [--schedule contiguous|history  sharded batch "
+               "layout (default:\n"
+               "                           contiguous; history co-batches "
+               "hard-to-detect faults\n"
+               "                           from a recorded run; results "
+               "bit-identical)]\n"
+               "          [--history-file PATH  detection-history sidecar: "
+               "read by\n"
+               "                           --schedule history, refreshed "
+               "after sharded runs]\n"
                "          [--policy any|definite (default: definite)]\n"
                "          [--no-drop] [--csv FILE] [--compare] [--quiet]\n"
                "       %s fuzz --seeds N    differential fuzzing campaign "
@@ -597,35 +607,32 @@ int runServe(int argc, char** argv) {
       }
       return argv[++i];
     };
-    const auto nextUint = [&]() -> unsigned {
-      const char* text = next();
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long v = std::strtoul(text, &end, 10);
-      if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
-        std::fprintf(stderr, "invalid number '%s' for %s\n", text, arg.c_str());
-        std::exit(2);
-      }
-      return static_cast<unsigned>(v);
-    };
+    // Counted flags go through the strict shared parser (parsePositiveCount):
+    // garbage, zero, negatives and values past the cap all exit 2 — the old
+    // local strtoul lambda silently truncated 64-bit values to unsigned.
     if (arg == "--socket") socketPath = next();
-    else if (arg == "--pool") opts.poolEngines = nextUint();
-    else if (arg == "--workers") opts.workers = nextUint();
-    else if (arg == "--queue") opts.queueBound = nextUint();
+    else if (arg == "--pool") {
+      opts.poolEngines = parsePositiveCount(next(), "--pool", 1u << 16);
+    }
+    else if (arg == "--workers") {
+      opts.workers = parsePositiveCount(next(), "--workers", 1u << 16);
+    }
+    else if (arg == "--queue") {
+      opts.queueBound = parsePositiveCount(next(), "--queue", 1u << 20);
+    }
     else if (arg == "--checkpoint-budget") {
       opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
     }
-    else if (arg == "--store-entries") opts.storeEntries = nextUint();
+    else if (arg == "--store-entries") {
+      opts.storeEntries = parsePositiveCount(next(), "--store-entries",
+                                             1u << 20);
+    }
     else if (arg == "--quiet") quiet = true;
     else if (arg == "--help") return serveUsage(stdout, argv[0]);
     else return serveUsage(stderr, argv[0]);
   }
   if (socketPath.empty()) {
     std::fprintf(stderr, "serve: --socket PATH is required\n");
-    return 2;
-  }
-  if (opts.poolEngines == 0 || opts.workers == 0 || opts.queueBound == 0) {
-    std::fprintf(stderr, "serve: --pool, --workers and --queue must be >= 1\n");
     return 2;
   }
 
@@ -733,9 +740,20 @@ int runLoadgen(int argc, char** argv) {
     else if (arg == "--json") opts.emitJson = true;
     else if (arg == "--out") opts.outDir = next();
     else if (arg == "--shutdown") opts.shutdownAfter = true;
-    else if (arg == "--pool") opts.inprocServer.poolEngines = nextUint();
-    else if (arg == "--workers") opts.inprocServer.workers = nextUint();
-    else if (arg == "--queue") opts.inprocServer.queueBound = nextUint();
+    // Daemon knobs must be >= 1 and never silently truncated: same strict
+    // parser (and caps) as the serve subcommand's flags.
+    else if (arg == "--pool") {
+      opts.inprocServer.poolEngines =
+          parsePositiveCount(next(), "--pool", 1u << 16);
+    }
+    else if (arg == "--workers") {
+      opts.inprocServer.workers =
+          parsePositiveCount(next(), "--workers", 1u << 16);
+    }
+    else if (arg == "--queue") {
+      opts.inprocServer.queueBound =
+          parsePositiveCount(next(), "--queue", 1u << 20);
+    }
     else if (arg == "--checkpoint-budget") {
       opts.inprocServer.checkpointBudgetBytes =
           parseByteSize(next(), "--checkpoint-budget");
@@ -1050,6 +1068,19 @@ int main(int argc, char** argv) {
       opts.laneWidth = parseLaneWidth(next(), "--lane-width");
     } else if (arg == "--checkpoint-budget") {
       opts.checkpointBudgetBytes = parseByteSize(next(), "--checkpoint-budget");
+    } else if (arg == "--schedule") {
+      const char* text = next();
+      const auto parsed = sched::parseSchedulePolicy(text);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "invalid value '%s' for --schedule (want contiguous or "
+                     "history)\n",
+                     text);
+        return 2;
+      }
+      opts.schedule = *parsed;
+    } else if (arg == "--history-file") {
+      opts.historyFile = next();
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "any") opts.policy = DetectionPolicy::AnyDifference;

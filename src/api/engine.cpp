@@ -38,11 +38,13 @@ std::unique_ptr<FaultSimulator> Engine::makeBackend() const {
       fopts.policy = options_.policy;
       fopts.dropDetected = options_.dropDetected;
       fopts.laneWidth = options_.laneWidth;
+      fopts.checkpointReadAhead = options_.checkpointReadAhead;
       fopts.debugLoseTriggerEvery = options_.debugLoseTriggerEvery;
       if (options_.jobs > 1 && faults_.size() > 1) {
         return std::make_unique<ShardedRunner>(
             net_, faults_, fopts, options_.jobs, options_.batchFaults,
-            options_.checkpointStore, options_.checkpointBudgetBytes);
+            options_.checkpointStore, options_.checkpointBudgetBytes,
+            options_.schedule, options_.historyStore, options_.historyFile);
       }
       return std::make_unique<ConcurrentBackend>(net_, faults_, fopts);
     }

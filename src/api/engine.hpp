@@ -88,6 +88,34 @@ struct EngineOptions {
   /// budget — the knob that opens million-pattern sequences. Applies to the
   /// private store only; a shared `checkpointStore` carries its own budget.
   std::size_t checkpointBudgetBytes = 0;
+  /// Batch-layout policy for the sharded scheduler (jobs > 1 only; the CLI's
+  /// `--schedule`). Contiguous (the default) slices the global fault order;
+  /// History lays batches out by a prior run's detection record — expensive
+  /// (late- or never-detected) faults are co-batched so the cheap batches
+  /// exit their replay early, and lane windows with matching history are
+  /// hinted to the share matcher. Every policy is bit-identical in results
+  /// (detections, nodeEvals, rows); only wall clock changes. The History
+  /// policy falls back to the contiguous layout until a history exists in
+  /// `historyStore` or `historyFile`.
+  sched::SchedulePolicy schedule = sched::SchedulePolicy::Contiguous;
+  /// Shared in-memory detection-history cache (jobs > 1 only), the
+  /// scheduling twin of `checkpointStore`: every sharded run records its
+  /// detection outcome into the store (keyed on the fault-list fingerprint)
+  /// and the History policy schedules on the newest record. Engines handed
+  /// the same store feed each other — the serve daemon hangs one store off
+  /// its engine pool, giving per-tenant history across requests. Null keeps
+  /// history per-runner only (still recorded when `historyFile` is set).
+  std::shared_ptr<sched::HistoryStore> historyStore;
+  /// Detection-history sidecar path (jobs > 1 only; the CLI's
+  /// `--history-file`): loaded as the fallback history source and rewritten
+  /// after every sharded run, so history survives process restarts. Empty
+  /// disables the sidecar.
+  std::string historyFile;
+  /// Opt-in async read-ahead of the next settle chunk during checkpoint
+  /// replay (forwarded to FsimOptions::checkpointReadAhead; meaningful only
+  /// when the checkpoint store spills under a budget). Bit-identical
+  /// results; costs up to one extra resident chunk per replaying engine.
+  bool checkpointReadAhead = false;
   /// Forwarded to FsimOptions::debugLoseTriggerEvery (concurrent backends
   /// only): the differential-fuzzing oracle's self-test bug injector. 0 = off.
   std::uint32_t debugLoseTriggerEvery = 0;

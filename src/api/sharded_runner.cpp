@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "api/engine.hpp"
 #include "core/row_sink.hpp"
 #include "patterns/pattern_source.hpp"
 #include "util/timer.hpp"
@@ -15,13 +16,20 @@ ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
                              FsimOptions options, unsigned jobs,
                              std::uint32_t batchFaults,
                              std::shared_ptr<CheckpointStore> store,
-                             std::size_t checkpointBudgetBytes)
+                             std::size_t checkpointBudgetBytes,
+                             sched::SchedulePolicy schedule,
+                             std::shared_ptr<sched::HistoryStore> history,
+                             std::string historyFile)
     : net_(net),
       faults_(std::move(faults)),
       options_(options),
       batchFaults_(batchFaults),
       store_(std::move(store)),
-      ownsStore_(store_ == nullptr) {
+      ownsStore_(store_ == nullptr),
+      schedule_(schedule),
+      history_(std::move(history)),
+      historyFile_(std::move(historyFile)),
+      faultsFp_(faultListFingerprint(faults_)) {
   jobs_ = std::max(1u, std::min(jobs, std::max(1u, faults_.size())));
   if (ownsStore_) {
     CheckpointStore::Options sopts;
@@ -33,40 +41,14 @@ ShardedRunner::ShardedRunner(const Network& net, FaultList faults,
 std::vector<std::pair<std::uint32_t, std::uint32_t>> ShardedRunner::makeBatches(
     std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults,
     std::uint32_t laneWidth) {
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> batches;
-  if (numFaults == 0) return batches;
-  jobs = std::max(1u, jobs);
-  laneWidth = std::max(1u, laneWidth);
-  // Auto schedule: ~4 batches per worker, floored at 32 faults so the
-  // per-batch checkpoint-replay overhead stays amortized. Per-fault cost is
-  // wildly non-uniform under dropping (a batch whose faults all drop early
-  // exits almost immediately; one undetected fault keeps its batch running
-  // the whole sequence), so the queue needs several times more batches than
-  // workers for stealing to level the load — measured on RAM256, this
-  // schedule more than halves the critical path vs. one-slice-per-worker at
-  // a few percent of added total work.
-  std::uint32_t size =
-      batchFaults > 0
-          ? batchFaults
-          : std::max<std::uint32_t>(32,
-                                    (numFaults + 4 * jobs - 1) / (4 * jobs));
-  // Feed whole lane windows per shard: each batch engine renumbers its
-  // faults from 1, so a batch size that is a laneWidth multiple keeps
-  // sharing windows from straddling shard boundaries.
-  size = (size + laneWidth - 1) / laneWidth * laneWidth;
-  std::uint32_t begin = 0;
-  while (begin < numFaults) {
-    const std::uint32_t end = std::min(numFaults, begin + size);
-    batches.emplace_back(begin, end);
-    begin = end;
-  }
-  return batches;
+  return sched::contiguousBatches(numFaults, jobs, batchFaults, laneWidth);
 }
 
 FaultSimResult mergeShardResults(
     const std::vector<FaultSimResult>& shardResults,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
-    std::uint32_t numPatterns, const GoodMachineCheckpoint* good) {
+    std::uint32_t numPatterns, const GoodMachineCheckpoint* good,
+    const std::vector<std::uint32_t>* order) {
   FaultSimResult merged;
   std::uint32_t numFaults = 0;
   for (const auto& [begin, end] : slices) numFaults += end - begin;
@@ -86,9 +68,12 @@ FaultSimResult mergeShardResults(
   for (std::size_t s = 0; s < shardResults.size(); ++s) {
     const FaultSimResult& r = shardResults[s];
     const auto [begin, end] = slices[s];
-    // Re-index the shard-local fault order to the global one.
+    // Re-index the shard-local fault order to the global one, through the
+    // schedule's permutation when one is in effect.
     for (std::uint32_t i = 0; i < end - begin; ++i) {
-      merged.detectedAtPattern[begin + i] = r.detectedAtPattern[i];
+      const std::uint32_t pos = begin + i;
+      merged.detectedAtPattern[order == nullptr ? pos : (*order)[pos]] =
+          r.detectedAtPattern[i];
     }
     merged.numDetected += r.numDetected;
     merged.potentialDetections += r.potentialDetections;
@@ -150,9 +135,43 @@ double ShardedRunner::ensureCheckpoint(const TestSequence& seq) {
   return recordedNow ? checkpoint_->recordSeconds() : 0.0;
 }
 
+sched::BatchPlan ShardedRunner::buildPlan(unsigned effectiveJobs) const {
+  std::shared_ptr<const sched::DetectionHistory> hist;
+  if (schedule_ == sched::SchedulePolicy::History) {
+    // The in-memory store (fed by prior runs in this process, or by other
+    // engines sharing it) wins over the sidecar; the file serves cold
+    // starts. Both are keyed on the fault-list fingerprint so stale history
+    // from a different universe is never applied.
+    if (history_ != nullptr) hist = history_->lookup(faultsFp_);
+    if (hist == nullptr && !historyFile_.empty()) {
+      if (auto fromFile = sched::loadHistoryFile(historyFile_, faultsFp_)) {
+        hist = std::make_shared<sched::DetectionHistory>(std::move(*fromFile));
+      }
+    }
+  }
+  return sched::makeSchedule(schedule_, std::move(hist))
+      ->plan(faults_.size(), effectiveJobs, batchFaults_, options_.laneWidth);
+}
+
+void ShardedRunner::publishHistory(const FaultSimResult& merged) const {
+  if (history_ == nullptr && historyFile_.empty()) return;
+  if (history_ != nullptr) {
+    history_->record(faultsFp_, merged.detectedAtPattern);
+  }
+  if (!historyFile_.empty()) {
+    sched::DetectionHistory h;
+    h.faultsFingerprint = faultsFp_;
+    h.detectedAtPattern = merged.detectedAtPattern;
+    // Best-effort: a read-only directory loses persistence, not results.
+    sched::saveHistoryFile(historyFile_, h);
+  }
+}
+
 std::vector<FaultSimResult> ShardedRunner::runReplayBatches(
-    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& batches,
+    const sched::BatchPlan& plan,
     const std::function<FaultSimResult(ConcurrentFaultSimulator&)>& runOne) {
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& batches =
+      plan.slices;
   std::vector<FaultSimResult> batchResults(batches.size());
   std::atomic<std::uint32_t> nextBatch{0};
   const auto worker = [&]() {
@@ -161,9 +180,24 @@ std::vector<FaultSimResult> ShardedRunner::runReplayBatches(
           nextBatch.fetch_add(1, std::memory_order_relaxed);
       if (b >= batches.size()) return;
       const auto [begin, end] = batches[b];
-      FaultList batch(std::vector<Fault>(faults_.all().begin() + begin,
-                                         faults_.all().begin() + end));
-      ConcurrentFaultSimulator sim(net_, batch, options_, nullptr,
+      // Gather the batch's faults through the schedule's permutation (the
+      // identity plan takes the straight copy below).
+      std::vector<Fault> gathered;
+      if (plan.order.empty()) {
+        gathered.assign(faults_.all().begin() + begin,
+                        faults_.all().begin() + end);
+      } else {
+        gathered.reserve(end - begin);
+        for (std::uint32_t pos = begin; pos < end; ++pos) {
+          gathered.push_back(faults_.all()[plan.order[pos]]);
+        }
+      }
+      FaultList batch(std::move(gathered));
+      FsimOptions batchOptions = options_;
+      if (b < plan.hintWindows.size()) {
+        batchOptions.shareHintWindows = plan.hintWindows[b];
+      }
+      ConcurrentFaultSimulator sim(net_, batch, batchOptions, nullptr,
                                    checkpoint_.get());
       batchResults[b] = runOne(sim);
     }
@@ -208,17 +242,19 @@ FaultSimResult ShardedRunner::run(const TestSequence& seq,
   // cores' worth of per-batch replay overhead.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned effective = std::min(jobs_, hw);
-  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
-                                   options_.laneWidth);
+  const sched::BatchPlan plan = buildPlan(effective);
 
   const std::vector<FaultSimResult> batchResults = runReplayBatches(
-      batches, [&seq](ConcurrentFaultSimulator& sim) { return sim.run(seq); });
+      plan, [&seq](ConcurrentFaultSimulator& sim) { return sim.run(seq); });
 
   FaultSimResult merged =
-      mergeShardResults(batchResults, batches, seq.size(), checkpoint_.get());
+      mergeShardResults(batchResults, plan.slices, seq.size(),
+                        checkpoint_.get(),
+                        plan.order.empty() ? nullptr : &plan.order);
   merged.droppedDetected = options_.dropDetected;
   merged.totalSeconds = total.seconds();
   merged.totalCpuSeconds += recordSeconds;
+  publishHistory(merged);
   if (onPattern) {
     for (const PatternStat& st : merged.perPattern) onPattern(st);
   }
@@ -242,13 +278,12 @@ FaultSimResult ShardedRunner::runStream(PatternSource& source, RowSink* sink,
   const double recordSeconds = ensureCheckpointStream(source);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned effective = std::min(jobs_, hw);
-  const auto batches = makeBatches(faults_.size(), effective, batchFaults_,
-                                   options_.laneWidth);
+  const sched::BatchPlan plan = buildPlan(effective);
 
   // Workers replay entirely from the trace — the source was consumed once by
   // the recording and is never touched again.
   const std::vector<FaultSimResult> batchResults = runReplayBatches(
-      batches, [](ConcurrentFaultSimulator& sim) { return sim.runReplay(); });
+      plan, [](ConcurrentFaultSimulator& sim) { return sim.runReplay(); });
 
   // Rowless merge: the materialized merge's per-pattern row summing (and its
   // perPatternGoodEvals add-back, which streamed recordings do not carry) is
@@ -260,9 +295,10 @@ FaultSimResult ShardedRunner::runStream(PatternSource& source, RowSink* sink,
   merged.detectedAtPattern.assign(merged.numFaults, -1);
   for (std::size_t b = 0; b < batchResults.size(); ++b) {
     const FaultSimResult& r = batchResults[b];
-    const auto [begin, end] = batches[b];
+    const auto [begin, end] = plan.slices[b];
     for (std::uint32_t i = 0; i < end - begin; ++i) {
-      merged.detectedAtPattern[begin + i] = r.detectedAtPattern[i];
+      merged.detectedAtPattern[plan.globalIndex(begin + i)] =
+          r.detectedAtPattern[i];
     }
     merged.numDetected += r.numDetected;
     merged.potentialDetections += r.potentialDetections;
@@ -275,6 +311,7 @@ FaultSimResult ShardedRunner::runStream(PatternSource& source, RowSink* sink,
   merged.totalNodeEvals += checkpoint_->totalGoodEvals();
   merged.totalSeconds = total.seconds();
   merged.totalCpuSeconds += recordSeconds;
+  publishHistory(merged);
   if (sink != nullptr || onPattern) {
     // Derived rows: triples exact, per-row timing/work zero (see
     // core/row_sink.hpp).

@@ -21,34 +21,45 @@
 ///     store) spills huge traces to disk with a sliding replay window.
 ///
 ///   * **Work stealing over fault batches.** Instead of one static slice
-///     per worker, the fault list is cut into several contiguous batches
-///     per worker and workers claim batches from a shared atomic queue.
-///     Fault dropping makes per-fault cost wildly non-uniform — a batch
-///     whose faults all drop early exits its replay early, while one
-///     undetected fault keeps its batch alive for the whole sequence — so
-///     late workers steal the remaining batches instead of idling behind a
-///     static slice.
+///     per worker, the fault list is cut into several batches per worker
+///     and workers claim batches from a shared atomic queue. Fault dropping
+///     makes per-fault cost wildly non-uniform — a batch whose faults all
+///     drop early exits its replay early, while one undetected fault keeps
+///     its batch alive for the whole sequence — so late workers steal the
+///     remaining batches instead of idling behind a static slice.
 ///
-/// Determinism: the batch list is a pure function of (numFaults, jobs,
-/// batchFaults) — workers race only for *which* batch they claim, never for
-/// batch boundaries — and the merge re-indexes detections back to the global
-/// fault order. A sharded run's result is bit-identical to an unsharded
-/// run's for every jobs and batch-size choice; the checkpoint's good-machine
-/// work is added once so the merged deterministic work counter equals a
-/// jobs=1 run's exactly. Timing is reported as two distinct fields:
-/// totalSeconds is the run's wall clock, totalCpuSeconds the engine time
-/// summed across batches and the recording (per-pattern rows sum the same
-/// way — CPU-like, since batches overlap on the wall clock).
+/// *Which* faults form a batch is a pluggable policy (sched/fault_schedule):
+/// the default ContiguousSchedule reproduces the classic contiguous slices;
+/// the HistorySchedule lays batches out by a prior run's detection record so
+/// expensive faults are quarantined together (see that header). The runner
+/// feeds the schedule layer by publishing every run's detection record into
+/// the attached sched::HistoryStore and/or `--history-file` sidecar.
+///
+/// Determinism: the batch plan is a pure function of (numFaults, jobs,
+/// batchFaults, policy, history) — workers race only for *which* batch they
+/// claim, never for batch boundaries — and the merge re-indexes detections
+/// back to the global fault order through the plan's permutation. A sharded
+/// run's result is bit-identical to an unsharded run's for every jobs,
+/// batch-size and schedule-policy choice (faulty circuits never interact, so
+/// detections, nodeEvals, maxAlive and the per-pattern rows are invariant
+/// under any fault permutation); the checkpoint's good-machine work is added
+/// once so the merged deterministic work counter equals a jobs=1 run's
+/// exactly. Timing is reported as two distinct fields: totalSeconds is the
+/// run's wall clock, totalCpuSeconds the engine time summed across batches
+/// and the recording (per-pattern rows sum the same way — CPU-like, since
+/// batches overlap on the wall clock).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "api/fault_simulator.hpp"
 #include "core/checkpoint.hpp"
 #include "core/checkpoint_store.hpp"
+#include "sched/fault_schedule.hpp"
 
 namespace fmossim {
 
@@ -69,10 +80,21 @@ class ShardedRunner : public FaultSimulator {
   /// reset() leaves the shared cache alone. When null, the runner creates a
   /// private store with `checkpointBudgetBytes` as its memory budget
   /// (ignored for a shared store, which carries its own budget).
+  ///
+  /// `schedule` selects the batch-layout policy. `history` (optional) is the
+  /// shared in-memory detection-history cache: every run records into it,
+  /// and the History policy consumes it. `historyFile` (optional) names a
+  /// sidecar file (sched::saveHistoryFile format) that is loaded as a
+  /// fallback history source and rewritten after every run — history then
+  /// survives process restarts. All three default to the classic behavior.
   ShardedRunner(const Network& net, FaultList faults, FsimOptions options,
                 unsigned jobs, std::uint32_t batchFaults = 0,
                 std::shared_ptr<CheckpointStore> store = nullptr,
-                std::size_t checkpointBudgetBytes = 0);
+                std::size_t checkpointBudgetBytes = 0,
+                sched::SchedulePolicy schedule =
+                    sched::SchedulePolicy::Contiguous,
+                std::shared_ptr<sched::HistoryStore> history = nullptr,
+                std::string historyFile = {});
 
   /// Always "sharded".
   const char* backendName() const override { return "sharded"; }
@@ -131,16 +153,17 @@ class ShardedRunner : public FaultSimulator {
     if (ownsStore_) store_->clear();
   }
 
-  /// The work-stealing batch schedule: contiguous, ascending, covering
-  /// [0, numFaults). batchFaults > 0 yields fixed-size batches; 0 (auto)
-  /// yields ~4 batches per worker, floored at 32 faults so per-batch
+  /// The contiguous work-stealing batch schedule: contiguous, ascending,
+  /// covering [0, numFaults). batchFaults > 0 yields fixed-size batches; 0
+  /// (auto) yields ~4 batches per worker, floored at 32 faults so per-batch
   /// checkpoint-replay overhead stays amortized. The auto size is rounded up
   /// to a multiple of `laneWidth` so lane-sharing windows (which each batch
   /// engine forms over its locally renumbered faults) line up with batch
   /// boundaries instead of being split across shards — results are
   /// bit-identical either way; alignment only preserves the sharing
   /// opportunities. Deterministic — workers only race for batch *claims*,
-  /// never for boundaries.
+  /// never for boundaries. Delegates to sched::contiguousBatches (kept as a
+  /// static here for the scheduler unit tests and older callers).
   static std::vector<std::pair<std::uint32_t, std::uint32_t>> makeBatches(
       std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults,
       std::uint32_t laneWidth = 1);
@@ -153,9 +176,20 @@ class ShardedRunner : public FaultSimulator {
   /// Streaming twin of ensureCheckpoint: keyed on the source fingerprint,
   /// recording through the store's streaming path on a miss.
   double ensureCheckpointStream(PatternSource& source);
-  /// Replays every batch against checkpoint_ across the worker pool.
+  /// Builds this run's batch plan from the configured policy: the History
+  /// policy consults the shared store first, then the sidecar file, and
+  /// falls back to the contiguous layout when neither has a record for this
+  /// fault list.
+  sched::BatchPlan buildPlan(unsigned effectiveJobs) const;
+  /// Publishes the merged detection record into the history store and the
+  /// sidecar file (whichever are attached) so the next run can schedule on
+  /// it — contiguous runs feed history runs.
+  void publishHistory(const FaultSimResult& merged) const;
+  /// Replays every batch of the plan against checkpoint_ across the worker
+  /// pool: batch b gathers its faults through plan.order (slice positions →
+  /// global fault indices) and carries its hint windows in its FsimOptions.
   std::vector<FaultSimResult> runReplayBatches(
-      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& batches,
+      const sched::BatchPlan& plan,
       const std::function<FaultSimResult(ConcurrentFaultSimulator&)>& runOne);
 
   const Network& net_;
@@ -166,21 +200,29 @@ class ShardedRunner : public FaultSimulator {
   std::shared_ptr<CheckpointStore> store_;
   bool ownsStore_;
   std::shared_ptr<const GoodMachineCheckpoint> checkpoint_;
+  sched::SchedulePolicy schedule_;
+  std::shared_ptr<sched::HistoryStore> history_;
+  std::string historyFile_;
+  std::uint64_t faultsFp_;  ///< history key (faultListFingerprint)
 };
 
-/// Merges per-batch results (in batch order, batch b covering global fault
-/// indices [slices[b].first, slices[b].second)) into one FaultSimResult.
-/// When `good` is non-null its per-pattern good-machine evaluation counts
-/// are added once (the merged work counter then equals an unsharded run's)
-/// and its final good states are used verbatim. The merged maxAlive is the
-/// modeled single-engine peak (per-batch peaks coincide at sequence start,
-/// so it equals a jobs=1 run's exactly — see FaultSimResult::maxAlive);
-/// totalCpuSeconds and per-pattern seconds sum across batches, while the
-/// caller stamps totalSeconds with the real wall clock. Exposed for the
-/// merge-logic unit tests.
+/// Merges per-batch results (in batch order, batch b covering schedule
+/// positions [slices[b].first, slices[b].second)) into one FaultSimResult.
+/// `order` (optional) is the schedule's fault permutation: shard-local
+/// detection slot i of batch b lands at global fault index
+/// order[slices[b].first + i]; null means the identity (the classic
+/// contiguous merge). When `good` is non-null its per-pattern good-machine
+/// evaluation counts are added once (the merged work counter then equals an
+/// unsharded run's) and its final good states are used verbatim. The merged
+/// maxAlive is the modeled single-engine peak (per-batch peaks coincide at
+/// sequence start, so it equals a jobs=1 run's exactly — see
+/// FaultSimResult::maxAlive); totalCpuSeconds and per-pattern seconds sum
+/// across batches, while the caller stamps totalSeconds with the real wall
+/// clock. Exposed for the merge-logic unit tests.
 FaultSimResult mergeShardResults(
     const std::vector<FaultSimResult>& shardResults,
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& slices,
-    std::uint32_t numPatterns, const GoodMachineCheckpoint* good = nullptr);
+    std::uint32_t numPatterns, const GoodMachineCheckpoint* good = nullptr,
+    const std::vector<std::uint32_t>* order = nullptr);
 
 }  // namespace fmossim

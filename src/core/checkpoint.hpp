@@ -55,6 +55,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <span>
 #include <string>
@@ -333,6 +334,18 @@ class CheckpointReader {
   /// forward access is the fast path; any order is correct.
   void enterSettle(std::uint32_t i);
 
+  /// Opt-in asynchronous read-ahead (spilled checkpoints only; a no-op
+  /// otherwise): after each chunk switch the reader kicks off an off-thread
+  /// load-and-decode of the *next* chunk, so a sequential replay finds its
+  /// next block already decoded instead of blocking on pread + decode under
+  /// the replay's critical path. Hand-off goes through the existing window
+  /// cache synchronization (loadBlock), so concurrent readers stay safe.
+  /// Costs up to one extra resident chunk per reader while a prefetch is in
+  /// flight — default readers keep the documented one-chunk-per-reader
+  /// floor, which is why this is opt-in (FsimOptions::checkpointReadAhead).
+  /// Results are bit-identical either way.
+  void enableReadAhead() { readAhead_ = true; }
+
   /// Number of phases of the current settle.
   std::uint32_t phaseCount() const { return phaseCount_; }
   /// The vicinities of phase `k` of the current settle, in evaluation order.
@@ -362,6 +375,12 @@ class CheckpointReader {
   /// Pin on the current chunk (spilled mode only) and its index.
   std::shared_ptr<const GoodMachineCheckpoint::SettleBlock> pin_;
   std::uint32_t chunk_ = 0;
+  /// Read-ahead state (see enableReadAhead): the in-flight prefetch of
+  /// chunk `prefetchChunk_`, joined on chunk switch or in the destructor.
+  bool readAhead_ = false;
+  std::future<std::shared_ptr<const GoodMachineCheckpoint::SettleBlock>>
+      prefetch_;
+  std::uint32_t prefetchChunk_ = 0;
   const GoodMachineCheckpoint::Phase* phases_ = nullptr;
   const GoodMachineCheckpoint::VicinitySpan* vicBase_ = nullptr;
   const NodeId* memberBase_ = nullptr;

@@ -120,11 +120,17 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
                            ? numMachines / options.laneWidth + 1
                            : 0,
                        0),
-      windowFailStreak_(windowSkipUntil_.size(), 0) {
+      windowFailStreak_(windowSkipUntil_.size(), 0),
+      windowHinted_(windowSkipUntil_.size(), 0) {
   if (options_.laneWidth < 1 || options_.laneWidth > lanes::kLaneCount ||
       !std::has_single_bit(options_.laneWidth)) {
     throw Error("laneWidth must be a power of two between 1 and 32 (got " +
                 std::to_string(options_.laneWidth) + ")");
+  }
+  // Scheduler share hints: mark the hinted lane windows as backoff-exempt.
+  // Out-of-range hints (a schedule built for a larger batch) are ignored.
+  for (const std::uint32_t w : options_.shareHintWindows) {
+    if (w < windowHinted_.size()) windowHinted_[w] = 1;
   }
   FMOSSIM_ASSERT(record_ == nullptr || replay_ == nullptr,
                  "an engine cannot record and replay a checkpoint at once");
@@ -136,6 +142,7 @@ ConcurrentFaultSimulator::ConcurrentFaultSimulator(
                  "machine count must match the fault list");
   if (replay_ != nullptr) {
     replayReader_ = std::make_unique<CheckpointReader>(*replay_);
+    if (options_.checkpointReadAhead) replayReader_->enableReadAhead();
   }
   if (transientMode_ && replay_ != nullptr) {
     // Tail resume: materialize the good machine right after the injection
@@ -666,10 +673,12 @@ void ConcurrentFaultSimulator::processFaultyGroup(CircuitId c, bool coerce) {
   // of O(width) per circuit.
   const std::uint32_t w = options_.laneWidth;
   const std::uint32_t widx = (c - 1) / w;
-  if (phaseEpoch_ < windowSkipUntil_[widx]) {
+  if (windowHinted_[widx] == 0 && phaseEpoch_ < windowSkipUntil_[widx]) {
     // Share backoff active: this window's recent attempts all failed, so
     // skip the scan and matching entirely — each member dispatches here
-    // individually and takes the scalar path unchanged.
+    // individually and takes the scalar path unchanged. Scheduler-hinted
+    // windows are exempt: their members were co-batched on matching
+    // detection history, so persistent matching is expected to pay off.
     processFaultyCircuit(c, coerce);
     return;
   }
@@ -730,8 +739,9 @@ void ConcurrentFaultSimulator::processFaultyGroup(CircuitId c, bool coerce) {
   // singletons neither pays match costs nor proves anything). Success only
   // decrements the streak — a window that shares once in a while but mostly
   // fails stays mostly skipped, because a rare share saves less than the
-  // steady match costs it would re-enable.
-  if (attempted) {
+  // steady match costs it would re-enable. Hinted windows bypass the check
+  // above, so feeding their counters would be dead state; skip them.
+  if (attempted && windowHinted_[widx] == 0) {
     if (anyShared) {
       if (windowFailStreak_[widx] > 0) --windowFailStreak_[widx];
       windowSkipUntil_[widx] = 0;

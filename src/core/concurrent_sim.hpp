@@ -79,6 +79,23 @@ struct FsimOptions {
   /// [1, 32]. Results are bit-identical for every width — only wall clock
   /// changes (enforced by the diff oracle and the bench --check gate).
   std::uint32_t laneWidth = 1;
+  /// Scheduler-seeded share groups (laneWidth > 1 only): aligned lane
+  /// window indices — (circuitId - 1) / laneWidth over this engine's
+  /// locally renumbered faults — whose members the batch scheduler expects
+  /// to keep forming share groups (sched::BatchPlan::hintWindows, built
+  /// from matching detection history). Hinted windows are exempt from the
+  /// per-window share backoff: the matcher attempts group formation there
+  /// every phase instead of rediscovering, then abandoning, the window.
+  /// Results are bit-identical with or without hints (the scalar and lane
+  /// paths agree; hints only steer where match costs are paid).
+  std::vector<std::uint32_t> shareHintWindows;
+  /// Opt-in asynchronous read-ahead during checkpoint replay (spilled
+  /// checkpoints only): the replay reader prefetches and decodes the next
+  /// settle chunk off-thread while the engine consumes the current one
+  /// (CheckpointReader::enableReadAhead), so budgeted replays stop blocking
+  /// on synchronous decode at every chunk switch. Costs up to one extra
+  /// resident chunk per replaying engine; results are bit-identical.
+  bool checkpointReadAhead = false;
 };
 
 /// Per-pattern measurement row (the raw data behind Figures 1 and 2).
@@ -578,6 +595,10 @@ class ConcurrentFaultSimulator {
   static constexpr std::uint32_t kMaxShareBackoff = 10;
   std::vector<std::uint32_t> windowSkipUntil_;
   std::vector<std::uint8_t> windowFailStreak_;
+  /// Windows pre-seeded by the scheduler (FsimOptions::shareHintWindows):
+  /// bit per window; hinted windows never enter the backoff — the schedule
+  /// already vouches that their members' divergence histories match.
+  std::vector<std::uint8_t> windowHinted_;
 
   std::uint32_t aliveCount_ = 0;
   std::uint32_t maxAliveObserved_ = 0;

@@ -230,6 +230,11 @@ std::string toJson(const ScenarioResult& r) {
     // Additive like laneWidth: emitted only for streaming rows, so
     // materialized rows — and older baselines — stay byte-compatible.
     if (row.streamed) out += "\"streamed\": true, ";
+    // Additive like streamed: emitted only for non-default schedule
+    // policies, so contiguous rows — and older parsers — are unaffected.
+    if (row.schedule != "contiguous") {
+      out += "\"schedule\": \"" + escape(row.schedule) + "\", ";
+    }
     out += "\"medianMs\": " + num(row.medianMs) + ", ";
     out += "\"stddevMs\": " + num(row.stddevMs) + ", ";
     out += format("\"reps\": %u, ", row.reps);
@@ -338,6 +343,8 @@ ScenarioResult parseBenchJson(const std::string& text) {
           else if (rk == "laneWidth") row.laneWidth = static_cast<std::uint32_t>(p.parseNumber());
           // Additive: absent in pre-streaming baselines (materialized rows).
           else if (rk == "streamed") row.streamed = p.parseBool();
+          // Additive: absent in pre-schedule baselines (contiguous rows).
+          else if (rk == "schedule") row.schedule = p.parseString();
           else if (rk == "medianMs") row.medianMs = p.parseNumber();
           else if (rk == "stddevMs") row.stddevMs = p.parseNumber();
           else if (rk == "reps") row.reps = static_cast<unsigned>(p.parseNumber());

@@ -133,6 +133,11 @@ ScenarioResult BenchRunner::runScenario(
       config_.checkpointBudget.value_or(w.checkpointBudgetBytes);
   auto store = std::make_shared<CheckpointStore>(storeOpts);
   sr.checkpointBudget = storeOpts.budgetBytes;
+  // One detection-history store per scenario, also shared by every row: the
+  // contiguous sharded rows record per-fault detection outcomes, and the
+  // history-schedule rows later in the matrix are laid out by that record —
+  // the same cross-row seeding a service deployment gets from its pool.
+  auto history = std::make_shared<sched::HistoryStore>();
 
   // SEU grading scenarios measure runSeuCampaign per row instead of
   // Engine::run: the replay rows share this scenario store's single
@@ -200,6 +205,7 @@ ScenarioResult BenchRunner::runScenario(
   for (const RowSpec& spec : w.rows) {
     EngineOptions engineOpts = spec.engineOptions();
     engineOpts.checkpointStore = store;
+    engineOpts.historyStore = history;
     Engine engine(w.net, w.faults, engineOpts);
 
     BenchRow row;
@@ -210,6 +216,7 @@ ScenarioResult BenchRunner::runScenario(
     row.dropDetected = spec.dropDetected;
     row.laneWidth = spec.laneWidth;
     row.streamed = w.streamConfig.has_value();
+    row.schedule = sched::schedulePolicyName(spec.schedule);
     row.reps = reps;
 
     // Streaming scenarios pull every run from one rewindable source (the

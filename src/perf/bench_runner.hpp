@@ -59,6 +59,10 @@ struct BenchRow {
   /// checksum stays comparable either way: resultChecksum folds the derived
   /// row triples for rowless streaming results.
   bool streamed = false;
+  /// Batch-layout policy the row ran under ("contiguous" or "history").
+  /// Additive schema field: emitted only when non-default, so baselines
+  /// written by older builds parse unchanged (like `streamed`).
+  std::string schedule = "contiguous";
   double medianMs = 0.0;  ///< median wall-clock per full run, milliseconds
   double stddevMs = 0.0;  ///< sample stddev over the repetitions
   unsigned reps = 0;      ///< number of measured repetitions

@@ -31,6 +31,7 @@ EngineOptions RowSpec::engineOptions() const {
   opts.dropDetected = dropDetected;
   opts.batchFaults = batchFaults;
   opts.laneWidth = laneWidth;
+  opts.schedule = schedule;
   return opts;
 }
 
@@ -38,6 +39,7 @@ std::string RowSpec::label() const {
   if (backend == Backend::Serial) return "serial";
   std::string base = jobs > 1 ? "sharded-" + std::to_string(jobs) : "concurrent";
   if (laneWidth > 1) base += "-lanes" + std::to_string(laneWidth);
+  if (schedule == sched::SchedulePolicy::History) base += "-hist";
   return base;
 }
 
@@ -158,6 +160,16 @@ Workload buildScenarioWorkload(const std::string& name) {
                       true, 0, 32});
     w.rows.push_back({Backend::Concurrent, 4, DetectionPolicy::AnyDifference,
                       true, 0, 32});
+    // History-schedule rows: laid out by the detection record the earlier
+    // contiguous sharded rows of this scenario published into the shared
+    // per-scenario history store (bench_runner attaches it to every row).
+    // Hard-to-detect faults are co-batched so cheap batches early-exit their
+    // replay; checksums and nodeEvals must equal the contiguous rows' —
+    // the policy only permutes batch membership.
+    w.rows.push_back({Backend::Concurrent, 4, DetectionPolicy::AnyDifference,
+                      true, 0, 1, false, sched::SchedulePolicy::History});
+    w.rows.push_back({Backend::Concurrent, 4, DetectionPolicy::AnyDifference,
+                      true, 0, 32, false, sched::SchedulePolicy::History});
     return w;
   }
   if (name == "fuzz_small") {
@@ -178,6 +190,11 @@ Workload buildScenarioWorkload(const std::string& name) {
     // checksums and nodeEvals vs the scalar rows gate bit-identity in CI).
     w.rows.push_back({Backend::Concurrent, 1, DetectionPolicy::DefiniteOnly,
                       true, 0, 32});
+    // History-schedule coverage on an irregular generated circuit (seeded by
+    // the contiguous sharded rows above; bit-identity gated like the lane
+    // rows).
+    w.rows.push_back({Backend::Concurrent, 4, DetectionPolicy::DefiniteOnly,
+                      true, 0, 1, false, sched::SchedulePolicy::History});
     return w;
   }
   // Parallel speedup trackers: exactly two rows — the jobs=1 concurrent

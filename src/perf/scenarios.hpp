@@ -48,11 +48,17 @@ struct RowSpec {
   /// instead of checkpoint-replay tails. The replay rows' checksums must
   /// equal this row's — the harness-level restatement of the SEU oracle.
   bool seuNaive = false;
+  /// Batch-layout policy for sharded rows (EngineOptions::schedule).
+  /// History rows consume the detection record the scenario's earlier
+  /// contiguous rows published into the shared per-scenario history store;
+  /// their checksums and nodeEvals must equal the contiguous rows' exactly
+  /// (the policy only reorders), which `bench --check` gates.
+  sched::SchedulePolicy schedule = sched::SchedulePolicy::Contiguous;
 
   /// EngineOptions equivalent of this row.
   EngineOptions engineOptions() const;
   /// Stable row label ("concurrent", "sharded-4", "concurrent-lanes32",
-  /// "serial").
+  /// "sharded-4-hist", "serial").
   std::string label() const;
   /// Stable row label for SEU campaign scenarios ("seu-replay",
   /// "seu-replay-4", "seu-replay-lanes32", "seu-naive").

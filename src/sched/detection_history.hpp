@@ -1,0 +1,87 @@
+/// \file
+/// Detection history — per-fault detection pattern indices from a prior run,
+/// the input data for history-informed batch layouts (sched/fault_schedule).
+///
+/// Fault dropping makes per-fault cost wildly non-uniform: a fault detected
+/// at pattern 3 costs almost nothing, while an undetected fault keeps its
+/// batch replaying the whole sequence. Which faults are cheap and which are
+/// expensive is not knowable up front — but it is *stable across runs* of
+/// the same workload (detection indices are deterministic), so a prior run's
+/// detection record is a perfect cost model for the next run's schedule.
+///
+/// Two carriers:
+///
+///   * **HistoryStore** — an in-memory, mutex-protected map from fault-list
+///     fingerprint to the most recent detection record. Shared via
+///     EngineOptions::historyStore the same way the checkpoint store is:
+///     many engines/rows/requests holding the same store feed and consume
+///     one history. The serve daemon hangs one store off its engine pool,
+///     which is what gives it per-tenant history across requests (the
+///     fingerprint key separates tenants' fault lists).
+///
+///   * **Sidecar file** — a small versioned text file keyed on the same
+///     fingerprint, so history survives process restarts (CLI
+///     `--history-file`). Loads are strict about shape but forgiving about
+///     fate: a missing, malformed or differently-keyed file yields nullopt
+///     and the scheduler falls back to the contiguous layout — history is a
+///     performance hint, never a correctness input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fmossim::sched {
+
+/// One recorded detection outcome of a fault-simulation run: for every fault
+/// (global fault-list order) the index of the detecting pattern, or -1 if
+/// the run left it undetected. Keyed on the fault-list content fingerprint
+/// (faultListFingerprint) so stale history can never be applied to a
+/// different fault universe.
+struct DetectionHistory {
+  std::uint64_t faultsFingerprint = 0;
+  std::vector<std::int32_t> detectedAtPattern;
+
+  bool empty() const { return detectedAtPattern.empty(); }
+};
+
+/// Saves `history` to `path` (overwriting). Returns false on I/O failure —
+/// history is advisory, so callers report-and-continue rather than throw.
+bool saveHistoryFile(const std::string& path, const DetectionHistory& history);
+
+/// Loads a sidecar written by saveHistoryFile. Returns nullopt when the file
+/// is missing, malformed, the wrong version, or keyed on a fingerprint other
+/// than `expectedFingerprint` (pass 0 to accept any key — the round-trip
+/// test and tools do).
+std::optional<DetectionHistory> loadHistoryFile(
+    const std::string& path, std::uint64_t expectedFingerprint = 0);
+
+/// In-memory history cache shared across engines (see file comment).
+/// Thread-safe: the serve daemon's pooled engines record and look up
+/// concurrently. Lookups return an immutable snapshot — a concurrent
+/// record() publishes a fresh entry rather than mutating a shared one.
+class HistoryStore {
+ public:
+  /// Publishes the detection record of a finished run, replacing any prior
+  /// entry for the same fault list.
+  void record(std::uint64_t faultsFingerprint,
+              std::vector<std::int32_t> detectedAtPattern);
+
+  /// The most recent record for this fault list, or nullptr.
+  std::shared_ptr<const DetectionHistory> lookup(
+      std::uint64_t faultsFingerprint) const;
+
+  /// Number of distinct fault lists with history (diagnostics/tests).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const DetectionHistory>>
+      entries_;
+};
+
+}  // namespace fmossim::sched

@@ -1,0 +1,135 @@
+#include "sched/fault_schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace fmossim::sched {
+
+const char* schedulePolicyName(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::Contiguous: return "contiguous";
+    case SchedulePolicy::History: return "history";
+  }
+  return "unknown";
+}
+
+std::optional<SchedulePolicy> parseSchedulePolicy(const std::string& text) {
+  if (text == "contiguous") return SchedulePolicy::Contiguous;
+  if (text == "history") return SchedulePolicy::History;
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> contiguousBatches(
+    std::uint32_t numFaults, unsigned jobs, std::uint32_t batchFaults,
+    std::uint32_t laneWidth) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> batches;
+  if (numFaults == 0) return batches;
+  jobs = std::max(1u, jobs);
+  laneWidth = std::max(1u, laneWidth);
+  // Auto schedule: ~4 batches per worker, floored at 32 faults so the
+  // per-batch checkpoint-replay overhead stays amortized. Per-fault cost is
+  // wildly non-uniform under dropping (a batch whose faults all drop early
+  // exits almost immediately; one undetected fault keeps its batch running
+  // the whole sequence), so the queue needs several times more batches than
+  // workers for stealing to level the load — measured on RAM256, this
+  // schedule more than halves the critical path vs. one-slice-per-worker at
+  // a few percent of added total work.
+  std::uint32_t size =
+      batchFaults > 0
+          ? batchFaults
+          : std::max<std::uint32_t>(32,
+                                    (numFaults + 4 * jobs - 1) / (4 * jobs));
+  // Feed whole lane windows per shard: each batch engine renumbers its
+  // faults from 1, so a batch size that is a laneWidth multiple keeps
+  // sharing windows from straddling shard boundaries.
+  size = (size + laneWidth - 1) / laneWidth * laneWidth;
+  std::uint32_t begin = 0;
+  while (begin < numFaults) {
+    const std::uint32_t end = std::min(numFaults, begin + size);
+    batches.emplace_back(begin, end);
+    begin = end;
+  }
+  return batches;
+}
+
+BatchPlan ContiguousSchedule::plan(std::uint32_t numFaults, unsigned jobs,
+                                   std::uint32_t batchFaults,
+                                   std::uint32_t laneWidth) const {
+  BatchPlan p;  // empty order = identity, no hints
+  p.slices = contiguousBatches(numFaults, jobs, batchFaults, laneWidth);
+  return p;
+}
+
+namespace {
+
+/// Sort key: detection pattern index, with undetected (-1) past every real
+/// index — the most expensive faults land together at the end of the order.
+std::int64_t detectionKey(const DetectionHistory& h, std::uint32_t fault) {
+  const std::int32_t d = h.detectedAtPattern[fault];
+  return d < 0 ? std::numeric_limits<std::int64_t>::max() : d;
+}
+
+}  // namespace
+
+BatchPlan HistorySchedule::plan(std::uint32_t numFaults, unsigned jobs,
+                                std::uint32_t batchFaults,
+                                std::uint32_t laneWidth) const {
+  // History is advisory: none recorded (first run), or recorded for a
+  // different universe size (the fingerprint gate upstream should prevent
+  // this, but a size check keeps the plan safe regardless) — contiguous.
+  if (history_ == nullptr ||
+      history_->detectedAtPattern.size() != numFaults) {
+    return ContiguousSchedule().plan(numFaults, jobs, batchFaults, laneWidth);
+  }
+  BatchPlan p;
+  p.order.resize(numFaults);
+  std::iota(p.order.begin(), p.order.end(), 0u);
+  // Stable sort keeps the plan a pure function of the history (ties resolve
+  // in global fault order), so concurrent workers always see one layout.
+  const DetectionHistory& h = *history_;
+  std::stable_sort(p.order.begin(), p.order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return detectionKey(h, a) < detectionKey(h, b);
+                   });
+  p.slices = contiguousBatches(numFaults, jobs, batchFaults, laneWidth);
+  // Claim order: the sorted layout puts early-detected (cheap) batches
+  // first, so reverse — the expensive tail batches are claimed first and
+  // cheap batches fill the stealing queue behind them, the classic
+  // longest-job-first makespan move.
+  std::reverse(p.slices.begin(), p.slices.end());
+  if (laneWidth > 1) {
+    // Hint lane windows whose faults share one detection class: their
+    // divergence lifetimes match, which is when share groups keep forming
+    // phase after phase — the matcher should not back off on them.
+    p.hintWindows.resize(p.slices.size());
+    for (std::size_t b = 0; b < p.slices.size(); ++b) {
+      const auto [begin, end] = p.slices[b];
+      for (std::uint32_t w = 0; begin + w * laneWidth < end; ++w) {
+        const std::uint32_t lo = begin + w * laneWidth;
+        const std::uint32_t hi = std::min(end, lo + laneWidth);
+        if (hi - lo < 2) continue;  // a singleton window has nothing to share
+        const std::int64_t k0 = detectionKey(h, p.order[lo]);
+        bool uniform = true;
+        for (std::uint32_t i = lo + 1; i < hi && uniform; ++i) {
+          uniform = detectionKey(h, p.order[i]) == k0;
+        }
+        if (uniform) p.hintWindows[b].push_back(w);
+      }
+    }
+  }
+  return p;
+}
+
+std::unique_ptr<FaultSchedule> makeSchedule(
+    SchedulePolicy policy, std::shared_ptr<const DetectionHistory> history) {
+  switch (policy) {
+    case SchedulePolicy::Contiguous:
+      return std::make_unique<ContiguousSchedule>();
+    case SchedulePolicy::History:
+      return std::make_unique<HistorySchedule>(std::move(history));
+  }
+  return std::make_unique<ContiguousSchedule>();
+}
+
+}  // namespace fmossim::sched

@@ -7,7 +7,10 @@ namespace fmossim::serve {
 EnginePool::EnginePool(EnginePoolOptions options)
     : options_(options),
       store_(options.store != nullptr ? options.store
-                                      : std::make_shared<CheckpointStore>()) {
+                                      : std::make_shared<CheckpointStore>()),
+      history_(options.history != nullptr
+                   ? options.history
+                   : std::make_shared<sched::HistoryStore>()) {
   slots_.resize(std::max(1u, options_.engines));
   stats_.engines = static_cast<unsigned>(slots_.size());
 }
@@ -23,6 +26,10 @@ std::uint64_t EnginePool::keyFor(std::uint64_t netFp, std::uint64_t faultsFp,
   fnvMix(h, options.laneWidth);
   fnvMix(h, static_cast<std::uint64_t>(options.policy));
   fnvMix(h, options.dropDetected ? 1 : 0);
+  // The schedule policy does not change results, but it does change the
+  // backend's scheduling state, so pooled engines are keyed per policy —
+  // a contiguous request never silently reuses a history-scheduled engine.
+  fnvMix(h, static_cast<std::uint64_t>(options.schedule));
   return h;
 }
 
@@ -30,6 +37,7 @@ EnginePool::Lease EnginePool::acquire(const Network& net,
                                       const FaultList& faults,
                                       EngineOptions options) {
   options.checkpointStore = store_;
+  options.historyStore = history_;
   const std::uint64_t key =
       keyFor(networkFingerprint(net), faultListFingerprint(faults), options);
 

@@ -16,6 +16,12 @@
 //     rebound engine replays a previously recorded good-machine trace when
 //     its (network, sequence) was seen before — ERASER's
 //     redundancy-trimming argument applied across tenants.
+//   * Every pooled engine also shares one sched::HistoryStore: each sharded
+//     run records its per-fault detection outcome (keyed on the fault-list
+//     fingerprint, so tenants never see each other's history), and requests
+//     asking for the history schedule policy are laid out by the newest
+//     record of *their* fault list — per-tenant history across requests,
+//     surviving slot rebinds exactly like checkpoints do.
 //
 // Thread-safe; acquire() blocks while all slots are leased (the server
 // sizes workers <= slots so that never happens in the daemon, but the pool
@@ -40,6 +46,10 @@ struct EnginePoolOptions {
   /// Shared good-machine checkpoint cache attached to every pooled engine.
   /// Null constructs a default store (in-memory, its own entry bound).
   std::shared_ptr<CheckpointStore> store;
+  /// Shared detection-history cache attached to every pooled engine (see
+  /// file comment). Null constructs a fresh one — the pool always has a
+  /// history store, so per-tenant history needs no opt-in.
+  std::shared_ptr<sched::HistoryStore> history;
 };
 
 /// The pool; see the file comment.
@@ -67,10 +77,16 @@ class EnginePool {
   /// The shared checkpoint store every pooled engine runs against.
   const std::shared_ptr<CheckpointStore>& store() const { return store_; }
 
+  /// The shared detection-history store every pooled engine records into
+  /// (and schedules from, for history-policy requests).
+  const std::shared_ptr<sched::HistoryStore>& history() const {
+    return history_;
+  }
+
   /// Leases an engine for (net, faults, options): a matching live engine if
   /// one is free, otherwise the LRU free slot rebound to this workload.
-  /// `options.checkpointStore` is overwritten with the pool's shared store.
-  /// Blocks while every slot is leased.
+  /// `options.checkpointStore` and `options.historyStore` are overwritten
+  /// with the pool's shared stores. Blocks while every slot is leased.
   Lease acquire(const Network& net, const FaultList& faults,
                 EngineOptions options);
 
@@ -94,6 +110,7 @@ class EnginePool {
 
   EnginePoolOptions options_;
   std::shared_ptr<CheckpointStore> store_;
+  std::shared_ptr<sched::HistoryStore> history_;
   mutable std::mutex mu_;
   std::condition_variable freeCv_;
   std::vector<Slot> slots_;

@@ -82,6 +82,12 @@ JsonValue WorkloadSpec::toJson() const {
   }
   v.set("jobs", JsonValue::makeU64(jobs));
   if (laneWidth != 1) v.set("laneWidth", JsonValue::makeU64(laneWidth));
+  // Additive like laneWidth: only non-default policies hit the wire, so
+  // requests to and from older endpoints stay byte-compatible.
+  if (schedule != sched::SchedulePolicy::Contiguous) {
+    v.set("schedule",
+          JsonValue::makeString(sched::schedulePolicyName(schedule)));
+  }
   v.set("policy", JsonValue::makeString(
                       policy == DetectionPolicy::AnyDifference ? "any"
                                                                : "definite"));
@@ -139,6 +145,13 @@ WorkloadSpec WorkloadSpec::fromJson(const JsonValue& v) {
   if (spec.laneWidth < 1 || spec.laneWidth > 32 ||
       (spec.laneWidth & (spec.laneWidth - 1)) != 0) {
     throw Error("workload: laneWidth must be a power of two in [1, 32]");
+  }
+  const std::string schedule = v.stringOr("schedule", "contiguous");
+  if (const auto parsed = sched::parseSchedulePolicy(schedule)) {
+    spec.schedule = *parsed;
+  } else {
+    throw Error("workload: unknown schedule '" + schedule +
+                "' (want contiguous or history)");
   }
   const std::string policy = v.stringOr("policy", "definite");
   if (policy == "any") spec.policy = DetectionPolicy::AnyDifference;
@@ -206,6 +219,7 @@ EngineOptions specEngineOptions(const WorkloadSpec& spec) {
   opts.backend = Backend::Concurrent;
   opts.jobs = spec.jobs;
   opts.laneWidth = spec.laneWidth;
+  opts.schedule = spec.schedule;
   opts.policy = spec.policy;
   opts.dropDetected = spec.dropDetected;
   return opts;

@@ -86,6 +86,12 @@ struct WorkloadSpec {
   /// Fault-lane sharing window (EngineOptions::laneWidth): power of two in
   /// [1, 32]; results are bit-identical for every width.
   std::uint32_t laneWidth = 1;
+  /// Batch-layout policy (EngineOptions::schedule). "history" schedules on
+  /// the pool's per-tenant detection history (recorded by this tenant's own
+  /// earlier requests; contiguous until one exists). Results are
+  /// bit-identical for every policy. Additive wire field: emitted only when
+  /// non-default, so old endpoints interoperate.
+  sched::SchedulePolicy schedule = sched::SchedulePolicy::Contiguous;
   DetectionPolicy policy = DetectionPolicy::DefiniteOnly;
   bool dropDetected = true;
 

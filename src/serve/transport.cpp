@@ -83,21 +83,28 @@ SocketServer::~SocketServer() { stop(); }
 
 void SocketServer::acceptLoop() {
   for (;;) {
+    // Snapshot the listen fd under the lock: stop() claims it (and later
+    // closes it) under the same lock, so this thread never reads a torn or
+    // already-recycled descriptor. stop() defers the close() until after
+    // this thread joins, so the snapshot stays valid for the whole
+    // iteration; shutdown() is what wakes the poll below.
+    int lfd;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) return;
+      lfd = listenFd_;
     }
     if (server_.shutdownRequested()) return;
     // Poll with a timeout so shutdown requests handled on connection
     // threads are noticed without another connection arriving.
-    pollfd pfd{listenFd_, POLLIN, 0};
+    pollfd pfd{lfd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (ready < 0) {
       if (errno == EINTR) continue;
       return;
     }
     if (ready == 0) continue;
-    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listen socket closed by stop()
@@ -139,21 +146,25 @@ void SocketServer::waitShutdown() {
 
 void SocketServer::stop() {
   std::vector<int> fds;
+  int listenFd = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_ && listenFd_ < 0) return;
     stopping_ = true;
     fds.swap(connFds_);
-  }
-  if (listenFd_ >= 0) {
-    ::shutdown(listenFd_, SHUT_RDWR);
-    ::close(listenFd_);
+    // Claim the listen fd under the lock (acceptLoop snapshots it under the
+    // same lock); shutdown() below wakes the accept thread's poll, but the
+    // close() waits until that thread has joined so its snapshot cannot be
+    // recycled into an unrelated descriptor mid-poll.
+    listenFd = listenFd_;
     listenFd_ = -1;
   }
+  if (listenFd >= 0) ::shutdown(listenFd, SHUT_RDWR);
   // Unblock connection threads stuck in read(); result-waiters unblock via
   // Server::stop() (queue stop wakes them), which the CLI calls first.
   for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
   if (acceptThread_.joinable()) acceptThread_.join();
+  if (listenFd >= 0) ::close(listenFd);
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -39,6 +39,10 @@ ScenarioResult sample() {
   row.jobs = 1;
   row.checksum = 0x1;
   r.rows.push_back(row);
+  row.backend = "sharded-4-hist";
+  row.jobs = 4;
+  row.schedule = "history";  // non-default: must round-trip
+  r.rows.push_back(row);
   return r;
 }
 
@@ -68,7 +72,28 @@ TEST(BenchJsonTest, RoundTripPreservesEveryField) {
     EXPECT_EQ(back.rows[i].nodeEvals, r.rows[i].nodeEvals);
     EXPECT_EQ(back.rows[i].numDetected, r.rows[i].numDetected);
     EXPECT_EQ(back.rows[i].numFaults, r.rows[i].numFaults);
+    EXPECT_EQ(back.rows[i].schedule, r.rows[i].schedule);
   }
+}
+
+// The schedule field is additive like streamed: contiguous (default) rows
+// omit it entirely — their serialized bytes are unchanged from pre-schedule
+// builds — and absent keys parse back as "contiguous".
+TEST(BenchJsonTest, ScheduleFieldIsAdditive) {
+  const ScenarioResult r = sample();
+  const std::string json = toJson(r);
+  // Exactly one row (the history one) carries the key.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"schedule\""); pos != std::string::npos;
+       pos = json.find("\"schedule\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  const ScenarioResult back = parseBenchJson(json);
+  ASSERT_EQ(back.rows.size(), 3u);
+  EXPECT_EQ(back.rows[0].schedule, "contiguous");
+  EXPECT_EQ(back.rows[1].schedule, "contiguous");
+  EXPECT_EQ(back.rows[2].schedule, "history");
 }
 
 TEST(BenchJsonTest, ChecksumSerializesAsHexString) {
